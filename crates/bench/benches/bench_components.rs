@@ -1,0 +1,80 @@
+//! Criterion: component microbenchmarks — the pieces whose cost ratio makes
+//! the paper's architecture work (cheap property bookkeeping vs expensive
+//! per-plan cost estimation).
+
+use cote::nonnegative_least_squares;
+use cote_catalog::EquiDepthHistogram;
+use cote_common::{TableRef, TableSet};
+use cote_optimizer::cost::{bucket_join_profile, yao_pages};
+use cote_optimizer::properties::order::Ordering;
+use cote_query::EqClasses;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    // The expensive side: one per-plan histogram walk.
+    let ho = EquiDepthHistogram::uniform(0.0, 1000.0, 1_000_000.0, 1000.0, 32);
+    let hi = EquiDepthHistogram::skewed(0.0, 1000.0, 5_000_000.0, 1000.0, 32, 0.5);
+    c.bench_function("cost/bucket_join_profile_32", |b| {
+        b.iter(|| bucket_join_profile(black_box(&ho), black_box(&hi), 0.7, 0.9, 5000.0))
+    });
+    c.bench_function("cost/yao_pages", |b| {
+        b.iter(|| yao_pages(black_box(10_000.0), black_box(3_333.0)))
+    });
+
+    // The cheap side: one property-list operation.
+    let mut eq = EqClasses::new(64);
+    for i in 0..32 {
+        eq.union(i, i + 32);
+    }
+    let order = Ordering::seq(vec![40, 12, 55]);
+    c.bench_function("props/order_canon", |b| {
+        b.iter(|| black_box(&order).canon(black_box(&eq)))
+    });
+    let canon = order.canon(&eq);
+    let req = Ordering::seq(vec![eq.find(40)]);
+    c.bench_function("props/order_satisfies", |b| {
+        b.iter(|| black_box(&canon).satisfies(black_box(&req)))
+    });
+
+    // MEMO-key machinery: submask enumeration for a 10-table set.
+    let set = TableSet::first_n(10);
+    c.bench_function("bitset/proper_subsets_10", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for s in black_box(set).proper_subsets() {
+                acc ^= s.bits();
+            }
+            acc
+        })
+    });
+    c.bench_function("bitset/ops", |b| {
+        let a: TableSet = [TableRef(1), TableRef(3), TableRef(9)]
+            .into_iter()
+            .collect();
+        b.iter(|| {
+            black_box(a)
+                .union(black_box(set))
+                .intersect(black_box(a))
+                .len()
+        })
+    });
+
+    // Calibration: one NNLS fit on 30×4.
+    let xs: Vec<Vec<f64>> = (0..30)
+        .map(|i| {
+            let i = i as f64;
+            vec![100.0 + 13.0 * i, 50.0 + 7.0 * (i % 5.0), 20.0 + i, 1.0]
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|r| 2e-6 * r[0] + 5e-6 * r[1] + 4e-6 * r[2] + 1e-3)
+        .collect();
+    c.bench_function("regression/nnls_30x4", |b| {
+        b.iter(|| nonnegative_least_squares(black_box(&xs), black_box(&ys)).expect("fits"))
+    });
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: join-enumerator scaling — "join enumeration, together with
+//! property accumulation, although of exponential complexity, is not the
+//! primary consumer of time" (paper §5.1).
+
+use cote::count_joins;
+use cote_optimizer::{Mode, OptimizerConfig};
+use cote_query::Query;
+use cote_workloads::linear::linear_query;
+use cote_workloads::star::star_query;
+use cote_workloads::synth::synth_catalog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_enumerator_scaling(c: &mut Criterion) {
+    let catalog = synth_catalog(Mode::Serial, 12);
+    let config = OptimizerConfig::high(Mode::Serial).with_composite_inner_limit(usize::MAX);
+    let mut group = c.benchmark_group("enumeration");
+    for n in [6usize, 8, 10, 12] {
+        let chain: Query = linear_query(&catalog, n, 1, "chain");
+        group.bench_with_input(BenchmarkId::new("chain", n), &chain, |b, q| {
+            b.iter(|| count_joins(&catalog, q, &config).expect("counts"))
+        });
+        let star: Query = star_query(&catalog, n, 1, "star");
+        group.bench_with_input(BenchmarkId::new("star", n), &star, |b, q| {
+            b.iter(|| count_joins(&catalog, q, &config).expect("counts"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerator_scaling);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: COTE estimation vs full optimization (the Fig. 4 ratio as a
+//! statistically sound microbenchmark).
+
+use cote::{estimate_query, EstimateOptions};
+use cote_optimizer::{Optimizer, OptimizerConfig};
+use cote_workloads::by_name;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_estimate_vs_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_vs_optimize");
+    group.sample_size(10);
+    for wname in ["star-s", "real1-s", "tpch-p"] {
+        let w = by_name(wname).expect("workload");
+        let config = OptimizerConfig::high(w.mode);
+        // One representative mid-size query per workload.
+        let q = &w.queries[w.queries.len() / 2];
+        let optimizer = Optimizer::new(config.clone());
+
+        group.bench_with_input(BenchmarkId::new("optimize", wname), q, |b, q| {
+            b.iter(|| optimizer.optimize_query(&w.catalog, q).expect("optimizes"))
+        });
+        group.bench_with_input(BenchmarkId::new("estimate", wname), q, |b, q| {
+            b.iter(|| {
+                estimate_query(&w.catalog, q, &config, &EstimateOptions::default())
+                    .expect("estimates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_vs_optimize);
+criterion_main!(benches);

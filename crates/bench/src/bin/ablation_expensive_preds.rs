@@ -1,0 +1,79 @@
+//! Table 1 (last row) ablation — expensive predicates as a physical
+//! property.
+//!
+//! Deferrable UDFs multiply the plan space: under the scan-or-root policy
+//! every table carrying expensive predicates doubles the per-side plan
+//! variants, and COTE's estimate follows `2^(expensive tables)` exactly.
+//!
+//! Usage: `ablation_expensive_preds`.
+
+use cote::{estimate_query, EstimateOptions};
+use cote_bench::{pct_err, table::TextTable};
+use cote_common::{ColRef, TableRef};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{Query, QueryBlockBuilder};
+use cote_workloads::linear::linear_query;
+use cote_workloads::synth::synth_catalog;
+
+fn chain_with_udfs(cat: &cote_catalog::Catalog, n: usize, udf_tables: usize) -> Query {
+    // Rebuild the plain chain, then attach one deferrable UDF per table.
+    let base = linear_query(cat, n, 1, "base");
+    let mut b = QueryBlockBuilder::new();
+    for t in base.root.table_refs() {
+        b.add_table(base.root.table(t));
+    }
+    for p in base.root.join_preds() {
+        b.join(p.left, p.right);
+    }
+    for t in 0..udf_tables {
+        b.local_expensive(ColRef::new(TableRef(t as u8), 6), 0.2, 0.01);
+    }
+    Query::new(
+        format!("chain_{n}t_{udf_tables}udf"),
+        b.build(cat).expect("valid"),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cat = synth_catalog(Mode::Serial, 6);
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+
+    println!("Table 1 (expensive predicates) — plan-space growth on a 5-table chain");
+    let mut t = TextTable::new(vec![
+        "deferrable UDFs",
+        "actual plans",
+        "estimated",
+        "error",
+        "vs 0-UDF",
+        "compile ms",
+    ]);
+    let mut base_plans = 0u64;
+    for udfs in 0..=3usize {
+        let q = chain_with_udfs(&cat, 5, udfs);
+        let act = opt.optimize_query(&cat, &q)?;
+        let est = estimate_query(&cat, &q, &cfg, &EstimateOptions::default())?;
+        let plans = act.stats.plans_generated.total();
+        if udfs == 0 {
+            base_plans = plans;
+        }
+        t.row(vec![
+            udfs.to_string(),
+            plans.to_string(),
+            est.totals.counts.total().to_string(),
+            format!(
+                "{:+.1}%",
+                pct_err(est.totals.counts.total() as f64, plans as f64)
+            ),
+            format!("{:.1}x", plans as f64 / base_plans as f64),
+            format!("{:.2}", act.stats.elapsed.as_secs_f64() * 1e3),
+        ]);
+    }
+    t.print();
+    println!(
+        "\neach table with deferrable predicates roughly doubles the generated \
+         plans\n(\"any subset of the expensive predicates\" is interesting) — and \
+         the estimator's\n2^k factor keeps tracking them."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! §6.1 ablation — pilot-pass pruning effectiveness.
+//!
+//! Paper: "this kind of pruning may not be very effective … our preliminary
+//! analysis on DB2 shows that no more than 10% of plans are pruned by the
+//! initial plan in real workloads" — hence bypassing execution-cost
+//! estimation in COTE loses little.
+//!
+//! Usage: `ablation_pilot_pass [workload]` (default `real1-s`).
+
+use cote_bench::{compile_workload, table::TextTable, workload_arg};
+use cote_optimizer::OptimizerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload_arg("real1-s")?;
+    let config = OptimizerConfig::high(w.mode).with_pilot_pass(true);
+    eprintln!("compiling {} with pilot-pass pruning...", w.name);
+    let runs = compile_workload(&w, &config, 1)?;
+
+    println!("\n§6.1 — pilot-pass pruning ({})", w.name);
+    let mut t = TextTable::new(vec!["query", "generated", "pruned by pilot", "fraction"]);
+    let (mut gen_total, mut pruned_total) = (0u64, 0u64);
+    for r in &runs {
+        let generated = r.stats.plans_generated.total() + r.stats.scan_plans + r.stats.sort_plans;
+        gen_total += generated;
+        pruned_total += r.stats.pruned_by_pilot;
+        t.row(vec![
+            r.name.clone(),
+            generated.to_string(),
+            r.stats.pruned_by_pilot.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * r.stats.pruned_by_pilot as f64 / generated.max(1) as f64
+            ),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nworkload total: {:.1}% of plans pruned by the pilot bound (paper: <10%)",
+        100.0 * pruned_total as f64 / gen_total.max(1) as f64
+    );
+    Ok(())
+}

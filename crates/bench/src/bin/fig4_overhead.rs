@@ -1,0 +1,41 @@
+//! Figure 4: COTE estimation overhead vs. actual compilation time.
+//!
+//! Paper: estimation takes 1–3% of compilation on the serial workloads
+//! (Fig. 4(a,b)) and 0.3–2.8% on `real1_p` (Fig. 4(c)'s table).
+//!
+//! Usage: `fig4_overhead [workload]` (default `linear-s`); paper panels:
+//! `linear-s`, `real2-s`, `real1-p`.
+
+use cote::EstimateOptions;
+use cote_bench::{compile_workload, estimate_workload, table::TextTable, workload_arg};
+use cote_optimizer::OptimizerConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload_arg("linear-s")?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("compiling {} ({} queries)...", w.name, w.queries.len());
+    let actual = compile_workload(&w, &config, 2)?;
+    let est = estimate_workload(&w, &config, &EstimateOptions::default())?;
+
+    println!("\nFigure 4 — estimation overhead ({})", w.name);
+    let mut t = TextTable::new(vec!["query", "actual (s)", "estimate (s)", "pctg"]);
+    let (mut sum_a, mut sum_e) = (0.0f64, 0.0f64);
+    for (a, (_, e)) in actual.iter().zip(&est) {
+        let es = e.elapsed.as_secs_f64();
+        sum_a += a.seconds;
+        sum_e += es;
+        t.row(vec![
+            a.name.clone(),
+            format!("{:.4}", a.seconds),
+            format!("{:.5}", es),
+            format!("{:.1}%", 100.0 * es / a.seconds),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nworkload total: actual {sum_a:.3}s, estimation {sum_e:.4}s → {:.2}% \
+         (paper: ≤3%)",
+        100.0 * sum_e / sum_a
+    );
+    Ok(())
+}

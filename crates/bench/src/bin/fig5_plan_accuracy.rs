@@ -1,0 +1,55 @@
+//! Figure 5: accuracy of the estimated number of generated join plans, per
+//! join method.
+//!
+//! Paper panels: (a–c) `star_s` — HSJN exact, MGJN ≤14% over, NLJN ≤30%;
+//! (d–f) `random_p` — HSJN −2%..24% (simple-cardinality drift), NLJN has
+//! outliers >50%; (g–i) `real1_p` — all <30%.
+//!
+//! Usage: `fig5_plan_accuracy [workload] [--redundant-nljn]`
+//! (default `star-s`). `--redundant-nljn` enables the §5.2 DB2-oversight
+//! emulation, turning the NLJN error negative (estimates below actuals) as
+//! in the paper's Fig. 5(b).
+
+use cote::EstimateOptions;
+use cote_bench::{
+    compile_workload, estimate_workload, has_flag, pct_err, table::TextTable, workload_arg,
+};
+use cote_optimizer::{JoinMethod, OptimizerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload_arg("star-s")?;
+    let mut config = OptimizerConfig::high(w.mode);
+    if has_flag("--redundant-nljn") {
+        config = config.with_redundant_nljn(true);
+    }
+    eprintln!("compiling {} ({} queries)...", w.name, w.queries.len());
+    let actual = compile_workload(&w, &config, 1)?;
+    let est = estimate_workload(&w, &config, &EstimateOptions::default())?;
+
+    for m in JoinMethod::ALL {
+        println!("\nFigure 5 — {} plans ({})", m.name(), w.name);
+        let mut t = TextTable::new(vec!["query", "actual", "estimated", "error"]);
+        let mut errs: Vec<f64> = Vec::new();
+        for (a, (_, e)) in actual.iter().zip(&est) {
+            let act = a.stats.plans_generated.get(m);
+            let es = e.totals.counts.get(m);
+            let err = pct_err(es as f64, act as f64);
+            if act > 0 {
+                errs.push(err.abs());
+            }
+            t.row(vec![
+                a.name.clone(),
+                act.to_string(),
+                es.to_string(),
+                format!("{err:+.1}%"),
+            ]);
+        }
+        t.print();
+        if !errs.is_empty() {
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let max = errs.iter().cloned().fold(0.0, f64::max);
+            println!("mean |error| {mean:.1}%, max {max:.1}%");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one experiment of the paper (see
+//! DESIGN.md §4 for the index and EXPERIMENTS.md for recorded outputs). The
+//! helpers here cover the three needs they share: compiling workloads with
+//! the instrumented optimizer, calibrating the §3.5 time model, and printing
+//! aligned text tables.
+
+pub mod table;
+
+use cote::{Calibration, Cote, EstimateOptions, QueryEstimate, TimeModel};
+use cote_catalog::Catalog;
+use cote_common::Result;
+use cote_optimizer::{CompileStats, Mode, Optimizer, OptimizerConfig};
+use cote_query::Query;
+use cote_workloads::{linear::linear_query, star::star_query, synth::synth_catalog, Workload};
+
+/// One compiled query's actuals.
+pub struct ActualRun {
+    /// Query name.
+    pub name: String,
+    /// Compilation statistics (plan counts, phase times).
+    pub stats: CompileStats,
+    /// Best wall-clock seconds over the requested repeats.
+    pub seconds: f64,
+}
+
+/// Compile every query of a workload with the real optimizer, `repeats`
+/// times each, keeping the fastest run (scheduler-noise damping).
+pub fn compile_workload(
+    w: &Workload,
+    config: &OptimizerConfig,
+    repeats: usize,
+) -> Result<Vec<ActualRun>> {
+    let optimizer = Optimizer::new(config.clone());
+    let mut out = Vec::with_capacity(w.queries.len());
+    for q in &w.queries {
+        let mut best: Option<ActualRun> = None;
+        for _ in 0..repeats.max(1) {
+            let r = optimizer.optimize_query(&w.catalog, q)?;
+            let seconds = r.stats.elapsed.as_secs_f64();
+            if best.as_ref().is_none_or(|b| seconds < b.seconds) {
+                best = Some(ActualRun {
+                    name: q.name.clone(),
+                    stats: r.stats,
+                    seconds,
+                });
+            }
+        }
+        out.push(best.expect("repeats >= 1"));
+    }
+    Ok(out)
+}
+
+/// Estimate every query of a workload with COTE (plan counts only).
+pub fn estimate_workload(
+    w: &Workload,
+    config: &OptimizerConfig,
+    opts: &EstimateOptions,
+) -> Result<Vec<(String, QueryEstimate)>> {
+    w.queries
+        .iter()
+        .map(|q| {
+            Ok((
+                q.name.clone(),
+                cote::estimate_query(&w.catalog, q, config, opts)?,
+            ))
+        })
+        .collect()
+}
+
+/// The calibration training set for a mode: the linear and star batches on
+/// a shared synthetic catalog plus a handful of 2–4-table queries, as §3.5
+/// prescribes. The small queries anchor the regression's intercept so the
+/// model stays accurate on sub-millisecond compilations.
+pub fn training_set(mode: Mode) -> (Catalog, Vec<Query>) {
+    let catalog = synth_catalog(mode, 10);
+    let mut queries = Vec::with_capacity(38);
+    for &n in &[6usize, 8, 10] {
+        for p in 1..=5usize {
+            queries.push(linear_query(
+                &catalog,
+                n,
+                p,
+                &format!("train_lin_{n}t_{p}p"),
+            ));
+            queries.push(star_query(&catalog, n, p, &format!("train_star_{n}t_{p}p")));
+        }
+    }
+    for n in 2..=4usize {
+        for p in [1usize, 3] {
+            queries.push(linear_query(
+                &catalog,
+                n,
+                p,
+                &format!("train_tiny_{n}t_{p}p"),
+            ));
+        }
+        if n >= 3 {
+            queries.push(star_query(&catalog, n, 2, &format!("train_tinystar_{n}t")));
+        }
+    }
+    (catalog, queries)
+}
+
+/// Calibrate the §3.5 `C_t` model for a mode.
+///
+/// The training set spans two schemas — the synthetic chain/star catalog
+/// and warehouse-schema random queries (seed 99, disjoint from the `random`
+/// workload's seed 42) — so the per-method plan counts are well identified.
+pub fn calibrate_mode(mode: Mode, repeats: usize) -> Result<Calibration> {
+    let (catalog, queries) = training_set(mode);
+    let dw = cote_workloads::random::random(mode, 99);
+    let config = OptimizerConfig::high(mode);
+    cote::calibrate::calibrate_multi(
+        &[(&catalog, &queries[..]), (&dw.catalog, &dw.queries[..])],
+        &config,
+        repeats,
+    )
+}
+
+/// A calibrated COTE for a mode (convenience for the binaries).
+pub fn calibrated_cote(mode: Mode, repeats: usize) -> Result<(Cote, TimeModel)> {
+    let cal = calibrate_mode(mode, repeats)?;
+    let model = cal.model.clone();
+    Ok((Cote::new(OptimizerConfig::high(mode), cal.model), model))
+}
+
+/// Signed percentage error of `estimated` against `actual`.
+pub fn pct_err(estimated: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        0.0
+    } else {
+        100.0 * (estimated - actual) / actual
+    }
+}
+
+/// Parse the single workload-name argument of a harness binary, with a
+/// default.
+pub fn workload_arg(default: &str) -> Result<Workload> {
+    let name = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| default.to_string());
+    cote_workloads::by_name(&name)
+}
+
+/// Is a `--flag` present on the command line?
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_set_is_diverse() {
+        let (cat, queries) = training_set(Mode::Serial);
+        assert_eq!(queries.len(), 38);
+        assert!(cat.table_count() == 10);
+        let tables: std::collections::BTreeSet<usize> =
+            queries.iter().map(|q| q.root.n_tables()).collect();
+        assert_eq!(tables, [2, 3, 4, 6, 8, 10].into_iter().collect());
+    }
+
+    #[test]
+    fn pct_err_signs() {
+        assert_eq!(pct_err(110.0, 100.0), 10.0);
+        assert_eq!(pct_err(90.0, 100.0), -10.0);
+        assert_eq!(pct_err(5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn compile_and_estimate_smallest_workload() {
+        let w = cote_workloads::by_name("real1-s").unwrap();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let actual = compile_workload(&w, &cfg, 1).unwrap();
+        let est = estimate_workload(&w, &cfg, &EstimateOptions::default()).unwrap();
+        assert_eq!(actual.len(), est.len());
+        for (a, (n, e)) in actual.iter().zip(&est) {
+            assert_eq!(&a.name, n);
+            assert!(e.totals.counts.total() > 0, "{n}");
+            assert!(a.stats.plans_generated.total() > 0, "{n}");
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The catalog container and its builder.
+
+use crate::index::IndexDef;
+use crate::keys::{ForeignKey, FunctionalDep, Key};
+use crate::partition::{NodeGroup, Partitioning};
+use crate::table::TableDef;
+use cote_common::{CoteError, IndexId, Result, TableId};
+
+/// An immutable catalog: schema + statistics + physical design.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    tables: Vec<TableDef>,
+    sources: Vec<u16>,
+    partitionings: Vec<Partitioning>,
+    indexes: Vec<IndexDef>,
+    keys: Vec<Key>,
+    foreign_keys: Vec<ForeignKey>,
+    functional_deps: Vec<FunctionalDep>,
+    node_group: NodeGroup,
+}
+
+impl Catalog {
+    /// Start building a serial (single-node) catalog.
+    pub fn builder() -> CatalogBuilder {
+        CatalogBuilder::new(NodeGroup::SERIAL)
+    }
+
+    /// Start building a catalog on a parallel node group.
+    pub fn builder_parallel(group: NodeGroup) -> CatalogBuilder {
+        CatalogBuilder::new(group)
+    }
+
+    /// The node group the database runs on.
+    pub fn node_group(&self) -> NodeGroup {
+        self.node_group
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Table definition by id.
+    ///
+    /// # Panics
+    /// Panics on a dangling id — ids are only minted by this catalog's
+    /// builder, so a miss is a logic error.
+    pub fn table(&self, id: TableId) -> &TableDef {
+        &self.tables[id.0 as usize]
+    }
+
+    /// Physical partitioning of a table.
+    pub fn partitioning(&self, id: TableId) -> &Partitioning {
+        &self.partitionings[id.0 as usize]
+    }
+
+    /// Data source of a table (paper Table 1, data-source row / Garlic):
+    /// `0` is the local engine; remote wrapped sources are numbered from 1.
+    pub fn source_of(&self, id: TableId) -> u16 {
+        self.sources[id.0 as usize]
+    }
+
+    /// Does any table live at a remote source?
+    pub fn has_remote_tables(&self) -> bool {
+        self.sources.iter().any(|&s| s != 0)
+    }
+
+    /// Table id by name.
+    pub fn table_by_name(&self, name: &str) -> Result<TableId> {
+        self.tables
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TableId(i as u32))
+            .ok_or_else(|| CoteError::UnknownObject {
+                what: format!("table '{name}'"),
+            })
+    }
+
+    /// All indexes on a table.
+    pub fn indexes_on(&self, id: TableId) -> impl Iterator<Item = (IndexId, &IndexDef)> {
+        self.indexes
+            .iter()
+            .enumerate()
+            .filter(move |(_, ix)| ix.table == id)
+            .map(|(i, ix)| (IndexId(i as u32), ix))
+    }
+
+    /// Index definition by id.
+    pub fn index_def(&self, id: IndexId) -> &IndexDef {
+        &self.indexes[id.0 as usize]
+    }
+
+    /// All keys of a table.
+    pub fn keys_of(&self, id: TableId) -> impl Iterator<Item = &Key> {
+        self.keys.iter().filter(move |k| k.table == id)
+    }
+
+    /// Whether `columns` contains a key of `table` (set containment).
+    pub fn covers_key(&self, table: TableId, columns: &[u16]) -> bool {
+        self.keys_of(table)
+            .any(|k| k.columns.iter().all(|c| columns.contains(c)))
+    }
+
+    /// All foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// All functional dependencies of a table.
+    pub fn fds_of(&self, id: TableId) -> impl Iterator<Item = &FunctionalDep> {
+        self.functional_deps.iter().filter(move |f| f.table == id)
+    }
+
+    /// Total index count (used by the §5.4 index ablation).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+}
+
+/// Builder for [`Catalog`].
+#[derive(Debug)]
+pub struct CatalogBuilder {
+    tables: Vec<TableDef>,
+    sources: Vec<u16>,
+    partitionings: Vec<Partitioning>,
+    indexes: Vec<IndexDef>,
+    keys: Vec<Key>,
+    foreign_keys: Vec<ForeignKey>,
+    functional_deps: Vec<FunctionalDep>,
+    node_group: NodeGroup,
+}
+
+impl CatalogBuilder {
+    fn new(node_group: NodeGroup) -> Self {
+        Self {
+            tables: Vec::new(),
+            sources: Vec::new(),
+            partitionings: Vec::new(),
+            indexes: Vec::new(),
+            keys: Vec::new(),
+            foreign_keys: Vec::new(),
+            functional_deps: Vec::new(),
+            node_group,
+        }
+    }
+
+    /// Add a table with explicit partitioning; returns its id.
+    pub fn add_table_partitioned(
+        &mut self,
+        table: TableDef,
+        partitioning: Partitioning,
+    ) -> TableId {
+        let id = TableId(self.tables.len() as u32);
+        self.tables.push(table);
+        self.sources.push(0);
+        self.partitionings.push(partitioning);
+        id
+    }
+
+    /// Move the most recently added table to a remote data source
+    /// (federated/Garlic-style; source ids start at 1).
+    pub fn at_source(&mut self, table: TableId, source: u16) {
+        self.sources[table.0 as usize] = source;
+    }
+
+    /// Add a table with default placement: single-node on a serial group,
+    /// hash-partitioned on column 0 on a parallel group.
+    pub fn add_table(&mut self, table: TableDef) -> TableId {
+        let p = if self.node_group.nodes <= 1 {
+            Partitioning::serial()
+        } else {
+            Partitioning::hash(vec![0], self.node_group)
+        };
+        self.add_table_partitioned(table, p)
+    }
+
+    /// Add an index; returns its id.
+    pub fn add_index(&mut self, index: IndexDef) -> IndexId {
+        let id = IndexId(self.indexes.len() as u32);
+        self.indexes.push(index);
+        id
+    }
+
+    /// Declare a (primary or unique) key.
+    pub fn add_key(&mut self, key: Key) {
+        self.keys.push(key);
+    }
+
+    /// Declare a foreign key.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Declare a functional dependency.
+    pub fn add_functional_dep(&mut self, fd: FunctionalDep) {
+        self.functional_deps.push(fd);
+    }
+
+    /// Validate and freeze the catalog.
+    pub fn build(self) -> Result<Catalog> {
+        for (ti, t) in self.tables.iter().enumerate() {
+            if t.columns.is_empty() {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("table '{}' has no columns", t.name),
+                });
+            }
+            if self.tables.iter().skip(ti + 1).any(|u| u.name == t.name) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("duplicate table name '{}'", t.name),
+                });
+            }
+        }
+        let col_ok = |table: TableId, col: u16| -> bool {
+            (table.0 as usize) < self.tables.len()
+                && (col as usize) < self.tables[table.0 as usize].columns.len()
+        };
+        for ix in &self.indexes {
+            if ix.key_columns.is_empty() || !ix.key_columns.iter().all(|&c| col_ok(ix.table, c)) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("index on {} has invalid key columns", ix.table),
+                });
+            }
+        }
+        for k in &self.keys {
+            if k.columns.is_empty() || !k.columns.iter().all(|&c| col_ok(k.table, c)) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("key on {} has invalid columns", k.table),
+                });
+            }
+        }
+        for fk in &self.foreign_keys {
+            if fk.from_columns.len() != fk.to_columns.len()
+                || fk.from_columns.is_empty()
+                || !fk.from_columns.iter().all(|&c| col_ok(fk.from_table, c))
+                || !fk.to_columns.iter().all(|&c| col_ok(fk.to_table, c))
+            {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!(
+                        "foreign key {} -> {} is malformed",
+                        fk.from_table, fk.to_table
+                    ),
+                });
+            }
+        }
+        for p in &self.partitionings {
+            if let Some(cols) = p.key_columns() {
+                if cols.is_empty() {
+                    return Err(CoteError::InvalidQuery {
+                        reason: "keyed partitioning with no key columns".into(),
+                    });
+                }
+            }
+        }
+        Ok(Catalog {
+            tables: self.tables,
+            sources: self.sources,
+            partitionings: self.partitionings,
+            indexes: self.indexes,
+            keys: self.keys,
+            foreign_keys: self.foreign_keys,
+            functional_deps: self.functional_deps,
+            node_group: self.node_group,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnDef;
+
+    fn two_col_table(name: &str, rows: f64) -> TableDef {
+        TableDef::new(
+            name,
+            rows,
+            vec![
+                ColumnDef::uniform("a", rows, rows),
+                ColumnDef::uniform("b", rows, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let mut b = Catalog::builder();
+        let t0 = b.add_table(two_col_table("orders", 1000.0));
+        let t1 = b.add_table(two_col_table("lines", 5000.0));
+        b.add_index(IndexDef::new(t0, vec![0]).unique());
+        b.add_key(Key {
+            table: t0,
+            columns: vec![0],
+            primary: true,
+        });
+        b.add_foreign_key(ForeignKey {
+            from_table: t1,
+            from_columns: vec![1],
+            to_table: t0,
+            to_columns: vec![0],
+        });
+        let cat = b.build().expect("valid catalog");
+        assert_eq!(cat.table_count(), 2);
+        assert_eq!(cat.table_by_name("lines").unwrap(), t1);
+        assert!(cat.table_by_name("nope").is_err());
+        assert_eq!(cat.indexes_on(t0).count(), 1);
+        assert_eq!(cat.indexes_on(t1).count(), 0);
+        assert!(cat.covers_key(t0, &[0, 1]));
+        assert!(!cat.covers_key(t0, &[1]));
+        assert_eq!(cat.foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn parallel_default_partitioning_is_hash_on_first_column() {
+        let mut b = Catalog::builder_parallel(NodeGroup::new(4));
+        let t = b.add_table(two_col_table("f", 100.0));
+        let cat = b.build().unwrap();
+        assert_eq!(cat.partitioning(t).key_columns(), Some(&[0u16][..]));
+        assert_eq!(cat.node_group().nodes, 4);
+    }
+
+    #[test]
+    fn rejects_duplicate_table_names() {
+        let mut b = Catalog::builder();
+        b.add_table(two_col_table("t", 1.0));
+        b.add_table(two_col_table("t", 2.0));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_index_columns() {
+        let mut b = Catalog::builder();
+        let t = b.add_table(two_col_table("t", 1.0));
+        b.add_index(IndexDef::new(t, vec![9]));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_foreign_key() {
+        let mut b = Catalog::builder();
+        let t0 = b.add_table(two_col_table("x", 1.0));
+        let t1 = b.add_table(two_col_table("y", 1.0));
+        b.add_foreign_key(ForeignKey {
+            from_table: t0,
+            from_columns: vec![0, 1],
+            to_table: t1,
+            to_columns: vec![0],
+        });
+        assert!(b.build().is_err());
+    }
+}

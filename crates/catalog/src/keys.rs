@@ -1,0 +1,73 @@
+//! Keys, foreign keys and functional dependencies.
+//!
+//! These are *logical* properties in the paper's vocabulary (§3.2): they have
+//! the same value for every plan of a MEMO entry, so they do not multiply the
+//! plan count — but they do feed the full cardinality model. COTE's
+//! plan-estimate mode deliberately drops them ("it doesn't take into
+//! consideration the effect of keys and functional dependencies", §5.2),
+//! which is the root cause of the parallel-mode HSJN estimation drift.
+
+use cote_common::TableId;
+
+/// A (primary or unique) key of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Key {
+    /// Owning table.
+    pub table: TableId,
+    /// Key column positions.
+    pub columns: Vec<u16>,
+    /// Whether this is the primary key.
+    pub primary: bool,
+}
+
+/// A foreign-key relationship.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: TableId,
+    /// Referencing column positions.
+    pub from_columns: Vec<u16>,
+    /// Referenced table.
+    pub to_table: TableId,
+    /// Referenced (key) column positions.
+    pub to_columns: Vec<u16>,
+}
+
+/// A functional dependency `determinant → dependent` within one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDep {
+    /// Owning table.
+    pub table: TableId,
+    /// Determinant column positions.
+    pub determinant: Vec<u16>,
+    /// Dependent column positions.
+    pub dependent: Vec<u16>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structures_hold_shape() {
+        let k = Key {
+            table: TableId(0),
+            columns: vec![0],
+            primary: true,
+        };
+        assert!(k.primary);
+        let fk = ForeignKey {
+            from_table: TableId(1),
+            from_columns: vec![2],
+            to_table: TableId(0),
+            to_columns: vec![0],
+        };
+        assert_eq!(fk.from_columns.len(), fk.to_columns.len());
+        let fd = FunctionalDep {
+            table: TableId(0),
+            determinant: vec![0],
+            dependent: vec![1, 2],
+        };
+        assert_eq!(fd.dependent.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Catalog substrate for the COTE reproduction.
+//!
+//! Models everything the optimizer reads from a database catalog:
+//!
+//! * [`table`] — table and column definitions with per-column statistics;
+//! * [`histogram`] — equi-depth histograms, the workhorse of the cost
+//!   model's selectivity and join-cardinality estimation (the "sophisticated
+//!   execution cost model" work that COTE bypasses, paper §3.1);
+//! * [`index`] — B-tree index definitions supplying *natural* orders;
+//! * [`partition`] — base-table partitioning for the shared-nothing parallel
+//!   mode (paper §4), supplying *natural* partitions under the lazy policy;
+//! * [`keys`] — primary/unique keys, foreign keys and functional
+//!   dependencies, the *logical* properties whose absence in plan-estimate
+//!   mode causes the paper's §5.2 HSJN drift;
+//! * [`catalog`] — the container with a builder API.
+
+pub mod catalog;
+pub mod histogram;
+pub mod index;
+pub mod keys;
+pub mod partition;
+pub mod table;
+
+pub use catalog::{Catalog, CatalogBuilder};
+pub use histogram::EquiDepthHistogram;
+pub use index::IndexDef;
+pub use keys::{ForeignKey, FunctionalDep, Key};
+pub use partition::{NodeGroup, PartitionScheme, Partitioning};
+pub use table::{ColumnDef, TableDef};

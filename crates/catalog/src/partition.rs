@@ -1,0 +1,118 @@
+//! Base-table partitioning for the shared-nothing parallel mode.
+//!
+//! The paper's parallel DB2 prototype runs on "four logical nodes, all
+//! running on the same machine" (§5). We reproduce exactly that: a node
+//! *grid* is a count of logical nodes; partitioning is a property of data
+//! placement that the optimizer reasons about, not an execution artifact.
+
+/// A group of logical nodes data can be spread over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeGroup {
+    /// Number of logical nodes (≥ 1).
+    pub nodes: u16,
+}
+
+impl NodeGroup {
+    /// A serial (single-node) group.
+    pub const SERIAL: NodeGroup = NodeGroup { nodes: 1 };
+
+    /// The paper's experimental setup: four logical nodes.
+    pub const PAPER_PARALLEL: NodeGroup = NodeGroup { nodes: 4 };
+
+    /// Construct a group of `nodes` logical nodes (floored at 1).
+    pub fn new(nodes: u16) -> Self {
+        Self {
+            nodes: nodes.max(1),
+        }
+    }
+}
+
+/// How a table's rows are assigned to nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PartitionScheme {
+    /// Hash-partitioned on the given column positions.
+    Hash(Vec<u16>),
+    /// Range-partitioned on the given column positions (ordered).
+    Range(Vec<u16>),
+    /// A full copy on every node.
+    Replicated,
+    /// All rows on one node (e.g. a small dimension table).
+    SingleNode,
+}
+
+/// A table's physical partitioning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Partitioning {
+    /// The placement scheme.
+    pub scheme: PartitionScheme,
+    /// The node group the table lives on.
+    pub group: NodeGroup,
+}
+
+impl Partitioning {
+    /// Serial placement: everything on the single node.
+    pub fn serial() -> Self {
+        Self {
+            scheme: PartitionScheme::SingleNode,
+            group: NodeGroup::SERIAL,
+        }
+    }
+
+    /// Hash partitioning across `group`.
+    pub fn hash(columns: Vec<u16>, group: NodeGroup) -> Self {
+        Self {
+            scheme: PartitionScheme::Hash(columns),
+            group,
+        }
+    }
+
+    /// Range partitioning across `group`.
+    pub fn range(columns: Vec<u16>, group: NodeGroup) -> Self {
+        Self {
+            scheme: PartitionScheme::Range(columns),
+            group,
+        }
+    }
+
+    /// Replication across `group`.
+    pub fn replicated(group: NodeGroup) -> Self {
+        Self {
+            scheme: PartitionScheme::Replicated,
+            group,
+        }
+    }
+
+    /// Partitioning-key column positions, if the scheme has keys.
+    pub fn key_columns(&self) -> Option<&[u16]> {
+        match &self.scheme {
+            PartitionScheme::Hash(c) | PartitionScheme::Range(c) => Some(c),
+            PartitionScheme::Replicated | PartitionScheme::SingleNode => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_group_floor() {
+        assert_eq!(NodeGroup::new(0).nodes, 1);
+        assert_eq!(NodeGroup::PAPER_PARALLEL.nodes, 4);
+    }
+
+    #[test]
+    fn key_columns_only_for_keyed_schemes() {
+        let g = NodeGroup::new(4);
+        assert_eq!(
+            Partitioning::hash(vec![1], g).key_columns(),
+            Some(&[1u16][..])
+        );
+        assert_eq!(
+            Partitioning::range(vec![0, 1], g).key_columns(),
+            Some(&[0u16, 1][..])
+        );
+        assert_eq!(Partitioning::replicated(g).key_columns(), None);
+        assert_eq!(Partitioning::serial().key_columns(), None);
+    }
+}

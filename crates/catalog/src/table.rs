@@ -1,0 +1,142 @@
+//! Table and column definitions with statistics.
+
+use crate::histogram::{EquiDepthHistogram, DEFAULT_BUCKETS};
+
+/// A column definition with its statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Number of distinct values.
+    pub ndv: f64,
+    /// Average stored width in bytes (used for row-width and sort costing).
+    pub avg_width_bytes: f64,
+    /// Value distribution.
+    pub histogram: EquiDepthHistogram,
+}
+
+impl ColumnDef {
+    /// A uniformly distributed numeric column over `[0, ndv)` for a table of
+    /// `rows` rows.
+    pub fn uniform(name: impl Into<String>, rows: f64, ndv: f64) -> Self {
+        let ndv = ndv.max(1.0);
+        Self {
+            name: name.into(),
+            ndv,
+            avg_width_bytes: 8.0,
+            histogram: EquiDepthHistogram::uniform(0.0, ndv, rows, ndv, DEFAULT_BUCKETS),
+        }
+    }
+
+    /// A skewed numeric column (see [`EquiDepthHistogram::skewed`]).
+    pub fn skewed(name: impl Into<String>, rows: f64, ndv: f64, skew: f64) -> Self {
+        let ndv = ndv.max(1.0);
+        Self {
+            name: name.into(),
+            ndv,
+            avg_width_bytes: 8.0,
+            histogram: EquiDepthHistogram::skewed(0.0, ndv, rows, ndv, DEFAULT_BUCKETS, skew),
+        }
+    }
+
+    /// Override the average stored width.
+    #[must_use]
+    pub fn with_width(mut self, bytes: f64) -> Self {
+        self.avg_width_bytes = bytes;
+        self
+    }
+}
+
+/// A base table definition.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Row count.
+    pub row_count: f64,
+    /// Page count on disk.
+    pub page_count: f64,
+}
+
+/// Bytes per disk page assumed throughout the cost model.
+pub const PAGE_BYTES: f64 = 4096.0;
+
+impl TableDef {
+    /// Create a table; page count is derived from row count and row width.
+    pub fn new(name: impl Into<String>, row_count: f64, columns: Vec<ColumnDef>) -> Self {
+        let row_bytes: f64 = columns.iter().map(|c| c.avg_width_bytes).sum::<f64>() + 16.0;
+        let page_count = (row_count * row_bytes / PAGE_BYTES).max(1.0);
+        Self {
+            name: name.into(),
+            columns,
+            row_count,
+            page_count,
+        }
+    }
+
+    /// Average row width in bytes (payload + per-row overhead).
+    pub fn avg_row_bytes(&self) -> f64 {
+        self.columns.iter().map(|c| c.avg_width_bytes).sum::<f64>() + 16.0
+    }
+
+    /// Look up a column position by name.
+    pub fn column_index(&self, name: &str) -> Option<u16> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_count_tracks_row_width() {
+        let narrow = TableDef::new(
+            "narrow",
+            10_000.0,
+            vec![ColumnDef::uniform("a", 10_000.0, 100.0)],
+        );
+        let wide = TableDef::new(
+            "wide",
+            10_000.0,
+            vec![
+                ColumnDef::uniform("a", 10_000.0, 100.0).with_width(200.0),
+                ColumnDef::uniform("b", 10_000.0, 100.0).with_width(200.0),
+            ],
+        );
+        assert!(wide.page_count > narrow.page_count * 5.0);
+        assert!(narrow.page_count >= 1.0);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = TableDef::new(
+            "t",
+            100.0,
+            vec![
+                ColumnDef::uniform("x", 100.0, 10.0),
+                ColumnDef::uniform("y", 100.0, 10.0),
+            ],
+        );
+        assert_eq!(t.column_index("y"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+    }
+
+    #[test]
+    fn uniform_column_stats_consistent() {
+        let c = ColumnDef::uniform("k", 5000.0, 250.0);
+        assert_eq!(c.ndv, 250.0);
+        assert!((c.histogram.total_rows() - 5000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ndv_floor_is_one() {
+        let c = ColumnDef::uniform("k", 10.0, 0.0);
+        assert_eq!(c.ndv, 1.0);
+    }
+}

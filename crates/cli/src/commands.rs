@@ -1,0 +1,270 @@
+//! CLI subcommand implementations.
+
+use cote::{calibrate_per_phase, forecast_workload, Cote, MetaOptimizer, MopChoice};
+use cote_common::{CoteError, Result};
+use cote_optimizer::{JoinMethod, Optimizer, OptimizerConfig};
+use cote_query::to_sql;
+use cote_workloads::{by_name, Workload, ALL_WORKLOADS};
+
+/// Help text.
+pub const USAGE: &str = "\
+cote — compilation-time estimation for a query optimizer (SIGMOD 2003 repro)
+
+USAGE:
+  cote workloads                      list workload names
+  cote show <workload> [N]            pseudo-SQL of a workload('s Nth query)
+  cote estimate <workload> [N]        COTE estimates (quick self-calibration)
+  cote memo <workload> N              estimator MEMO property lists
+  cote compile <workload> [N]         compile for real; stats + chosen plan
+  cote forecast <workload>            workload compilation forecast (§1.1)
+  cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
+
+Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
+or -p (parallel), e.g. `cote estimate star-s 3`.
+";
+
+fn parse(args: &[String]) -> Result<(Workload, Option<usize>)> {
+    let name = args.first().ok_or_else(|| CoteError::InvalidQuery {
+        reason: "missing workload name".into(),
+    })?;
+    let w = by_name(name)?;
+    let idx = match args.get(1) {
+        None => None,
+        Some(s) => {
+            let i: usize = s.parse().map_err(|_| CoteError::InvalidQuery {
+                reason: format!("'{s}' is not a query index"),
+            })?;
+            if i == 0 || i > w.queries.len() {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("{} has queries 1..={}", w.name, w.queries.len()),
+                });
+            }
+            Some(i - 1)
+        }
+    };
+    Ok((w, idx))
+}
+
+fn selected(w: &Workload, idx: Option<usize>) -> Vec<usize> {
+    match idx {
+        Some(i) => vec![i],
+        None => (0..w.queries.len()).collect(),
+    }
+}
+
+/// A quick COTE, self-calibrated with the per-phase fit on the workload's
+/// own catalog (1 repeat — good enough for interactive use).
+fn quick_cote(w: &Workload, config: &OptimizerConfig) -> Result<Cote> {
+    let train: Vec<cote_query::Query> = w.queries.iter().take(6).cloned().collect();
+    let cal = calibrate_per_phase(&[(&w.catalog, &train[..])], config, 1)?;
+    Ok(Cote::new(config.clone(), cal.model))
+}
+
+/// `cote workloads`
+pub fn workloads() -> Result<()> {
+    println!("{:<10} {:>7} {:>8}  mode", "name", "queries", "tables");
+    for name in ALL_WORKLOADS {
+        let w = by_name(name)?;
+        println!(
+            "{:<10} {:>7} {:>8}  {:?}",
+            name,
+            w.queries.len(),
+            w.catalog.table_count(),
+            w.mode
+        );
+    }
+    Ok(())
+}
+
+/// `cote show <workload> [N]`
+pub fn show(args: &[String]) -> Result<()> {
+    let (w, idx) = parse(args)?;
+    for i in selected(&w, idx) {
+        println!("{}", to_sql(&w.queries[i], &w.catalog));
+    }
+    Ok(())
+}
+
+/// `cote estimate <workload> [N]`
+pub fn estimate(args: &[String]) -> Result<()> {
+    let (w, idx) = parse(args)?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "query", "NLJN", "MGJN", "HSJN", "joins", "est time"
+    );
+    for i in selected(&w, idx) {
+        let q = &w.queries[i];
+        let e = cote.estimate(&w.catalog, q)?;
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>10} {:>10.3}ms",
+            q.name,
+            e.counts.nljn,
+            e.counts.mgjn,
+            e.counts.hsjn,
+            e.detail.totals.pairs,
+            e.seconds * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// `cote compile <workload> [N]`
+pub fn compile(args: &[String]) -> Result<()> {
+    let (w, idx) = parse(args)?;
+    let config = OptimizerConfig::high(w.mode);
+    let optimizer = Optimizer::new(config);
+    for i in selected(&w, idx) {
+        let q = &w.queries[i];
+        let r = optimizer.optimize_query(&w.catalog, q)?;
+        println!(
+            "{}: {:.3}ms, {} plans generated ({} kept), {} joins",
+            q.name,
+            r.stats.elapsed.as_secs_f64() * 1e3,
+            r.stats.plans_generated.total(),
+            r.stats.plans_kept,
+            r.stats.pairs_enumerated,
+        );
+        for m in JoinMethod::ALL {
+            println!("  {}: {}", m.name(), r.stats.plans_generated.get(m));
+        }
+        if idx.is_some() {
+            println!(
+                "\nchosen plan (execution cost {:.1}):\n{}",
+                r.best_cost(),
+                r.explain()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `cote memo <workload> <N>` — the estimator's MEMO for one query block:
+/// interesting property lists per entry (a Figure 3-style view).
+pub fn memo(args: &[String]) -> Result<()> {
+    let (w, idx) = parse(args)?;
+    let idx = idx.ok_or_else(|| CoteError::InvalidQuery {
+        reason: "memo needs a query index, e.g. `cote memo star-s 1`".into(),
+    })?;
+    let q = &w.queries[idx];
+    let config = OptimizerConfig::high(w.mode);
+    for (bi, block) in q.blocks().iter().enumerate() {
+        println!("-- block {bi} of {} --", q.name);
+        let lists = cote::property_lists(&w.catalog, block, &config, &Default::default())?;
+        for (set, l) in lists {
+            let orders: Vec<String> = l
+                .orders
+                .iter()
+                .map(|o| {
+                    let cols: Vec<String> = o
+                        .cols()
+                        .iter()
+                        .map(|&id| {
+                            let c = block.col_ref(id);
+                            format!("t{}.c{}", c.table.0, c.column)
+                        })
+                        .collect();
+                    format!("({})", cols.join(","))
+                })
+                .collect();
+            let parts = if l.partitions.is_empty() {
+                String::new()
+            } else {
+                format!("  partitions: {}", l.partitions.len())
+            };
+            println!("{set}  orders: [{}]{parts}", orders.join(" "));
+        }
+    }
+    Ok(())
+}
+
+/// `cote forecast <workload>`
+pub fn forecast(args: &[String]) -> Result<()> {
+    let (w, _) = parse(args)?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    let f = forecast_workload(&cote, &w.catalog, &w.queries)?;
+    for (q, secs) in w.queries.iter().zip(&f.per_query_seconds) {
+        println!("{:<12} ≈{:>9.3}ms", q.name, secs * 1e3);
+    }
+    println!(
+        "total        ≈{:>9.3}ms for {} queries",
+        f.total_seconds * 1e3,
+        w.queries.len()
+    );
+    Ok(())
+}
+
+/// `cote mop <workload> <secs-per-cost-unit>`
+pub fn mop(args: &[String]) -> Result<()> {
+    let (w, _) = parse(args)?;
+    let unit: f64 =
+        args.get(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| CoteError::InvalidQuery {
+                reason: "mop needs <secs-per-cost-unit>, e.g. 1e-6".into(),
+            })?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    let mop = MetaOptimizer::new(config, cote, unit);
+    let mut high = 0;
+    for q in &w.queries {
+        let out = mop.choose(&w.catalog, q)?;
+        let verdict = match out.choice {
+            MopChoice::LowPlan => "keep greedy plan",
+            MopChoice::HighPlan => {
+                high += 1;
+                "recompiled high"
+            }
+        };
+        println!(
+            "{:<12} E={:>10.4}s  C={:>9.4}s  → {verdict}",
+            q.name, out.e_low_seconds, out.c_high_seconds
+        );
+    }
+    println!(
+        "{high}/{} queries reoptimized at the high level",
+        w.queries.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_valid_and_rejects_invalid() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let (w, idx) = parse(&args(&["real1-s"])).unwrap();
+        assert_eq!(w.queries.len(), 8);
+        assert!(idx.is_none());
+        let (_, idx) = parse(&args(&["real1-s", "3"])).unwrap();
+        assert_eq!(idx, Some(2));
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["nope-s"])).is_err());
+        assert!(parse(&args(&["real1-s", "0"])).is_err());
+        assert!(parse(&args(&["real1-s", "9"])).is_err());
+        assert!(parse(&args(&["real1-s", "x"])).is_err());
+    }
+
+    #[test]
+    fn selected_expands_none_to_all() {
+        let (w, _) = parse(&["real1-s".to_string()]).unwrap();
+        assert_eq!(selected(&w, None).len(), 8);
+        assert_eq!(selected(&w, Some(4)), vec![4]);
+    }
+
+    #[test]
+    fn quick_cote_calibrates() {
+        let (w, _) = parse(&["real1-s".to_string()]).unwrap();
+        let cfg = OptimizerConfig::high(cote_optimizer::Mode::Serial);
+        let cote = quick_cote(&w, &cfg).unwrap();
+        let e = cote.estimate(&w.catalog, &w.queries[0]).unwrap();
+        assert!(e.seconds > 0.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! [`TableSet`]: the set of table references joined by a MEMO entry.
+//!
+//! A `u64` bitset keyed by [`TableRef`] indices. The dynamic-programming
+//! enumerator manipulates millions of these per query, so every operation is
+//! branch-free where possible and the type is `Copy`.
+
+use crate::ids::TableRef;
+use std::fmt;
+
+/// A set of query table references, at most [`TableRef::MAX_TABLES`] members.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TableSet(u64);
+
+impl TableSet {
+    /// The empty set.
+    pub const EMPTY: TableSet = TableSet(0);
+
+    /// Set containing a single table reference.
+    #[inline]
+    pub fn singleton(t: TableRef) -> Self {
+        debug_assert!(t.index() < TableRef::MAX_TABLES);
+        TableSet(1u64 << t.index())
+    }
+
+    /// Set containing the first `n` table references `t0..t(n-1)`.
+    ///
+    /// # Panics
+    /// Panics if `n > 64`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= TableRef::MAX_TABLES, "TableSet capacity exceeded");
+        if n == 64 {
+            TableSet(u64::MAX)
+        } else {
+            TableSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Raw bit representation (bit *i* set ⇔ `TableRef(i)` present).
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw bit representation.
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        TableSet(bits)
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, t: TableRef) -> bool {
+        self.0 & (1u64 << t.index()) != 0
+    }
+
+    /// Set with `t` added.
+    #[inline]
+    #[must_use]
+    pub fn with(self, t: TableRef) -> Self {
+        TableSet(self.0 | (1u64 << t.index()))
+    }
+
+    /// Set with `t` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(self, t: TableRef) -> Self {
+        TableSet(self.0 & !(1u64 << t.index()))
+    }
+
+    /// In-place insertion.
+    #[inline]
+    pub fn insert(&mut self, t: TableRef) {
+        self.0 |= 1u64 << t.index();
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        TableSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub fn intersect(self, other: Self) -> Self {
+        TableSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    #[must_use]
+    pub fn difference(self, other: Self) -> Self {
+        TableSet(self.0 & !other.0)
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset_of(self, other: Self) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Is `self ⊂ other` (proper)?
+    #[inline]
+    pub fn is_proper_subset_of(self, other: Self) -> bool {
+        self.is_subset_of(other) && self != other
+    }
+
+    /// Do the sets share no member?
+    #[inline]
+    pub fn is_disjoint(self, other: Self) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Do the sets share at least one member?
+    #[inline]
+    pub fn intersects(self, other: Self) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The lowest-indexed member, if any.
+    #[inline]
+    pub fn first(self) -> Option<TableRef> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(TableRef(self.0.trailing_zeros() as u8))
+        }
+    }
+
+    /// Iterator over members in increasing index order.
+    #[inline]
+    pub fn iter(self) -> Iter {
+        Iter(self.0)
+    }
+
+    /// Iterator over all non-empty **proper** subsets of `self`.
+    ///
+    /// This is the classic `sub = (sub - 1) & mask` submask walk used by the
+    /// DP enumerator to split a table set into (outer, inner) candidates.
+    /// Yields `2^len - 2` sets (excludes `∅` and `self`).
+    ///
+    /// ```
+    /// use cote_common::TableSet;
+    /// let s = TableSet::first_n(3);
+    /// let subsets: Vec<_> = s.proper_subsets().collect();
+    /// assert_eq!(subsets.len(), 6); // 2^3 - 2
+    /// assert!(subsets.iter().all(|x| x.is_proper_subset_of(s)));
+    /// ```
+    #[inline]
+    pub fn proper_subsets(self) -> ProperSubsets {
+        ProperSubsets {
+            mask: self.0,
+            sub: self.0,
+            done: self.0 == 0,
+        }
+    }
+}
+
+impl FromIterator<TableRef> for TableSet {
+    fn from_iter<I: IntoIterator<Item = TableRef>>(iter: I) -> Self {
+        let mut s = TableSet::EMPTY;
+        for t in iter {
+            s.insert(t);
+        }
+        s
+    }
+}
+
+impl IntoIterator for TableSet {
+    type Item = TableRef;
+    type IntoIter = Iter;
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+/// Member iterator for [`TableSet`].
+#[derive(Clone)]
+pub struct Iter(u64);
+
+impl Iterator for Iter {
+    type Item = TableRef;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableRef> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros();
+        self.0 &= self.0 - 1;
+        Some(TableRef(i as u8))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+/// Iterator over the non-empty proper subsets of a [`TableSet`].
+pub struct ProperSubsets {
+    mask: u64,
+    sub: u64,
+    done: bool,
+}
+
+impl Iterator for ProperSubsets {
+    type Item = TableSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableSet> {
+        loop {
+            if self.done {
+                return None;
+            }
+            // Walk downward; the first value (mask itself) and the final 0
+            // are both skipped.
+            self.sub = (self.sub.wrapping_sub(1)) & self.mask;
+            if self.sub == 0 {
+                self.done = true;
+                return None;
+            }
+            if self.sub != self.mask {
+                return Some(TableSet(self.sub));
+            }
+        }
+    }
+}
+
+impl fmt::Debug for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for TableSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u8]) -> TableSet {
+        ids.iter().map(|&i| TableRef(i)).collect()
+    }
+
+    #[test]
+    fn basic_ops() {
+        let s = set(&[0, 2, 5]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(TableRef(2)));
+        assert!(!s.contains(TableRef(1)));
+        assert_eq!(s.with(TableRef(1)).len(), 4);
+        assert_eq!(s.without(TableRef(2)).len(), 2);
+        assert_eq!(s.first(), Some(TableRef(0)));
+        assert_eq!(TableSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a.union(b), set(&[0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), set(&[2]));
+        assert_eq!(a.difference(b), set(&[0, 1]));
+        assert!(set(&[1]).is_subset_of(a));
+        assert!(set(&[1]).is_proper_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_proper_subset_of(a));
+        assert!(a.is_disjoint(set(&[4, 5])));
+        assert!(a.intersects(b));
+    }
+
+    #[test]
+    fn first_n_boundaries() {
+        assert_eq!(TableSet::first_n(0), TableSet::EMPTY);
+        assert_eq!(TableSet::first_n(3), set(&[0, 1, 2]));
+        assert_eq!(TableSet::first_n(64).len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn first_n_overflow_panics() {
+        let _ = TableSet::first_n(65);
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let s = set(&[7, 1, 33]);
+        let v: Vec<_> = s.iter().map(|t| t.0).collect();
+        assert_eq!(v, vec![1, 7, 33]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn proper_subsets_count_and_propriety() {
+        let s = set(&[0, 1, 4, 9]);
+        let subs: Vec<_> = s.proper_subsets().collect();
+        // 2^4 - 2 non-empty proper subsets.
+        assert_eq!(subs.len(), 14);
+        for sub in &subs {
+            assert!(!sub.is_empty());
+            assert!(sub.is_proper_subset_of(s));
+        }
+        // All distinct.
+        let mut bits: Vec<u64> = subs.iter().map(|s| s.bits()).collect();
+        bits.sort_unstable();
+        bits.dedup();
+        assert_eq!(bits.len(), 14);
+    }
+
+    #[test]
+    fn proper_subsets_of_small_sets() {
+        assert_eq!(TableSet::EMPTY.proper_subsets().count(), 0);
+        assert_eq!(set(&[3]).proper_subsets().count(), 0);
+        assert_eq!(set(&[3, 4]).proper_subsets().count(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(set(&[0, 2]).to_string(), "{t0,t2}");
+        assert_eq!(TableSet::EMPTY.to_string(), "{}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CoteError>;
+
+/// Errors surfaced by the catalog, query builder, optimizer and estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoteError {
+    /// A query block referenced more tables than [`crate::ids::TableRef::MAX_TABLES`].
+    TooManyTables {
+        /// Number of tables requested.
+        requested: usize,
+    },
+    /// A query referenced a catalog object that does not exist.
+    UnknownObject {
+        /// Human-readable description of the missing object.
+        what: String,
+    },
+    /// A query is structurally invalid (e.g. a predicate references a table
+    /// outside the block, or a column index is out of range).
+    InvalidQuery {
+        /// Explanation of the violated invariant.
+        reason: String,
+    },
+    /// The optimizer could not produce any complete plan (e.g. Cartesian
+    /// products disabled on a disconnected join graph).
+    NoPlanFound {
+        /// Explanation of why enumeration came up empty.
+        reason: String,
+    },
+    /// Regression/calibration failed (e.g. fewer training points than
+    /// coefficients, or a singular system).
+    Calibration {
+        /// Explanation of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoteError::TooManyTables { requested } => write!(
+                f,
+                "query references {requested} tables; at most {} are supported",
+                crate::ids::TableRef::MAX_TABLES
+            ),
+            CoteError::UnknownObject { what } => write!(f, "unknown object: {what}"),
+            CoteError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            CoteError::NoPlanFound { reason } => write!(f, "no plan found: {reason}"),
+            CoteError::Calibration { reason } => write!(f, "calibration failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoteError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoteError::TooManyTables { requested: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("64"));
+        let e = CoteError::InvalidQuery {
+            reason: "bad column".into(),
+        };
+        assert!(e.to_string().contains("bad column"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoteError::NoPlanFound {
+            reason: "disconnected".into(),
+        });
+        assert!(e.to_string().contains("disconnected"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Newtype identifiers.
+//!
+//! Two id families exist and must never be mixed:
+//!
+//! * **Catalog ids** ([`TableId`], [`ColumnId`], [`IndexId`]) identify schema
+//!   objects in a `cote-catalog` catalog. They are stable across queries.
+//! * **Query-local references** ([`TableRef`], [`ColRef`]) identify an entry
+//!   of a query block's FROM list and one of its columns. The same catalog
+//!   table may appear several times in one query (self-join), so the
+//!   optimizer and the estimator always work in terms of `TableRef`s.
+
+use std::fmt;
+
+/// Identifier of a table in a catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(pub u32);
+
+/// Identifier of a column within a catalog table (positional).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ColumnId {
+    /// Owning catalog table.
+    pub table: TableId,
+    /// Zero-based column position within the table.
+    pub column: u16,
+}
+
+/// Identifier of an index in a catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexId(pub u32);
+
+/// Position of a table reference in a query block's FROM list (0-based).
+///
+/// At most [`TableRef::MAX_TABLES`] references per block — the limit of the
+/// `u64`-backed [`crate::TableSet`]. The paper notes join queries typically
+/// have fewer than 100 tables; the largest published query has 14.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableRef(pub u8);
+
+impl TableRef {
+    /// Upper bound on table references per query block.
+    pub const MAX_TABLES: usize = 64;
+
+    /// The bit index of this reference in a [`crate::TableSet`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A column of a query table reference: `(FROM-list position, column position)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ColRef {
+    /// FROM-list position of the owning table reference.
+    pub table: TableRef,
+    /// Zero-based column position within that table.
+    pub column: u16,
+}
+
+impl ColRef {
+    /// Convenience constructor.
+    #[inline]
+    pub fn new(table: TableRef, column: u16) -> Self {
+        Self { table, column }
+    }
+}
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.column)
+    }
+}
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.table, self.column)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TableId(3).to_string(), "T3");
+        assert_eq!(
+            ColumnId {
+                table: TableId(3),
+                column: 2
+            }
+            .to_string(),
+            "T3.c2"
+        );
+        assert_eq!(IndexId(7).to_string(), "I7");
+        assert_eq!(TableRef(5).to_string(), "t5");
+        assert_eq!(ColRef::new(TableRef(5), 1).to_string(), "t5.c1");
+    }
+
+    #[test]
+    fn col_ref_ordering_is_table_major() {
+        let a = ColRef::new(TableRef(1), 9);
+        let b = ColRef::new(TableRef(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn table_ref_index_round_trips() {
+        for i in 0..TableRef::MAX_TABLES {
+            assert_eq!(TableRef(i as u8).index(), i);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Shared kernel for the COTE reproduction.
+//!
+//! This crate holds the small, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`ids`] — newtype identifiers for catalog objects and query table
+//!   references, so that a catalog [`ids::TableId`] can never be confused
+//!   with a query-local [`ids::TableRef`].
+//! * [`bitset`] — [`bitset::TableSet`], the `u64`-backed set of query table
+//!   references that keys the optimizer's MEMO structure.
+//! * [`fxhash`] — the FxHash algorithm (as used by rustc) plus
+//!   [`fxhash::FxHashMap`] / [`fxhash::FxHashSet`] aliases. Hashing MEMO keys
+//!   is hot; SipHash is unnecessary for trusted, in-process keys.
+//! * [`error`] — the workspace-wide error type.
+
+pub mod bitset;
+pub mod error;
+pub mod fxhash;
+pub mod ids;
+
+pub use bitset::TableSet;
+pub use error::{CoteError, Result};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use ids::{ColRef, ColumnId, IndexId, TableId, TableRef};

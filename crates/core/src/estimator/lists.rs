@@ -1,0 +1,85 @@
+//! Interesting-property value lists: the estimator's MEMO payload.
+//!
+//! Paper §3.3: instead of plans, each MEMO entry carries an accumulated list
+//! of interesting property values — "compared with the size of a full plan
+//! (typically in the order of hundreds of bytes), each property takes a much
+//! smaller amount of space (typically 4 bytes)" — the classic space-for-time
+//! trade that lets the estimator skip recomputing retirements per join.
+
+use cote_optimizer::properties::order::Ordering;
+use cote_optimizer::properties::partition::PartitionVal;
+
+/// Per-entry payload of the plan estimator: separate retained lists for the
+/// order and the partition property (§3.4 "orthogonal" treatment), plus the
+/// optional compound list used by the §3.4 ablation.
+#[derive(Debug, Default, Clone)]
+pub struct PropLists {
+    /// Retained interesting order values (canonical under the entry's
+    /// equivalences; DC excluded).
+    pub orders: Vec<Ordering>,
+    /// Retained interesting partition values (empty in serial mode).
+    pub partitions: Vec<PartitionVal>,
+    /// Compound (order, partition) vectors, maintained only when the
+    /// compound-property ablation is active (§3.4's "simple solution"). A
+    /// compound value survives while *either* component is interesting.
+    pub compound: Vec<(Ordering, Option<PartitionVal>)>,
+}
+
+impl PropLists {
+    /// Add an order value unless an equivalent one is present.
+    /// Returns true if added.
+    pub fn add_order(&mut self, o: Ordering) -> bool {
+        if o.is_dc() || self.orders.contains(&o) {
+            return false;
+        }
+        self.orders.push(o);
+        true
+    }
+
+    /// Add a partition value unless present. Returns true if added.
+    pub fn add_partition(&mut self, p: PartitionVal) -> bool {
+        if self.partitions.contains(&p) {
+            return false;
+        }
+        self.partitions.push(p);
+        true
+    }
+
+    /// Add a compound value unless present. Returns true if added.
+    pub fn add_compound(&mut self, c: (Ordering, Option<PartitionVal>)) -> bool {
+        if self.compound.contains(&c) {
+            return false;
+        }
+        self.compound.push(c);
+        true
+    }
+
+    /// Total stored property values (memory-estimation input, §6.2).
+    pub fn value_count(&self) -> usize {
+        self.orders.len() + self.partitions.len() + self.compound.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupe_and_dc_rules() {
+        let mut l = PropLists::default();
+        assert!(l.add_order(Ordering::seq(vec![1])));
+        assert!(!l.add_order(Ordering::seq(vec![1])), "duplicate rejected");
+        assert!(!l.add_order(Ordering::dc()), "DC never stored");
+        assert!(l.add_order(Ordering::seq(vec![1, 2])));
+        assert_eq!(l.orders.len(), 2);
+
+        assert!(l.add_partition(PartitionVal::hash(vec![0])));
+        assert!(!l.add_partition(PartitionVal::hash(vec![0])));
+        assert!(l.add_partition(PartitionVal::Replicated));
+        assert_eq!(l.value_count(), 4);
+
+        assert!(l.add_compound((Ordering::dc(), Some(PartitionVal::Single))));
+        assert!(!l.add_compound((Ordering::dc(), Some(PartitionVal::Single))));
+        assert_eq!(l.value_count(), 5);
+    }
+}

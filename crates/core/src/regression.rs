@@ -1,0 +1,220 @@
+//! Least-squares fitting for the §3.5 time model.
+//!
+//! The paper obtains the per-method constants `C_t` by "running regression"
+//! over training queries. Plan counts are nonnegative and so must the
+//! coefficients be (a join plan cannot take negative time), so the solver is
+//! a small active-set nonnegative least squares: solve the normal equations,
+//! drop any column whose coefficient went negative, repeat.
+
+use cote_common::{CoteError, Result};
+
+/// Solve `X·β = y` in the least-squares sense via normal equations with
+/// Gaussian elimination (partial pivoting). `xs` holds rows.
+pub fn least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Result<Vec<f64>> {
+    solve_normal(xs, ys, 0.0)
+}
+
+/// Ridge-regularized least squares: `(XᵀX + λI)·β = Xᵀy`.
+///
+/// Plan counts of homogeneous training workloads can be exactly collinear
+/// across join methods (e.g. every chain query generates NLJN = 2·HSJN);
+/// a small `lambda` keeps the fit well-posed by splitting weight across the
+/// collinear columns — harmless for prediction, which only ever sees the
+/// same linear combinations.
+pub fn ridge_least_squares(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    solve_normal(xs, ys, lambda)
+}
+
+fn solve_normal(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Vec<f64>> {
+    let n = xs.len();
+    if n == 0 || n != ys.len() {
+        return Err(CoteError::Calibration {
+            reason: "empty or mismatched training set".into(),
+        });
+    }
+    let k = xs[0].len();
+    if k == 0 || xs.iter().any(|r| r.len() != k) {
+        return Err(CoteError::Calibration {
+            reason: "ragged design matrix".into(),
+        });
+    }
+    if n < k {
+        return Err(CoteError::Calibration {
+            reason: format!("{n} training points cannot determine {k} coefficients"),
+        });
+    }
+    // XtX (k×k) and Xty (k).
+    let mut a = vec![vec![0.0f64; k + 1]; k];
+    for i in 0..k {
+        for j in 0..k {
+            a[i][j] = xs.iter().map(|r| r[i] * r[j]).sum();
+        }
+        a[i][i] += lambda;
+        a[i][k] = xs.iter().zip(ys).map(|(r, &y)| r[i] * y).sum();
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..k {
+        let pivot = (col..k)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(CoteError::Calibration {
+                reason: "singular system (collinear or constant plan counts)".into(),
+            });
+        }
+        a.swap(col, pivot);
+        let div = a[col][col];
+        for v in a[col].iter_mut() {
+            *v /= div;
+        }
+        for row in 0..k {
+            if row != col {
+                let factor = a[row][col];
+                if factor != 0.0 {
+                    let pivot_row = a[col].clone();
+                    for (cell, p) in a[row].iter_mut().zip(&pivot_row) {
+                        *cell -= factor * p;
+                    }
+                }
+            }
+        }
+    }
+    Ok((0..k).map(|i| a[i][k]).collect())
+}
+
+/// Nonnegative least squares by active-set elimination: fit, clamp the most
+/// negative coefficient to zero (removing its column), refit.
+pub fn nonnegative_least_squares(xs: &[Vec<f64>], ys: &[f64]) -> Result<Vec<f64>> {
+    let k = xs.first().map_or(0, Vec::len);
+    let mut active: Vec<usize> = (0..k).collect();
+    loop {
+        if active.is_empty() {
+            return Ok(vec![0.0; k]);
+        }
+        let reduced: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| active.iter().map(|&j| r[j]).collect())
+            .collect();
+        let beta = match least_squares(&reduced, ys) {
+            Ok(b) => b,
+            Err(_) => {
+                // Collinear columns: retry with a relative ridge term.
+                let scale = reduced
+                    .iter()
+                    .flat_map(|r| r.iter())
+                    .fold(0.0f64, |m, &v| m.max(v.abs()));
+                ridge_least_squares(&reduced, ys, (scale * scale) * 1e-9 + 1e-12)?
+            }
+        };
+        match beta
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b < 0.0)
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite"))
+        {
+            None => {
+                let mut full = vec![0.0; k];
+                for (slot, b) in active.iter().zip(beta) {
+                    full[*slot] = b;
+                }
+                return Ok(full);
+            }
+            Some((worst, _)) => {
+                active.remove(worst);
+            }
+        }
+    }
+}
+
+/// Mean absolute percentage error of predictions vs. actuals.
+pub fn mean_abs_pct_error(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| ((p - a) / a.max(f64::MIN_POSITIVE)).abs())
+        .sum();
+    sum / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        // y = 3·x0 + 0.5·x1 exactly.
+        let xs: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![2.0, 2.0],
+            vec![5.0, 1.0],
+        ];
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] + 0.5 * r[1]).collect();
+        let beta = least_squares(&xs, &ys).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-9);
+        assert!((beta[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_noisy_coefficients_approximately() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let x0 = (i % 7) as f64 + 1.0;
+            let x1 = (i % 5) as f64 + 1.0;
+            let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+            xs.push(vec![x0, x1]);
+            ys.push(2.0 * x0 + 1.0 * x1 + noise);
+        }
+        let beta = least_squares(&xs, &ys).unwrap();
+        assert!((beta[0] - 2.0).abs() < 0.05, "{beta:?}");
+        assert!((beta[1] - 1.0).abs() < 0.05, "{beta:?}");
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(least_squares(&[], &[]).is_err());
+        assert!(least_squares(&[vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(
+            least_squares(&[vec![1.0, 2.0]], &[1.0]).is_err(),
+            "underdetermined"
+        );
+        // Collinear columns are singular.
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        assert!(least_squares(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn nnls_clamps_negative_coefficients() {
+        // y depends only on x0; x1 is noise that plain LS would give a
+        // negative weight.
+        let xs = vec![
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![3.0, 2.5],
+            vec![4.0, 0.5],
+            vec![5.0, 2.0],
+        ];
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - 0.3 * r[1]).collect();
+        let beta = nonnegative_least_squares(&xs, &ys).unwrap();
+        assert!(beta.iter().all(|&b| b >= 0.0), "{beta:?}");
+        assert!(beta[0] > 1.0, "dominant coefficient survives: {beta:?}");
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mean_abs_pct_error(&[], &[]), 0.0);
+        let m = mean_abs_pct_error(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((m - 0.10).abs() < 1e-12);
+    }
+}

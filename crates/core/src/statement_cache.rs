@@ -1,0 +1,195 @@
+//! The statement-cache baseline (paper §1.2).
+//!
+//! "One straightforward approach to estimating the compilation time is to
+//! cache the compilation time for each compiled query in a statement cache
+//! and use it as an estimate for subsequent similar queries. However, this
+//! approach may not work well for a variety of complex ad-hoc queries" —
+//! the motivating contrast for COTE. Implemented here so the harness can
+//! demonstrate exactly that failure mode.
+
+use cote_common::FxHashMap;
+use cote_query::{PredOp, Query, QueryBlock};
+use std::hash::{Hash, Hasher};
+
+/// A compile-time cache keyed by query *structure*.
+///
+/// The fingerprint covers everything that determines compilation cost —
+/// table identities, join-predicate columns, local-predicate columns and
+/// operator kinds, GROUP BY / ORDER BY shapes, subquery structure — but not
+/// literal constants, so `price < 10` and `price < 99` share an entry (as a
+/// parameterized statement cache would).
+#[derive(Debug, Default)]
+pub struct StatementCache {
+    entries: FxHashMap<u64, f64>,
+    hits: u64,
+    misses: u64,
+}
+
+fn hash_block<H: Hasher>(block: &QueryBlock, h: &mut H) {
+    block.n_tables().hash(h);
+    for t in block.table_refs() {
+        block.table(t).hash(h);
+    }
+    for p in block.join_preds() {
+        (p.left, p.right, p.implied, p.outer_join).hash(h);
+    }
+    for p in block.local_preds() {
+        p.column.hash(h);
+        // Operator kind only — constants are parameters.
+        std::mem::discriminant(&p.op).hash(h);
+        if let PredOp::Opaque(_) = p.op {
+            // Opaque predicates differ structurally per selectivity class.
+            0xdeadu16.hash(h);
+        }
+    }
+    block.group_by().hash(h);
+    block.order_by().hash(h);
+    block.first_n().is_some().hash(h);
+    block.children().len().hash(h);
+    for c in block.children() {
+        hash_block(c, h);
+    }
+}
+
+/// Structural fingerprint of a query.
+pub fn fingerprint(query: &Query) -> u64 {
+    let mut h = cote_common::fxhash::FxHasher::default();
+    hash_block(&query.root, &mut h);
+    h.finish()
+}
+
+impl StatementCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimate from the cache, if a structurally identical statement was
+    /// compiled before.
+    pub fn lookup(&mut self, query: &Query) -> Option<f64> {
+        match self.entries.get(&fingerprint(query)) {
+            Some(&secs) => {
+                self.hits += 1;
+                Some(secs)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Record an actual compilation.
+    pub fn record(&mut self, query: &Query, seconds: f64) {
+        self.entries.insert(fingerprint(query), seconds);
+    }
+
+    /// Lookups served / total lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Cached statements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{Catalog, ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    use cote_query::QueryBlockBuilder;
+
+    fn catalog() -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..3 {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                100.0,
+                vec![
+                    ColumnDef::uniform("c0", 100.0, 10.0),
+                    ColumnDef::uniform("c1", 100.0, 10.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn query(cat: &Catalog, constant: f64, orderby: bool) -> Query {
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+        b.local(ColRef::new(TableRef(0), 1), PredOp::Eq(constant));
+        if orderby {
+            b.order_by(vec![ColRef::new(TableRef(1), 1)]);
+        }
+        Query::new("q", b.build(cat).unwrap())
+    }
+
+    #[test]
+    fn constants_are_parameters_structure_is_identity() {
+        let cat = catalog();
+        let a = query(&cat, 1.0, false);
+        let b = query(&cat, 99.0, false);
+        let c = query(&cat, 1.0, true);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "literals don't change the statement"
+        );
+        assert_ne!(fingerprint(&a), fingerprint(&c), "ORDER BY does");
+    }
+
+    #[test]
+    fn cache_lifecycle_and_hit_rate() {
+        let cat = catalog();
+        let mut cache = StatementCache::new();
+        let q = query(&cat, 5.0, false);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&q), None);
+        cache.record(&q, 0.25);
+        assert_eq!(cache.lookup(&q), Some(0.25));
+        assert_eq!(
+            cache.lookup(&query(&cat, 7.0, false)),
+            Some(0.25),
+            "parameterized hit"
+        );
+        assert_eq!(
+            cache.lookup(&query(&cat, 7.0, true)),
+            None,
+            "structural miss"
+        );
+        assert_eq!(cache.len(), 1);
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12, "2 hits / 4 lookups");
+    }
+
+    #[test]
+    fn subquery_structure_matters() {
+        let cat = catalog();
+        let mut outer_plain = QueryBlockBuilder::new();
+        outer_plain.add_table(TableId(0));
+        let plain = Query::new("p", outer_plain.build(&cat).unwrap());
+
+        let mut sub = QueryBlockBuilder::new();
+        sub.add_table(TableId(1));
+        let sub = sub.build(&cat).unwrap();
+        let mut outer = QueryBlockBuilder::new();
+        outer.add_table(TableId(0));
+        outer.child(sub);
+        let nested = Query::new("n", outer.build(&cat).unwrap());
+        assert_ne!(fingerprint(&plain), fingerprint(&nested));
+    }
+}

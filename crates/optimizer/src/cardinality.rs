@@ -1,0 +1,245 @@
+//! Cardinality estimation — full and simple models.
+//!
+//! The real optimizer uses [`FullCardinality`]: histogram-backed selectivity
+//! plus key-based clamping. COTE's plan-estimate mode uses
+//! [`SimpleCardinality`]: magic-constant selectivities over raw NDVs,
+//! with no keys, FDs or histograms — the paper's §5.2: "the cardinality
+//! estimation we employed in plan-estimate mode is 'simpler' than that used
+//! in real compilation … it doesn't take into consideration the effect of
+//! keys and functional dependencies". When the Cartesian-iff-card-1
+//! heuristic consults these diverging numbers, the two modes enumerate
+//! slightly different join sets (Fig. 5(d–f)).
+
+use crate::context::OptContext;
+use cote_catalog::EquiDepthHistogram;
+use cote_common::{ColRef, TableRef};
+use cote_query::PredOp;
+
+/// A cardinality model consulted by the join enumerator.
+pub trait CardinalityModel {
+    /// Cardinality of a single-table entry after its local predicates.
+    fn base(&self, ctx: &OptContext<'_>, t: TableRef) -> f64;
+
+    /// Cardinality of a join entry given the input entry cardinalities and
+    /// the indices of the predicates spanning the inputs (empty for a
+    /// Cartesian product).
+    fn join(&self, ctx: &OptContext<'_>, card_a: f64, card_b: f64, preds: &[usize]) -> f64;
+}
+
+/// Look up the base-table histogram behind a query column.
+pub fn column_histogram<'c>(ctx: &'c OptContext<'_>, c: ColRef) -> &'c EquiDepthHistogram {
+    let table = ctx.block.table(c.table);
+    &ctx.catalog.table(table).columns[c.column as usize].histogram
+}
+
+/// Raw NDV of a query column.
+pub fn column_ndv(ctx: &OptContext<'_>, c: ColRef) -> f64 {
+    let table = ctx.block.table(c.table);
+    ctx.catalog.table(table).columns[c.column as usize].ndv
+}
+
+/// The production model: histograms + keys.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FullCardinality;
+
+impl CardinalityModel for FullCardinality {
+    fn base(&self, ctx: &OptContext<'_>, t: TableRef) -> f64 {
+        let table = ctx.catalog.table(ctx.block.table(t));
+        let mut card = table.row_count;
+        for p in ctx.block.local_preds_of(t) {
+            let hist = &table.columns[p.column.column as usize].histogram;
+            let sel = match p.op {
+                PredOp::Eq(v) => hist.selectivity_eq(v),
+                PredOp::Le(v) => hist.selectivity_range(hist.min(), v),
+                PredOp::Ge(v) => hist.selectivity_range(v, hist.max()),
+                PredOp::Between(lo, hi) => hist.selectivity_range(lo, hi),
+                PredOp::Opaque(s) => s,
+            };
+            card *= sel.clamp(0.0, 1.0);
+        }
+        card.max(0.0)
+    }
+
+    fn join(&self, ctx: &OptContext<'_>, card_a: f64, card_b: f64, preds: &[usize]) -> f64 {
+        if preds.is_empty() {
+            return card_a * card_b;
+        }
+        let mut card = card_a * card_b;
+        for &pi in preds {
+            let p = &ctx.block.join_preds()[pi];
+            let (hl, hr) = (
+                column_histogram(ctx, p.left),
+                column_histogram(ctx, p.right),
+            );
+            let denom = hl.total_rows() * hr.total_rows();
+            let sel = if denom > 0.0 {
+                (hl.join_cardinality(hr) / denom).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            card *= sel;
+        }
+        // Key clamp: joining through a unique key of one side cannot yield
+        // more rows than the other side had.
+        for &pi in preds {
+            let p = &ctx.block.join_preds()[pi];
+            for (key_col, other_card) in [(p.left, card_b), (p.right, card_a)] {
+                let table = ctx.block.table(key_col.table);
+                if ctx.catalog.covers_key(table, &[key_col.column]) {
+                    card = card.min(other_card);
+                }
+            }
+        }
+        card.max(0.0)
+    }
+}
+
+/// The plan-estimate-mode model: raw NDVs and magic constants; no
+/// histograms, keys or FDs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimpleCardinality;
+
+impl CardinalityModel for SimpleCardinality {
+    fn base(&self, ctx: &OptContext<'_>, t: TableRef) -> f64 {
+        let table = ctx.catalog.table(ctx.block.table(t));
+        let mut card = table.row_count;
+        for p in ctx.block.local_preds_of(t) {
+            let ndv = table.columns[p.column.column as usize].ndv.max(1.0);
+            let sel = match p.op {
+                PredOp::Eq(_) => 1.0 / ndv,
+                PredOp::Le(_) | PredOp::Ge(_) => 1.0 / 3.0,
+                PredOp::Between(_, _) => 1.0 / 4.0,
+                PredOp::Opaque(s) => s,
+            };
+            card *= sel.clamp(0.0, 1.0);
+        }
+        card.max(0.0)
+    }
+
+    fn join(&self, ctx: &OptContext<'_>, card_a: f64, card_b: f64, preds: &[usize]) -> f64 {
+        let mut card = card_a * card_b;
+        for &pi in preds {
+            let p = &ctx.block.join_preds()[pi];
+            let ndv = column_ndv(ctx, p.left)
+                .max(column_ndv(ctx, p.right))
+                .max(1.0);
+            card /= ndv;
+        }
+        card.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Mode, OptimizerConfig};
+    use cote_catalog::{Catalog, ColumnDef, Key, TableDef};
+    use cote_common::{TableId, TableRef};
+    use cote_query::QueryBlockBuilder;
+
+    fn fixture() -> (Catalog, cote_query::QueryBlock) {
+        let mut b = Catalog::builder();
+        // pk: 1000 rows, column 0 is a unique key; column 1 skewed.
+        let pk = b.add_table(TableDef::new(
+            "pk",
+            1000.0,
+            vec![
+                ColumnDef::uniform("id", 1000.0, 1000.0),
+                ColumnDef::skewed("grp", 1000.0, 10.0, 0.8),
+            ],
+        ));
+        b.add_key(Key {
+            table: pk,
+            columns: vec![0],
+            primary: true,
+        });
+        // fk: 10000 rows referencing pk.
+        b.add_table(TableDef::new(
+            "fk",
+            10_000.0,
+            vec![
+                ColumnDef::uniform("pk_id", 10_000.0, 1000.0),
+                ColumnDef::uniform("v", 10_000.0, 100.0),
+            ],
+        ));
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        qb.add_table(TableId(1));
+        qb.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+        qb.local(ColRef::new(TableRef(0), 1), PredOp::Eq(0.5));
+        let block = qb.build(&cat).unwrap();
+        (cat, block)
+    }
+
+    #[test]
+    fn full_join_card_near_fk_size_with_key_clamp() {
+        let (cat, block) = fixture();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let full = FullCardinality;
+        let a = full.base(&ctx, TableRef(0)); // unfiltered? no: has local pred
+        let b = 10_000.0;
+        let j = full.join(&ctx, 1000.0, b, &[0]);
+        // PK-FK join of full tables ≈ |fk| and clamped at most to |fk|.
+        assert!(j <= b * 1.01, "key clamp: j={j}");
+        assert!(j > b * 0.5, "containment keeps most fk rows: j={j}");
+        // Local predicate on the skewed column filters.
+        assert!(a < 1000.0);
+    }
+
+    #[test]
+    fn models_diverge_on_skewed_predicates() {
+        let (cat, block) = fixture();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let full = FullCardinality.base(&ctx, TableRef(0));
+        let simple = SimpleCardinality.base(&ctx, TableRef(0));
+        // Simple: 1000/10 = 100 exactly. Full: skew-aware, different.
+        assert!((simple - 100.0).abs() < 1e-6);
+        assert!(
+            (full - simple).abs() > 1.0,
+            "histogram vs magic constant must differ on skew: full={full} simple={simple}"
+        );
+    }
+
+    #[test]
+    fn cartesian_join_is_product() {
+        let (cat, block) = fixture();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        assert_eq!(FullCardinality.join(&ctx, 3.0, 7.0, &[]), 21.0);
+        assert_eq!(SimpleCardinality.join(&ctx, 3.0, 7.0, &[]), 21.0);
+    }
+
+    #[test]
+    fn simple_join_uses_max_ndv() {
+        let (cat, block) = fixture();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let j = SimpleCardinality.join(&ctx, 1000.0, 10_000.0, &[0]);
+        assert!((j - 1000.0 * 10_000.0 / 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn range_ops_differ_between_models() {
+        let mut b = Catalog::builder();
+        b.add_table(TableDef::new(
+            "t",
+            900.0,
+            vec![ColumnDef::uniform("x", 900.0, 90.0)],
+        ));
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        // x in [0, 90): Le(9.0) keeps ~10%.
+        qb.local(ColRef::new(TableRef(0), 0), PredOp::Le(9.0));
+        let block = qb.build(&cat).unwrap();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let full = FullCardinality.base(&ctx, TableRef(0));
+        let simple = SimpleCardinality.base(&ctx, TableRef(0));
+        assert!((full - 90.0).abs() < 10.0, "histogram sees ~10%: {full}");
+        assert!((simple - 300.0).abs() < 1e-6, "magic 1/3: {simple}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Optimizer configuration: the "knobs" of paper §1.1/§2.2.
+//!
+//! Commercial optimizers expose knobs — composite-inner size limits, whether
+//! Cartesian products are allowed, join-method toggles — that "essentially
+//! create many additional intermediate optimization levels". The COTE must
+//! honour all of them, which is exactly why it *reuses the enumerator*
+//! instead of counting joins analytically (§3.1).
+
+/// Physical execution environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Single node; the order property is the only physical property.
+    Serial,
+    /// Shared-nothing grid; order and partition properties are kept.
+    Parallel,
+}
+
+/// Join methods a configuration may enable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinMethods {
+    /// Nested-loops join.
+    pub nljn: bool,
+    /// Sort-merge join.
+    pub mgjn: bool,
+    /// Hash join.
+    pub hsjn: bool,
+}
+
+impl JoinMethods {
+    /// All three methods (the default).
+    pub const ALL: JoinMethods = JoinMethods {
+        nljn: true,
+        mgjn: true,
+        hsjn: true,
+    };
+}
+
+/// Full optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Execution environment.
+    pub mode: Mode,
+    /// Maximum number of tables in the *inner* (composite inner) of a join.
+    /// `1` restricts the search to left-deep trees; `usize::MAX` allows all
+    /// bushy trees. The paper's experiments ran DP "with certain limits on
+    /// the composite inner size" (§5).
+    pub composite_inner_limit: usize,
+    /// DB2's heuristic (§4 item 5): permit a Cartesian product when one
+    /// input's estimated cardinality is 1. Because the plan-estimate mode
+    /// uses a simpler cardinality model, this knob is the source of the
+    /// HSJN join-count drift in Fig. 5(d–f).
+    pub cartesian_card_one: bool,
+    /// Cardinality at or below which an input counts as "one row".
+    pub cartesian_card_threshold: f64,
+    /// Enabled join methods.
+    pub join_methods: JoinMethods,
+    /// Emulate the DB2 implementation oversight of §5.2 that "generated
+    /// redundant NLJN plans during the actual optimization": an extra NLJN
+    /// plan is generated per subsumed order pair. Off by default.
+    pub redundant_nljn: bool,
+    /// Pilot-pass pruning (§6.1): discard any generated plan costlier than a
+    /// quickly precomputed greedy full plan.
+    pub pilot_pass: bool,
+    /// Eager order-property generation (§4 item 1, the DB2 policy): force
+    /// interesting orders with SORT enforcers. When `false` (lazy), only
+    /// natural orders (index scans, merge joins) arise — the §5.4 ablation.
+    pub eager_orders: bool,
+    /// Buffer-pool pages available to the cost model.
+    pub buffer_pages: f64,
+    /// Sort memory in pages before external merge is costed.
+    pub sort_pages: f64,
+}
+
+impl OptimizerConfig {
+    /// The paper's "high" optimization level: full DP, bushy within a
+    /// composite-inner limit of 10, Cartesian-iff-card-1, all join methods.
+    pub fn high(mode: Mode) -> Self {
+        Self {
+            mode,
+            composite_inner_limit: 10,
+            cartesian_card_one: true,
+            cartesian_card_threshold: 1.05,
+            join_methods: JoinMethods::ALL,
+            redundant_nljn: false,
+            pilot_pass: false,
+            eager_orders: true,
+            buffer_pages: 1_000.0,
+            sort_pages: 256.0,
+        }
+    }
+
+    /// A left-deep-only intermediate level (composite inner limit 1).
+    pub fn left_deep(mode: Mode) -> Self {
+        Self {
+            composite_inner_limit: 1,
+            ..Self::high(mode)
+        }
+    }
+
+    /// Restrict the composite inner.
+    #[must_use]
+    pub fn with_composite_inner_limit(mut self, limit: usize) -> Self {
+        self.composite_inner_limit = limit.max(1);
+        self
+    }
+
+    /// Toggle the redundant-NLJN emulation.
+    #[must_use]
+    pub fn with_redundant_nljn(mut self, on: bool) -> Self {
+        self.redundant_nljn = on;
+        self
+    }
+
+    /// Toggle pilot-pass pruning.
+    #[must_use]
+    pub fn with_pilot_pass(mut self, on: bool) -> Self {
+        self.pilot_pass = on;
+        self
+    }
+
+    /// Toggle eager order generation.
+    #[must_use]
+    pub fn with_eager_orders(mut self, on: bool) -> Self {
+        self.eager_orders = on;
+        self
+    }
+
+    /// Is the partition property in play?
+    pub fn parallel(&self) -> bool {
+        self.mode == Mode::Parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_level_defaults() {
+        let c = OptimizerConfig::high(Mode::Serial);
+        assert!(c.cartesian_card_one);
+        assert!(c.eager_orders);
+        assert!(!c.redundant_nljn);
+        assert!(!c.parallel());
+        assert_eq!(c.composite_inner_limit, 10);
+        assert!(OptimizerConfig::high(Mode::Parallel).parallel());
+    }
+
+    #[test]
+    fn left_deep_limits_inner() {
+        assert_eq!(
+            OptimizerConfig::left_deep(Mode::Serial).composite_inner_limit,
+            1
+        );
+        let c = OptimizerConfig::high(Mode::Serial).with_composite_inner_limit(0);
+        assert_eq!(c.composite_inner_limit, 1, "floored at 1");
+    }
+
+    #[test]
+    fn builders_toggle_flags() {
+        let c = OptimizerConfig::high(Mode::Serial)
+            .with_redundant_nljn(true)
+            .with_pilot_pass(true)
+            .with_eager_orders(false);
+        assert!(c.redundant_nljn && c.pilot_pass && !c.eager_orders);
+    }
+}

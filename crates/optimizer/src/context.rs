@@ -1,0 +1,100 @@
+//! Per-block optimization context: everything precomputed once.
+
+use crate::config::OptimizerConfig;
+use crate::properties::order::OrderTargets;
+use crate::properties::partition::{natural_partitions, PartitionVal};
+use cote_catalog::Catalog;
+use cote_query::{JoinGraph, QueryBlock};
+
+/// Immutable context shared by the enumerator, the plan generator and the
+/// estimator while working on one query block.
+pub struct OptContext<'a> {
+    /// The catalog.
+    pub catalog: &'a Catalog,
+    /// The block being optimized.
+    pub block: &'a QueryBlock,
+    /// Adjacency view of the block's join predicates.
+    pub graph: JoinGraph,
+    /// Configuration knobs.
+    pub config: &'a OptimizerConfig,
+    /// Interesting-order targets.
+    pub targets: OrderTargets,
+    /// Natural (lazy) partition value per base-table reference.
+    pub natural_parts: Vec<Option<PartitionVal>>,
+    /// Logical nodes in the grid (1 in serial mode).
+    pub nodes: u16,
+}
+
+impl<'a> OptContext<'a> {
+    /// Build the context for `block` under `config`.
+    pub fn new(catalog: &'a Catalog, block: &'a QueryBlock, config: &'a OptimizerConfig) -> Self {
+        let graph = JoinGraph::new(block);
+        let targets = OrderTargets::for_block(block);
+        let natural_parts = if config.parallel() {
+            natural_partitions(block, catalog)
+        } else {
+            vec![None; block.n_tables()]
+        };
+        let nodes = if config.parallel() {
+            catalog.node_group().nodes.max(1)
+        } else {
+            1
+        };
+        Self {
+            catalog,
+            block,
+            graph,
+            config,
+            targets,
+            natural_parts,
+            nodes,
+        }
+    }
+
+    /// Does this block track the pipelinable property (paper Table 1: only
+    /// meaningful for "first n rows" queries)?
+    pub fn tracks_pipeline(&self) -> bool {
+        self.block.first_n().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Mode, OptimizerConfig};
+    use cote_catalog::{ColumnDef, NodeGroup, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    use cote_query::QueryBlockBuilder;
+
+    #[test]
+    fn context_precomputes_targets_and_partitions() {
+        let mut b = Catalog::builder_parallel(NodeGroup::new(4));
+        for i in 0..2 {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                100.0,
+                vec![ColumnDef::uniform("c0", 100.0, 10.0)],
+            ));
+        }
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        qb.add_table(TableId(1));
+        qb.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+        qb.first_n(5);
+        let block = qb.build(&cat).unwrap();
+
+        let cfg = OptimizerConfig::high(Mode::Parallel);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        assert_eq!(ctx.nodes, 4);
+        assert!(ctx.tracks_pipeline());
+        assert_eq!(ctx.natural_parts.len(), 2);
+        assert!(ctx.natural_parts.iter().all(|p| p.is_some()));
+        assert_eq!(ctx.targets.join_cols.len(), 2);
+
+        let serial = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &serial);
+        assert_eq!(ctx.nodes, 1);
+        assert!(ctx.natural_parts.iter().all(|p| p.is_none()));
+    }
+}

@@ -1,0 +1,497 @@
+//! The dynamic-programming join enumerator (paper §2.1), generic over a
+//! [`JoinVisitor`].
+//!
+//! This genericity is the paper's central implementation idea (§3.1): the
+//! *same* enumerator drives both the real plan generator and COTE's
+//! plan-counting mode, so the estimator sees exactly the joins the optimizer
+//! would consider — knobs, outer-join restrictions, Cartesian heuristics and
+//! all — while "simply bypassing plan generation".
+
+use crate::cardinality::CardinalityModel;
+use crate::context::OptContext;
+use crate::memo::{boundary_classes, outer_enabled, EntryId, Memo, MemoEntry};
+use cote_common::{CoteError, Result, TableRef, TableSet};
+use cote_query::EqClasses;
+
+/// Hard cap on block size for full DP enumeration (subset blow-up guard).
+pub const MAX_DP_TABLES: usize = 22;
+
+/// One enumerated (unordered) join pair, with orientation eligibility.
+#[derive(Debug, Clone)]
+pub struct JoinSite {
+    /// First input entry.
+    pub a: EntryId,
+    /// Second input entry.
+    pub b: EntryId,
+    /// The joined entry (`a ∪ b`).
+    pub joined: EntryId,
+    /// Indices of the block's join predicates spanning `a` and `b`
+    /// (empty ⇒ Cartesian product admitted by the card-1 heuristic).
+    pub preds: Vec<usize>,
+    /// May `a` serve as the outer (outer-enabled, composite-inner limit,
+    /// outer-join orientation)?
+    pub a_outer_ok: bool,
+    /// May `b` serve as the outer?
+    pub b_outer_ok: bool,
+}
+
+/// Mode-specific half of the optimizer: receives every entry and every join
+/// the enumerator produces.
+pub trait JoinVisitor {
+    /// Per-entry state (plan lists / interesting-property lists).
+    type Payload;
+
+    /// Payload for a single-table entry (paper Table 3 `initialize`, base
+    /// case).
+    fn base_payload(
+        &mut self,
+        ctx: &OptContext<'_>,
+        core: &MemoEntry<()>,
+        t: TableRef,
+    ) -> Self::Payload;
+
+    /// Payload for a freshly created join entry (Table 3 `initialize`).
+    fn join_payload(&mut self, ctx: &OptContext<'_>, core: &MemoEntry<()>) -> Self::Payload;
+
+    /// One enumerated join pair (Table 3 `accumulate_plans`, called with
+    /// both orientations resolved).
+    fn on_join(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<Self::Payload>, site: &JoinSite);
+
+    /// All joins for this entry's table set have been enumerated (enforcer
+    /// hook; also fires for single-table entries right after creation).
+    fn finish_entry(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<Self::Payload>, id: EntryId);
+}
+
+/// Result of an enumeration pass.
+pub struct EnumOutcome<P> {
+    /// The filled MEMO.
+    pub memo: Memo<P>,
+    /// Entry covering all tables.
+    pub root: EntryId,
+    /// Unordered join pairs enumerated.
+    pub pairs: u64,
+    /// Ordered (outer, inner) orientations enumerated.
+    pub joins: u64,
+}
+
+/// Run bottom-up DP enumeration for `ctx.block`, consulting `model` for the
+/// cardinalities stored in the MEMO (paper §4 item 5) and driving `visitor`.
+pub fn enumerate<V: JoinVisitor, M: CardinalityModel>(
+    ctx: &OptContext<'_>,
+    model: &M,
+    visitor: &mut V,
+) -> Result<EnumOutcome<V::Payload>> {
+    let block = ctx.block;
+    let n = block.n_tables();
+    if n > MAX_DP_TABLES {
+        return Err(CoteError::TooManyTables { requested: n });
+    }
+    let ncols = block.n_interesting_cols();
+    let mut memo: Memo<V::Payload> = Memo::new();
+
+    // Single-table entries.
+    for t in block.table_refs() {
+        let set = TableSet::singleton(t);
+        let eq = EqClasses::new(ncols);
+        let core = MemoEntry {
+            set,
+            cardinality: model.base(ctx, t),
+            eq: eq.clone(),
+            boundary: boundary_classes(block, set, &eq),
+            outer_enabled: outer_enabled(block, set),
+            payload: (),
+        };
+        let payload = visitor.base_payload(ctx, &core, t);
+        let id = memo.insert(MemoEntry {
+            set: core.set,
+            cardinality: core.cardinality,
+            eq: core.eq,
+            boundary: core.boundary,
+            outer_enabled: core.outer_enabled,
+            payload,
+        });
+        visitor.finish_entry(ctx, &mut memo, id);
+    }
+
+    let mut pairs = 0u64;
+    let mut joins = 0u64;
+    let limit_bits = 1u64 << n;
+    let inner_limit = ctx.config.composite_inner_limit;
+    let thr = ctx.config.cartesian_card_threshold;
+
+    for sz in 2..=n {
+        // Gosper's hack: all sz-subsets of {0..n-1} in ascending order.
+        let mut mask = (1u64 << sz) - 1;
+        while mask < limit_bits {
+            let set = TableSet::from_bits(mask);
+            let mut created: Option<EntryId> = None;
+            for a_set in set.proper_subsets() {
+                let b_set = set.difference(a_set);
+                if a_set.bits() >= b_set.bits() {
+                    continue; // visit each unordered split once
+                }
+                let (Some(a_id), Some(b_id)) = (memo.id_of(a_set), memo.id_of(b_set)) else {
+                    continue;
+                };
+                let preds = block.preds_between(a_set, b_set);
+                if preds.is_empty() {
+                    let ca = memo.entry(a_id).cardinality;
+                    let cb = memo.entry(b_id).cardinality;
+                    if !(ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
+                        continue;
+                    }
+                }
+                // Orientation eligibility.
+                let null_in = |s: TableSet| {
+                    preds
+                        .iter()
+                        .all(|&pi| match block.join_preds()[pi].outer_join {
+                            None => true,
+                            Some(oid) => s.contains(block.outer_joins()[oid as usize].null_side),
+                        })
+                };
+                let a_outer_ok =
+                    memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
+                let b_outer_ok =
+                    memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
+                if !a_outer_ok && !b_outer_ok {
+                    continue;
+                }
+
+                let joined = match created.or_else(|| memo.id_of(set)) {
+                    Some(j) => j,
+                    None => {
+                        let mut eq = memo.entry(a_id).eq.clone();
+                        eq.absorb(&memo.entry(b_id).eq);
+                        for &pi in &preds {
+                            let p = &block.join_preds()[pi];
+                            let (l, r) = (
+                                block.col_id(p.left).expect("interned"),
+                                block.col_id(p.right).expect("interned"),
+                            );
+                            eq.union(l, r);
+                        }
+                        let cardinality = model.join(
+                            ctx,
+                            memo.entry(a_id).cardinality,
+                            memo.entry(b_id).cardinality,
+                            &preds,
+                        );
+                        let core = MemoEntry {
+                            set,
+                            cardinality,
+                            boundary: boundary_classes(block, set, &eq),
+                            outer_enabled: outer_enabled(block, set),
+                            eq,
+                            payload: (),
+                        };
+                        let payload = visitor.join_payload(ctx, &core);
+                        let id = memo.insert(MemoEntry {
+                            set: core.set,
+                            cardinality: core.cardinality,
+                            eq: core.eq,
+                            boundary: core.boundary,
+                            outer_enabled: core.outer_enabled,
+                            payload,
+                        });
+                        created = Some(id);
+                        id
+                    }
+                };
+
+                pairs += 1;
+                joins += u64::from(a_outer_ok) + u64::from(b_outer_ok);
+                let site = JoinSite {
+                    a: a_id,
+                    b: b_id,
+                    joined,
+                    preds,
+                    a_outer_ok,
+                    b_outer_ok,
+                };
+                visitor.on_join(ctx, &mut memo, &site);
+            }
+            if let Some(id) = created {
+                visitor.finish_entry(ctx, &mut memo, id);
+            }
+            // Next sz-subset.
+            let c = mask & mask.wrapping_neg();
+            let r = mask + c;
+            if r >= limit_bits {
+                break;
+            }
+            mask = (((r ^ mask) >> 2) / c) | r;
+        }
+    }
+
+    let root = memo
+        .id_of(block.all_tables())
+        .ok_or_else(|| CoteError::NoPlanFound {
+            reason: format!(
+                "no join sequence covers all {n} tables (disconnected join graph with Cartesian \
+             products disabled?)"
+            ),
+        })?;
+    Ok(EnumOutcome {
+        memo,
+        root,
+        pairs,
+        joins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::FullCardinality;
+    use crate::config::{Mode, OptimizerConfig};
+    use cote_catalog::{Catalog, ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId};
+    use cote_query::QueryBlockBuilder;
+
+    /// Visitor that only counts.
+    #[derive(Default)]
+    struct Counter {
+        base_entries: usize,
+        join_entries: usize,
+        sites: usize,
+        finished: usize,
+    }
+
+    impl JoinVisitor for Counter {
+        type Payload = ();
+        fn base_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>, _: TableRef) {
+            self.base_entries += 1;
+        }
+        fn join_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>) {
+            self.join_entries += 1;
+        }
+        fn on_join(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: &JoinSite) {
+            self.sites += 1;
+        }
+        fn finish_entry(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: EntryId) {
+            self.finished += 1;
+        }
+    }
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                1000.0,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 100.0),
+                    ColumnDef::uniform("c1", 1000.0, 100.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    fn chain_block(cat: &Catalog, n: usize) -> cote_query::QueryBlock {
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..n {
+            b.add_table(TableId(i as u32));
+        }
+        for i in 0..n - 1 {
+            b.join(col(i as u8, 0), col(i as u8 + 1, 0));
+        }
+        b.build(cat).unwrap()
+    }
+
+    fn star_block(cat: &Catalog, n: usize) -> cote_query::QueryBlock {
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..n {
+            b.add_table(TableId(i as u32));
+        }
+        for i in 1..n {
+            b.join(col(0, 0), col(i as u8, 0));
+        }
+        b.build(cat).unwrap()
+    }
+
+    fn run(
+        block: &cote_query::QueryBlock,
+        cat: &Catalog,
+        cfg: &OptimizerConfig,
+    ) -> (EnumOutcome<()>, Counter) {
+        let ctx = OptContext::new(cat, block, cfg);
+        let mut v = Counter::default();
+        let out = enumerate(&ctx, &FullCardinality, &mut v).expect("enumerates");
+        (out, v)
+    }
+
+    fn unbounded() -> OptimizerConfig {
+        let mut c = OptimizerConfig::high(Mode::Serial).with_composite_inner_limit(usize::MAX);
+        c.cartesian_card_one = false;
+        c
+    }
+
+    #[test]
+    fn linear_join_counts_match_closed_formula() {
+        // Ono & Lohman: a linear query joining n tables has (n³ - n)/6
+        // unordered joins under full bushy DP without Cartesian products.
+        let cfg = unbounded();
+        for n in 2..=8usize {
+            let cat = catalog(n);
+            let block = chain_block(&cat, n);
+            let (out, _) = run(&block, &cat, &cfg);
+            let expected = (n * n * n - n) as u64 / 6;
+            assert_eq!(out.pairs, expected, "linear n={n}");
+            assert_eq!(out.joins, 2 * expected, "both orientations eligible");
+        }
+    }
+
+    #[test]
+    fn star_join_counts_match_closed_formula() {
+        // Star with n tables: (n-1)·2^(n-2) unordered joins.
+        let cfg = unbounded();
+        for n in 3..=8usize {
+            let cat = catalog(n);
+            let block = star_block(&cat, n);
+            let (out, _) = run(&block, &cat, &cfg);
+            let expected = ((n - 1) as u64) * (1u64 << (n - 2));
+            assert_eq!(out.pairs, expected, "star n={n}");
+        }
+    }
+
+    #[test]
+    fn left_deep_restricts_orientations() {
+        let cfg = unbounded().with_composite_inner_limit(1);
+        let cat = catalog(4);
+        let block = chain_block(&cat, 4);
+        let (out, _) = run(&block, &cat, &cfg);
+        // Left-deep linear n=4: pairs with at least one single-table side.
+        // (n³-n)/6 = 10 total bushy pairs; composite-composite pairs (2+2)
+        // are excluded when neither side may be the inner.
+        assert!(out.pairs < 10, "pairs={}", out.pairs);
+        // Every orientation has a single-table inner.
+        assert!(out.joins <= out.pairs * 2);
+    }
+
+    #[test]
+    fn single_table_block_enumerates_no_joins() {
+        let cat = catalog(1);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        let block = b.build(&cat).unwrap();
+        let cfg = unbounded();
+        let (out, v) = run(&block, &cat, &cfg);
+        assert_eq!(out.pairs, 0);
+        assert_eq!(v.base_entries, 1);
+        assert_eq!(out.memo.len(), 1);
+        assert_eq!(out.root, EntryId(0));
+    }
+
+    #[test]
+    fn disconnected_graph_without_cartesian_fails() {
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        let block = b.build(&cat).unwrap();
+        let cfg = unbounded();
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let mut v = Counter::default();
+        assert!(matches!(
+            enumerate(&ctx, &FullCardinality, &mut v),
+            Err(CoteError::NoPlanFound { .. })
+        ));
+    }
+
+    #[test]
+    fn cartesian_card_one_rescues_tiny_inputs() {
+        let mut b = Catalog::builder();
+        b.add_table(TableDef::new(
+            "one",
+            1.0,
+            vec![ColumnDef::uniform("c0", 1.0, 1.0)],
+        ));
+        b.add_table(TableDef::new(
+            "big",
+            100.0,
+            vec![ColumnDef::uniform("c0", 100.0, 10.0)],
+        ));
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        qb.add_table(TableId(1));
+        let block = qb.build(&cat).unwrap();
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (out, _) = run(&block, &cat, &cfg);
+        assert_eq!(out.pairs, 1, "Cartesian admitted: one side has card 1");
+    }
+
+    #[test]
+    fn outer_join_restricts_orientation_and_eligibility() {
+        let cat = catalog(2);
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        qb.add_table(TableId(1));
+        qb.left_outer_join(col(0, 0), col(1, 0)); // t0 LEFT JOIN t1
+        let block = qb.build(&cat).unwrap();
+        let cfg = unbounded();
+        let ctx = OptContext::new(&cat, &block, &cfg);
+
+        struct Grab(Vec<(bool, bool)>);
+        impl JoinVisitor for Grab {
+            type Payload = ();
+            fn base_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>, _: TableRef) {}
+            fn join_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>) {}
+            fn on_join(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, s: &JoinSite) {
+                self.0.push((s.a_outer_ok, s.b_outer_ok));
+            }
+            fn finish_entry(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: EntryId) {}
+        }
+        let mut v = Grab(Vec::new());
+        let out = enumerate(&ctx, &FullCardinality, &mut v).unwrap();
+        assert_eq!(out.pairs, 1);
+        assert_eq!(out.joins, 1, "only the preserving side may be the outer");
+        assert_eq!(v.0, vec![(true, false)]);
+    }
+
+    #[test]
+    fn too_many_tables_is_rejected() {
+        let cat = catalog(1);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        let block = b.build(&cat).unwrap();
+        // Rebuild a fake block is complex; instead check the guard constant
+        // is enforced by constructing a wide chain lazily.
+        let cat23 = catalog(23);
+        let block23 = chain_block(&cat23, 23);
+        let cfg = unbounded();
+        let ctx = OptContext::new(&cat23, &block23, &cfg);
+        let mut v = Counter::default();
+        assert!(matches!(
+            enumerate(&ctx, &FullCardinality, &mut v),
+            Err(CoteError::TooManyTables { requested: 23 })
+        ));
+        drop(block);
+    }
+
+    #[test]
+    fn eq_classes_merge_along_joins() {
+        let cat = catalog(3);
+        let block = chain_block(&cat, 3);
+        let cfg = unbounded();
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let mut v = Counter::default();
+        let out = enumerate(&ctx, &FullCardinality, &mut v).unwrap();
+        let root = out.memo.entry(out.root);
+        // Chain t0.c0 = t1.c0 = … merges all c0 classes at the root; t1.c0
+        // appears in both predicates so all four endpoints collapse to ≤ 2
+        // classes (c0-chain is a single class).
+        let c0_0 = block.col_id(col(0, 0)).unwrap();
+        let c0_2 = block.col_id(col(2, 0)).unwrap();
+        // Chain predicates: t0.c0=t1.c0, t1.c0=t2.c0? — chain_block joins
+        // col(i,0) to col(i+1,0), so yes: one class.
+        assert!(root.eq.equivalent(c0_0, c0_2));
+        assert!(root.boundary.is_empty(), "root has no future joins");
+    }
+}

@@ -1,0 +1,337 @@
+//! A top-down (transformation-style) join enumerator (paper §6.2).
+//!
+//! The paper closes by asking how COTE fares under "a transformation-based
+//! optimizer \[which\] also uses a MEMO structure \[whose\] entries … are not
+//! necessarily filled bottom-up". This module answers the structural half of
+//! that question: a memoized goal-driven enumerator that derives each table
+//! set by recursing into its splits — the Volcano/Cascades exploration
+//! order — driving the *same* [`JoinVisitor`] as the bottom-up enumerator.
+//!
+//! With full memoization (no early stopping) the two enumerators explore the
+//! same join sites, so plan counts and COTE estimates are identical; only
+//! the order in which MEMO entries fill differs. Early *cost-bounded*
+//! stopping — the part the paper defers to future work because it depends on
+//! execution-cost estimates the estimator bypasses — is out of scope here
+//! too, and documented as such.
+
+use crate::cardinality::CardinalityModel;
+use crate::context::OptContext;
+use crate::enumerator::{EnumOutcome, JoinSite, JoinVisitor, MAX_DP_TABLES};
+use crate::memo::{boundary_classes, outer_enabled, EntryId, Memo, MemoEntry};
+use cote_common::{CoteError, FxHashMap, Result, TableSet};
+use cote_query::EqClasses;
+
+struct TopDown<'a, 'c, V: JoinVisitor, M: CardinalityModel> {
+    ctx: &'a OptContext<'c>,
+    model: &'a M,
+    visitor: &'a mut V,
+    memo: Memo<V::Payload>,
+    /// Memoized outcomes: the entry id, or None for unconstructible sets.
+    solved: FxHashMap<u64, Option<EntryId>>,
+    pairs: u64,
+    joins: u64,
+}
+
+impl<V: JoinVisitor, M: CardinalityModel> TopDown<'_, '_, V, M> {
+    fn solve(&mut self, set: TableSet) -> Option<EntryId> {
+        if let Some(&done) = self.solved.get(&set.bits()) {
+            return done;
+        }
+        let result = if set.len() == 1 {
+            Some(self.base(set))
+        } else {
+            self.derive(set)
+        };
+        self.solved.insert(set.bits(), result);
+        result
+    }
+
+    fn base(&mut self, set: TableSet) -> EntryId {
+        let t = set.first().expect("singleton");
+        let block = self.ctx.block;
+        let eq = EqClasses::new(block.n_interesting_cols());
+        let core = MemoEntry {
+            set,
+            cardinality: self.model.base(self.ctx, t),
+            boundary: boundary_classes(block, set, &eq),
+            outer_enabled: outer_enabled(block, set),
+            eq,
+            payload: (),
+        };
+        let payload = self.visitor.base_payload(self.ctx, &core, t);
+        let id = self.memo.insert(MemoEntry {
+            set: core.set,
+            cardinality: core.cardinality,
+            eq: core.eq,
+            boundary: core.boundary,
+            outer_enabled: core.outer_enabled,
+            payload,
+        });
+        self.visitor.finish_entry(self.ctx, &mut self.memo, id);
+        id
+    }
+
+    fn derive(&mut self, set: TableSet) -> Option<EntryId> {
+        let block = self.ctx.block;
+        let inner_limit = self.ctx.config.composite_inner_limit;
+        let thr = self.ctx.config.cartesian_card_threshold;
+        let mut created: Option<EntryId> = None;
+
+        for a_set in set.proper_subsets() {
+            let b_set = set.difference(a_set);
+            if a_set.bits() >= b_set.bits() {
+                continue;
+            }
+            // Goal-driven recursion: derive the inputs first.
+            let (Some(a_id), Some(b_id)) = (self.solve(a_set), self.solve(b_set)) else {
+                continue;
+            };
+            let preds = block.preds_between(a_set, b_set);
+            if preds.is_empty() {
+                let ca = self.memo.entry(a_id).cardinality;
+                let cb = self.memo.entry(b_id).cardinality;
+                if !(self.ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
+                    continue;
+                }
+            }
+            let null_in = |s: TableSet| {
+                preds
+                    .iter()
+                    .all(|&pi| match block.join_preds()[pi].outer_join {
+                        None => true,
+                        Some(oid) => s.contains(block.outer_joins()[oid as usize].null_side),
+                    })
+            };
+            let a_outer_ok =
+                self.memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
+            let b_outer_ok =
+                self.memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
+            if !a_outer_ok && !b_outer_ok {
+                continue;
+            }
+
+            let joined = match created {
+                Some(j) => j,
+                None => {
+                    let mut eq = self.memo.entry(a_id).eq.clone();
+                    eq.absorb(&self.memo.entry(b_id).eq);
+                    for &pi in &preds {
+                        let p = &block.join_preds()[pi];
+                        eq.union(
+                            block.col_id(p.left).expect("interned"),
+                            block.col_id(p.right).expect("interned"),
+                        );
+                    }
+                    let cardinality = self.model.join(
+                        self.ctx,
+                        self.memo.entry(a_id).cardinality,
+                        self.memo.entry(b_id).cardinality,
+                        &preds,
+                    );
+                    let core = MemoEntry {
+                        set,
+                        cardinality,
+                        boundary: boundary_classes(block, set, &eq),
+                        outer_enabled: outer_enabled(block, set),
+                        eq,
+                        payload: (),
+                    };
+                    let payload = self.visitor.join_payload(self.ctx, &core);
+                    let id = self.memo.insert(MemoEntry {
+                        set: core.set,
+                        cardinality: core.cardinality,
+                        eq: core.eq,
+                        boundary: core.boundary,
+                        outer_enabled: core.outer_enabled,
+                        payload,
+                    });
+                    created = Some(id);
+                    id
+                }
+            };
+
+            self.pairs += 1;
+            self.joins += u64::from(a_outer_ok) + u64::from(b_outer_ok);
+            let site = JoinSite {
+                a: a_id,
+                b: b_id,
+                joined,
+                preds,
+                a_outer_ok,
+                b_outer_ok,
+            };
+            self.visitor.on_join(self.ctx, &mut self.memo, &site);
+        }
+        if let Some(id) = created {
+            self.visitor.finish_entry(self.ctx, &mut self.memo, id);
+        }
+        created
+    }
+}
+
+/// Run goal-driven top-down enumeration for `ctx.block`.
+///
+/// Explores exactly the join sites of [`crate::enumerator::enumerate`]
+/// (memoization removes re-derivation), in depth-first instead of
+/// size-ascending order.
+pub fn enumerate_topdown<V: JoinVisitor, M: CardinalityModel>(
+    ctx: &OptContext<'_>,
+    model: &M,
+    visitor: &mut V,
+) -> Result<EnumOutcome<V::Payload>> {
+    let n = ctx.block.n_tables();
+    if n > MAX_DP_TABLES {
+        return Err(CoteError::TooManyTables { requested: n });
+    }
+    let mut td = TopDown {
+        ctx,
+        model,
+        visitor,
+        memo: Memo::new(),
+        solved: FxHashMap::default(),
+        pairs: 0,
+        joins: 0,
+    };
+    let root = td
+        .solve(ctx.block.all_tables())
+        .ok_or_else(|| CoteError::NoPlanFound {
+            reason: format!(
+                "no join sequence covers all {n} tables (disconnected join graph with Cartesian \
+             products disabled?)"
+            ),
+        })?;
+    Ok(EnumOutcome {
+        memo: td.memo,
+        root,
+        pairs: td.pairs,
+        joins: td.joins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::FullCardinality;
+    use crate::config::{Mode, OptimizerConfig};
+    use crate::enumerator::enumerate;
+    use crate::plangen::RealPlanGen;
+    use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    use cote_query::QueryBlockBuilder;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            let t = b.add_table(TableDef::new(
+                format!("t{i}"),
+                2000.0 + 100.0 * i as f64,
+                vec![
+                    ColumnDef::uniform("c0", 2000.0, 400.0),
+                    ColumnDef::uniform("c1", 2000.0, 40.0),
+                ],
+            ));
+            b.add_index(IndexDef::new(t, vec![0]).clustered());
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    fn star(cat: &Catalog, n: usize, orderby: bool) -> cote_query::QueryBlock {
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..n {
+            b.add_table(TableId(i as u32));
+        }
+        for i in 1..n {
+            b.join(col(0, 0), col(i as u8, 0));
+        }
+        if orderby {
+            b.order_by(vec![col(0, 1)]);
+        }
+        b.build(cat).unwrap()
+    }
+
+    #[test]
+    fn topdown_explores_the_same_join_sites_as_bottom_up() {
+        let cat = catalog(6);
+        for orderby in [false, true] {
+            let block = star(&cat, 6, orderby);
+            let cfg = OptimizerConfig::high(Mode::Serial);
+            let ctx = OptContext::new(&cat, &block, &cfg);
+            let mut up = RealPlanGen::new(None);
+            let bu = enumerate(&ctx, &FullCardinality, &mut up).unwrap();
+            let mut down = RealPlanGen::new(None);
+            let td = enumerate_topdown(&ctx, &FullCardinality, &mut down).unwrap();
+            assert_eq!(bu.pairs, td.pairs);
+            assert_eq!(bu.joins, td.joins);
+            assert_eq!(bu.memo.len(), td.memo.len());
+            assert_eq!(
+                up.stats.plans_generated, down.stats.plans_generated,
+                "identical plans generated, orderby={orderby}"
+            );
+            // Kept plans agree entry by entry.
+            for (_, e) in bu.memo.iter() {
+                let other = td.memo.entry(td.memo.id_of(e.set).expect("same sets"));
+                assert_eq!(
+                    e.payload.plans.len(),
+                    other.payload.plans.len(),
+                    "{}",
+                    e.set
+                );
+                assert!((e.cardinality - other.cardinality).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn topdown_fills_memo_depth_first() {
+        // Bottom-up inserts all singles first; top-down inserts the first
+        // join entry before some singles exist.
+        let cat = catalog(4);
+        let block = star(&cat, 4, false);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let mut v = RealPlanGen::new(None);
+        let td = enumerate_topdown(&ctx, &FullCardinality, &mut v).unwrap();
+        let sizes: Vec<usize> = td.memo.iter().map(|(_, e)| e.set.len()).collect();
+        assert!(
+            sizes.windows(2).any(|w| w[0] > w[1]),
+            "insertion order is not size-ascending: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn topdown_rejects_disconnected_graphs_like_bottom_up() {
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        let block = b.build(&cat).unwrap();
+        let mut cfg = OptimizerConfig::high(Mode::Serial);
+        cfg.cartesian_card_one = false;
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let mut v = RealPlanGen::new(None);
+        assert!(matches!(
+            enumerate_topdown(&ctx, &FullCardinality, &mut v),
+            Err(CoteError::NoPlanFound { .. })
+        ));
+    }
+
+    #[test]
+    fn topdown_honours_the_composite_inner_limit() {
+        let cat = catalog(5);
+        let block = star(&cat, 5, false);
+        let left_deep = OptimizerConfig::high(Mode::Serial).with_composite_inner_limit(1);
+        let bushy = OptimizerConfig::high(Mode::Serial).with_composite_inner_limit(10);
+        let count = |cfg: &OptimizerConfig| {
+            let ctx = OptContext::new(&cat, &block, cfg);
+            let mut v = RealPlanGen::new(None);
+            enumerate_topdown(&ctx, &FullCardinality, &mut v)
+                .unwrap()
+                .joins
+        };
+        assert!(count(&left_deep) < count(&bushy));
+    }
+}

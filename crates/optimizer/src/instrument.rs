@@ -1,0 +1,207 @@
+//! Compilation instrumentation: the "actual" series of every experiment.
+//!
+//! Counts generated plans per join method and buckets wall-clock time by
+//! phase so the harness can print Fig. 2's breakdown and Fig. 4/5/6's
+//! actuals.
+
+use crate::properties::JoinMethod;
+use std::time::Duration;
+
+/// Per-join-method counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PerMethod {
+    /// Nested-loops join plans.
+    pub nljn: u64,
+    /// Sort-merge join plans.
+    pub mgjn: u64,
+    /// Hash join plans.
+    pub hsjn: u64,
+}
+
+impl PerMethod {
+    /// Counter for one method.
+    pub fn get(&self, m: JoinMethod) -> u64 {
+        match m {
+            JoinMethod::Nljn => self.nljn,
+            JoinMethod::Mgjn => self.mgjn,
+            JoinMethod::Hsjn => self.hsjn,
+        }
+    }
+
+    /// Mutable counter for one method.
+    pub fn get_mut(&mut self, m: JoinMethod) -> &mut u64 {
+        match m {
+            JoinMethod::Nljn => &mut self.nljn,
+            JoinMethod::Mgjn => &mut self.mgjn,
+            JoinMethod::Hsjn => &mut self.hsjn,
+        }
+    }
+
+    /// Sum over methods.
+    pub fn total(&self) -> u64 {
+        self.nljn + self.mgjn + self.hsjn
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &PerMethod) {
+        self.nljn += other.nljn;
+        self.mgjn += other.mgjn;
+        self.hsjn += other.hsjn;
+    }
+}
+
+/// Wall-clock time per compilation phase (Fig. 2's categories).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseTimes {
+    /// Join-enumeration skeleton (set algebra, entry bookkeeping).
+    pub enumeration: Duration,
+    /// Generating NLJN plans (costing included).
+    pub nljn: Duration,
+    /// Generating MGJN plans.
+    pub mgjn: Duration,
+    /// Generating HSJN plans.
+    pub hsjn: Duration,
+    /// Inserting plans into MEMO lists and pruning ("plan saving").
+    pub saving: Duration,
+    /// Access paths, enforcers, finalization ("other").
+    pub other: Duration,
+}
+
+impl PhaseTimes {
+    /// Per-method plan-generation bucket.
+    pub fn method_mut(&mut self, m: JoinMethod) -> &mut Duration {
+        match m {
+            JoinMethod::Nljn => &mut self.nljn,
+            JoinMethod::Mgjn => &mut self.mgjn,
+            JoinMethod::Hsjn => &mut self.hsjn,
+        }
+    }
+
+    /// Sum of all buckets.
+    pub fn total(&self) -> Duration {
+        self.enumeration + self.nljn + self.mgjn + self.hsjn + self.saving + self.other
+    }
+
+    /// Element-wise accumulate.
+    pub fn add(&mut self, other: &PhaseTimes) {
+        self.enumeration += other.enumeration;
+        self.nljn += other.nljn;
+        self.mgjn += other.mgjn;
+        self.hsjn += other.hsjn;
+        self.saving += other.saving;
+        self.other += other.other;
+    }
+}
+
+/// Full statistics of one compilation (or one block).
+#[derive(Debug, Default, Clone)]
+pub struct CompileStats {
+    /// Unordered join pairs enumerated (the Ono–Lohman join count).
+    pub pairs_enumerated: u64,
+    /// Ordered (outer, inner) orientations enumerated.
+    pub joins_enumerated: u64,
+    /// Join plans *generated* per method (the paper's central quantity).
+    pub plans_generated: PerMethod,
+    /// Access-path plans generated.
+    pub scan_plans: u64,
+    /// SORT enforcer plans generated.
+    pub sort_plans: u64,
+    /// Grouping plans generated (paper §3: "typically two group-by plans …
+    /// for each aggregation").
+    pub group_plans: u64,
+    /// Exchange (repartition/broadcast) nodes generated.
+    pub move_plans: u64,
+    /// Plans surviving in MEMO lists at the end.
+    pub plans_kept: u64,
+    /// MEMO entries created.
+    pub memo_entries: u64,
+    /// Plans discarded by pilot-pass pruning (§6.1 ablation).
+    pub pruned_by_pilot: u64,
+    /// Phase time buckets.
+    pub time: PhaseTimes,
+    /// End-to-end wall clock of the compilation.
+    pub elapsed: Duration,
+}
+
+impl CompileStats {
+    /// Accumulate another block's stats (multi-block queries sum).
+    pub fn add(&mut self, other: &CompileStats) {
+        self.pairs_enumerated += other.pairs_enumerated;
+        self.joins_enumerated += other.joins_enumerated;
+        self.plans_generated.add(&other.plans_generated);
+        self.scan_plans += other.scan_plans;
+        self.sort_plans += other.sort_plans;
+        self.group_plans += other.group_plans;
+        self.move_plans += other.move_plans;
+        self.plans_kept += other.plans_kept;
+        self.memo_entries += other.memo_entries;
+        self.pruned_by_pilot += other.pruned_by_pilot;
+        self.time.add(&other.time);
+        self.elapsed += other.elapsed;
+    }
+
+    /// Fraction of `elapsed` spent in a phase bucket (0 when too fast to
+    /// measure).
+    pub fn fraction(&self, bucket: Duration) -> f64 {
+        let e = self.elapsed.as_secs_f64();
+        if e <= 0.0 {
+            0.0
+        } else {
+            bucket.as_secs_f64() / e
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_method_accessors() {
+        let mut p = PerMethod::default();
+        *p.get_mut(JoinMethod::Mgjn) += 3;
+        *p.get_mut(JoinMethod::Nljn) += 2;
+        assert_eq!(p.get(JoinMethod::Mgjn), 3);
+        assert_eq!(p.total(), 5);
+        let mut q = PerMethod {
+            nljn: 1,
+            mgjn: 1,
+            hsjn: 1,
+        };
+        q.add(&p);
+        assert_eq!(q.total(), 8);
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut t = PhaseTimes::default();
+        *t.method_mut(JoinMethod::Hsjn) += Duration::from_millis(5);
+        t.saving += Duration::from_millis(2);
+        assert_eq!(t.total(), Duration::from_millis(7));
+        let mut u = PhaseTimes::default();
+        u.add(&t);
+        assert_eq!(u.hsjn, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stats_add_and_fraction() {
+        let mut a = CompileStats {
+            pairs_enumerated: 2,
+            elapsed: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let b = CompileStats {
+            pairs_enumerated: 3,
+            elapsed: Duration::from_millis(30),
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.pairs_enumerated, 5);
+        assert_eq!(a.elapsed, Duration::from_millis(40));
+        assert!((a.fraction(Duration::from_millis(10)) - 0.25).abs() < 1e-9);
+        assert_eq!(
+            CompileStats::default().fraction(Duration::from_millis(1)),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! `cote-optimizer` — a System-R-style cost-based query optimizer, built
+//! from scratch as the substrate the COTE (SIGMOD 2003) estimator
+//! instruments.
+//!
+//! Architecture (bottom-up, paper §2.1):
+//!
+//! * [`memo`] — the MEMO structure: one entry per table subset, holding
+//!   logical properties plus a mode-specific payload;
+//! * [`enumerator`] — the dynamic-programming join enumerator, **generic
+//!   over a [`enumerator::JoinVisitor`]** so the estimator can reuse it
+//!   verbatim while bypassing plan generation (the paper's §3.1 idea);
+//! * [`plangen`] — the real plan generator: join methods, enforcers,
+//!   property-aware pruning;
+//! * [`properties`] — physical properties (Tables 1–2): order, partition,
+//!   pipelinable, plus metadata stubs for data-source and
+//!   expensive-predicate properties;
+//! * [`cost`] — the deliberately expensive per-plan cost model (histogram
+//!   walks, Yao locality, spill modeling);
+//! * [`cardinality`] — full (histograms+keys) and simple (magic constants)
+//!   models; the enumerator's Cartesian heuristic consults whichever mode
+//!   is active (§4 item 5);
+//! * [`greedy`] — the polynomial "low" optimization level;
+//! * [`instrument`] — per-phase timing and per-method plan counters (the
+//!   experiments' actuals);
+//! * [`optimizer`] — the facade: [`optimizer::Optimizer::optimize_query`].
+
+pub mod cardinality;
+pub mod config;
+pub mod context;
+pub mod cost;
+pub mod enumerator;
+pub mod enumerator_topdown;
+pub mod greedy;
+pub mod instrument;
+pub mod memo;
+pub mod optimizer;
+pub mod plan;
+pub mod plangen;
+pub mod planspace;
+pub mod properties;
+
+pub use cardinality::{CardinalityModel, FullCardinality, SimpleCardinality};
+pub use config::{JoinMethods, Mode, OptimizerConfig};
+pub use context::OptContext;
+pub use enumerator::{enumerate, EnumOutcome, JoinSite, JoinVisitor};
+pub use enumerator_topdown::enumerate_topdown;
+pub use greedy::{GreedyOptimizer, GreedyResult};
+pub use instrument::{CompileStats, PerMethod, PhaseTimes};
+pub use memo::{EntryId, Memo, MemoEntry};
+pub use optimizer::{BlockResult, OptimizeResult, Optimizer};
+pub use plan::{PlanArena, PlanId, PlanKind, PlanProps};
+pub use plangen::{PlanList, RealPlanGen};
+pub use planspace::{sample_plan, PlanSpaceCounter, SpaceCount};
+pub use properties::{JoinMethod, Propagation};

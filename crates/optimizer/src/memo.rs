@@ -1,0 +1,326 @@
+//! The MEMO structure (paper §2.1).
+//!
+//! One entry per optimized table subset. The *core* of an entry holds the
+//! logical properties every mode needs — cardinality, column-equivalence
+//! classes, boundary (future-join) classes, outer-eligibility — while the
+//! generic `payload` holds mode-specific state: plan lists for the real
+//! optimizer, interesting-property value lists for the estimator
+//! (trading "a much smaller amount of space" for bypassed plan generation,
+//! §3.3).
+
+use cote_common::{FxHashMap, TableSet};
+use cote_query::{EqClasses, QueryBlock};
+
+/// Index of a MEMO entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EntryId(pub u32);
+
+/// A MEMO entry: logical core + mode-specific payload.
+#[derive(Debug)]
+pub struct MemoEntry<P> {
+    /// The table subset this entry covers.
+    pub set: TableSet,
+    /// Estimated output cardinality (model-dependent; stored in the MEMO so
+    /// the enumerator's cardinality-sensitive heuristics see consistent
+    /// values — paper §4 item 5).
+    pub cardinality: f64,
+    /// Column-equivalence classes induced by the predicates applied inside
+    /// `set`.
+    pub eq: EqClasses,
+    /// Equivalence-class representatives of columns joining to tables
+    /// outside `set` (the entry's future joins).
+    pub boundary: Vec<u16>,
+    /// May this entry serve as a join outer (paper §4 item 3)? False while
+    /// the entry contains the null side of an outer join whose preserving
+    /// anchor is absent.
+    pub outer_enabled: bool,
+    /// Mode-specific state.
+    pub payload: P,
+}
+
+/// The MEMO: entries indexed by table set.
+#[derive(Debug)]
+pub struct Memo<P> {
+    entries: Vec<MemoEntry<P>>,
+    index: FxHashMap<u64, EntryId>,
+}
+
+impl<P> Default for Memo<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> Memo<P> {
+    /// An empty MEMO.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry id covering `set`, if present.
+    pub fn id_of(&self, set: TableSet) -> Option<EntryId> {
+        self.index.get(&set.bits()).copied()
+    }
+
+    /// Entry by id.
+    pub fn entry(&self, id: EntryId) -> &MemoEntry<P> {
+        &self.entries[id.0 as usize]
+    }
+
+    /// Mutable entry by id.
+    pub fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
+        &mut self.entries[id.0 as usize]
+    }
+
+    /// Two entries by id (disjoint borrow), plus a third mutable one.
+    ///
+    /// The plan generator constantly reads the two input entries of a join
+    /// while mutating the joined entry; this provides that borrow shape
+    /// without cloning.
+    pub fn join_view(
+        &mut self,
+        a: EntryId,
+        b: EntryId,
+        j: EntryId,
+    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+        let (ai, bi, ji) = (a.0 as usize, b.0 as usize, j.0 as usize);
+        assert!(
+            ai != ji && bi != ji && ai != bi,
+            "join entries must be distinct"
+        );
+        // Safety-free split: use raw pointers checked above for aliasing.
+        let base = self.entries.as_mut_ptr();
+        unsafe {
+            let ea = &*base.add(ai);
+            let eb = &*base.add(bi);
+            let ej = &mut *base.add(ji);
+            (ea, eb, ej)
+        }
+    }
+
+    /// Insert a new entry; panics if the set is already present.
+    pub fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
+        let id = EntryId(self.entries.len() as u32);
+        let prev = self.index.insert(entry.set.bits(), id);
+        assert!(prev.is_none(), "duplicate MEMO entry for {}", entry.set);
+        self.entries.push(entry);
+        id
+    }
+
+    /// All entries in insertion (size-ascending) order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &MemoEntry<P>)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EntryId(i as u32), e))
+    }
+}
+
+/// Compute an entry's boundary classes: representatives (under `eq`) of the
+/// entry's columns that appear in join predicates reaching outside `set`.
+pub fn boundary_classes(block: &QueryBlock, set: TableSet, eq: &EqClasses) -> Vec<u16> {
+    let mut out: Vec<u16> = Vec::new();
+    for p in block.join_preds() {
+        let (lt, rt) = (p.left.table, p.right.table);
+        let inside_col = if set.contains(lt) && !set.contains(rt) {
+            Some(p.left)
+        } else if set.contains(rt) && !set.contains(lt) {
+            Some(p.right)
+        } else {
+            None
+        };
+        if let Some(c) = inside_col {
+            let id = block.col_id(c).expect("join column is interesting");
+            let rep = eq.find(id);
+            if !out.contains(&rep) {
+                out.push(rep);
+            }
+        }
+    }
+    out
+}
+
+/// Is `set` outer-enabled: no member is the null side of an outer join whose
+/// preserving anchor lies outside `set`?
+pub fn outer_enabled(block: &QueryBlock, set: TableSet) -> bool {
+    block
+        .outer_joins()
+        .iter()
+        .all(|oj| !set.contains(oj.null_side) || set.contains(oj.preserving))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{Catalog, ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    use cote_query::QueryBlockBuilder;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                100.0,
+                vec![
+                    ColumnDef::uniform("c0", 100.0, 10.0),
+                    ColumnDef::uniform("c1", 100.0, 10.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    #[test]
+    fn memo_insert_and_lookup() {
+        let mut memo: Memo<()> = Memo::new();
+        let s = TableSet::first_n(2);
+        let id = memo.insert(MemoEntry {
+            set: s,
+            cardinality: 10.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: (),
+        });
+        assert_eq!(memo.id_of(s), Some(id));
+        assert_eq!(memo.id_of(TableSet::first_n(1)), None);
+        assert_eq!(memo.entry(id).cardinality, 10.0);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.iter().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn memo_rejects_duplicates() {
+        let mut memo: Memo<()> = Memo::new();
+        let e = || MemoEntry {
+            set: TableSet::first_n(1),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: (),
+        };
+        memo.insert(e());
+        memo.insert(e());
+    }
+
+    #[test]
+    fn join_view_borrows_three_entries() {
+        let mut memo: Memo<u32> = Memo::new();
+        let mk = |bits: u64, v: u32| MemoEntry {
+            set: TableSet::from_bits(bits),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: v,
+        };
+        let a = memo.insert(mk(0b001, 1));
+        let b = memo.insert(mk(0b010, 2));
+        let j = memo.insert(mk(0b011, 0));
+        let (ea, eb, ej) = memo.join_view(a, b, j);
+        ej.payload = ea.payload + eb.payload;
+        assert_eq!(memo.entry(j).payload, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn join_view_rejects_aliasing() {
+        let mut memo: Memo<()> = Memo::new();
+        let a = memo.insert(MemoEntry {
+            set: TableSet::first_n(1),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: (),
+        });
+        let _ = memo.join_view(a, a, a);
+    }
+
+    #[test]
+    fn boundary_tracks_spanning_predicates() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(1, 1), col(2, 1));
+        let block = b.build(&cat).unwrap();
+        let eq = EqClasses::new(block.n_interesting_cols());
+
+        // {t0}: one boundary column (t0.c0).
+        let s0 = TableSet::singleton(TableRef(0));
+        assert_eq!(boundary_classes(&block, s0, &eq).len(), 1);
+        // {t0,t1}: boundary is t1.c1 (reaches t2).
+        let s01 = TableSet::first_n(2);
+        let b01 = boundary_classes(&block, s01, &eq);
+        assert_eq!(b01, vec![eq.find(block.col_id(col(1, 1)).unwrap())]);
+        // Full set: no boundary.
+        assert!(boundary_classes(&block, TableSet::first_n(3), &eq).is_empty());
+    }
+
+    #[test]
+    fn boundary_dedupes_by_class() {
+        // Two predicates from t0.c0 and t0.c1 to t1, with c0 ≡ c1 merged.
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(0, 1), col(1, 1));
+        let block = b.build(&cat).unwrap();
+        let mut eq = EqClasses::new(block.n_interesting_cols());
+        let c0 = block.col_id(col(0, 0)).unwrap();
+        let c1 = block.col_id(col(0, 1)).unwrap();
+        eq.union(c0, c1);
+        let s0 = TableSet::singleton(TableRef(0));
+        assert_eq!(
+            boundary_classes(&block, s0, &eq).len(),
+            1,
+            "merged classes dedupe"
+        );
+    }
+
+    #[test]
+    fn outer_enabled_rules() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.left_outer_join(col(1, 1), col(2, 1)); // t1 preserves, t2 null side
+        let block = b.build(&cat).unwrap();
+        assert!(outer_enabled(&block, TableSet::singleton(TableRef(0))));
+        assert!(outer_enabled(&block, TableSet::singleton(TableRef(1))));
+        assert!(
+            !outer_enabled(&block, TableSet::singleton(TableRef(2))),
+            "pending null side"
+        );
+        let s12: TableSet = [TableRef(1), TableRef(2)].into_iter().collect();
+        assert!(outer_enabled(&block, s12), "anchor joined in");
+        let s02: TableSet = [TableRef(0), TableRef(2)].into_iter().collect();
+        assert!(!outer_enabled(&block, s02));
+    }
+}

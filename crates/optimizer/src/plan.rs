@@ -1,0 +1,386 @@
+//! Physical plan nodes and the per-optimization plan arena.
+
+use crate::cost::{Cost, StreamStats};
+use crate::properties::order::Ordering;
+use crate::properties::partition::PartitionVal;
+use crate::properties::JoinMethod;
+use cote_common::{IndexId, TableRef};
+use std::fmt::Write as _;
+
+/// Index of a plan node in a [`PlanArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId(pub u32);
+
+/// How a parallel join arranges its inputs across nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartStrategy {
+    /// Inputs already co-located.
+    Colocated,
+    /// Inner repartitioned to the outer's placement.
+    RepartitionInner,
+    /// Both sides repartitioned onto the join columns (the §4 heuristic).
+    RepartitionBoth,
+    /// Inner replicated to every node.
+    BroadcastInner,
+}
+
+/// Plan operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanKind {
+    /// Heap scan of a base table (local predicates applied on the fly).
+    TableScan {
+        /// Scanned table reference.
+        table: TableRef,
+    },
+    /// B-tree index scan.
+    IndexScan {
+        /// Scanned table reference.
+        table: TableRef,
+        /// The index used.
+        index: IndexId,
+    },
+    /// Index ANDing: RID-intersection of several index scans (paper §3:
+    /// "commercial systems typically consider only a limited number of
+    /// combinations of index plans (index ANDing and ORing)").
+    IndexAnd {
+        /// Scanned table reference.
+        table: TableRef,
+        /// The intersected indexes (≥ 2).
+        indexes: Vec<IndexId>,
+    },
+    /// SORT enforcer.
+    Sort {
+        /// Input plan.
+        input: PlanId,
+    },
+    /// Binary join.
+    Join {
+        /// Join method.
+        method: JoinMethod,
+        /// Outer input.
+        outer: PlanId,
+        /// Inner input.
+        inner: PlanId,
+        /// Data movement arrangement.
+        strategy: PartStrategy,
+    },
+    /// Hash repartition exchange.
+    Repartition {
+        /// Input plan.
+        input: PlanId,
+    },
+    /// Broadcast exchange.
+    Broadcast {
+        /// Input plan.
+        input: PlanId,
+    },
+    /// Ship a remote subplan's rows from its data source to the local
+    /// engine (Garlic-style federation, Table 1's data-source row).
+    Ship {
+        /// Input plan (executing at a remote source).
+        input: PlanId,
+        /// The source shipped from.
+        from_source: u16,
+    },
+    /// Residual expensive-predicate evaluation (deferred UDFs applied here).
+    Filter {
+        /// Input plan.
+        input: PlanId,
+        /// Mask of expensive predicates applied by this operator.
+        mask: u16,
+    },
+    /// Grouping/aggregation.
+    Group {
+        /// Input plan.
+        input: PlanId,
+        /// Hash-based (vs. sort-based streaming).
+        hash: bool,
+    },
+}
+
+/// Physical properties carried by a plan (paper §3.2). The stored `order` is
+/// the *effective* value: a retired order is recorded as DC at insertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanProps {
+    /// Effective order property (DC when none/retired).
+    pub order: Ordering,
+    /// Partition property (`None` in serial mode). Unlike orders, a retired
+    /// partition stays recorded — it is physical reality the execution
+    /// engine must respect, which is exactly why the estimator's separate
+    /// retained lists slightly underestimate in parallel mode (§3.4).
+    pub partition: Option<PartitionVal>,
+    /// Pipelinable (no full materialization below).
+    pub pipelinable: bool,
+    /// Bitmask of the block's expensive predicates already applied
+    /// (Table 1: "any subset of the expensive predicates" is interesting;
+    /// plans with different masks are incomparable).
+    pub applied_expensive: u16,
+    /// Execution site (Table 1's data-source property): `0` = the local
+    /// engine; `s > 0` = pushed down to remote source `s`. Deterministic
+    /// under the pushdown policy — a join executes at its inputs' common
+    /// source, else locally after SHIPs.
+    pub site: u16,
+}
+
+impl PlanProps {
+    /// Serial DC properties.
+    pub fn dc() -> Self {
+        PlanProps {
+            order: Ordering::dc(),
+            partition: None,
+            pipelinable: false,
+            applied_expensive: 0,
+            site: 0,
+        }
+    }
+}
+
+/// One physical plan node.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// Operator.
+    pub kind: PlanKind,
+    /// Physical properties of the output stream.
+    pub props: PlanProps,
+    /// Cumulative cost.
+    pub cost: Cost,
+    /// Cached `cost.total()`.
+    pub total: f64,
+    /// Output stream statistics.
+    pub stats: StreamStats,
+}
+
+/// Append-only arena of plan nodes for one optimization run.
+#[derive(Debug, Default)]
+pub struct PlanArena {
+    nodes: Vec<PlanNode>,
+}
+
+impl PlanArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes ever created (= plans generated and wired).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Allocate a node.
+    pub fn add(
+        &mut self,
+        kind: PlanKind,
+        props: PlanProps,
+        cost: Cost,
+        stats: StreamStats,
+    ) -> PlanId {
+        let id = PlanId(self.nodes.len() as u32);
+        self.nodes.push(PlanNode {
+            kind,
+            props,
+            total: cost.total(),
+            cost,
+            stats,
+        });
+        id
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: PlanId) -> &PlanNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Render an indented operator tree (for examples and debugging).
+    pub fn explain(&self, id: PlanId) -> String {
+        let mut out = String::new();
+        self.explain_into(id, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, id: PlanId, depth: usize, out: &mut String) {
+        let n = self.node(id);
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let label = match &n.kind {
+            PlanKind::TableScan { table } => format!("TableScan({table})"),
+            PlanKind::IndexScan { table, index } => format!("IndexScan({table}, {index})"),
+            PlanKind::IndexAnd { table, indexes } => {
+                format!("IndexAnd({table}, {} indexes)", indexes.len())
+            }
+            PlanKind::Sort { .. } => "Sort".to_string(),
+            PlanKind::Join {
+                method, strategy, ..
+            } => {
+                format!("{}[{strategy:?}]", method.name())
+            }
+            PlanKind::Repartition { .. } => "Repartition".to_string(),
+            PlanKind::Broadcast { .. } => "Broadcast".to_string(),
+            PlanKind::Ship { from_source, .. } => format!("Ship(from source {from_source})"),
+            PlanKind::Filter { mask, .. } => format!("Filter(expensive mask {mask:#b})"),
+            PlanKind::Group { hash, .. } => {
+                if *hash {
+                    "HashGroup".to_string()
+                } else {
+                    "StreamGroup".to_string()
+                }
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{label}  rows={:.0} cost={:.1}{}",
+            n.stats.rows,
+            n.total,
+            if n.props.order.is_dc() {
+                String::new()
+            } else {
+                format!(" order={:?}", n.props.order.cols())
+            }
+        );
+        match &n.kind {
+            PlanKind::Sort { input }
+            | PlanKind::Repartition { input }
+            | PlanKind::Broadcast { input }
+            | PlanKind::Ship { input, .. }
+            | PlanKind::Filter { input, .. }
+            | PlanKind::Group { input, .. } => self.explain_into(*input, depth + 1, out),
+            PlanKind::Join { outer, inner, .. } => {
+                self.explain_into(*outer, depth + 1, out);
+                self.explain_into(*inner, depth + 1, out);
+            }
+            PlanKind::TableScan { .. } | PlanKind::IndexScan { .. } | PlanKind::IndexAnd { .. } => {
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(arena: &mut PlanArena, t: u8, cost: f64) -> PlanId {
+        arena.add(
+            PlanKind::TableScan { table: TableRef(t) },
+            PlanProps::dc(),
+            Cost {
+                io: cost,
+                cpu: 0.0,
+                comm: 0.0,
+            },
+            StreamStats::of(100.0, 64.0),
+        )
+    }
+
+    #[test]
+    fn arena_allocates_and_reads() {
+        let mut a = PlanArena::new();
+        assert!(a.is_empty());
+        let p = leaf(&mut a, 0, 5.0);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.node(p).total, 5.0 * crate::cost::IO_WEIGHT);
+    }
+
+    #[test]
+    fn explain_renders_every_operator() {
+        let mut a = PlanArena::new();
+        let scan = leaf(&mut a, 0, 1.0);
+        let anding = a.add(
+            PlanKind::IndexAnd {
+                table: TableRef(0),
+                indexes: vec![cote_common::IndexId(0), cote_common::IndexId(1)],
+            },
+            PlanProps::dc(),
+            Cost::ZERO,
+            StreamStats::of(10.0, 64.0),
+        );
+        let sort = a.add(
+            PlanKind::Sort { input: scan },
+            PlanProps {
+                order: Ordering::seq(vec![3]),
+                partition: None,
+                pipelinable: false,
+                applied_expensive: 0,
+                site: 0,
+            },
+            Cost::ZERO,
+            StreamStats::of(100.0, 64.0),
+        );
+        let repart = a.add(
+            PlanKind::Repartition { input: sort },
+            PlanProps::dc(),
+            Cost::ZERO,
+            StreamStats::of(100.0, 64.0),
+        );
+        let bcast = a.add(
+            PlanKind::Broadcast { input: anding },
+            PlanProps::dc(),
+            Cost::ZERO,
+            StreamStats::of(10.0, 64.0),
+        );
+        let join = a.add(
+            PlanKind::Join {
+                method: JoinMethod::Mgjn,
+                outer: repart,
+                inner: bcast,
+                strategy: PartStrategy::RepartitionBoth,
+            },
+            PlanProps::dc(),
+            Cost::ZERO,
+            StreamStats::of(50.0, 128.0),
+        );
+        let group = a.add(
+            PlanKind::Group {
+                input: join,
+                hash: false,
+            },
+            PlanProps::dc(),
+            Cost::ZERO,
+            StreamStats::of(5.0, 128.0),
+        );
+        let s = a.explain(group);
+        for needle in [
+            "StreamGroup",
+            "MGJN[RepartitionBoth]",
+            "Repartition",
+            "Broadcast",
+            "Sort",
+            "order=[3]",
+            "IndexAnd(t0, 2 indexes)",
+            "TableScan(t0)",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let mut a = PlanArena::new();
+        let l = leaf(&mut a, 0, 1.0);
+        let r = leaf(&mut a, 1, 2.0);
+        let j = a.add(
+            PlanKind::Join {
+                method: JoinMethod::Hsjn,
+                outer: l,
+                inner: r,
+                strategy: PartStrategy::Colocated,
+            },
+            PlanProps::dc(),
+            Cost {
+                io: 3.0,
+                cpu: 1.0,
+                comm: 0.0,
+            },
+            StreamStats::of(1000.0, 128.0),
+        );
+        let s = a.explain(j);
+        assert!(s.contains("HSJN"));
+        assert!(s.lines().count() == 3);
+        assert!(s.contains("TableScan(t1)"));
+    }
+}

@@ -1,0 +1,1244 @@
+//! Real plan generation: the mode COTE bypasses.
+//!
+//! For every join the enumerator produces, this visitor builds one plan per
+//! (input plan, partition alternative) combination per join method, costs it
+//! with the full histogram-walking cost model, and saves it into the MEMO
+//! with property-aware pruning. The paper's key empirical facts live here:
+//!
+//! * each plan in an input list carries a distinct property value, so the
+//!   number of NLJN plans per orientation tracks the input list length —
+//!   what Table 3 estimates as `|list| + 1`;
+//! * pruning keeps a cheaper *more general* plan and drops the subsumed one
+//!   ("plan sharing", §5.2), which is why MGJN actuals undershoot estimates;
+//! * retired partitions stay on plans (they are physical), which is why the
+//!   estimator's separate retained lists undershoot in parallel mode (§3.4).
+
+use crate::cardinality::column_histogram;
+use crate::context::OptContext;
+use crate::cost::{
+    self, broadcast_cost, hsjn_cost, index_scan, mgjn_cost, nljn_cost, repartition_cost, sort_cost,
+    table_scan, Cost, JoinCostInput, StreamStats,
+};
+use crate::enumerator::{JoinSite, JoinVisitor};
+use crate::instrument::CompileStats;
+use crate::memo::{EntryId, Memo, MemoEntry};
+use crate::plan::{PartStrategy, PlanArena, PlanId, PlanKind, PlanProps};
+use crate::properties::order::{is_interesting, Ordering};
+use crate::properties::partition::PartitionVal;
+use crate::properties::JoinMethod;
+use cote_catalog::EquiDepthHistogram;
+use cote_common::{ColRef, TableRef, TableSet};
+use cote_query::EqClasses;
+use std::time::Instant;
+
+/// Per-entry payload of the real optimizer: the plan list.
+#[derive(Debug, Default)]
+pub struct PlanList {
+    /// Non-dominated plans, each carrying a distinct useful property
+    /// combination.
+    pub plans: Vec<PlanId>,
+    /// Concatenated row width of the entry's tables.
+    pub row_bytes: f64,
+}
+
+/// The real plan-generating visitor.
+pub struct RealPlanGen {
+    /// Plan arena for this optimization run.
+    pub arena: PlanArena,
+    /// Instrumentation counters and timers.
+    pub stats: CompileStats,
+    /// Pilot-pass cost bound (§6.1), if enabled.
+    pub pilot_bound: Option<f64>,
+}
+
+/// Everything extracted from the three MEMO entries of one oriented join
+/// before any arena mutation (keeps borrows single-phase).
+struct OrientedJoin {
+    o_set: TableSet,
+    i_set: TableSet,
+    outer_plans: Vec<PlanId>,
+    inner_plans: Vec<PlanId>,
+    join_classes: Vec<u16>,
+    /// `(outer requirement, inner requirement)` per distinct spanning class,
+    /// in each input's own equivalences.
+    mgjn_reqs: Vec<(Ordering, Ordering)>,
+    j_eq: EqClasses,
+    j_boundary: Vec<u16>,
+    out_stats: StreamStats,
+}
+
+impl RealPlanGen {
+    /// Fresh generator; `pilot_bound` enables §6.1 pruning.
+    pub fn new(pilot_bound: Option<f64>) -> Self {
+        Self {
+            arena: PlanArena::new(),
+            stats: CompileStats::default(),
+            pilot_bound,
+        }
+    }
+
+    /// Insert with property-aware pruning; returns true if kept.
+    ///
+    /// A plan `q` dominates `p` when it costs no more, its order satisfies
+    /// `p`'s (equal or more general), its partition is identical, and it is
+    /// at least as pipelinable.
+    fn try_insert(&mut self, list: &mut Vec<PlanId>, new: PlanId) -> bool {
+        let started = Instant::now();
+        let kept = {
+            let arena = &self.arena;
+            let n = arena.node(new);
+            let dominated = list.iter().any(|&q| {
+                let qn = arena.node(q);
+                qn.total <= n.total
+                    && qn.props.order.satisfies(&n.props.order)
+                    && qn.props.partition == n.props.partition
+                    && qn.props.applied_expensive == n.props.applied_expensive
+                    && qn.props.site == n.props.site
+                    && (qn.props.pipelinable || !n.props.pipelinable)
+            });
+            if dominated {
+                false
+            } else {
+                list.retain(|&q| {
+                    let qn = arena.node(q);
+                    !(n.total <= qn.total
+                        && n.props.order.satisfies(&qn.props.order)
+                        && n.props.partition == qn.props.partition
+                        && n.props.applied_expensive == qn.props.applied_expensive
+                        && n.props.site == qn.props.site
+                        && (n.props.pipelinable || !qn.props.pipelinable))
+                });
+                list.push(new);
+                true
+            }
+        };
+        self.stats.time.saving += started.elapsed();
+        kept
+    }
+
+    /// Generated a plan: pilot-check it, then save into the joined entry.
+    ///
+    /// An entry's first plan is exempt from pilot pruning — the bound is a
+    /// heuristic and must never leave an entry (and hence possibly the
+    /// root) without any plan.
+    fn save(&mut self, memo: &mut Memo<PlanList>, joined: EntryId, plan: PlanId) {
+        if !memo.entry(joined).payload.plans.is_empty()
+            && self.pilot_pruned(self.arena.node(plan).total)
+        {
+            return;
+        }
+        let mut list = std::mem::take(&mut memo.entry_mut(joined).payload.plans);
+        self.try_insert(&mut list, plan);
+        memo.entry_mut(joined).payload.plans = list;
+    }
+
+    /// Discard plans above the pilot bound (§6.1). Returns true if pruned.
+    fn pilot_pruned(&mut self, total: f64) -> bool {
+        match self.pilot_bound {
+            Some(bound) if total > bound => {
+                self.stats.pruned_by_pilot += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Cheapest plan of a non-empty list.
+    fn cheapest(&self, list: &[PlanId]) -> PlanId {
+        *list
+            .iter()
+            .min_by(|&&a, &&b| {
+                self.arena
+                    .node(a)
+                    .total
+                    .partial_cmp(&self.arena.node(b).total)
+                    .expect("costs are finite")
+            })
+            .expect("plan lists are never empty")
+    }
+
+    /// One representative (cheapest) plan per distinct order value in a
+    /// list, DC included.
+    ///
+    /// In parallel mode a plan list holds (order × partition) combinations;
+    /// plan generation iterates order representatives and multiplies by the
+    /// partition alternatives — the structure Table 3 models as
+    /// `|order list| × |partition list|`.
+    fn order_reps(&self, list: &[PlanId]) -> Vec<PlanId> {
+        let mut reps: Vec<PlanId> = Vec::new();
+        for &p in list {
+            let np = self.arena.node(p);
+            let key = (&np.props.order, np.props.applied_expensive);
+            match reps.iter_mut().find(|r| {
+                let nr = self.arena.node(**r);
+                (&nr.props.order, nr.props.applied_expensive) == key
+            }) {
+                Some(r) => {
+                    if self.arena.node(p).total < self.arena.node(*r).total {
+                        *r = p;
+                    }
+                }
+                None => reps.push(p),
+            }
+        }
+        reps
+    }
+
+    /// One representative (cheapest) plan per distinct applied-expensive
+    /// mask in a list (the inner-side counterpart of [`Self::order_reps`]).
+    /// With no expensive predicates this is just the cheapest plan.
+    fn mask_reps(&self, list: &[PlanId]) -> Vec<PlanId> {
+        let mut reps: Vec<PlanId> = Vec::new();
+        for &p in list {
+            let mask = self.arena.node(p).props.applied_expensive;
+            match reps
+                .iter_mut()
+                .find(|r| self.arena.node(**r).props.applied_expensive == mask)
+            {
+                Some(r) => {
+                    if self.arena.node(p).total < self.arena.node(*r).total {
+                        *r = p;
+                    }
+                }
+                None => reps.push(p),
+            }
+        }
+        reps
+    }
+
+    /// Cheapest plan satisfying an order requirement, if any.
+    fn cheapest_satisfying(&self, list: &[PlanId], req: &Ordering) -> Option<PlanId> {
+        list.iter()
+            .copied()
+            .filter(|&p| self.arena.node(p).props.order.satisfies(req))
+            .min_by(|&a, &b| {
+                self.arena
+                    .node(a)
+                    .total
+                    .partial_cmp(&self.arena.node(b).total)
+                    .expect("finite")
+            })
+    }
+
+    /// Wrap `plan` in a SORT producing `order`.
+    fn sorted(&mut self, ctx: &OptContext<'_>, plan: PlanId, order: Ordering) -> PlanId {
+        let (cost, stats, partition, mask) = {
+            let node = self.arena.node(plan);
+            (
+                node.cost
+                    .plus(&sort_cost(&node.stats, ctx.config.sort_pages)),
+                node.stats,
+                node.props.partition.clone(),
+                node.props.applied_expensive,
+            )
+        };
+        let site = self.arena.node(plan).props.site;
+        let props = PlanProps {
+            order,
+            partition,
+            pipelinable: false,
+            applied_expensive: mask,
+            site,
+        };
+        self.stats.sort_plans += 1;
+        self.arena
+            .add(PlanKind::Sort { input: plan }, props, cost, stats)
+    }
+
+    /// Wrap `plan` in a hash repartition to `to` (order-preserving merge
+    /// receive: the order survives).
+    fn repartitioned(&mut self, ctx: &OptContext<'_>, plan: PlanId, to: &PartitionVal) -> PlanId {
+        let (cost, stats, order, pipe, mask) = {
+            let node = self.arena.node(plan);
+            (
+                node.cost.plus(&repartition_cost(&node.stats, ctx.nodes)),
+                node.stats,
+                node.props.order.clone(),
+                node.props.pipelinable,
+                node.props.applied_expensive,
+            )
+        };
+        let site = self.arena.node(plan).props.site;
+        let props = PlanProps {
+            order,
+            partition: Some(to.clone()),
+            pipelinable: pipe,
+            applied_expensive: mask,
+            site,
+        };
+        self.stats.move_plans += 1;
+        self.arena
+            .add(PlanKind::Repartition { input: plan }, props, cost, stats)
+    }
+
+    /// Wrap `plan` in a broadcast.
+    fn broadcast(&mut self, ctx: &OptContext<'_>, plan: PlanId) -> PlanId {
+        let (cost, stats, order, pipe, mask) = {
+            let node = self.arena.node(plan);
+            (
+                node.cost.plus(&broadcast_cost(&node.stats, ctx.nodes)),
+                node.stats,
+                node.props.order.clone(),
+                node.props.pipelinable,
+                node.props.applied_expensive,
+            )
+        };
+        let site = self.arena.node(plan).props.site;
+        let props = PlanProps {
+            order,
+            partition: Some(PartitionVal::Replicated),
+            pipelinable: pipe,
+            applied_expensive: mask,
+            site,
+        };
+        self.stats.move_plans += 1;
+        self.arena
+            .add(PlanKind::Broadcast { input: plan }, props, cost, stats)
+    }
+
+    /// Ship a remote plan's output to the local engine (site 0); no-op for
+    /// local plans. Order survives (rows stream through one connection).
+    fn shipped_local(&mut self, plan: PlanId) -> PlanId {
+        let from_source = self.arena.node(plan).props.site;
+        if from_source == 0 {
+            return plan;
+        }
+        let (cost, stats, mut props) = {
+            let n = self.arena.node(plan);
+            (
+                n.cost.plus(&cost::ship_cost(&n.stats)),
+                n.stats,
+                n.props.clone(),
+            )
+        };
+        props.site = 0;
+        self.stats.move_plans += 1;
+        self.arena.add(
+            PlanKind::Ship {
+                input: plan,
+                from_source,
+            },
+            props,
+            cost,
+            stats,
+        )
+    }
+
+    /// Arrange data movement so the join executes under placement `pv`.
+    /// Returns the (possibly wrapped) outer and inner plus the strategy.
+    fn wire(
+        &mut self,
+        ctx: &OptContext<'_>,
+        outer_plan: PlanId,
+        inner_plan: PlanId,
+        pv: &Option<PartitionVal>,
+        repart_both: bool,
+        join_classes: &[u16],
+    ) -> (PlanId, PlanId, PartStrategy) {
+        let Some(pv) = pv else {
+            return (outer_plan, inner_plan, PartStrategy::Colocated);
+        };
+        if repart_both {
+            let o = self.repartitioned(ctx, outer_plan, pv);
+            let i = self.repartitioned(ctx, inner_plan, pv);
+            return (o, i, PartStrategy::RepartitionBoth);
+        }
+        let o = if self.arena.node(outer_plan).props.partition.as_ref() == Some(pv) {
+            outer_plan
+        } else {
+            // Synthesize the (order, partition) combination by exchanging.
+            self.repartitioned(ctx, outer_plan, pv)
+        };
+        let inner_part = &self.arena.node(inner_plan).props.partition;
+        let inner_matches =
+            inner_part.as_ref() == Some(pv) || matches!(inner_part, Some(PartitionVal::Replicated));
+        if inner_matches {
+            (o, inner_plan, PartStrategy::Colocated)
+        } else if pv
+            .key_cols()
+            .is_some_and(|cols| cols.iter().all(|c| join_classes.contains(c)))
+        {
+            let i = self.repartitioned(ctx, inner_plan, pv);
+            (o, i, PartStrategy::RepartitionInner)
+        } else {
+            let i = self.broadcast(ctx, inner_plan);
+            (o, i, PartStrategy::BroadcastInner)
+        }
+    }
+
+    /// Build, count and save one join plan.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_join(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut Memo<PlanList>,
+        joined: EntryId,
+        method: JoinMethod,
+        outer: PlanId,
+        inner: PlanId,
+        strategy: PartStrategy,
+        order: Ordering,
+        pv: &Option<PartitionVal>,
+        hists: (&EquiDepthHistogram, &EquiDepthHistogram),
+        out_stats: StreamStats,
+    ) {
+        let (o_pipe, o_mask) = {
+            let n = self.arena.node(outer);
+            (n.props.pipelinable, n.props.applied_expensive)
+        };
+        let (i_pipe, i_mask) = {
+            let n = self.arena.node(inner);
+            (n.props.pipelinable, n.props.applied_expensive)
+        };
+        let mask = o_mask | i_mask;
+        // Data-source pushdown (Table 1): a join of two subplans at the same
+        // remote source executes there; differing sites ship to the local
+        // engine first.
+        let (outer, inner, site) = {
+            let so = self.arena.node(outer).props.site;
+            let si = self.arena.node(inner).props.site;
+            if so == si {
+                (outer, inner, so)
+            } else {
+                (self.shipped_local(outer), self.shipped_local(inner), 0)
+            }
+        };
+        let (o_stats, o_cost) = {
+            let n = self.arena.node(outer);
+            (n.stats, n.cost)
+        };
+        let (i_stats, i_cost) = {
+            let n = self.arena.node(inner);
+            (n.stats, n.cost)
+        };
+        // Applied expensive predicates shrink this plan's output relative to
+        // the (mask-free) MEMO cardinality.
+        let out_stats = if mask == 0 {
+            out_stats
+        } else {
+            StreamStats::of(
+                out_stats.rows * ctx.block.expensive_selectivity(mask),
+                out_stats.row_bytes,
+            )
+        };
+        let input = JoinCostInput {
+            outer: o_stats,
+            inner: i_stats,
+            outer_cost: o_cost,
+            inner_cost: i_cost,
+            outer_hist: hists.0,
+            inner_hist: hists.1,
+            buffer_pages: ctx.config.buffer_pages,
+            out_rows: out_stats.rows,
+        };
+        let (c, pipelinable) = match method {
+            JoinMethod::Nljn => (nljn_cost(&input), o_pipe),
+            JoinMethod::Mgjn => (mgjn_cost(&input), o_pipe && i_pipe),
+            JoinMethod::Hsjn => (hsjn_cost(&input), false),
+        };
+        *self.stats.plans_generated.get_mut(method) += 1;
+        let props = PlanProps {
+            order,
+            partition: pv.clone(),
+            pipelinable,
+            applied_expensive: mask,
+            site,
+        };
+        let id = self.arena.add(
+            PlanKind::Join {
+                method,
+                outer,
+                inner,
+                strategy,
+            },
+            props,
+            c,
+            out_stats,
+        );
+        self.save(memo, joined, id);
+    }
+
+    /// Extract all inputs of one oriented join from the MEMO.
+    fn extract(
+        &self,
+        ctx: &OptContext<'_>,
+        memo: &Memo<PlanList>,
+        o_id: EntryId,
+        i_id: EntryId,
+        joined: EntryId,
+        preds: &[usize],
+    ) -> OrientedJoin {
+        let o_entry = memo.entry(o_id);
+        let i_entry = memo.entry(i_id);
+        let j_entry = memo.entry(joined);
+        let mut join_classes: Vec<u16> = Vec::new();
+        for &pi in preds {
+            let p = &ctx.block.join_preds()[pi];
+            let c = j_entry.eq.find(ctx.block.col_id(p.left).expect("interned"));
+            if !join_classes.contains(&c) {
+                join_classes.push(c);
+            }
+        }
+        let mut mgjn_reqs: Vec<(Ordering, Ordering)> = Vec::new();
+        for &pi in preds {
+            let p = &ctx.block.join_preds()[pi];
+            if let Some((oc, ic)) = p.split(o_entry.set, i_entry.set) {
+                let o_req = Ordering::seq(vec![o_entry
+                    .eq
+                    .find(ctx.block.col_id(oc).expect("interned"))]);
+                let i_req = Ordering::seq(vec![i_entry
+                    .eq
+                    .find(ctx.block.col_id(ic).expect("interned"))]);
+                if !mgjn_reqs.iter().any(|(o, _)| *o == o_req) {
+                    mgjn_reqs.push((o_req, i_req));
+                }
+            }
+        }
+        OrientedJoin {
+            o_set: o_entry.set,
+            i_set: i_entry.set,
+            outer_plans: o_entry.payload.plans.clone(),
+            inner_plans: i_entry.payload.plans.clone(),
+            join_classes,
+            mgjn_reqs,
+            j_eq: j_entry.eq.clone(),
+            j_boundary: j_entry.boundary.clone(),
+            out_stats: StreamStats::of(j_entry.cardinality, j_entry.payload.row_bytes),
+        }
+    }
+}
+
+/// Indexes of `t`'s table that are *applicable* to the block: their leading
+/// key column carries a local predicate. Returns `(index, selectivity)`
+/// pairs (selectivity of that predicate under the full model's histogram).
+pub fn applicable_indexes(ctx: &OptContext<'_>, t: TableRef) -> Vec<(cote_common::IndexId, f64)> {
+    let table_id = ctx.block.table(t);
+    let table = ctx.catalog.table(table_id);
+    let mut out = Vec::new();
+    for (ix_id, ix) in ctx.catalog.indexes_on(table_id) {
+        let Some(&lead) = ix.key_columns.first() else {
+            continue;
+        };
+        let sel = ctx
+            .block
+            .local_preds_of(t)
+            .filter(|p| p.column.column == lead)
+            .map(|p| {
+                let hist = &table.columns[lead as usize].histogram;
+                match p.op {
+                    cote_query::PredOp::Eq(v) => hist.selectivity_eq(v),
+                    cote_query::PredOp::Le(v) => hist.selectivity_range(hist.min(), v),
+                    cote_query::PredOp::Ge(v) => hist.selectivity_range(v, hist.max()),
+                    cote_query::PredOp::Between(lo, hi) => hist.selectivity_range(lo, hi),
+                    cote_query::PredOp::Opaque(s) => s,
+                }
+            })
+            .fold(None::<f64>, |acc, s| Some(acc.map_or(s, |a| a * s)));
+        if let Some(sel) = sel {
+            out.push((ix_id, sel.clamp(0.0, 1.0)));
+        }
+    }
+    out
+}
+
+/// Histograms backing a join's cost profile: the first spanning predicate's
+/// columns, or the first column of each side's first table for Cartesian
+/// products.
+pub fn join_histograms<'c>(
+    ctx: &'c OptContext<'_>,
+    site_preds: &[usize],
+    o_set: TableSet,
+    i_set: TableSet,
+) -> (&'c EquiDepthHistogram, &'c EquiDepthHistogram) {
+    if let Some(&pi) = site_preds.first() {
+        let p = &ctx.block.join_preds()[pi];
+        if let Some((oc, ic)) = p.split(o_set, i_set) {
+            return (column_histogram(ctx, oc), column_histogram(ctx, ic));
+        }
+    }
+    let first_col = |s: TableSet| {
+        let t = s.first().expect("nonempty side");
+        column_histogram(ctx, ColRef::new(t, 0))
+    };
+    (first_col(o_set), first_col(i_set))
+}
+
+/// Effective order of a propagated stream in the joined entry:
+/// re-canonicalized under the joined equivalences; retired orders collapse
+/// to DC.
+fn effective_order(
+    ctx: &OptContext<'_>,
+    order: &Ordering,
+    j_eq: &EqClasses,
+    j_boundary: &[u16],
+) -> Ordering {
+    let o = order.canon(j_eq);
+    if is_interesting(&o, j_eq, j_boundary, &ctx.targets) {
+        o
+    } else {
+        Ordering::dc()
+    }
+}
+
+/// Partition alternatives for one orientation: the outer's distinct
+/// canonical placements plus — when no input placement uses a join column
+/// (the §4 heuristic test) — a new hash partition on the join columns.
+/// The flag marks the heuristic value (repartition **both** sides).
+fn partition_alternatives(
+    arena: &PlanArena,
+    outer_plans: &[PlanId],
+    inner_plans: &[PlanId],
+    joined_eq: &EqClasses,
+    join_classes: &[u16],
+) -> Vec<(Option<PartitionVal>, bool)> {
+    let mut any_on_join_col = false;
+    for &p in outer_plans.iter().chain(inner_plans.iter()) {
+        if let Some(pv) = &arena.node(p).props.partition {
+            let pv = pv.canon(joined_eq);
+            if pv
+                .key_cols()
+                .is_some_and(|cols| cols.iter().any(|c| join_classes.contains(c)))
+            {
+                any_on_join_col = true;
+            }
+        }
+    }
+    let mut out: Vec<(Option<PartitionVal>, bool)> = Vec::new();
+    for &p in outer_plans {
+        if let Some(pv) = &arena.node(p).props.partition {
+            let pv = pv.canon(joined_eq);
+            if !out.iter().any(|(q, _)| q.as_ref() == Some(&pv)) {
+                out.push((Some(pv), false));
+            }
+        }
+    }
+    if !any_on_join_col && !join_classes.is_empty() {
+        let heuristic = PartitionVal::hash(join_classes.to_vec());
+        if !out.iter().any(|(q, _)| q.as_ref() == Some(&heuristic)) {
+            out.push((Some(heuristic), true));
+        }
+    }
+    if out.is_empty() {
+        out.push((None, false));
+    }
+    out
+}
+
+impl JoinVisitor for RealPlanGen {
+    type Payload = PlanList;
+
+    fn base_payload(
+        &mut self,
+        ctx: &OptContext<'_>,
+        core: &MemoEntry<()>,
+        t: TableRef,
+    ) -> PlanList {
+        let started = Instant::now();
+        let table = ctx.catalog.table(ctx.block.table(t));
+        let row_bytes = table.avg_row_bytes();
+        let out_stats = StreamStats::of(core.cardinality, row_bytes);
+        let pipeline = ctx.tracks_pipeline();
+        let natural_part = ctx.natural_parts[t.index()].clone();
+        let site = ctx.catalog.source_of(ctx.block.table(t));
+
+        let mut candidates = Vec::new();
+        let mut list = PlanList {
+            plans: Vec::new(),
+            row_bytes,
+        };
+
+        // Heap scan: full I/O, DC order.
+        let (scan_cost, _) = table_scan(table);
+        let filter_cpu =
+            ctx.block.local_preds_of(t).count() as f64 * table.row_count * cost::CPU_CMP;
+        candidates.push((
+            PlanKind::TableScan { table: t },
+            Ordering::dc(),
+            scan_cost.plus(&Cost {
+                io: 0.0,
+                cpu: filter_cpu,
+                comm: 0.0,
+            }),
+        ));
+
+        // Index scans: natural orders over the interned prefix of key columns.
+        for (ix_id, ix) in ctx.catalog.indexes_on(ctx.block.table(t)) {
+            let mut cols = Vec::new();
+            for &k in &ix.key_columns {
+                match ctx.block.col_id(ColRef::new(t, k)) {
+                    Some(id) => cols.push(id),
+                    None => break,
+                }
+            }
+            let order = Ordering::seq(cols);
+            let c = index_scan(table, core.cardinality, ix.clustered);
+            candidates.push((
+                PlanKind::IndexScan {
+                    table: t,
+                    index: ix_id,
+                },
+                order,
+                c,
+            ));
+        }
+
+        // Index ANDing (paper §3): when several indexes are *applicable*
+        // (their leading key column carries a local predicate), one
+        // RID-intersection plan is considered.
+        let applicable = applicable_indexes(ctx, t);
+        if applicable.len() >= 2 {
+            let sels: Vec<f64> = applicable.iter().map(|&(_, s)| s).collect();
+            let c = cost::index_and_cost(table, &sels, core.cardinality);
+            candidates.push((
+                PlanKind::IndexAnd {
+                    table: t,
+                    indexes: applicable.into_iter().map(|(id, _)| id).collect(),
+                },
+                Ordering::dc(),
+                c,
+            ));
+        }
+
+        // Expensive-predicate masks (Table 1's last row): each access path
+        // is generated once with the table's expensive predicates applied at
+        // the scan and once deferring them all — the two reachable per-table
+        // mask choices under the scan-or-root policy.
+        let exp_bits = ctx.block.expensive_bits_of(t);
+        let masks: &[u16] = if exp_bits == 0 { &[0] } else { &[0, exp_bits] };
+        let exp_sel = ctx.block.expensive_selectivity(exp_bits);
+        let exp_cpu: f64 = ctx
+            .block
+            .expensive_preds()
+            .iter()
+            .filter(|p| p.column.table == t)
+            .map(|p| p.cpu_per_row)
+            .sum();
+
+        for (kind, order, c) in candidates {
+            let order = order.canon(&core.eq);
+            let order = if is_interesting(&order, &core.eq, &core.boundary, &ctx.targets) {
+                order
+            } else {
+                Ordering::dc()
+            };
+            for &mask in masks {
+                let (c, stats) = if mask == 0 {
+                    (c, out_stats)
+                } else {
+                    // Evaluate the UDFs on every scanned row, shrink output.
+                    let applied = c.plus(&Cost {
+                        io: 0.0,
+                        cpu: core.cardinality * exp_cpu,
+                        comm: 0.0,
+                    });
+                    (
+                        applied,
+                        StreamStats::of(core.cardinality * exp_sel, row_bytes),
+                    )
+                };
+                let props = PlanProps {
+                    order: order.clone(),
+                    partition: natural_part.clone(),
+                    pipelinable: pipeline,
+                    applied_expensive: mask,
+                    site,
+                };
+                self.stats.scan_plans += 1;
+                let id = self.arena.add(kind.clone(), props, c, stats);
+                if list.plans.is_empty() || !self.pilot_pruned(self.arena.node(id).total) {
+                    self.try_insert(&mut list.plans, id);
+                }
+            }
+        }
+        self.stats.time.other += started.elapsed();
+        list
+    }
+
+    fn join_payload(&mut self, ctx: &OptContext<'_>, core: &MemoEntry<()>) -> PlanList {
+        let row_bytes: f64 = core
+            .set
+            .iter()
+            .map(|t| ctx.catalog.table(ctx.block.table(t)).avg_row_bytes())
+            .sum();
+        PlanList {
+            plans: Vec::new(),
+            row_bytes,
+        }
+    }
+
+    fn on_join(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<PlanList>, site: &JoinSite) {
+        let parallel = ctx.config.parallel();
+        let methods = ctx.config.join_methods;
+
+        for (o_id, i_id, ok) in [
+            (site.a, site.b, site.a_outer_ok),
+            (site.b, site.a, site.b_outer_ok),
+        ] {
+            if !ok {
+                continue;
+            }
+            let oj = self.extract(ctx, memo, o_id, i_id, site.joined, &site.preds);
+            if oj.outer_plans.is_empty() || oj.inner_plans.is_empty() {
+                continue; // pilot pruning may have emptied an input
+            }
+            let hists = join_histograms(ctx, &site.preds, oj.o_set, oj.i_set);
+            let pvs = if parallel {
+                partition_alternatives(
+                    &self.arena,
+                    &oj.outer_plans,
+                    &oj.inner_plans,
+                    &oj.j_eq,
+                    &oj.join_classes,
+                )
+            } else {
+                vec![(None, false)]
+            };
+            let inner_cheapest = self.cheapest(&oj.inner_plans);
+            let outer_reps = self.order_reps(&oj.outer_plans);
+            let outer_mask_reps = self.mask_reps(&oj.outer_plans);
+            let inner_mask_reps = self.mask_reps(&oj.inner_plans);
+
+            // ---------------- NLJN ----------------
+            if methods.nljn {
+                let started = Instant::now();
+                // The DB2 oversight (§5.2): extra plans for subsumed orders.
+                let redundant: Vec<(PlanId, Ordering)> = if ctx.config.redundant_nljn {
+                    let mut extras = Vec::new();
+                    for &p1 in &outer_reps {
+                        for &p2 in &outer_reps {
+                            if p1 == p2 {
+                                continue;
+                            }
+                            let o1 = self.arena.node(p1).props.order.clone();
+                            let o2 = self.arena.node(p2).props.order.clone();
+                            if !o2.is_dc() && o2.subsumed_by(&o1) {
+                                extras.push((p1, o2));
+                            }
+                        }
+                    }
+                    extras
+                } else {
+                    Vec::new()
+                };
+                for (pv, repart_both) in &pvs {
+                    for &outer_plan in &outer_reps {
+                        for &inner_plan in &inner_mask_reps {
+                            let raw = self.arena.node(outer_plan).props.order.clone();
+                            let order = effective_order(ctx, &raw, &oj.j_eq, &oj.j_boundary);
+                            let (o, i, strategy) = self.wire(
+                                ctx,
+                                outer_plan,
+                                inner_plan,
+                                pv,
+                                *repart_both,
+                                &oj.join_classes,
+                            );
+                            self.emit_join(
+                                ctx,
+                                memo,
+                                site.joined,
+                                JoinMethod::Nljn,
+                                o,
+                                i,
+                                strategy,
+                                order,
+                                pv,
+                                hists,
+                                oj.out_stats,
+                            );
+                        }
+                    }
+                    for (p1, o2) in &redundant {
+                        let order = effective_order(ctx, o2, &oj.j_eq, &oj.j_boundary);
+                        let (o, i, strategy) =
+                            self.wire(ctx, *p1, inner_cheapest, pv, *repart_both, &oj.join_classes);
+                        self.emit_join(
+                            ctx,
+                            memo,
+                            site.joined,
+                            JoinMethod::Nljn,
+                            o,
+                            i,
+                            strategy,
+                            order,
+                            pv,
+                            hists,
+                            oj.out_stats,
+                        );
+                    }
+                }
+                self.stats.time.nljn += started.elapsed();
+            }
+
+            // ---------------- MGJN ----------------
+            if methods.mgjn && !oj.mgjn_reqs.is_empty() {
+                let started = Instant::now();
+                for (o_req, i_req) in &oj.mgjn_reqs {
+                    // One suitably sorted inner per applied-expensive mask.
+                    let inner_sorted: Vec<PlanId> = inner_mask_reps
+                        .iter()
+                        .map(|&rep| {
+                            let rep_mask = self.arena.node(rep).props.applied_expensive;
+                            let same_mask: Vec<PlanId> = oj
+                                .inner_plans
+                                .iter()
+                                .copied()
+                                .filter(|&p| self.arena.node(p).props.applied_expensive == rep_mask)
+                                .collect();
+                            match self.cheapest_satisfying(&same_mask, i_req) {
+                                Some(p) => p,
+                                None => self.sorted(ctx, rep, i_req.clone()),
+                            }
+                        })
+                        .collect();
+                    let satisfying: Vec<PlanId> = outer_reps
+                        .iter()
+                        .copied()
+                        .filter(|&p| self.arena.node(p).props.order.satisfies(o_req))
+                        .collect();
+                    for (pv, repart_both) in &pvs {
+                        for &outer_plan in &satisfying {
+                            for &inner_plan in &inner_sorted {
+                                let raw = self.arena.node(outer_plan).props.order.clone();
+                                let order = effective_order(ctx, &raw, &oj.j_eq, &oj.j_boundary);
+                                let (o, i, strategy) = self.wire(
+                                    ctx,
+                                    outer_plan,
+                                    inner_plan,
+                                    pv,
+                                    *repart_both,
+                                    &oj.join_classes,
+                                );
+                                self.emit_join(
+                                    ctx,
+                                    memo,
+                                    site.joined,
+                                    JoinMethod::Mgjn,
+                                    o,
+                                    i,
+                                    strategy,
+                                    order,
+                                    pv,
+                                    hists,
+                                    oj.out_stats,
+                                );
+                            }
+                        }
+                    }
+                }
+                self.stats.time.mgjn += started.elapsed();
+            }
+
+            // ---------------- HSJN ----------------
+            if methods.hsjn {
+                let started = Instant::now();
+                for (pv, repart_both) in &pvs {
+                    for &outer_plan in &outer_mask_reps {
+                        for &inner_plan in &inner_mask_reps {
+                            let (o, i, strategy) = self.wire(
+                                ctx,
+                                outer_plan,
+                                inner_plan,
+                                pv,
+                                *repart_both,
+                                &oj.join_classes,
+                            );
+                            self.emit_join(
+                                ctx,
+                                memo,
+                                site.joined,
+                                JoinMethod::Hsjn,
+                                o,
+                                i,
+                                strategy,
+                                Ordering::dc(),
+                                pv,
+                                hists,
+                                oj.out_stats,
+                            );
+                        }
+                    }
+                }
+                self.stats.time.hsjn += started.elapsed();
+            }
+        }
+    }
+
+    fn finish_entry(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<PlanList>, id: EntryId) {
+        if !ctx.config.eager_orders {
+            return;
+        }
+        let started = Instant::now();
+        // Eager enforcement (§4 item 1): force each applicable interesting
+        // order that no kept plan provides.
+        let set = memo.entry(id).set;
+        let targets: Vec<Ordering> = if set.len() == 1 {
+            let t = set.first().expect("nonempty");
+            ctx.targets.table_targets(t).to_vec()
+        } else {
+            ctx.targets
+                .multi_table
+                .iter()
+                .filter(|(tables, _)| tables.is_subset_of(set))
+                .map(|(_, o)| o.clone())
+                .collect()
+        };
+        for target in targets {
+            let (target, satisfied, empty) = {
+                let entry = memo.entry(id);
+                let target = target.canon(&entry.eq);
+                if !is_interesting(&target, &entry.eq, &entry.boundary, &ctx.targets) {
+                    continue;
+                }
+                let satisfied = entry
+                    .payload
+                    .plans
+                    .iter()
+                    .any(|&p| self.arena.node(p).props.order.satisfies(&target));
+                (target, satisfied, entry.payload.plans.is_empty())
+            };
+            if satisfied || empty {
+                continue;
+            }
+            let cheapest = self.cheapest(&memo.entry(id).payload.plans);
+            let sorted = self.sorted(ctx, cheapest, target);
+            self.save(memo, id, sorted);
+        }
+        self.stats.time.other += started.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::FullCardinality;
+    use crate::config::{Mode, OptimizerConfig};
+    use crate::enumerator::enumerate;
+    use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+    use cote_common::TableId;
+    use cote_query::QueryBlockBuilder;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            let t = b.add_table(TableDef::new(
+                format!("t{i}"),
+                1000.0 * (i as f64 + 1.0),
+                vec![
+                    ColumnDef::uniform("c0", 1000.0 * (i as f64 + 1.0), 500.0),
+                    ColumnDef::uniform("c1", 1000.0 * (i as f64 + 1.0), 100.0),
+                ],
+            ));
+            b.add_index(IndexDef::new(t, vec![0]).clustered());
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    fn chain(cat: &Catalog, n: usize, orderby: bool) -> cote_query::QueryBlock {
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..n {
+            b.add_table(TableId(i as u32));
+        }
+        for i in 0..n - 1 {
+            b.join(col(i as u8, 0), col(i as u8 + 1, 0));
+        }
+        if orderby {
+            b.order_by(vec![col(0, 1)]);
+        }
+        b.build(cat).unwrap()
+    }
+
+    fn optimize(
+        cat: &Catalog,
+        block: &cote_query::QueryBlock,
+        cfg: &OptimizerConfig,
+    ) -> (RealPlanGen, crate::enumerator::EnumOutcome<PlanList>) {
+        let ctx = OptContext::new(cat, block, cfg);
+        let mut gen = RealPlanGen::new(None);
+        let out = enumerate(&ctx, &FullCardinality, &mut gen).expect("optimizes");
+        (gen, out)
+    }
+
+    #[test]
+    fn serial_hsjn_plans_equal_orientations() {
+        // Fig. 5(c): HSJN propagates no order, so exactly one HSJN plan per
+        // enumerated orientation in serial mode.
+        let cat = catalog(4);
+        let block = chain(&cat, 4, false);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (gen, out) = optimize(&cat, &block, &cfg);
+        assert_eq!(gen.stats.plans_generated.hsjn, out.joins);
+        assert!(out.joins > 0);
+    }
+
+    #[test]
+    fn every_entry_keeps_at_least_one_plan() {
+        let cat = catalog(4);
+        let block = chain(&cat, 4, true);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (_gen, out) = optimize(&cat, &block, &cfg);
+        for (_, e) in out.memo.iter() {
+            assert!(!e.payload.plans.is_empty(), "entry {} has plans", e.set);
+        }
+    }
+
+    #[test]
+    fn orderby_increases_generated_plans() {
+        // Figure 3's point: same join graph, more interesting orders ⇒ more
+        // plans generated (12 → 15 in the paper's illustration).
+        let cat = catalog(3);
+        let plain = chain(&cat, 3, false);
+        let ordered = chain(&cat, 3, true);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (g1, o1) = optimize(&cat, &plain, &cfg);
+        let (g2, o2) = optimize(&cat, &ordered, &cfg);
+        assert_eq!(o1.pairs, o2.pairs, "same join graph, same joins");
+        assert!(
+            g2.stats.plans_generated.total() > g1.stats.plans_generated.total(),
+            "ORDER BY must increase generated plans: {} vs {}",
+            g2.stats.plans_generated.total(),
+            g1.stats.plans_generated.total()
+        );
+    }
+
+    #[test]
+    fn pruning_keeps_lists_non_dominated() {
+        let cat = catalog(4);
+        let block = chain(&cat, 4, true);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (gen, out) = optimize(&cat, &block, &cfg);
+        for (_, e) in out.memo.iter() {
+            let plans = &e.payload.plans;
+            for (i, &p) in plans.iter().enumerate() {
+                for (j, &q) in plans.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let (np, nq) = (gen.arena.node(p), gen.arena.node(q));
+                    let dominates = nq.total <= np.total
+                        && nq.props.order.satisfies(&np.props.order)
+                        && nq.props.partition == np.props.partition
+                        && (nq.props.pipelinable || !np.props.pipelinable);
+                    assert!(!dominates, "list holds a dominated plan");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_enforcers_materialize_interesting_orders() {
+        let cat = catalog(3);
+        let block = chain(&cat, 3, true);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let (gen, out) = optimize(&cat, &block, &cfg);
+        // The single-table entry for t0 must offer its join-column order
+        // (either an index scan or an enforcer).
+        let e0 = out
+            .memo
+            .entry(out.memo.id_of(TableSet::singleton(TableRef(0))).unwrap());
+        let jc = block.col_id(col(0, 0)).unwrap();
+        let req = Ordering::seq(vec![jc]);
+        assert!(
+            e0.payload
+                .plans
+                .iter()
+                .any(|&p| gen.arena.node(p).props.order.satisfies(&req)),
+            "t0 offers an order on its join column"
+        );
+    }
+
+    #[test]
+    fn lazy_policy_generates_fewer_plans() {
+        // §5.4 ablation precondition: the eager policy's enforcers feed
+        // extra ordered plans into every join.
+        let cat = catalog(4);
+        let block = chain(&cat, 4, true);
+        let eager = OptimizerConfig::high(Mode::Serial);
+        let lazy = eager.clone().with_eager_orders(false);
+        let (ge, _) = optimize(&cat, &block, &eager);
+        let (gl, _) = optimize(&cat, &block, &lazy);
+        assert!(
+            ge.stats.plans_generated.total() >= gl.stats.plans_generated.total(),
+            "eager ≥ lazy: {} vs {}",
+            ge.stats.plans_generated.total(),
+            gl.stats.plans_generated.total()
+        );
+    }
+
+    #[test]
+    fn parallel_mode_generates_more_plans_than_serial() {
+        let mut b = Catalog::builder_parallel(cote_catalog::NodeGroup::new(4));
+        for i in 0..3 {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                5000.0,
+                vec![
+                    ColumnDef::uniform("c0", 5000.0, 500.0),
+                    ColumnDef::uniform("c1", 5000.0, 100.0),
+                ],
+            ));
+        }
+        let pcat = b.build().unwrap();
+        let block = chain(&pcat, 3, false);
+        let (gp, _) = optimize(&pcat, &block, &OptimizerConfig::high(Mode::Parallel));
+        let (gs, _) = optimize(&pcat, &block, &OptimizerConfig::high(Mode::Serial));
+        assert!(
+            gp.stats.plans_generated.total() >= gs.stats.plans_generated.total(),
+            "partition property multiplies plans: parallel={} serial={}",
+            gp.stats.plans_generated.total(),
+            gs.stats.plans_generated.total()
+        );
+        assert!(gp.stats.move_plans > 0, "exchanges were wired");
+    }
+
+    #[test]
+    fn redundant_nljn_knob_generates_extras() {
+        let cat = catalog(3);
+        let block = chain(&cat, 3, true);
+        let base = OptimizerConfig::high(Mode::Serial);
+        let buggy = base.clone().with_redundant_nljn(true);
+        let (g1, _) = optimize(&cat, &block, &base);
+        let (g2, _) = optimize(&cat, &block, &buggy);
+        assert!(
+            g2.stats.plans_generated.nljn >= g1.stats.plans_generated.nljn,
+            "the emulated oversight can only add plans"
+        );
+    }
+
+    #[test]
+    fn pilot_pass_prunes_but_preserves_the_optimum() {
+        let cat = catalog(4);
+        let block = chain(&cat, 4, false);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let ctx = OptContext::new(&cat, &block, &cfg);
+        let mut free = RealPlanGen::new(None);
+        let out = enumerate(&ctx, &FullCardinality, &mut free).unwrap();
+        let best = out
+            .memo
+            .entry(out.root)
+            .payload
+            .plans
+            .iter()
+            .map(|&p| free.arena.node(p).total)
+            .fold(f64::INFINITY, f64::min);
+        let mut bounded = RealPlanGen::new(Some(best));
+        let out2 = enumerate(&ctx, &FullCardinality, &mut bounded).unwrap();
+        let best2 = out2
+            .memo
+            .entry(out2.root)
+            .payload
+            .plans
+            .iter()
+            .map(|&p| bounded.arena.node(p).total)
+            .fold(f64::INFINITY, f64::min);
+        assert!(bounded.stats.pruned_by_pilot > 0);
+        assert!(
+            (best2 - best).abs() <= best.abs() * 1e-9,
+            "optimal plan survives the bound"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Physical plan properties (paper §3.2, Tables 1 and 2).
+//!
+//! A *physical property* is any plan characteristic that violates the
+//! principle of optimality: two plans for the same logical expression may
+//! carry different values and both survive in the MEMO. The paper's Table 1
+//! catalogues five; this module encodes all five as [`PropertyMeta`]
+//! instances (the Table 1/2 reproduction) and implements the two that drive
+//! the experiments — **order** and **partition** — plus the pipelinable flag,
+//! as concrete value types in [`order`] and [`partition`].
+
+pub mod order;
+pub mod partition;
+
+use crate::config::JoinMethods;
+
+/// How a join method propagates a property (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Propagation {
+    /// Propagated from the outer unconditionally (e.g. NLJN × order).
+    Full,
+    /// Only values tied to this join's columns survive (e.g. MGJN × order).
+    Partial,
+    /// Destroyed (e.g. HSJN × order).
+    None,
+}
+
+/// When interesting values of a property come into existence (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenerationPolicy {
+    /// Only naturally produced (index scan, base-table partitioning, …).
+    Lazy,
+    /// Forced by enforcers (SORT, repartition) when not naturally present.
+    Eager,
+}
+
+/// Static description of one physical property type: the rows of Tables 1–2.
+#[derive(Debug, Clone)]
+pub struct PropertyMeta {
+    /// Property name as in Table 1.
+    pub name: &'static str,
+    /// Table 1's "its application" column.
+    pub application: &'static str,
+    /// Default generation policy in our DB2-style configuration (§4).
+    pub generation: GenerationPolicy,
+    /// Propagation per join method: `(NLJN, MGJN, HSJN)` — Table 2.
+    pub propagation: (Propagation, Propagation, Propagation),
+}
+
+impl PropertyMeta {
+    /// Propagation class of this property for a join method, by name.
+    pub fn propagation_of(&self, method: JoinMethod) -> Propagation {
+        match method {
+            JoinMethod::Nljn => self.propagation.0,
+            JoinMethod::Mgjn => self.propagation.1,
+            JoinMethod::Hsjn => self.propagation.2,
+        }
+    }
+}
+
+/// The three join methods of the paper (§3.3 keeps one plan count per type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinMethod {
+    /// Nested-loops join.
+    Nljn,
+    /// Sort-merge join.
+    Mgjn,
+    /// Hash join.
+    Hsjn,
+}
+
+impl JoinMethod {
+    /// All methods in canonical order.
+    pub const ALL: [JoinMethod; 3] = [JoinMethod::Nljn, JoinMethod::Mgjn, JoinMethod::Hsjn];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinMethod::Nljn => "NLJN",
+            JoinMethod::Mgjn => "MGJN",
+            JoinMethod::Hsjn => "HSJN",
+        }
+    }
+
+    /// Is the method enabled under `methods`?
+    pub fn enabled_in(self, methods: JoinMethods) -> bool {
+        match self {
+            JoinMethod::Nljn => methods.nljn,
+            JoinMethod::Mgjn => methods.mgjn,
+            JoinMethod::Hsjn => methods.hsjn,
+        }
+    }
+}
+
+/// The order property row of Tables 1–2.
+pub const ORDER_META: PropertyMeta = PropertyMeta {
+    name: "order",
+    application: "optimizing queries relying on sort-based operations",
+    generation: GenerationPolicy::Eager,
+    propagation: (Propagation::Full, Propagation::Partial, Propagation::None),
+};
+
+/// The (data) partition property row of Tables 1–2.
+pub const PARTITION_META: PropertyMeta = PropertyMeta {
+    name: "partition",
+    application: "optimizing queries in a parallel database",
+    generation: GenerationPolicy::Lazy,
+    propagation: (Propagation::Full, Propagation::Full, Propagation::Full),
+};
+
+/// The pipelinable property row of Table 1.
+///
+/// Pipelinability is destroyed by any full materialization: SORT enforcers,
+/// hash-join builds, TEMPs. It propagates through NLJN (outer stream flows)
+/// and through the merge phase of MGJN only if no sort was added — we model
+/// it as Partial for MGJN and None for HSJN (the build blocks).
+pub const PIPELINE_META: PropertyMeta = PropertyMeta {
+    name: "pipelinable",
+    application: "optimizing queries asking for the first n rows",
+    generation: GenerationPolicy::Lazy,
+    propagation: (Propagation::Full, Propagation::Partial, Propagation::None),
+};
+
+/// The data-source property row of Table 1 (federated systems, cf. Garlic).
+///
+/// Encoded for completeness of the Table 1 reproduction; no federation
+/// engine sits behind it (DESIGN.md §6). Any data source is interesting, so
+/// the value never retires; all joins propagate it (a plan's source set is
+/// the union of its inputs').
+pub const DATA_SOURCE_META: PropertyMeta = PropertyMeta {
+    name: "data source",
+    application: "optimizing queries on heterogeneous data sources",
+    generation: GenerationPolicy::Lazy,
+    propagation: (Propagation::Full, Propagation::Full, Propagation::Full),
+};
+
+/// The expensive-predicates property row of Table 1.
+///
+/// Tracks which expensive (user-defined) predicates have *not yet* been
+/// applied; any subset is interesting. Implemented concretely as the
+/// per-plan `applied_expensive` mask (see [`crate::plan::PlanProps`]) under
+/// a scan-or-root deferral policy.
+pub const EXPENSIVE_PRED_META: PropertyMeta = PropertyMeta {
+    name: "expensive predicates",
+    application: "allowing expensive predicates to be applied after joins",
+    generation: GenerationPolicy::Lazy,
+    propagation: (Propagation::Full, Propagation::Full, Propagation::Full),
+};
+
+/// All Table 1 rows.
+pub const ALL_PROPERTIES: [&PropertyMeta; 5] = [
+    &ORDER_META,
+    &PARTITION_META,
+    &PIPELINE_META,
+    &DATA_SOURCE_META,
+    &EXPENSIVE_PRED_META,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper() {
+        // Order column of Table 2: NLJN full, MGJN partial, HSJN none.
+        assert_eq!(
+            ORDER_META.propagation_of(JoinMethod::Nljn),
+            Propagation::Full
+        );
+        assert_eq!(
+            ORDER_META.propagation_of(JoinMethod::Mgjn),
+            Propagation::Partial
+        );
+        assert_eq!(
+            ORDER_META.propagation_of(JoinMethod::Hsjn),
+            Propagation::None
+        );
+        // Partition column of Table 2: full for all three methods.
+        for m in JoinMethod::ALL {
+            assert_eq!(PARTITION_META.propagation_of(m), Propagation::Full);
+        }
+    }
+
+    #[test]
+    fn policies_match_db2_prototype() {
+        // §4: orders eager, partitions lazy.
+        assert_eq!(ORDER_META.generation, GenerationPolicy::Eager);
+        assert_eq!(PARTITION_META.generation, GenerationPolicy::Lazy);
+    }
+
+    #[test]
+    fn all_five_table1_rows_present() {
+        let names: Vec<_> = ALL_PROPERTIES.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "order",
+                "partition",
+                "pipelinable",
+                "data source",
+                "expensive predicates"
+            ]
+        );
+    }
+
+    #[test]
+    fn method_names_and_toggles() {
+        assert_eq!(JoinMethod::Mgjn.name(), "MGJN");
+        let only_hash = JoinMethods {
+            nljn: false,
+            mgjn: false,
+            hsjn: true,
+        };
+        assert!(JoinMethod::Hsjn.enabled_in(only_hash));
+        assert!(!JoinMethod::Nljn.enabled_in(only_hash));
+    }
+}

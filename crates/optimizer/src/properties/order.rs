@@ -1,0 +1,481 @@
+//! The order property: interesting orders, subsumption, retirement.
+//!
+//! Orders are sequences of a block's *dense* interesting-column ids
+//! (see [`cote_query::QueryBlock::interesting_cols`]), canonicalized under a
+//! MEMO entry's column-equivalence classes: after `R.a = S.a` is applied, an
+//! order on `R.a` and one on `S.a` are the *same* property value (paper
+//! §3.3 "joins can change property equivalence").
+//!
+//! Two subsumption flavours exist (paper §4 item 2): **prefix** subsumption
+//! for ORDER BY (column positions matter) and **set** subsumption for GROUP
+//! BY (any permutation groups equally). [`Ordering::satisfies`] dispatches on
+//! the requirement's kind.
+
+use cote_common::{TableRef, TableSet};
+use cote_query::{EqClasses, QueryBlock};
+
+/// Sequence vs set semantics of an order value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OrderKind {
+    /// Column positions significant (ORDER BY, merge-join keys).
+    Sequence,
+    /// Any permutation equivalent (GROUP BY).
+    Set,
+}
+
+/// An order property value over dense column ids.
+///
+/// The empty ordering is the paper's **DC** ("don't care") value: no order,
+/// or only retired orders.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ordering {
+    cols: Vec<u16>,
+    kind: OrderKind,
+}
+
+impl Ordering {
+    /// The DC value.
+    pub fn dc() -> Self {
+        Ordering {
+            cols: Vec::new(),
+            kind: OrderKind::Sequence,
+        }
+    }
+
+    /// A positional (sequence) order.
+    pub fn seq(cols: Vec<u16>) -> Self {
+        Ordering {
+            cols,
+            kind: OrderKind::Sequence,
+        }
+    }
+
+    /// A set order (sorted, deduplicated).
+    pub fn set(mut cols: Vec<u16>) -> Self {
+        cols.sort_unstable();
+        cols.dedup();
+        Ordering {
+            cols,
+            kind: OrderKind::Set,
+        }
+    }
+
+    /// Column ids.
+    pub fn cols(&self) -> &[u16] {
+        &self.cols
+    }
+
+    /// Semantics.
+    pub fn kind(&self) -> OrderKind {
+        self.kind
+    }
+
+    /// Is this the DC value?
+    pub fn is_dc(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Leading column (None for DC).
+    pub fn first(&self) -> Option<u16> {
+        self.cols.first().copied()
+    }
+
+    /// Number of key columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True for DC.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Canonical form under `eq`: every column mapped to its class
+    /// representative; a column whose class already appeared earlier in the
+    /// sequence is dropped (sorting on `(a, b)` with `a ≡ b` is sorting on
+    /// `a`); set orders are re-sorted.
+    #[must_use]
+    pub fn canon(&self, eq: &EqClasses) -> Ordering {
+        let mut cols: Vec<u16> = Vec::with_capacity(self.cols.len());
+        for &c in &self.cols {
+            let r = eq.find(c);
+            if !cols.contains(&r) {
+                cols.push(r);
+            }
+        }
+        match self.kind {
+            OrderKind::Sequence => Ordering {
+                cols,
+                kind: OrderKind::Sequence,
+            },
+            OrderKind::Set => Ordering::set(cols),
+        }
+    }
+
+    /// Does a stream with order `self` meet requirement `req`?
+    ///
+    /// Both must already be canonicalized under the same classes.
+    /// * `req` sequence: `req` must be a prefix of `self` (prefix
+    ///   subsumption).
+    /// * `req` set: the first `req.len()` columns of `self` must be exactly
+    ///   `req`'s column set (set subsumption) — or, if `self` is itself a
+    ///   set value, a superset suffices.
+    pub fn satisfies(&self, req: &Ordering) -> bool {
+        if req.is_dc() {
+            return true;
+        }
+        match (req.kind, self.kind) {
+            (OrderKind::Sequence, OrderKind::Sequence) => {
+                self.cols.len() >= req.cols.len() && self.cols[..req.cols.len()] == req.cols[..]
+            }
+            (OrderKind::Set, OrderKind::Sequence) => {
+                if self.cols.len() < req.cols.len() {
+                    return false;
+                }
+                let mut prefix: Vec<u16> = self.cols[..req.cols.len()].to_vec();
+                prefix.sort_unstable();
+                prefix == req.cols
+            }
+            (OrderKind::Set, OrderKind::Set) => req.cols.iter().all(|c| self.cols.contains(c)),
+            // A set value is an abstract "some useful arrangement"; it only
+            // certifies positional requirements of length 1.
+            (OrderKind::Sequence, OrderKind::Set) => {
+                req.cols.len() == 1 && self.cols.contains(&req.cols[0])
+            }
+        }
+    }
+
+    /// Paper's `≺`: `self ≺ other` iff `other` is more general, i.e. a
+    /// stream with order `other` also has order `self` (and they differ).
+    pub fn subsumed_by(&self, other: &Ordering) -> bool {
+        self != other && other.satisfies(self)
+    }
+}
+
+/// The interesting-order *targets* of a query block: what can ever be
+/// interesting (paper Table 1, order row), precomputed once per block.
+#[derive(Debug, Clone)]
+pub struct OrderTargets {
+    /// Dense ids of columns appearing in equality join predicates.
+    pub join_cols: Vec<u16>,
+    /// The ORDER BY requirement as a sequence order, if present.
+    pub orderby: Option<Ordering>,
+    /// The GROUP BY requirement as a set order, if present.
+    pub groupby: Option<Ordering>,
+    /// Pushed-down single-table targets, indexed by `TableRef` (paper §4
+    /// item 1 / [Simmen et al. 96]: interesting orders pushed to base
+    /// tables for eager generation).
+    pub per_table: Vec<Vec<Ordering>>,
+    /// Targets whose columns span several tables, with the table set that
+    /// must be present before the target is enforceable.
+    pub multi_table: Vec<(TableSet, Ordering)>,
+}
+
+impl OrderTargets {
+    /// Compute the targets for a block.
+    pub fn for_block(block: &QueryBlock) -> Self {
+        let n = block.n_tables();
+        let mut per_table: Vec<Vec<Ordering>> = vec![Vec::new(); n];
+        let mut multi_table = Vec::new();
+
+        // Join columns: every equality predicate endpoint is a single-column
+        // sequence target on its table.
+        let mut join_cols: Vec<u16> = Vec::new();
+        for p in block.join_preds() {
+            for c in [p.left, p.right] {
+                let id = block.col_id(c).expect("join column is interesting");
+                if !join_cols.contains(&id) {
+                    join_cols.push(id);
+                    per_table[c.table.index()].push(Ordering::seq(vec![id]));
+                }
+            }
+        }
+
+        // ORDER BY: the full sequence is the requirement. Its maximal
+        // single-table prefix is pushed to that table; if it spans tables it
+        // is additionally a multi-table target.
+        let orderby = if block.order_by().is_empty() {
+            None
+        } else {
+            let ids: Vec<u16> = block
+                .order_by()
+                .iter()
+                .map(|&c| block.col_id(c).expect("order-by column is interesting"))
+                .collect();
+            let target = Ordering::seq(ids.clone());
+            let first_table = block.order_by()[0].table;
+            let prefix_len = block
+                .order_by()
+                .iter()
+                .take_while(|c| c.table == first_table)
+                .count();
+            let prefix = Ordering::seq(ids[..prefix_len].to_vec());
+            if !per_table[first_table.index()].contains(&prefix) {
+                per_table[first_table.index()].push(prefix);
+            }
+            if prefix_len < ids.len() {
+                let tables: TableSet = block.order_by().iter().map(|c| c.table).collect();
+                multi_table.push((tables, target.clone()));
+            }
+            Some(target)
+        };
+
+        // GROUP BY: a set target; per-table subsets are pushed down, the
+        // full set is a multi-table target if it spans tables.
+        let groupby = if block.group_by().is_empty() {
+            None
+        } else {
+            let ids: Vec<u16> = block
+                .group_by()
+                .iter()
+                .map(|&c| block.col_id(c).expect("group-by column is interesting"))
+                .collect();
+            let target = Ordering::set(ids);
+            let tables: TableSet = block.group_by().iter().map(|c| c.table).collect();
+            if tables.len() == 1 {
+                let t = tables.first().expect("nonempty");
+                if !per_table[t.index()].contains(&target) {
+                    per_table[t.index()].push(target.clone());
+                }
+            } else {
+                // Push the per-table column subsets; a sort on them still
+                // short-circuits part of the grouping.
+                for t in tables {
+                    let sub: Vec<u16> = block
+                        .group_by()
+                        .iter()
+                        .filter(|c| c.table == t)
+                        .map(|&c| block.col_id(c).expect("interesting"))
+                        .collect();
+                    let sub = Ordering::set(sub);
+                    if !per_table[t.index()].contains(&sub) {
+                        per_table[t.index()].push(sub);
+                    }
+                }
+                multi_table.push((tables, target.clone()));
+            }
+            Some(target)
+        };
+
+        OrderTargets {
+            join_cols,
+            orderby,
+            groupby,
+            per_table,
+            multi_table,
+        }
+    }
+
+    /// Pushed-down targets for one table.
+    pub fn table_targets(&self, t: TableRef) -> &[Ordering] {
+        &self.per_table[t.index()]
+    }
+}
+
+/// Is `order` (canonical under `eq`) still interesting for a MEMO entry, or
+/// has it retired (paper §3.2 "interesting properties can retire")?
+///
+/// `boundary_classes` are the `eq`-class representatives of the entry's
+/// columns that join to tables *outside* the entry — the future joins.
+pub fn is_interesting(
+    order: &Ordering,
+    eq: &EqClasses,
+    boundary_classes: &[u16],
+    targets: &OrderTargets,
+) -> bool {
+    if order.is_dc() {
+        return false;
+    }
+    // Future merge/index-driven join on the leading column's class.
+    match order.kind() {
+        OrderKind::Sequence => {
+            if let Some(f) = order.first() {
+                if boundary_classes.contains(&f) {
+                    return true;
+                }
+            }
+        }
+        OrderKind::Set => {
+            // A set arrangement can put any member first.
+            if order.cols().iter().any(|c| boundary_classes.contains(c)) {
+                return true;
+            }
+        }
+    }
+    // ORDER BY: useful if it overlaps the requirement prefix-wise in either
+    // direction (a shorter sorted prefix reduces the final sort).
+    if let Some(ob) = &targets.orderby {
+        let ob = ob.canon(eq);
+        if order.satisfies(&ob) || ob.satisfies(order) {
+            return true;
+        }
+    }
+    // GROUP BY: useful if every column belongs to the grouping set.
+    if let Some(gb) = &targets.groupby {
+        let gb = gb.canon(eq);
+        if order.cols().iter().all(|c| gb.cols().contains(c)) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{Catalog, ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId};
+    use cote_query::QueryBlockBuilder;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                1000.0,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 100.0),
+                    ColumnDef::uniform("c1", 1000.0, 100.0),
+                    ColumnDef::uniform("c2", 1000.0, 100.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    #[test]
+    fn canon_merges_equivalent_columns() {
+        let mut eq = EqClasses::new(4);
+        eq.union(0, 2);
+        let o = Ordering::seq(vec![2, 1, 0]);
+        // 2 → 0; trailing 0 now duplicates the leading class and drops.
+        assert_eq!(o.canon(&eq), Ordering::seq(vec![0, 1]));
+        let s = Ordering::set(vec![2, 0, 3]);
+        assert_eq!(s.canon(&eq), Ordering::set(vec![0, 3]));
+    }
+
+    #[test]
+    fn prefix_subsumption() {
+        let short = Ordering::seq(vec![1]);
+        let long = Ordering::seq(vec![1, 2]);
+        let other = Ordering::seq(vec![2, 1]);
+        assert!(long.satisfies(&short));
+        assert!(!short.satisfies(&long));
+        assert!(!other.satisfies(&short));
+        assert!(
+            short.subsumed_by(&long),
+            "o2 ≺ o1 as in the paper's example"
+        );
+        assert!(!long.subsumed_by(&short));
+        assert!(!long.subsumed_by(&long), "subsumption is strict");
+        assert!(long.satisfies(&Ordering::dc()));
+    }
+
+    #[test]
+    fn set_subsumption_ignores_permutation() {
+        let req = Ordering::set(vec![1, 2]);
+        assert!(Ordering::seq(vec![2, 1]).satisfies(&req));
+        assert!(Ordering::seq(vec![1, 2, 3]).satisfies(&req));
+        assert!(!Ordering::seq(vec![1, 3]).satisfies(&req));
+        assert!(!Ordering::seq(vec![1]).satisfies(&req));
+        assert!(Ordering::set(vec![1, 2, 3]).satisfies(&req));
+        // A set value only certifies single-column positional requirements.
+        assert!(Ordering::set(vec![1, 2]).satisfies(&Ordering::seq(vec![2])));
+        assert!(!Ordering::set(vec![1, 2]).satisfies(&Ordering::seq(vec![1, 2])));
+    }
+
+    #[test]
+    fn targets_for_figure3_queries() {
+        // Figure 3: SELECT A.2 FROM A,B,C WHERE A.1=B.1 AND B.2=C.2
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 1), col(1, 1)); // A.1 = B.1
+        b.join(col(1, 2), col(2, 2)); // B.2 = C.2
+        let block_a = b.build(&cat).unwrap();
+        let t = OrderTargets::for_block(&block_a);
+        assert_eq!(t.join_cols.len(), 4);
+        assert!(t.orderby.is_none());
+        assert_eq!(t.table_targets(TableRef(0)).len(), 1, "A.1 only");
+        assert_eq!(t.table_targets(TableRef(1)).len(), 2, "B.1 and B.2");
+
+        // 3(b) adds ORDER BY A.2.
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 1), col(1, 1));
+        b.join(col(1, 2), col(2, 2));
+        b.order_by(vec![col(0, 2)]);
+        let block_b = b.build(&cat).unwrap();
+        let t = OrderTargets::for_block(&block_b);
+        assert!(t.orderby.is_some());
+        assert_eq!(
+            t.table_targets(TableRef(0)).len(),
+            2,
+            "A.1 and the A.2 prefix"
+        );
+        assert!(t.multi_table.is_empty(), "single-table ORDER BY");
+    }
+
+    #[test]
+    fn multi_table_orderby_and_groupby_targets() {
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(1, 0));
+        b.order_by(vec![col(0, 1), col(1, 1)]);
+        b.group_by(vec![col(0, 2), col(1, 2)]);
+        let block = b.build(&cat).unwrap();
+        let t = OrderTargets::for_block(&block);
+        assert_eq!(t.multi_table.len(), 2);
+        for (set, _) in &t.multi_table {
+            assert_eq!(set.len(), 2);
+        }
+        // Per-table pushdowns: join col + orderby prefix (+ groupby subset) on t0.
+        assert_eq!(t.table_targets(TableRef(0)).len(), 3);
+        // t1: join col + its groupby subset (orderby prefix only lands on t0).
+        assert_eq!(t.table_targets(TableRef(1)).len(), 2);
+    }
+
+    #[test]
+    fn retirement_rules() {
+        // Two tables, one predicate t0.c0 = t1.c0, ORDER BY t0.c1, GROUP BY t0.c2.
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(1, 0));
+        b.order_by(vec![col(0, 1)]);
+        b.group_by(vec![col(0, 2)]);
+        let block = b.build(&cat).unwrap();
+        let targets = OrderTargets::for_block(&block);
+        let eq = EqClasses::new(block.n_interesting_cols());
+        let id = |c: ColRef| block.col_id(c).unwrap();
+
+        // Entry {t0}: c0 joins outside → interesting via boundary.
+        let boundary = vec![eq.find(id(col(0, 0)))];
+        let join_order = Ordering::seq(vec![id(col(0, 0))]);
+        assert!(is_interesting(&join_order, &eq, &boundary, &targets));
+
+        // Entry {t0,t1}: predicate applied, boundary empty → join order retires…
+        assert!(!is_interesting(&join_order, &eq, &[], &targets));
+        // …but ORDER BY and GROUP BY targets never retire inside the block.
+        let ob = Ordering::seq(vec![id(col(0, 1))]);
+        let gb = Ordering::set(vec![id(col(0, 2))]);
+        assert!(is_interesting(&ob, &eq, &[], &targets));
+        assert!(is_interesting(&gb, &eq, &[], &targets));
+        // DC is never interesting.
+        assert!(!is_interesting(&Ordering::dc(), &eq, &[], &targets));
+        // An unrelated order is not interesting.
+        let other = Ordering::seq(vec![id(col(1, 0))]);
+        assert!(!is_interesting(&other, &eq, &[], &targets));
+    }
+}

@@ -1,0 +1,274 @@
+//! The (data) partition property for the shared-nothing parallel mode.
+//!
+//! Under the **lazy** generation policy DB2 uses for partitions (paper §4),
+//! natural values come from base-table placement; additional values appear
+//! only through the repartitioning the optimizer itself introduces — notably
+//! the §4 heuristic: if neither join input is partitioned on the join
+//! column, both are repartitioned onto it, minting a *new* interesting
+//! partition value that the estimator must predict.
+
+use crate::properties::order::OrderTargets;
+use cote_catalog::{Catalog, PartitionScheme};
+use cote_common::{ColRef, TableRef};
+use cote_query::{EqClasses, QueryBlock};
+
+/// A partition property value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PartitionVal {
+    /// Hash-partitioned on a set of column classes (sorted, deduplicated).
+    Hash(Vec<u16>),
+    /// Fully replicated on every node.
+    Replicated,
+    /// Entirely on a single node.
+    Single,
+}
+
+impl PartitionVal {
+    /// Hash value with canonical (sorted, deduplicated) columns.
+    pub fn hash(mut cols: Vec<u16>) -> Self {
+        cols.sort_unstable();
+        cols.dedup();
+        PartitionVal::Hash(cols)
+    }
+
+    /// Canonical form under column-equivalence classes.
+    #[must_use]
+    pub fn canon(&self, eq: &EqClasses) -> PartitionVal {
+        match self {
+            PartitionVal::Hash(cols) => {
+                PartitionVal::hash(cols.iter().map(|&c| eq.find(c)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Key columns, if hash-partitioned.
+    pub fn key_cols(&self) -> Option<&[u16]> {
+        match self {
+            PartitionVal::Hash(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Can a join on `join_classes` (the canonical classes of this join's
+    /// equi-join columns, one per predicate, from one side) execute
+    /// *without* data movement given this placement?
+    ///
+    /// Hash placement co-locates when its full key is covered by the join
+    /// classes; replicated and single-node placements always co-locate.
+    pub fn colocates_join(&self, join_classes: &[u16]) -> bool {
+        match self {
+            PartitionVal::Hash(cols) => {
+                !cols.is_empty() && cols.iter().all(|c| join_classes.contains(c))
+            }
+            PartitionVal::Replicated | PartitionVal::Single => true,
+        }
+    }
+}
+
+/// Is a partition value still interesting for an entry (Table 1, partition
+/// row: keys "matching the join column of a future join, the grouping
+/// attributes, and/or the ordering attributes")?
+///
+/// `Replicated`/`Single` placements co-locate with anything and never
+/// retire.
+pub fn is_interesting_partition(
+    p: &PartitionVal,
+    eq: &EqClasses,
+    boundary_classes: &[u16],
+    targets: &OrderTargets,
+) -> bool {
+    match p {
+        PartitionVal::Replicated | PartitionVal::Single => true,
+        PartitionVal::Hash(cols) => {
+            if cols.is_empty() {
+                return false;
+            }
+            let useful = |c: &u16| {
+                boundary_classes.contains(c)
+                    || targets
+                        .groupby
+                        .as_ref()
+                        .is_some_and(|g| g.canon(eq).cols().contains(c))
+                    || targets
+                        .orderby
+                        .as_ref()
+                        .is_some_and(|o| o.canon(eq).cols().contains(c))
+            };
+            cols.iter().all(useful)
+        }
+    }
+}
+
+/// Natural (lazy-policy) partition value of each base-table reference, from
+/// the catalog's physical design. Columns are mapped to the block's dense
+/// ids; a partitioning key that is not an interesting column of the block
+/// can never be exploited and degrades to no value.
+pub fn natural_partitions(block: &QueryBlock, catalog: &Catalog) -> Vec<Option<PartitionVal>> {
+    block
+        .table_refs()
+        .map(|t: TableRef| {
+            let part = catalog.partitioning(block.table(t));
+            match &part.scheme {
+                PartitionScheme::Replicated => Some(PartitionVal::Replicated),
+                PartitionScheme::SingleNode => {
+                    if part.group.nodes <= 1 {
+                        // Serial database: placement carries no information.
+                        None
+                    } else {
+                        Some(PartitionVal::Single)
+                    }
+                }
+                PartitionScheme::Hash(cols) | PartitionScheme::Range(cols) => {
+                    let ids: Option<Vec<u16>> = cols
+                        .iter()
+                        .map(|&c| block.col_id(ColRef::new(t, c)))
+                        .collect();
+                    ids.map(PartitionVal::hash)
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{Catalog, ColumnDef, NodeGroup, Partitioning, TableDef};
+    use cote_common::TableId;
+    use cote_query::QueryBlockBuilder;
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    fn parallel_catalog() -> Catalog {
+        let g = NodeGroup::new(4);
+        let mut b = Catalog::builder_parallel(g);
+        let mk = |name: &str| {
+            TableDef::new(
+                name,
+                1000.0,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 100.0),
+                    ColumnDef::uniform("c1", 1000.0, 100.0),
+                ],
+            )
+        };
+        b.add_table_partitioned(mk("r"), Partitioning::hash(vec![0], g));
+        b.add_table_partitioned(mk("s"), Partitioning::hash(vec![1], g));
+        b.add_table_partitioned(mk("d"), Partitioning::replicated(g));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn canon_sorts_and_merges() {
+        let mut eq = EqClasses::new(4);
+        eq.union(1, 3);
+        let p = PartitionVal::hash(vec![3, 0]);
+        assert_eq!(p.canon(&eq), PartitionVal::hash(vec![0, 1]));
+        assert_eq!(
+            PartitionVal::Replicated.canon(&eq),
+            PartitionVal::Replicated
+        );
+    }
+
+    #[test]
+    fn colocation_rules() {
+        let p = PartitionVal::hash(vec![2]);
+        assert!(p.colocates_join(&[2, 5]));
+        assert!(!p.colocates_join(&[5]));
+        let p2 = PartitionVal::hash(vec![2, 3]);
+        assert!(!p2.colocates_join(&[2]), "full key must be covered");
+        assert!(PartitionVal::Replicated.colocates_join(&[]));
+        assert!(PartitionVal::Single.colocates_join(&[9]));
+    }
+
+    #[test]
+    fn natural_partitions_resolve_dense_ids() {
+        let cat = parallel_catalog();
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.add_table(TableId(2));
+        b.join(col(0, 0), col(1, 0));
+        let block = b.build(&cat).unwrap();
+        let nat = natural_partitions(&block, &cat);
+        // r: hash on c0, which is a join column → dense id exists.
+        assert!(matches!(nat[0], Some(PartitionVal::Hash(_))));
+        // s: hash on c1; partition keys are interned by the block builder.
+        assert!(matches!(nat[1], Some(PartitionVal::Hash(_))));
+        // d: replicated.
+        assert_eq!(nat[2], Some(PartitionVal::Replicated));
+    }
+
+    #[test]
+    fn serial_single_node_has_no_value() {
+        let mut b = Catalog::builder();
+        b.add_table(TableDef::new(
+            "t",
+            10.0,
+            vec![ColumnDef::uniform("c0", 10.0, 10.0)],
+        ));
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        let block = qb.build(&cat).unwrap();
+        assert_eq!(natural_partitions(&block, &cat), vec![None]);
+    }
+
+    #[test]
+    fn interestingness_of_partitions() {
+        let cat = parallel_catalog();
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(1, 0));
+        b.group_by(vec![col(0, 1)]);
+        let block = b.build(&cat).unwrap();
+        let targets = OrderTargets::for_block(&block);
+        let eq = EqClasses::new(block.n_interesting_cols());
+        let jc = block.col_id(col(0, 0)).unwrap();
+        let gc = block.col_id(col(0, 1)).unwrap();
+
+        let boundary = vec![eq.find(jc)];
+        assert!(is_interesting_partition(
+            &PartitionVal::hash(vec![jc]),
+            &eq,
+            &boundary,
+            &targets
+        ));
+        // After the join is applied (no boundary), the join-col partition
+        // retires but the group-by partition stays interesting.
+        assert!(!is_interesting_partition(
+            &PartitionVal::hash(vec![jc]),
+            &eq,
+            &[],
+            &targets
+        ));
+        assert!(is_interesting_partition(
+            &PartitionVal::hash(vec![gc]),
+            &eq,
+            &[],
+            &targets
+        ));
+        assert!(is_interesting_partition(
+            &PartitionVal::Replicated,
+            &eq,
+            &[],
+            &targets
+        ));
+        assert!(is_interesting_partition(
+            &PartitionVal::Single,
+            &eq,
+            &[],
+            &targets
+        ));
+        assert!(!is_interesting_partition(
+            &PartitionVal::Hash(vec![]),
+            &eq,
+            &[],
+            &targets
+        ));
+    }
+}

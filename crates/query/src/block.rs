@@ -1,0 +1,645 @@
+//! Query blocks and the validating builder.
+
+use crate::equivalence::transitive_closure_implied;
+use crate::predicate::{ExpensivePred, JoinPredicate, LocalPredicate, PredOp};
+use cote_catalog::Catalog;
+use cote_common::{ColRef, CoteError, FxHashMap, Result, TableId, TableRef, TableSet};
+
+/// An outer join between a preserving anchor table and a null-producing
+/// table.
+///
+/// Our enumerator supports *free-reordering* plans only (paper §2.2 notes
+/// optimizers "may only support free-reordering plans for outerjoins"): the
+/// null side may only be joined once the preserving anchor is present, the
+/// null side must be the inner of the join applying the outer predicate, and
+/// a MEMO entry pending its anchor is not **outer-enabled** (§4 item 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OuterJoin {
+    /// Preserving-side anchor table.
+    pub preserving: TableRef,
+    /// Null-producing table.
+    pub null_side: TableRef,
+}
+
+/// A single query block: the optimizer's and the estimator's unit of work.
+#[derive(Debug, Clone)]
+pub struct QueryBlock {
+    tables: Vec<TableId>,
+    join_preds: Vec<JoinPredicate>,
+    local_preds: Vec<LocalPredicate>,
+    expensive_preds: Vec<ExpensivePred>,
+    outer_joins: Vec<OuterJoin>,
+    group_by: Vec<ColRef>,
+    order_by: Vec<ColRef>,
+    first_n: Option<u64>,
+    children: Vec<QueryBlock>,
+    interesting_cols: Vec<ColRef>,
+    col_index: FxHashMap<ColRef, u16>,
+}
+
+impl QueryBlock {
+    /// Number of table references in the FROM list.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Catalog table behind a reference.
+    pub fn table(&self, t: TableRef) -> TableId {
+        self.tables[t.index()]
+    }
+
+    /// All table references as a set.
+    pub fn all_tables(&self) -> TableSet {
+        TableSet::first_n(self.tables.len())
+    }
+
+    /// Table references in FROM order.
+    pub fn table_refs(&self) -> impl Iterator<Item = TableRef> + '_ {
+        (0..self.tables.len()).map(|i| TableRef(i as u8))
+    }
+
+    /// Join predicates (user-written and implied).
+    pub fn join_preds(&self) -> &[JoinPredicate] {
+        &self.join_preds
+    }
+
+    /// Local predicates.
+    pub fn local_preds(&self) -> &[LocalPredicate] {
+        &self.local_preds
+    }
+
+    /// Local predicates restricting one table reference.
+    pub fn local_preds_of(&self, t: TableRef) -> impl Iterator<Item = &LocalPredicate> {
+        self.local_preds.iter().filter(move |p| p.column.table == t)
+    }
+
+    /// Expensive (deferrable) predicates, in declaration order — their
+    /// positions index the per-plan applied-mask bits.
+    pub fn expensive_preds(&self) -> &[ExpensivePred] {
+        &self.expensive_preds
+    }
+
+    /// Bitmask over [`Self::expensive_preds`] of the predicates on table `t`.
+    pub fn expensive_bits_of(&self, t: TableRef) -> u16 {
+        let mut bits = 0u16;
+        for (i, p) in self.expensive_preds.iter().enumerate() {
+            if p.column.table == t {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// Bitmask of every expensive predicate whose table lies in `set`.
+    pub fn expensive_bits_in(&self, set: TableSet) -> u16 {
+        let mut bits = 0u16;
+        for (i, p) in self.expensive_preds.iter().enumerate() {
+            if set.contains(p.column.table) {
+                bits |= 1 << i;
+            }
+        }
+        bits
+    }
+
+    /// Combined selectivity of the expensive predicates in `mask`.
+    pub fn expensive_selectivity(&self, mask: u16) -> f64 {
+        self.expensive_preds
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask >> i & 1 == 1)
+            .map(|(_, p)| p.selectivity)
+            .product()
+    }
+
+    /// Outer joins.
+    pub fn outer_joins(&self) -> &[OuterJoin] {
+        &self.outer_joins
+    }
+
+    /// GROUP BY column list.
+    pub fn group_by(&self) -> &[ColRef] {
+        &self.group_by
+    }
+
+    /// ORDER BY column list (positions significant).
+    pub fn order_by(&self) -> &[ColRef] {
+        &self.order_by
+    }
+
+    /// `FETCH FIRST n ROWS` limit, if any (drives the pipelinable property).
+    pub fn first_n(&self) -> Option<u64> {
+        self.first_n
+    }
+
+    /// Child blocks (subqueries).
+    pub fn children(&self) -> &[QueryBlock] {
+        &self.children
+    }
+
+    /// This block followed by all descendant blocks, depth-first.
+    pub fn walk(&self) -> Vec<&QueryBlock> {
+        let mut out = vec![self];
+        let mut i = 0;
+        while i < out.len() {
+            // Indexing a growing worklist instead of recursing.
+            let block = out[i];
+            out.extend(block.children.iter());
+            i += 1;
+        }
+        out
+    }
+
+    /// The block's *interesting columns*: every column appearing in a join
+    /// predicate, GROUP BY, ORDER BY — the only columns properties can
+    /// mention. Dense id = position in this list.
+    pub fn interesting_cols(&self) -> &[ColRef] {
+        &self.interesting_cols
+    }
+
+    /// Dense id of an interesting column.
+    pub fn col_id(&self, c: ColRef) -> Option<u16> {
+        self.col_index.get(&c).copied()
+    }
+
+    /// Column behind a dense id.
+    pub fn col_ref(&self, id: u16) -> ColRef {
+        self.interesting_cols[id as usize]
+    }
+
+    /// Number of interesting columns.
+    pub fn n_interesting_cols(&self) -> usize {
+        self.interesting_cols.len()
+    }
+
+    /// Indices of join predicates spanning two disjoint table sets.
+    pub fn preds_between(&self, a: TableSet, b: TableSet) -> Vec<usize> {
+        self.join_preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.split(a, b).is_some())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The outer join whose null side is `t`, if any.
+    pub fn outer_join_with_null_side(&self, t: TableRef) -> Option<&OuterJoin> {
+        self.outer_joins.iter().find(|oj| oj.null_side == t)
+    }
+
+    /// The set of null-producing tables across all outer joins.
+    pub fn null_side_tables(&self) -> TableSet {
+        self.outer_joins.iter().map(|oj| oj.null_side).collect()
+    }
+}
+
+/// A named query: a root block plus (recursively) subquery blocks.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Display name (workload queries are numbered).
+    pub name: String,
+    /// Root query block.
+    pub root: QueryBlock,
+}
+
+impl Query {
+    /// Create a query.
+    pub fn new(name: impl Into<String>, root: QueryBlock) -> Self {
+        Self {
+            name: name.into(),
+            root,
+        }
+    }
+
+    /// All blocks, root first, depth-first.
+    pub fn blocks(&self) -> Vec<&QueryBlock> {
+        self.root.walk()
+    }
+
+    /// Total table references across all blocks.
+    pub fn total_tables(&self) -> usize {
+        self.blocks().iter().map(|b| b.n_tables()).sum()
+    }
+}
+
+/// Validating builder for [`QueryBlock`].
+#[derive(Debug, Default)]
+pub struct QueryBlockBuilder {
+    tables: Vec<TableId>,
+    join_preds: Vec<JoinPredicate>,
+    local_preds: Vec<LocalPredicate>,
+    expensive_preds: Vec<ExpensivePred>,
+    outer_joins: Vec<OuterJoin>,
+    group_by: Vec<ColRef>,
+    order_by: Vec<ColRef>,
+    first_n: Option<u64>,
+    children: Vec<QueryBlock>,
+    closure: bool,
+}
+
+impl QueryBlockBuilder {
+    /// Start an empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a FROM-list entry; returns its reference.
+    pub fn add_table(&mut self, table: TableId) -> TableRef {
+        let r = TableRef(self.tables.len() as u8);
+        self.tables.push(table);
+        r
+    }
+
+    /// Add an inner equality join predicate.
+    pub fn join(&mut self, left: ColRef, right: ColRef) -> &mut Self {
+        self.join_preds.push(JoinPredicate::inner(left, right));
+        self
+    }
+
+    /// Add a left outer join: `preserving LEFT JOIN null_side ON left = right`.
+    ///
+    /// `left` must belong to the preserving table, `right` to the null side.
+    pub fn left_outer_join(&mut self, left: ColRef, right: ColRef) -> &mut Self {
+        let id = self.outer_joins.len() as u16;
+        self.outer_joins.push(OuterJoin {
+            preserving: left.table,
+            null_side: right.table,
+        });
+        self.join_preds.push(JoinPredicate {
+            left,
+            right,
+            implied: false,
+            outer_join: Some(id),
+        });
+        self
+    }
+
+    /// Add a local predicate.
+    pub fn local(&mut self, column: ColRef, op: PredOp) -> &mut Self {
+        self.local_preds.push(LocalPredicate::new(column, op));
+        self
+    }
+
+    /// Add an expensive (deferrable) predicate: evaluated either at the
+    /// scan or deferred to the block root, at the optimizer's choice.
+    pub fn local_expensive(
+        &mut self,
+        column: ColRef,
+        selectivity: f64,
+        cpu_per_row: f64,
+    ) -> &mut Self {
+        self.expensive_preds.push(ExpensivePred {
+            column,
+            selectivity,
+            cpu_per_row,
+        });
+        self
+    }
+
+    /// Set the GROUP BY list.
+    pub fn group_by(&mut self, cols: Vec<ColRef>) -> &mut Self {
+        self.group_by = cols;
+        self
+    }
+
+    /// Set the ORDER BY list.
+    pub fn order_by(&mut self, cols: Vec<ColRef>) -> &mut Self {
+        self.order_by = cols;
+        self
+    }
+
+    /// Set a `FETCH FIRST n ROWS` limit.
+    pub fn first_n(&mut self, n: u64) -> &mut Self {
+        self.first_n = Some(n);
+        self
+    }
+
+    /// Attach a subquery block.
+    pub fn child(&mut self, block: QueryBlock) -> &mut Self {
+        self.children.push(block);
+        self
+    }
+
+    /// Compute the transitive closure of inner-join equalities at build time
+    /// and add the implied predicates (paper §2.2).
+    pub fn apply_transitive_closure(&mut self) -> &mut Self {
+        self.closure = true;
+        self
+    }
+
+    /// Validate against `catalog` and freeze.
+    pub fn build(mut self, catalog: &Catalog) -> Result<QueryBlock> {
+        if self.tables.is_empty() {
+            return Err(CoteError::InvalidQuery {
+                reason: "empty FROM list".into(),
+            });
+        }
+        if self.tables.len() > TableRef::MAX_TABLES {
+            return Err(CoteError::TooManyTables {
+                requested: self.tables.len(),
+            });
+        }
+        let col_ok = |c: ColRef, tables: &[TableId]| -> bool {
+            let Some(&tid) = tables.get(c.table.index()) else {
+                return false;
+            };
+            (tid.0 as usize) < catalog.table_count()
+                && (c.column as usize) < catalog.table(tid).columns.len()
+        };
+        for &tid in &self.tables {
+            if (tid.0 as usize) >= catalog.table_count() {
+                return Err(CoteError::UnknownObject {
+                    what: format!("table id {tid}"),
+                });
+            }
+        }
+        for p in &self.join_preds {
+            if !col_ok(p.left, &self.tables) || !col_ok(p.right, &self.tables) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("join predicate {p} references an invalid column"),
+                });
+            }
+            if p.left.table == p.right.table {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("join predicate {p} does not span two tables"),
+                });
+            }
+        }
+        for p in &self.local_preds {
+            if !col_ok(p.column, &self.tables) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("local predicate {p} references an invalid column"),
+                });
+            }
+            if let PredOp::Opaque(s) = p.op {
+                if !(0.0..=1.0).contains(&s) {
+                    return Err(CoteError::InvalidQuery {
+                        reason: format!("opaque selectivity {s} outside [0,1]"),
+                    });
+                }
+            }
+        }
+        if self.expensive_preds.len() > 16 {
+            return Err(CoteError::InvalidQuery {
+                reason: format!(
+                    "{} expensive predicates exceed the 16-bit applied mask",
+                    self.expensive_preds.len()
+                ),
+            });
+        }
+        for p in &self.expensive_preds {
+            if !col_ok(p.column, &self.tables) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("expensive predicate {p} references an invalid column"),
+                });
+            }
+            if !(0.0..=1.0).contains(&p.selectivity) || p.cpu_per_row < 0.0 {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("expensive predicate {p} has invalid parameters"),
+                });
+            }
+        }
+        for c in self.group_by.iter().chain(self.order_by.iter()) {
+            if !col_ok(*c, &self.tables) {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("GROUP/ORDER BY column {c} is invalid"),
+                });
+            }
+        }
+        for (i, oj) in self.outer_joins.iter().enumerate() {
+            if oj.preserving == oj.null_side {
+                return Err(CoteError::InvalidQuery {
+                    reason: "outer join preserving and null side coincide".into(),
+                });
+            }
+            if self.outer_joins[..i]
+                .iter()
+                .any(|o| o.null_side == oj.null_side)
+            {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("table {} is the null side of two outer joins", oj.null_side),
+                });
+            }
+        }
+
+        if self.closure {
+            let pairs: Vec<(ColRef, ColRef)> = self
+                .join_preds
+                .iter()
+                .filter(|p| p.outer_join.is_none())
+                .map(|p| (p.left, p.right))
+                .collect();
+            for (l, r) in transitive_closure_implied(&pairs) {
+                self.join_preds.push(JoinPredicate {
+                    left: l,
+                    right: r,
+                    implied: true,
+                    outer_join: None,
+                });
+            }
+        }
+
+        // Dense-index the interesting columns: join columns, GROUP BY,
+        // ORDER BY, and partitioning keys of the referenced tables (the
+        // parallel mode's lazily generated natural partitions, §4).
+        let mut interesting_cols: Vec<ColRef> = Vec::new();
+        let mut col_index: FxHashMap<ColRef, u16> = FxHashMap::default();
+        let intern = |c: ColRef, cols: &mut Vec<ColRef>, ix: &mut FxHashMap<ColRef, u16>| {
+            ix.entry(c).or_insert_with(|| {
+                cols.push(c);
+                (cols.len() - 1) as u16
+            });
+        };
+        for p in &self.join_preds {
+            intern(p.left, &mut interesting_cols, &mut col_index);
+            intern(p.right, &mut interesting_cols, &mut col_index);
+        }
+        for &c in self.group_by.iter().chain(self.order_by.iter()) {
+            intern(c, &mut interesting_cols, &mut col_index);
+        }
+        for (i, &tid) in self.tables.iter().enumerate() {
+            if let Some(keys) = catalog.partitioning(tid).key_columns() {
+                for &k in keys {
+                    intern(
+                        ColRef::new(TableRef(i as u8), k),
+                        &mut interesting_cols,
+                        &mut col_index,
+                    );
+                }
+            }
+        }
+
+        Ok(QueryBlock {
+            tables: self.tables,
+            join_preds: self.join_preds,
+            local_preds: self.local_preds,
+            expensive_preds: self.expensive_preds,
+            outer_joins: self.outer_joins,
+            group_by: self.group_by,
+            order_by: self.order_by,
+            first_n: self.first_n,
+            children: self.children,
+            interesting_cols,
+            col_index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{ColumnDef, TableDef};
+
+    fn catalog(n_tables: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n_tables {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                1000.0,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 100.0),
+                    ColumnDef::uniform("c1", 1000.0, 50.0),
+                    ColumnDef::uniform("c2", 1000.0, 10.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    #[test]
+    fn builds_a_three_table_chain() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        let t0 = b.add_table(TableId(0));
+        let t1 = b.add_table(TableId(1));
+        let t2 = b.add_table(TableId(2));
+        assert_eq!((t0, t1, t2), (TableRef(0), TableRef(1), TableRef(2)));
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(1, 1), col(2, 1));
+        b.order_by(vec![col(0, 2)]);
+        let block = b.build(&cat).unwrap();
+        assert_eq!(block.n_tables(), 3);
+        assert_eq!(block.all_tables().len(), 3);
+        assert_eq!(block.join_preds().len(), 2);
+        // interesting: 4 join cols + 1 order col (serial catalog: no partition keys)
+        assert_eq!(block.n_interesting_cols(), 5);
+        let id = block.col_id(col(0, 2)).unwrap();
+        assert_eq!(block.col_ref(id), col(0, 2));
+        assert_eq!(block.col_id(col(2, 2)), None);
+    }
+
+    #[test]
+    fn closure_adds_implied_predicate() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(1, 0), col(2, 0));
+        b.apply_transitive_closure();
+        let block = b.build(&cat).unwrap();
+        assert_eq!(block.join_preds().len(), 3);
+        assert!(block.join_preds().iter().any(|p| p.implied));
+    }
+
+    #[test]
+    fn preds_between_finds_spanning_predicates() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(1, 1), col(2, 1));
+        let block = b.build(&cat).unwrap();
+        let s01 = TableSet::first_n(2);
+        let s2 = TableSet::singleton(TableRef(2));
+        assert_eq!(block.preds_between(s01, s2), vec![1]);
+        assert_eq!(
+            block.preds_between(TableSet::singleton(TableRef(0)), s2),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn outer_join_recorded_and_queryable() {
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.left_outer_join(col(0, 0), col(1, 0));
+        let block = b.build(&cat).unwrap();
+        assert_eq!(block.outer_joins().len(), 1);
+        assert!(block.outer_join_with_null_side(TableRef(1)).is_some());
+        assert!(block.outer_join_with_null_side(TableRef(0)).is_none());
+        assert_eq!(block.null_side_tables(), TableSet::singleton(TableRef(1)));
+        assert_eq!(block.join_preds()[0].outer_join, Some(0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let cat = catalog(2);
+        assert!(QueryBlockBuilder::new().build(&cat).is_err(), "empty FROM");
+
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 9), col(1, 0));
+        assert!(b.build(&cat).is_err(), "bad column");
+
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(0, 1));
+        assert!(b.build(&cat).is_err(), "same-table join predicate");
+
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.local(col(0, 0), PredOp::Opaque(1.5));
+        assert!(b.build(&cat).is_err(), "selectivity out of range");
+
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        assert!(b.build(&catalog(0)).is_err(), "unknown table id");
+    }
+
+    #[test]
+    fn walk_flattens_subqueries() {
+        let cat = catalog(2);
+        let mut inner = QueryBlockBuilder::new();
+        inner.add_table(TableId(1));
+        let inner = inner.build(&cat).unwrap();
+        let mut outer = QueryBlockBuilder::new();
+        outer.add_table(TableId(0));
+        outer.child(inner);
+        let outer = outer.build(&cat).unwrap();
+        let q = Query::new("q", outer);
+        assert_eq!(q.blocks().len(), 2);
+        assert_eq!(q.total_tables(), 2);
+    }
+
+    #[test]
+    fn parallel_catalog_interns_partition_keys() {
+        let mut b = Catalog::builder_parallel(cote_catalog::NodeGroup::new(4));
+        b.add_table(TableDef::new(
+            "f",
+            100.0,
+            vec![
+                ColumnDef::uniform("a", 100.0, 10.0),
+                ColumnDef::uniform("b", 100.0, 10.0),
+            ],
+        ));
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        qb.add_table(TableId(0));
+        let block = qb.build(&cat).unwrap();
+        // Partition key (column 0) is interesting even with no predicates.
+        assert_eq!(block.n_interesting_cols(), 1);
+        assert_eq!(block.col_ref(0), col(0, 0));
+    }
+}

@@ -1,0 +1,214 @@
+//! Column equivalence classes and transitive closure.
+//!
+//! Equality join predicates induce equivalence classes over columns: after
+//! applying `R.a = S.a`, an order on `R.a` and an order on `S.a` are the
+//! same order (paper §3.3: "joins can change property equivalence ...
+//! equivalence needs to be checked for each enumerated join").
+//!
+//! The closure of these classes also *generates* predicates: if `A.x = B.x`
+//! and `B.x = C.x` are written, `A.x = C.x` is implied — commercial systems
+//! add it, and that is why "cycles are common in real queries" (§2.2).
+
+use cote_common::{ColRef, FxHashMap};
+
+/// Union-find over a query's *interesting columns* (columns that appear in
+/// join predicates, GROUP BY, ORDER BY or partitioning keys).
+///
+/// Columns are addressed by the dense ids a [`crate::block::QueryBlock`]
+/// assigns; the struct is cheap to clone so MEMO entries can carry their own
+/// progressively merged copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqClasses {
+    parent: Vec<u16>,
+}
+
+impl EqClasses {
+    /// `n` singleton classes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u16).collect(),
+        }
+    }
+
+    /// Number of columns tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if no columns are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Canonical representative of `col`'s class (path-halving find).
+    pub fn find(&self, col: u16) -> u16 {
+        let mut c = col as usize;
+        while self.parent[c] as usize != c {
+            c = self.parent[c] as usize;
+        }
+        c as u16
+    }
+
+    /// Merge the classes of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u16, b: u16) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        // Deterministic: smaller id becomes the representative, so the
+        // canonical form of an order is stable across enumeration orders.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+        true
+    }
+
+    /// Are `a` and `b` in the same class?
+    pub fn equivalent(&self, a: u16, b: u16) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Canonicalize a column sequence (e.g. an order's key list) by mapping
+    /// every column to its class representative.
+    pub fn canonicalize(&self, cols: &[u16]) -> Vec<u16> {
+        cols.iter().map(|&c| self.find(c)).collect()
+    }
+
+    /// Merge another partition into this one (class-wise union).
+    pub fn absorb(&mut self, other: &EqClasses) {
+        debug_assert_eq!(self.len(), other.len());
+        for c in 0..other.parent.len() as u16 {
+            let r = other.find(c);
+            if r != c {
+                self.union(c, r);
+            }
+        }
+    }
+}
+
+/// Compute the transitive closure of a set of column-equality pairs and
+/// return the *implied* pairs (those not already present, spanning distinct
+/// tables), as the commercial-system rewrite the paper references would add.
+///
+/// `pairs` are `(ColRef, ColRef)` equalities. The result is deterministic:
+/// implied pairs are emitted in sorted order and exclude same-table pairs
+/// (those become local, not join, predicates and do not affect the join
+/// graph).
+pub fn transitive_closure_implied(pairs: &[(ColRef, ColRef)]) -> Vec<(ColRef, ColRef)> {
+    // Dense-index the columns.
+    let mut index: FxHashMap<ColRef, u16> = FxHashMap::default();
+    let mut cols: Vec<ColRef> = Vec::new();
+    let id_of = |c: ColRef, cols: &mut Vec<ColRef>, index: &mut FxHashMap<ColRef, u16>| -> u16 {
+        *index.entry(c).or_insert_with(|| {
+            cols.push(c);
+            (cols.len() - 1) as u16
+        })
+    };
+    let mut eq = Vec::with_capacity(pairs.len());
+    for &(a, b) in pairs {
+        let ia = id_of(a, &mut cols, &mut index);
+        let ib = id_of(b, &mut cols, &mut index);
+        eq.push((ia, ib));
+    }
+    let mut uf = EqClasses::new(cols.len());
+    for &(a, b) in &eq {
+        uf.union(a, b);
+    }
+    // Group columns by class.
+    let mut by_class: FxHashMap<u16, Vec<u16>> = FxHashMap::default();
+    for c in 0..cols.len() as u16 {
+        by_class.entry(uf.find(c)).or_default().push(c);
+    }
+    let existing: std::collections::BTreeSet<(ColRef, ColRef)> = pairs
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    let mut implied = Vec::new();
+    for members in by_class.values() {
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let (ca, cb) = (cols[a as usize], cols[b as usize]);
+                if ca.table == cb.table {
+                    continue;
+                }
+                let key = if ca <= cb { (ca, cb) } else { (cb, ca) };
+                if !existing.contains(&key) {
+                    implied.push(key);
+                }
+            }
+        }
+    }
+    implied.sort_unstable();
+    implied.dedup();
+    implied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_common::TableRef;
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut eq = EqClasses::new(4);
+        assert!(!eq.equivalent(0, 1));
+        assert!(eq.union(0, 1));
+        assert!(!eq.union(1, 0), "already merged");
+        assert!(eq.equivalent(0, 1));
+        eq.union(2, 3);
+        assert!(!eq.equivalent(1, 2));
+        eq.union(1, 3);
+        assert!(eq.equivalent(0, 2));
+        // Representative is the smallest member — deterministic canon.
+        assert_eq!(eq.find(3), 0);
+        assert_eq!(eq.canonicalize(&[3, 2, 0]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn absorb_merges_partitions() {
+        let mut a = EqClasses::new(4);
+        a.union(0, 1);
+        let mut b = EqClasses::new(4);
+        b.union(2, 3);
+        a.absorb(&b);
+        assert!(a.equivalent(0, 1));
+        assert!(a.equivalent(2, 3));
+        assert!(!a.equivalent(0, 2));
+    }
+
+    #[test]
+    fn closure_creates_the_triangle_cycle() {
+        // A.x = B.x, B.x = C.x  ⇒  implied A.x = C.x: linear graph becomes a cycle.
+        let pairs = vec![(col(0, 0), col(1, 0)), (col(1, 0), col(2, 0))];
+        let implied = transitive_closure_implied(&pairs);
+        assert_eq!(implied, vec![(col(0, 0), col(2, 0))]);
+    }
+
+    #[test]
+    fn closure_skips_same_table_and_existing_pairs() {
+        // Chain through two columns of table 1.
+        let pairs = vec![
+            (col(0, 0), col(1, 0)),
+            (col(1, 0), col(1, 1)), // same-table equality (local)
+            (col(1, 1), col(2, 0)),
+            (col(0, 0), col(2, 0)), // already written
+        ];
+        let implied = transitive_closure_implied(&pairs);
+        // All cross-table pairs: (0.0,1.0) (0.0,1.1) (0.0,2.0) (1.0,2.0) (1.1,2.0)
+        // minus existing (0.0,1.0),(1.1,2.0),(0.0,2.0) and same-table ones.
+        assert_eq!(
+            implied,
+            vec![(col(0, 0), col(1, 1)), (col(1, 0), col(2, 0))]
+        );
+    }
+
+    #[test]
+    fn closure_of_disjoint_classes_is_empty() {
+        let pairs = vec![(col(0, 0), col(1, 0)), (col(2, 0), col(3, 0))];
+        assert!(transitive_closure_implied(&pairs).is_empty());
+    }
+}

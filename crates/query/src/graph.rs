@@ -1,0 +1,236 @@
+//! Join-graph analysis.
+//!
+//! The enumerator needs one hot operation — `linked(S, L)`: is there at
+//! least one join predicate connecting two disjoint table sets? With
+//! per-table adjacency masks this is a handful of word operations.
+//!
+//! The analysis functions (connectivity, cycle rank) back the workload
+//! generators and the §2.2 discussion: counting joins on cyclic graphs is
+//! #P-complete, which is why COTE *enumerates* instead of counting.
+
+use crate::block::QueryBlock;
+use cote_common::{TableRef, TableSet};
+
+/// Adjacency view of a query block's join predicates.
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// `adj[i]` = set of tables sharing ≥1 join predicate with table `i`.
+    adj: Vec<TableSet>,
+    n: usize,
+    unique_edges: usize,
+}
+
+impl JoinGraph {
+    /// Build the graph for a block (outer-join predicates count as edges:
+    /// they link tables for enumeration purposes).
+    pub fn new(block: &QueryBlock) -> Self {
+        let n = block.n_tables();
+        let mut adj = vec![TableSet::EMPTY; n];
+        let mut edges = std::collections::BTreeSet::new();
+        for p in block.join_preds() {
+            let (a, b) = p.tables();
+            adj[a.index()].insert(b);
+            adj[b.index()].insert(a);
+            let key = if a <= b { (a, b) } else { (b, a) };
+            edges.insert(key);
+        }
+        Self {
+            adj,
+            n,
+            unique_edges: edges.len(),
+        }
+    }
+
+    /// Number of tables.
+    pub fn n_tables(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct table pairs connected by ≥1 predicate.
+    pub fn unique_edge_count(&self) -> usize {
+        self.unique_edges
+    }
+
+    /// Tables adjacent to `t`.
+    pub fn neighbors(&self, t: TableRef) -> TableSet {
+        self.adj[t.index()]
+    }
+
+    /// Union of neighbors of every member of `set` (may overlap `set`).
+    pub fn neighbors_of_set(&self, set: TableSet) -> TableSet {
+        let mut out = TableSet::EMPTY;
+        for t in set {
+            out = out.union(self.adj[t.index()]);
+        }
+        out
+    }
+
+    /// Is there a join predicate between the (disjoint) sets `a` and `b`?
+    #[inline]
+    pub fn linked(&self, a: TableSet, b: TableSet) -> bool {
+        debug_assert!(a.is_disjoint(b));
+        self.neighbors_of_set(a).intersects(b)
+    }
+
+    /// Is the induced subgraph on `set` connected?
+    pub fn is_connected_subset(&self, set: TableSet) -> bool {
+        let Some(start) = set.first() else {
+            return false;
+        };
+        let mut seen = TableSet::singleton(start);
+        let mut frontier = seen;
+        while !frontier.is_empty() {
+            let mut next = TableSet::EMPTY;
+            for t in frontier {
+                next = next.union(self.adj[t.index()].intersect(set));
+            }
+            frontier = next.difference(seen);
+            seen = seen.union(next);
+        }
+        seen == set
+    }
+
+    /// Is the whole graph connected?
+    pub fn is_connected(&self) -> bool {
+        self.n > 0 && self.is_connected_subset(TableSet::first_n(self.n))
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let mut remaining = TableSet::first_n(self.n);
+        let mut components = 0;
+        while let Some(start) = remaining.first() {
+            components += 1;
+            let mut seen = TableSet::singleton(start);
+            let mut frontier = seen;
+            while !frontier.is_empty() {
+                let mut next = TableSet::EMPTY;
+                for t in frontier {
+                    next = next.union(self.adj[t.index()].intersect(remaining));
+                }
+                frontier = next.difference(seen);
+                seen = seen.union(next);
+            }
+            remaining = remaining.difference(seen);
+        }
+        components
+    }
+
+    /// Cycle rank `E - V + C` of the simple graph (0 ⇔ forest).
+    pub fn cycle_rank(&self) -> usize {
+        (self.unique_edges + self.component_count()).saturating_sub(self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::QueryBlockBuilder;
+    use cote_catalog::{Catalog, ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                100.0,
+                vec![
+                    ColumnDef::uniform("c0", 100.0, 10.0),
+                    ColumnDef::uniform("c1", 100.0, 10.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    fn chain(n: usize) -> JoinGraph {
+        let cat = catalog(n);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..n {
+            b.add_table(TableId(i as u32));
+        }
+        for i in 0..n - 1 {
+            b.join(col(i as u8, 0), col(i as u8 + 1, 0));
+        }
+        JoinGraph::new(&b.build(&cat).unwrap())
+    }
+
+    #[test]
+    fn chain_is_connected_acyclic() {
+        let g = chain(5);
+        assert!(g.is_connected());
+        assert_eq!(g.component_count(), 1);
+        assert_eq!(g.cycle_rank(), 0);
+        assert_eq!(g.unique_edge_count(), 4);
+        assert_eq!(g.neighbors(TableRef(2)).len(), 2);
+        assert_eq!(g.neighbors(TableRef(0)).len(), 1);
+    }
+
+    #[test]
+    fn linked_respects_graph() {
+        let g = chain(4);
+        let s01: TableSet = [TableRef(0), TableRef(1)].into_iter().collect();
+        let s2 = TableSet::singleton(TableRef(2));
+        let s3 = TableSet::singleton(TableRef(3));
+        assert!(g.linked(s01, s2));
+        assert!(!g.linked(s01, s3));
+        assert!(g.linked(s2, s3));
+    }
+
+    #[test]
+    fn closure_makes_cycle() {
+        let cat = catalog(3);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..3 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(1, 0), col(2, 0));
+        b.apply_transitive_closure();
+        let g = JoinGraph::new(&b.build(&cat).unwrap());
+        assert_eq!(g.cycle_rank(), 1, "triangle after closure");
+    }
+
+    #[test]
+    fn parallel_predicates_are_one_edge() {
+        let cat = catalog(2);
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(0, 1), col(1, 1));
+        let g = JoinGraph::new(&b.build(&cat).unwrap());
+        assert_eq!(g.unique_edge_count(), 1);
+        assert_eq!(g.cycle_rank(), 0);
+    }
+
+    #[test]
+    fn disconnected_components_counted() {
+        let cat = catalog(4);
+        let mut b = QueryBlockBuilder::new();
+        for i in 0..4 {
+            b.add_table(TableId(i));
+        }
+        b.join(col(0, 0), col(1, 0));
+        b.join(col(2, 0), col(3, 0));
+        let g = JoinGraph::new(&b.build(&cat).unwrap());
+        assert!(!g.is_connected());
+        assert_eq!(g.component_count(), 2);
+        let s01: TableSet = [TableRef(0), TableRef(1)].into_iter().collect();
+        assert!(g.is_connected_subset(s01));
+        let s02: TableSet = [TableRef(0), TableRef(2)].into_iter().collect();
+        assert!(!g.is_connected_subset(s02));
+    }
+
+    #[test]
+    fn empty_subset_is_not_connected() {
+        let g = chain(3);
+        assert!(!g.is_connected_subset(TableSet::EMPTY));
+        assert!(g.is_connected_subset(TableSet::singleton(TableRef(1))));
+    }
+}

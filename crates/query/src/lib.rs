@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Query model for the COTE reproduction.
+//!
+//! Queries enter the optimizer as trees of *query blocks* (paper §3.3: "our
+//! algorithm is based on a MEMO structure for a single query block \[and\] can
+//! be easily extended to handle multiple query blocks"). A block has a FROM
+//! list of table references, equality join predicates (possibly several
+//! between the same table pair), local predicates, outer joins, GROUP BY and
+//! ORDER BY lists, and child blocks for subqueries.
+//!
+//! * [`predicate`] — join and local predicates;
+//! * [`block`] — [`block::QueryBlock`], [`block::Query`] and the validating
+//!   builder;
+//! * [`equivalence`] — column equivalence classes (union-find) and the
+//!   transitive closure that plants *implied* predicates — the reason "cycles
+//!   are common in real queries" (paper §2.2);
+//! * [`graph`] — join-graph analysis: adjacency, connectivity, cycles.
+
+pub mod block;
+pub mod display;
+pub mod equivalence;
+pub mod graph;
+pub mod predicate;
+
+pub use block::{OuterJoin, Query, QueryBlock, QueryBlockBuilder};
+pub use display::{block_to_sql, to_sql};
+pub use equivalence::EqClasses;
+pub use graph::JoinGraph;
+pub use predicate::{ExpensivePred, JoinPredicate, LocalPredicate, PredOp};

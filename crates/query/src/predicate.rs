@@ -1,0 +1,177 @@
+//! Join and local predicates.
+
+use cote_common::ColRef;
+use std::fmt;
+
+/// An equality join predicate `left = right` between two table references.
+///
+/// Only equality joins participate in join enumeration (as in System R);
+/// non-equality conditions between tables can be expressed as post-join
+/// local predicates if needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinPredicate {
+    /// Left column.
+    pub left: ColRef,
+    /// Right column.
+    pub right: ColRef,
+    /// `true` if this predicate was derived by transitive closure rather
+    /// than written by the user (paper §2.2: implied predicates are a major
+    /// source of join-graph cycles).
+    pub implied: bool,
+    /// If set, the predicate belongs to the outer join with this id in the
+    /// owning block's `outer_joins` list; reordering around it is restricted.
+    pub outer_join: Option<u16>,
+}
+
+impl JoinPredicate {
+    /// A plain (user-written) inner-join predicate.
+    pub fn inner(left: ColRef, right: ColRef) -> Self {
+        Self {
+            left,
+            right,
+            implied: false,
+            outer_join: None,
+        }
+    }
+
+    /// The two referenced table references, in `(left, right)` order.
+    pub fn tables(&self) -> (cote_common::TableRef, cote_common::TableRef) {
+        (self.left.table, self.right.table)
+    }
+
+    /// Given one side's table set membership, return the column on that side
+    /// and the column on the other side, or `None` if the predicate does not
+    /// span the two sets.
+    pub fn split(
+        &self,
+        left_set: cote_common::TableSet,
+        right_set: cote_common::TableSet,
+    ) -> Option<(ColRef, ColRef)> {
+        if left_set.contains(self.left.table) && right_set.contains(self.right.table) {
+            Some((self.left, self.right))
+        } else if left_set.contains(self.right.table) && right_set.contains(self.left.table) {
+            Some((self.right, self.left))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for JoinPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)?;
+        if self.implied {
+            write!(f, " (implied)")?;
+        }
+        if self.outer_join.is_some() {
+            write!(f, " (outer)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison applied by a local predicate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredOp {
+    /// `col = v`.
+    Eq(f64),
+    /// `col <= v`.
+    Le(f64),
+    /// `col >= v`.
+    Ge(f64),
+    /// `lo <= col <= hi`.
+    Between(f64, f64),
+    /// An opaque predicate with a directly supplied selectivity in `[0,1]`
+    /// (stand-in for LIKE / UDFs the cost model cannot introspect).
+    Opaque(f64),
+}
+
+/// An *expensive* single-table predicate (a user-defined function in the
+/// Chaudhuri–Shim sense, paper Table 1): the optimizer may evaluate it at
+/// the scan or defer it past joins, so the set of still-unapplied expensive
+/// predicates is a physical plan property.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpensivePred {
+    /// Restricted column.
+    pub column: ColRef,
+    /// Selectivity of the predicate in `[0, 1]`.
+    pub selectivity: f64,
+    /// CPU cost units charged per input row evaluated.
+    pub cpu_per_row: f64,
+}
+
+impl fmt::Display for ExpensivePred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "expensive_udf({}) /* sel {}, {} cpu/row */",
+            self.column, self.selectivity, self.cpu_per_row
+        )
+    }
+}
+
+/// A single-table restriction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalPredicate {
+    /// Restricted column.
+    pub column: ColRef,
+    /// Comparison.
+    pub op: PredOp,
+}
+
+impl LocalPredicate {
+    /// Convenience constructor.
+    pub fn new(column: ColRef, op: PredOp) -> Self {
+        Self { column, op }
+    }
+}
+
+impl fmt::Display for LocalPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            PredOp::Eq(v) => write!(f, "{} = {v}", self.column),
+            PredOp::Le(v) => write!(f, "{} <= {v}", self.column),
+            PredOp::Ge(v) => write!(f, "{} >= {v}", self.column),
+            PredOp::Between(lo, hi) => write!(f, "{} BETWEEN {lo} AND {hi}", self.column),
+            PredOp::Opaque(s) => write!(f, "opaque({}, sel={s})", self.column),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_common::{TableRef, TableSet};
+
+    fn col(t: u8, c: u16) -> ColRef {
+        ColRef::new(TableRef(t), c)
+    }
+
+    #[test]
+    fn split_orients_columns() {
+        let p = JoinPredicate::inner(col(0, 1), col(1, 2));
+        let s0 = TableSet::singleton(TableRef(0));
+        let s1 = TableSet::singleton(TableRef(1));
+        assert_eq!(p.split(s0, s1), Some((col(0, 1), col(1, 2))));
+        assert_eq!(p.split(s1, s0), Some((col(1, 2), col(0, 1))));
+        let s2 = TableSet::singleton(TableRef(2));
+        assert_eq!(p.split(s0, s2), None);
+        assert_eq!(p.split(s2, s1), None);
+    }
+
+    #[test]
+    fn display_marks_provenance() {
+        let mut p = JoinPredicate::inner(col(0, 0), col(1, 0));
+        assert_eq!(p.to_string(), "t0.c0 = t1.c0");
+        p.implied = true;
+        assert!(p.to_string().contains("implied"));
+        p.outer_join = Some(0);
+        assert!(p.to_string().contains("outer"));
+    }
+
+    #[test]
+    fn local_predicate_display() {
+        let lp = LocalPredicate::new(col(2, 1), PredOp::Between(1.0, 5.0));
+        assert!(lp.to_string().contains("BETWEEN"));
+    }
+}

@@ -1,0 +1,634 @@
+//! The `real1` / `real2` customer workloads — synthetic stand-ins.
+//!
+//! The paper's customer workloads are proprietary, so we rebuild them to the
+//! published specification (§5): "complex data warehouse queries with inner
+//! joins, outerjoins, aggregations and subqueries"; `real1` has 8 queries,
+//! `real2` 17, and `real2` contains a query of "14 tables constructed from
+//! 3 views, 21 local predicates and 9 groupby columns that overlap with the
+//! join columns" — reproduced verbatim in [`real2`]'s `real2_q09`
+//! (views are flattened into the block, as a rewrite phase would).
+
+use crate::synth::builder;
+use crate::Workload;
+use cote_catalog::{Catalog, ColumnDef, ForeignKey, IndexDef, Key, TableDef};
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{PredOp, Query, QueryBlockBuilder};
+
+/// Table ids of the data-warehouse schema, in creation order.
+#[derive(Debug, Clone, Copy)]
+pub struct DwSchema {
+    /// `sales` fact (2M rows): date_id, store_id, item_id, cust_id,
+    /// promo_id, qty, amount, cost.
+    pub sales: TableId,
+    /// `returns` fact (200k rows): date_id, store_id, item_id, cust_id,
+    /// reason, qty, amount.
+    pub returns: TableId,
+    /// `inventory` fact (800k rows): date_id, wh_id, item_id, qty.
+    pub inventory: TableId,
+    /// `date_dim` (2555 rows): id, month, quarter, year, dow.
+    pub date_dim: TableId,
+    /// `store` (1000 rows): id, region_id, class, size.
+    pub store: TableId,
+    /// `item` (50k rows): id, brand_id, category, price.
+    pub item: TableId,
+    /// `customer` (500k rows): id, demo_id, city, state.
+    pub customer: TableId,
+    /// `promotion` (500 rows): id, channel, cost.
+    pub promotion: TableId,
+    /// `warehouse` (50 rows): id, region_id, size.
+    pub warehouse: TableId,
+    /// `region` (20 rows): id, zone.
+    pub region: TableId,
+    /// `brand` (2k rows): id, manufacturer.
+    pub brand: TableId,
+    /// `demographics` (10k rows): id, income_band, education.
+    pub demographics: TableId,
+}
+
+fn dim(name: &str, rows: f64, cols: &[(&str, f64)]) -> TableDef {
+    TableDef::new(
+        name,
+        rows,
+        cols.iter()
+            .map(|(n, ndv)| ColumnDef::uniform(*n, rows, *ndv))
+            .collect(),
+    )
+}
+
+/// Build the data-warehouse catalog (shared by `real1`, `real2`, `random`).
+pub fn dw_catalog(mode: Mode) -> (Catalog, DwSchema) {
+    let mut b = builder(mode);
+
+    let sales = b.add_table(TableDef::new(
+        "sales",
+        2_000_000.0,
+        vec![
+            ColumnDef::uniform("date_id", 2_000_000.0, 2555.0),
+            ColumnDef::uniform("store_id", 2_000_000.0, 1000.0),
+            ColumnDef::skewed("item_id", 2_000_000.0, 50_000.0, 0.5),
+            ColumnDef::uniform("cust_id", 2_000_000.0, 500_000.0),
+            ColumnDef::skewed("promo_id", 2_000_000.0, 500.0, 0.8),
+            ColumnDef::uniform("qty", 2_000_000.0, 100.0),
+            ColumnDef::uniform("amount", 2_000_000.0, 10_000.0),
+            ColumnDef::uniform("cost", 2_000_000.0, 8_000.0),
+        ],
+    ));
+    let returns = b.add_table(TableDef::new(
+        "returns",
+        200_000.0,
+        vec![
+            ColumnDef::uniform("date_id", 200_000.0, 2555.0),
+            ColumnDef::uniform("store_id", 200_000.0, 1000.0),
+            ColumnDef::uniform("item_id", 200_000.0, 40_000.0),
+            ColumnDef::uniform("cust_id", 200_000.0, 150_000.0),
+            ColumnDef::uniform("reason", 200_000.0, 50.0),
+            ColumnDef::uniform("qty", 200_000.0, 20.0),
+            ColumnDef::uniform("amount", 200_000.0, 5_000.0),
+        ],
+    ));
+    let inventory = b.add_table(TableDef::new(
+        "inventory",
+        800_000.0,
+        vec![
+            ColumnDef::uniform("date_id", 800_000.0, 2555.0),
+            ColumnDef::uniform("wh_id", 800_000.0, 50.0),
+            ColumnDef::uniform("item_id", 800_000.0, 50_000.0),
+            ColumnDef::uniform("qty", 800_000.0, 1_000.0),
+        ],
+    ));
+    let date_dim = b.add_table(dim(
+        "date_dim",
+        2555.0,
+        &[
+            ("id", 2555.0),
+            ("month", 12.0),
+            ("quarter", 4.0),
+            ("year", 7.0),
+            ("dow", 7.0),
+        ],
+    ));
+    let store = b.add_table(dim(
+        "store",
+        1000.0,
+        &[
+            ("id", 1000.0),
+            ("region_id", 20.0),
+            ("class", 5.0),
+            ("size", 200.0),
+        ],
+    ));
+    let item = b.add_table(dim(
+        "item",
+        50_000.0,
+        &[
+            ("id", 50_000.0),
+            ("brand_id", 2_000.0),
+            ("category", 25.0),
+            ("price", 1_000.0),
+        ],
+    ));
+    let customer = b.add_table(dim(
+        "customer",
+        500_000.0,
+        &[
+            ("id", 500_000.0),
+            ("demo_id", 10_000.0),
+            ("city", 2_000.0),
+            ("state", 50.0),
+        ],
+    ));
+    let promotion = b.add_table(dim(
+        "promotion",
+        500.0,
+        &[("id", 500.0), ("channel", 6.0), ("cost", 100.0)],
+    ));
+    let warehouse = b.add_table(dim(
+        "warehouse",
+        50.0,
+        &[("id", 50.0), ("region_id", 20.0), ("size", 10.0)],
+    ));
+    let region = b.add_table(dim("region", 20.0, &[("id", 20.0), ("zone", 4.0)]));
+    let brand = b.add_table(dim(
+        "brand",
+        2_000.0,
+        &[("id", 2_000.0), ("manufacturer", 100.0)],
+    ));
+    let demographics = b.add_table(dim(
+        "demographics",
+        10_000.0,
+        &[("id", 10_000.0), ("income_band", 20.0), ("education", 8.0)],
+    ));
+
+    // Keys and clustered indexes on every dimension id; fact tables get
+    // secondary indexes on their most selective join columns.
+    for t in [
+        date_dim,
+        store,
+        item,
+        customer,
+        promotion,
+        warehouse,
+        region,
+        brand,
+        demographics,
+    ] {
+        b.add_key(Key {
+            table: t,
+            columns: vec![0],
+            primary: true,
+        });
+        b.add_index(IndexDef::new(t, vec![0]).clustered().unique());
+    }
+    b.add_index(IndexDef::new(sales, vec![0, 2]));
+    b.add_index(IndexDef::new(sales, vec![3]));
+    b.add_index(IndexDef::new(returns, vec![2]));
+    b.add_index(IndexDef::new(inventory, vec![2, 0]));
+
+    // Foreign keys fact → dimension and dimension → sub-dimension.
+    let fks: [(TableId, u16, TableId); 13] = [
+        (sales, 0, date_dim),
+        (sales, 1, store),
+        (sales, 2, item),
+        (sales, 3, customer),
+        (sales, 4, promotion),
+        (returns, 0, date_dim),
+        (returns, 1, store),
+        (returns, 2, item),
+        (returns, 3, customer),
+        (inventory, 0, date_dim),
+        (inventory, 1, warehouse),
+        (inventory, 2, item),
+        (store, 1, region),
+    ];
+    for (from, col, to) in fks {
+        b.add_foreign_key(ForeignKey {
+            from_table: from,
+            from_columns: vec![col],
+            to_table: to,
+            to_columns: vec![0],
+        });
+    }
+    for (from, col, to) in [
+        (warehouse, 1, region),
+        (item, 1, brand),
+        (customer, 1, demographics),
+    ] {
+        b.add_foreign_key(ForeignKey {
+            from_table: from,
+            from_columns: vec![col],
+            to_table: to,
+            to_columns: vec![0],
+        });
+    }
+
+    let schema = DwSchema {
+        sales,
+        returns,
+        inventory,
+        date_dim,
+        store,
+        item,
+        customer,
+        promotion,
+        warehouse,
+        region,
+        brand,
+        demographics,
+    };
+    (b.build().expect("DW catalog is valid"), schema)
+}
+
+/// Column reference shorthand.
+fn c(t: TableRef, col: u16) -> ColRef {
+    ColRef::new(t, col)
+}
+
+/// `real1`: eight data-warehouse queries of moderate complexity.
+pub fn real1(mode: Mode) -> Workload {
+    let (catalog, s) = dw_catalog(mode);
+    let mut queries = Vec::with_capacity(8);
+
+    // q1: sales by store region per quarter.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let d = b.add_table(s.date_dim);
+        let st = b.add_table(s.store);
+        let r = b.add_table(s.region);
+        b.join(c(f, 0), c(d, 0));
+        b.join(c(f, 1), c(st, 0));
+        b.join(c(st, 1), c(r, 0));
+        b.local(c(d, 3), PredOp::Eq(3.0));
+        b.group_by(vec![c(r, 1), c(d, 2)]);
+        b.order_by(vec![c(r, 1)]);
+        queries.push(Query::new("real1_q1", b.build(&catalog).expect("q1")));
+    }
+    // q2: snowflake to brand and demographics.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let it = b.add_table(s.item);
+        let br = b.add_table(s.brand);
+        let cu = b.add_table(s.customer);
+        let de = b.add_table(s.demographics);
+        b.join(c(f, 2), c(it, 0));
+        b.join(c(it, 1), c(br, 0));
+        b.join(c(f, 3), c(cu, 0));
+        b.join(c(cu, 1), c(de, 0));
+        b.local(c(de, 1), PredOp::Between(5.0, 10.0));
+        b.local(c(it, 2), PredOp::Eq(7.0));
+        b.group_by(vec![c(br, 1)]);
+        queries.push(Query::new("real1_q2", b.build(&catalog).expect("q2")));
+    }
+    // q3: promotions with an outer join (not every sale is promoted).
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let d = b.add_table(s.date_dim);
+        let pr = b.add_table(s.promotion);
+        let st = b.add_table(s.store);
+        b.join(c(f, 0), c(d, 0));
+        b.join(c(f, 1), c(st, 0));
+        b.left_outer_join(c(f, 4), c(pr, 0));
+        b.local(c(d, 1), PredOp::Between(6.0, 8.0));
+        b.group_by(vec![c(pr, 1)]);
+        queries.push(Query::new("real1_q3", b.build(&catalog).expect("q3")));
+    }
+    // q4: returns against sales through shared dimensions.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let r = b.add_table(s.returns);
+        let it = b.add_table(s.item);
+        let cu = b.add_table(s.customer);
+        let d = b.add_table(s.date_dim);
+        b.join(c(f, 2), c(it, 0));
+        b.join(c(r, 2), c(it, 0));
+        b.join(c(f, 3), c(cu, 0));
+        b.join(c(r, 3), c(cu, 0));
+        b.join(c(f, 0), c(d, 0));
+        b.apply_transitive_closure();
+        b.local(c(r, 4), PredOp::Le(10.0));
+        b.group_by(vec![c(it, 2)]);
+        b.order_by(vec![c(it, 2)]);
+        queries.push(Query::new("real1_q4", b.build(&catalog).expect("q4")));
+    }
+    // q5: inventory position with warehouse snowflake.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let inv = b.add_table(s.inventory);
+        let wh = b.add_table(s.warehouse);
+        let rg = b.add_table(s.region);
+        let it = b.add_table(s.item);
+        let d = b.add_table(s.date_dim);
+        b.join(c(inv, 1), c(wh, 0));
+        b.join(c(wh, 1), c(rg, 0));
+        b.join(c(inv, 2), c(it, 0));
+        b.join(c(inv, 0), c(d, 0));
+        b.local(c(d, 3), PredOp::Eq(5.0));
+        b.local(c(it, 3), PredOp::Ge(500.0));
+        b.group_by(vec![c(rg, 1), c(it, 1)]);
+        queries.push(Query::new("real1_q5", b.build(&catalog).expect("q5")));
+    }
+    // q6: customer-city drill-down with a scalar-style subquery on returns.
+    {
+        let mut sub = QueryBlockBuilder::new();
+        let r = sub.add_table(s.returns);
+        let d2 = sub.add_table(s.date_dim);
+        sub.join(c(r, 0), c(d2, 0));
+        sub.local(c(d2, 3), PredOp::Eq(5.0));
+        let sub = sub.build(&catalog).expect("q6 sub");
+
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let cu = b.add_table(s.customer);
+        let d = b.add_table(s.date_dim);
+        b.join(c(f, 3), c(cu, 0));
+        b.join(c(f, 0), c(d, 0));
+        b.local(c(cu, 3), PredOp::Eq(13.0));
+        b.group_by(vec![c(cu, 2)]);
+        b.order_by(vec![c(cu, 2)]);
+        b.child(sub);
+        queries.push(Query::new("real1_q6", b.build(&catalog).expect("q6")));
+    }
+    // q7: wide star across five dimensions.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let d = b.add_table(s.date_dim);
+        let st = b.add_table(s.store);
+        let it = b.add_table(s.item);
+        let cu = b.add_table(s.customer);
+        let pr = b.add_table(s.promotion);
+        b.join(c(f, 0), c(d, 0));
+        b.join(c(f, 1), c(st, 0));
+        b.join(c(f, 2), c(it, 0));
+        b.join(c(f, 3), c(cu, 0));
+        b.join(c(f, 4), c(pr, 0));
+        b.local(c(d, 2), PredOp::Eq(2.0));
+        b.local(c(st, 2), PredOp::Eq(1.0));
+        b.local(c(pr, 1), PredOp::Le(3.0));
+        b.group_by(vec![c(d, 1), c(st, 1)]);
+        b.order_by(vec![c(d, 1)]);
+        queries.push(Query::new("real1_q7", b.build(&catalog).expect("q7")));
+    }
+    // q8: top-n first-rows query (pipelinable property in play).
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let it = b.add_table(s.item);
+        let br = b.add_table(s.brand);
+        b.join(c(f, 2), c(it, 0));
+        b.join(c(it, 1), c(br, 0));
+        b.local(c(br, 1), PredOp::Eq(42.0));
+        b.order_by(vec![c(it, 3)]);
+        b.first_n(10);
+        queries.push(Query::new("real1_q8", b.build(&catalog).expect("q8")));
+    }
+
+    Workload {
+        name: format!("real1_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+/// `real2`: seventeen data-warehouse queries, including the paper's
+/// flagship 14-table / 21-local-predicate / 9-GROUP-BY-column query.
+pub fn real2(mode: Mode) -> Workload {
+    let (catalog, s) = dw_catalog(mode);
+    let mut queries = Vec::with_capacity(17);
+
+    // Reuse the real1 shapes as the first eight (a customer site's daily
+    // reports), then append the heavier analyses.
+    queries.extend(
+        real1(mode)
+            .queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut q)| {
+                q.name = format!("real2_q{:02}", i + 1);
+                q
+            }),
+    );
+
+    // q09: THE flagship — 14 tables (3 flattened views: sales-star,
+    // returns-star, inventory-star), 21 local predicates, 9 GROUP BY
+    // columns overlapping the join columns.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales); // t0
+        let r = b.add_table(s.returns); // t1
+        let inv = b.add_table(s.inventory); // t2
+        let d1 = b.add_table(s.date_dim); // t3 (sale date)
+        let d2 = b.add_table(s.date_dim); // t4 (return date)
+        let st = b.add_table(s.store); // t5
+        let it = b.add_table(s.item); // t6
+        let cu = b.add_table(s.customer); // t7
+        let pr = b.add_table(s.promotion); // t8
+        let wh = b.add_table(s.warehouse); // t9
+        let rg1 = b.add_table(s.region); // t10 (store region)
+        let rg2 = b.add_table(s.region); // t11 (warehouse region)
+        let br = b.add_table(s.brand); // t12
+        let de = b.add_table(s.demographics); // t13
+
+        // View 1: sales star.
+        b.join(c(f, 0), c(d1, 0));
+        b.join(c(f, 1), c(st, 0));
+        b.join(c(f, 2), c(it, 0));
+        b.join(c(f, 3), c(cu, 0));
+        b.left_outer_join(c(f, 4), c(pr, 0));
+        b.join(c(st, 1), c(rg1, 0));
+        b.join(c(it, 1), c(br, 0));
+        b.join(c(cu, 1), c(de, 0));
+        // View 2: returns star, sharing item/customer, own date.
+        b.join(c(r, 2), c(it, 0));
+        b.join(c(r, 3), c(cu, 0));
+        b.join(c(r, 0), c(d2, 0));
+        // View 3: inventory star.
+        b.join(c(inv, 2), c(it, 0));
+        b.join(c(inv, 1), c(wh, 0));
+        b.join(c(wh, 1), c(rg2, 0));
+        b.join(c(inv, 0), c(d1, 0));
+        // Implied predicates (the rewrite's transitive closure) add cycles.
+        b.apply_transitive_closure();
+
+        // 21 local predicates.
+        b.local(c(d1, 3), PredOp::Eq(6.0));
+        b.local(c(d1, 1), PredOp::Between(3.0, 9.0));
+        b.local(c(d2, 3), PredOp::Eq(6.0));
+        b.local(c(d2, 2), PredOp::Le(3.0));
+        b.local(c(st, 2), PredOp::Eq(2.0));
+        b.local(c(st, 3), PredOp::Ge(50.0));
+        b.local(c(it, 2), PredOp::Between(5.0, 15.0));
+        b.local(c(it, 3), PredOp::Le(800.0));
+        b.local(c(cu, 3), PredOp::Eq(27.0));
+        b.local(c(cu, 2), PredOp::Opaque(0.02));
+        b.local(c(pr, 1), PredOp::Le(4.0));
+        b.local(c(pr, 2), PredOp::Ge(10.0));
+        b.local(c(wh, 2), PredOp::Ge(3.0));
+        b.local(c(rg1, 1), PredOp::Eq(2.0));
+        b.local(c(rg2, 1), PredOp::Eq(2.0));
+        b.local(c(br, 1), PredOp::Between(10.0, 60.0));
+        b.local(c(de, 1), PredOp::Ge(8.0));
+        b.local(c(de, 2), PredOp::Le(6.0));
+        b.local(c(f, 5), PredOp::Ge(2.0));
+        b.local(c(r, 4), PredOp::Le(25.0));
+        b.local(c(inv, 3), PredOp::Ge(10.0));
+
+        // 9 GROUP BY columns, several of them join columns.
+        b.group_by(vec![
+            c(d1, 0),  // join column (sale date id)
+            c(st, 0),  // join column (store id)
+            c(it, 0),  // join column (item id)
+            c(cu, 1),  // join column (demo id)
+            c(st, 1),  // join column (region id)
+            c(it, 1),  // join column (brand id)
+            c(d1, 3),  // year
+            c(rg1, 1), // zone
+            c(de, 1),  // income band
+        ]);
+        b.order_by(vec![c(d1, 3), c(rg1, 1)]);
+        queries.push(Query::new(
+            "real2_q09",
+            b.build(&catalog).expect("flagship"),
+        ));
+    }
+
+    // q10..q17: further mixed analyses of growing width.
+    for (i, extra_dims) in (10..=17).zip([2usize, 3, 3, 4, 4, 5, 5, 6]) {
+        let mut b = QueryBlockBuilder::new();
+        let f = b.add_table(s.sales);
+        let mut joined: Vec<TableRef> = Vec::new();
+        let dim_ids = [
+            s.date_dim,
+            s.store,
+            s.item,
+            s.customer,
+            s.promotion,
+            s.date_dim,
+        ];
+        let fact_cols = [0u16, 1, 2, 3, 4, 0];
+        for k in 0..extra_dims {
+            let t = b.add_table(dim_ids[k]);
+            if k == 4 {
+                b.left_outer_join(c(f, fact_cols[k]), c(t, 0));
+            } else {
+                b.join(c(f, fact_cols[k]), c(t, 0));
+            }
+            joined.push(t);
+        }
+        // Snowflake out of the first two dims when present.
+        if extra_dims >= 2 {
+            let rg = b.add_table(s.region);
+            b.join(c(joined[1], 1), c(rg, 0));
+            b.local(c(rg, 1), PredOp::Eq((i % 4) as f64));
+        }
+        if extra_dims >= 3 {
+            let br = b.add_table(s.brand);
+            b.join(c(joined[2], 1), c(br, 0));
+        }
+        b.local(c(f, 6), PredOp::Ge(100.0 + i as f64));
+        b.local(c(joined[0], 3), PredOp::Eq((i % 7) as f64));
+        if i % 2 == 0 {
+            b.group_by(vec![c(joined[0], 1), c(joined[0], 2)]);
+        }
+        if i % 3 == 0 {
+            b.order_by(vec![c(joined[0], 1)]);
+        }
+        if i % 4 == 2 {
+            // Subquery block: correlated returns lookup.
+            let mut sub = QueryBlockBuilder::new();
+            let r = sub.add_table(s.returns);
+            let it2 = sub.add_table(s.item);
+            sub.join(c(r, 2), c(it2, 0));
+            sub.local(c(it2, 2), PredOp::Eq((i % 9) as f64));
+            b.child(sub.build(&catalog).expect("sub"));
+        }
+        queries.push(Query::new(
+            format!("real2_q{i:02}"),
+            b.build(&catalog).expect("real2 extra"),
+        ));
+    }
+
+    Workload {
+        name: format!("real2_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn real1_shape() {
+        let w = real1(Mode::Serial);
+        assert_eq!(w.queries.len(), 8);
+        for q in &w.queries {
+            for block in q.blocks() {
+                assert!(JoinGraph::new(block).is_connected(), "{} connected", q.name);
+            }
+        }
+        // Outer joins and subqueries are present somewhere.
+        assert!(w.queries.iter().any(|q| !q.root.outer_joins().is_empty()));
+        assert!(w.queries.iter().any(|q| !q.root.children().is_empty()));
+        assert!(w.queries.iter().any(|q| q.root.first_n().is_some()));
+    }
+
+    #[test]
+    fn real2_flagship_matches_published_statistics() {
+        let w = real2(Mode::Serial);
+        assert_eq!(w.queries.len(), 17);
+        let flagship = w
+            .queries
+            .iter()
+            .find(|q| q.name == "real2_q09")
+            .expect("flagship present");
+        let b = &flagship.root;
+        assert_eq!(b.n_tables(), 14, "14 tables");
+        assert_eq!(b.local_preds().len(), 21, "21 local predicates");
+        assert_eq!(b.group_by().len(), 9, "9 group-by columns");
+        // Several GROUP BY columns are join columns.
+        let join_cols: std::collections::BTreeSet<_> = b
+            .join_preds()
+            .iter()
+            .flat_map(|p| [p.left, p.right])
+            .collect();
+        let overlap = b
+            .group_by()
+            .iter()
+            .filter(|c| join_cols.contains(c))
+            .count();
+        assert!(overlap >= 6, "group-by overlaps join columns: {overlap}");
+        // The closure planted implied predicates (cycles).
+        assert!(b.join_preds().iter().any(|p| p.implied));
+        assert!(JoinGraph::new(b).cycle_rank() > 0);
+    }
+
+    #[test]
+    fn real2_has_growing_tail_queries() {
+        let w = real2(Mode::Parallel);
+        let tail: Vec<usize> = w.queries[9..].iter().map(|q| q.root.n_tables()).collect();
+        assert!(tail.windows(2).all(|p| p[0] <= p[1]), "{tail:?}");
+        for q in &w.queries {
+            for blk in q.blocks() {
+                assert!(JoinGraph::new(blk).is_connected(), "{}", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn dw_catalog_integrity() {
+        let (cat, s) = dw_catalog(Mode::Serial);
+        assert_eq!(cat.table_count(), 12);
+        assert!(cat.covers_key(s.date_dim, &[0]));
+        assert_eq!(cat.foreign_keys().len(), 16);
+        assert!(cat.indexes_on(s.sales).count() >= 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cyclic-join-graph workloads (paper §2.2).
+//!
+//! "Counting the number of different joins with cycles in the join graph is
+//! as hard as counting Hamiltonian tours in a graph. The problem is
+//! #P-complete … Cycles are common in real queries because of automatic
+//! query generation tools as well as implied predicates computed through
+//! transitive closure." No closed formula exists for these shapes — the
+//! COTE's enumerator-reuse is the only general way to count them, which this
+//! workload exercises: rings, grids and cliques.
+
+use crate::synth::synth_catalog;
+use crate::Workload;
+use cote_catalog::Catalog;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{Query, QueryBlockBuilder};
+
+/// A ring: a chain whose ends are joined (cycle rank 1).
+pub fn ring_query(catalog: &Catalog, n: usize, name: &str) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..n {
+        b.add_table(TableId(i as u32));
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        b.join(
+            ColRef::new(TableRef(i as u8), 0),
+            ColRef::new(TableRef(j as u8), 0),
+        );
+    }
+    Query::new(name, b.build(catalog).expect("ring is valid"))
+}
+
+/// An `r × c` grid: tables joined to their right and lower neighbours
+/// (cycle rank `(r-1)(c-1)`).
+pub fn grid_query(catalog: &Catalog, rows: usize, cols: usize, name: &str) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for _ in 0..rows * cols {
+        b.add_table(TableId(0)); // self-joins of the same table: shape is what matters
+    }
+    let at = |r: usize, c: usize| TableRef((r * cols + c) as u8);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.join(ColRef::new(at(r, c), 0), ColRef::new(at(r, c + 1), 0));
+            }
+            if r + 1 < rows {
+                b.join(ColRef::new(at(r, c), 1), ColRef::new(at(r + 1, c), 1));
+            }
+        }
+    }
+    Query::new(name, b.build(catalog).expect("grid is valid"))
+}
+
+/// A clique: every pair of tables joined (maximal cycle rank).
+pub fn clique_query(catalog: &Catalog, n: usize, name: &str) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..n {
+        b.add_table(TableId(i as u32));
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            b.join(
+                ColRef::new(TableRef(i as u8), 0),
+                ColRef::new(TableRef(j as u8), 0),
+            );
+        }
+    }
+    Query::new(name, b.build(catalog).expect("clique is valid"))
+}
+
+/// The cycle workload: rings of 5–9 tables, a 2×3 and a 3×3 grid, cliques of
+/// 4–6 tables.
+pub fn cycle(mode: Mode) -> Workload {
+    let catalog = synth_catalog(mode, 9);
+    let mut queries = Vec::new();
+    for n in 5..=9usize {
+        queries.push(ring_query(&catalog, n, &format!("ring_{n}t")));
+    }
+    queries.push(grid_query(&catalog, 2, 3, "grid_2x3"));
+    queries.push(grid_query(&catalog, 3, 3, "grid_3x3"));
+    for n in 4..=6usize {
+        queries.push(clique_query(&catalog, n, &format!("clique_{n}t")));
+    }
+    Workload {
+        name: format!("cycle_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn shapes_have_the_advertised_cycle_ranks() {
+        let w = cycle(Mode::Serial);
+        let rank = |name: &str| {
+            let q = w.queries.iter().find(|q| q.name == name).unwrap();
+            JoinGraph::new(&q.root).cycle_rank()
+        };
+        assert_eq!(rank("ring_5t"), 1);
+        assert_eq!(rank("ring_9t"), 1);
+        assert_eq!(rank("grid_2x3"), 2);
+        assert_eq!(rank("grid_3x3"), 4);
+        assert_eq!(rank("clique_4t"), 3); // C(4,2) - 4 + 1
+        assert_eq!(rank("clique_6t"), 10);
+    }
+
+    #[test]
+    fn all_connected() {
+        let w = cycle(Mode::Parallel);
+        assert_eq!(w.queries.len(), 10);
+        for q in &w.queries {
+            assert!(JoinGraph::new(&q.root).is_connected(), "{}", q.name);
+        }
+    }
+}

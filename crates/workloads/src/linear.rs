@@ -1,0 +1,119 @@
+//! The `linear` synthetic workload (paper §5).
+//!
+//! Three batches of five queries joining 6, 8 and 10 tables in a chain.
+//! Within a batch the *join graph is identical* (same tables, same edges),
+//! but query `k` places `k` join predicates on every edge and varies the
+//! ORDER BY / GROUP BY lists — so the Ono–Lohman join count is constant
+//! within a batch while the interesting orders (and hence generated plans
+//! and compilation time) spread widely. That spread is what defeats the
+//! join-count baseline in §5.3.
+
+use crate::synth::synth_catalog;
+use crate::Workload;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{Query, QueryBlockBuilder};
+
+/// Table counts of the three batches.
+pub const BATCHES: [usize; 3] = [6, 8, 10];
+/// Join-predicate variants within a batch.
+pub const VARIANTS: usize = 5;
+
+/// Build one linear query: `n` tables chained, `preds` predicates per edge.
+pub fn linear_query(catalog: &cote_catalog::Catalog, n: usize, preds: usize, name: &str) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..n {
+        b.add_table(TableId(i as u32));
+    }
+    for i in 0..n - 1 {
+        for j in 0..preds {
+            b.join(
+                ColRef::new(TableRef(i as u8), j as u16),
+                ColRef::new(TableRef(i as u8 + 1), j as u16),
+            );
+        }
+    }
+    // ORDER BY / GROUP BY variety scales with the variant index; the ORDER
+    // BY leads with a join column so that subsuming interesting orders
+    // coexist (the §5.2 plan-sharing setup).
+    if preds % 2 == 1 {
+        b.order_by(vec![
+            ColRef::new(TableRef(0), 0),
+            ColRef::new(TableRef(0), 5),
+        ]);
+    }
+    if preds >= 3 {
+        b.group_by(vec![
+            ColRef::new(TableRef((n / 2) as u8), 0),
+            ColRef::new(TableRef((n / 2) as u8), 6),
+        ]);
+    }
+    Query::new(name, b.build(catalog).expect("linear query is valid"))
+}
+
+/// The full 15-query linear workload.
+pub fn linear(mode: Mode) -> Workload {
+    let catalog = synth_catalog(mode, *BATCHES.last().expect("nonempty"));
+    let mut queries = Vec::with_capacity(BATCHES.len() * VARIANTS);
+    for &n in &BATCHES {
+        for p in 1..=VARIANTS {
+            let name = format!("linear_{n}t_{p}p");
+            queries.push(linear_query(&catalog, n, p, &name));
+        }
+    }
+    Workload {
+        name: format!("linear_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn fifteen_queries_three_batches() {
+        let w = linear(Mode::Serial);
+        assert_eq!(w.queries.len(), 15);
+        assert_eq!(w.name, "linear_s");
+        // Batch sizes: 5× 6 tables, 5× 8, 5× 10.
+        for (i, q) in w.queries.iter().enumerate() {
+            let expected = BATCHES[i / VARIANTS];
+            assert_eq!(q.root.n_tables(), expected, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn same_graph_within_batch_more_predicates_across_variants() {
+        let w = linear(Mode::Serial);
+        // Within the first batch: identical unique edges, growing predicate
+        // counts and growing interesting-column counts.
+        let batch: Vec<_> = w.queries[..VARIANTS].iter().collect();
+        let edges: Vec<usize> = batch
+            .iter()
+            .map(|q| JoinGraph::new(&q.root).unique_edge_count())
+            .collect();
+        assert!(
+            edges.windows(2).all(|w| w[0] == w[1]),
+            "same edges: {edges:?}"
+        );
+        let preds: Vec<usize> = batch.iter().map(|q| q.root.join_preds().len()).collect();
+        assert!(
+            preds.windows(2).all(|w| w[0] < w[1]),
+            "growing predicates: {preds:?}"
+        );
+    }
+
+    #[test]
+    fn chains_are_connected_and_acyclic() {
+        let w = linear(Mode::Parallel);
+        for q in &w.queries {
+            let g = JoinGraph::new(&q.root);
+            assert!(g.is_connected(), "{}", q.name);
+            assert_eq!(g.cycle_rank(), 0, "{}", q.name);
+        }
+    }
+}

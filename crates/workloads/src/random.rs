@@ -1,0 +1,231 @@
+//! The `random` workload: a seeded random query generator (paper §5).
+//!
+//! Mirrors the published description of DB2's robustness-testing generator:
+//! it "creates increasingly complex queries by merging simpler queries
+//! defined on a given database schema (the schema from real1 was used),
+//! using either subqueries or joins, until a specified complexity level is
+//! reached", preferring joins over foreign-key→primary-key relationships —
+//! "as a result, the queries produced are relatively close to real customer
+//! queries".
+
+use crate::customer::dw_catalog;
+use crate::Workload;
+use cote_catalog::Catalog;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{PredOp, Query, QueryBlock, QueryBlockBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of queries in the workload (matches Fig. 5(d–f)'s x-axis).
+pub const QUERY_COUNT: usize = 12;
+
+/// FK edges of the catalog as (from table, from column, to table) triples.
+fn fk_edges(catalog: &Catalog) -> Vec<(TableId, u16, TableId)> {
+    catalog
+        .foreign_keys()
+        .iter()
+        .map(|fk| (fk.from_table, fk.from_columns[0], fk.to_table))
+        .collect()
+}
+
+/// The generator.
+pub struct RandomQueryGen {
+    catalog: Catalog,
+    edges: Vec<(TableId, u16, TableId)>,
+    rng: SmallRng,
+}
+
+impl RandomQueryGen {
+    /// Generator over `catalog` with a deterministic seed.
+    pub fn new(catalog: Catalog, seed: u64) -> Self {
+        let edges = fk_edges(&catalog);
+        Self {
+            catalog,
+            edges,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Grow one query block to roughly `tables` table references by walking
+    /// FK edges outward from a random fact table.
+    fn grow_block(&mut self, tables: usize) -> QueryBlockBuilder {
+        let mut b = QueryBlockBuilder::new();
+        // Seed with the source of a random FK edge (a fact or snowflaking
+        // dimension — something with outgoing edges).
+        let first_edge = self.edges[self.rng.gen_range(0..self.edges.len())];
+        let mut refs: Vec<(TableRef, TableId)> = Vec::new();
+        let t0 = b.add_table(first_edge.0);
+        refs.push((t0, first_edge.0));
+
+        while refs.len() < tables {
+            // Pick a present reference with at least one FK edge; attach the
+            // referenced dimension (FK→PK join, the generator's stated
+            // preference). Occasionally (1 in 6) attach by same-name column
+            // instead: another reference of a table already present, joined
+            // on its key — a self-join flavored merge.
+            let candidates: Vec<(TableRef, TableId, u16, TableId)> = refs
+                .iter()
+                .flat_map(|&(r, tid)| {
+                    self.edges
+                        .iter()
+                        .filter(move |(from, _, _)| *from == tid)
+                        .map(move |&(_, col, to)| (r, tid, col, to))
+                })
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            if self.rng.gen_range(0..6) == 0 {
+                // Same-name merge: re-reference an existing table and join
+                // keys (key = key), yielding card-1-ish groups.
+                let &(r, tid) = &refs[self.rng.gen_range(0..refs.len())];
+                let again = b.add_table(tid);
+                b.join(ColRef::new(r, 0), ColRef::new(again, 0));
+                refs.push((again, tid));
+            } else {
+                let (r, _tid, col, to) = candidates[self.rng.gen_range(0..candidates.len())];
+                // Avoid re-adding a dimension already joined from this ref.
+                let t = b.add_table(to);
+                if self.rng.gen_range(0..8) == 0 {
+                    b.left_outer_join(ColRef::new(r, col), ColRef::new(t, 0));
+                } else {
+                    b.join(ColRef::new(r, col), ColRef::new(t, 0));
+                }
+                refs.push((t, to));
+            }
+        }
+
+        // Local predicates: one per ~2 tables, on random non-key columns.
+        let n_preds = refs.len() / 2 + 1;
+        for _ in 0..n_preds {
+            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+            let ncols = self.catalog.table(tid).columns.len() as u16;
+            let col = self.rng.gen_range(1..ncols.max(2));
+            let op = match self.rng.gen_range(0..4) {
+                0 => PredOp::Eq(self.rng.gen_range(0.0..10.0)),
+                1 => PredOp::Le(self.rng.gen_range(1.0..100.0)),
+                2 => PredOp::Between(1.0, self.rng.gen_range(2.0..50.0)),
+                _ => PredOp::Opaque(self.rng.gen_range(0.01..0.5)),
+            };
+            b.local(ColRef::new(r, col), op);
+        }
+        // ORDER BY / GROUP BY half the time each.
+        if self.rng.gen_bool(0.5) {
+            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+            let ncols = self.catalog.table(tid).columns.len() as u16;
+            b.order_by(vec![ColRef::new(r, self.rng.gen_range(0..ncols))]);
+        }
+        if self.rng.gen_bool(0.5) {
+            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+            let ncols = self.catalog.table(tid).columns.len() as u16;
+            b.group_by(vec![ColRef::new(r, self.rng.gen_range(0..ncols))]);
+        }
+        if self.rng.gen_bool(0.4) {
+            b.apply_transitive_closure();
+        }
+        b
+    }
+
+    /// Generate one query at the given complexity (≈ total table count).
+    /// Complexity beyond 8 tables spills into subquery blocks — the
+    /// generator's "merging … using either subqueries or joins".
+    pub fn generate(&mut self, name: &str, complexity: usize) -> Query {
+        let main_tables = complexity.min(8);
+        let mut b = self.grow_block(main_tables);
+        let mut remaining = complexity.saturating_sub(main_tables);
+        while remaining > 0 {
+            let sub_tables = remaining.clamp(2, 4);
+            let sub = self.grow_block(sub_tables);
+            let sub: QueryBlock = sub.build(&self.catalog).expect("random subquery is valid");
+            b.child(sub);
+            remaining = remaining.saturating_sub(sub_tables);
+        }
+        Query::new(name, b.build(&self.catalog).expect("random query is valid"))
+    }
+}
+
+/// The 12-query `random` workload at increasing complexity (3 … 14 tables).
+pub fn random(mode: Mode, seed: u64) -> Workload {
+    let (catalog, _) = dw_catalog(mode);
+    let mut g = RandomQueryGen::new(catalog, seed);
+    let queries = (0..QUERY_COUNT)
+        .map(|i| g.generate(&format!("random_q{:02}", i + 1), 3 + i))
+        .collect();
+    Workload {
+        name: format!("random_{}", Workload::suffix(mode)),
+        catalog: g.catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = random(Mode::Serial, 7);
+        let b = random(Mode::Serial, 7);
+        for (qa, qb) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(qa.root.n_tables(), qb.root.n_tables());
+            assert_eq!(qa.root.join_preds().len(), qb.root.join_preds().len());
+        }
+        let c = random(Mode::Serial, 8);
+        let differs = a
+            .queries
+            .iter()
+            .zip(&c.queries)
+            .any(|(x, y)| x.root.join_preds().len() != y.root.join_preds().len());
+        assert!(differs, "different seeds diverge");
+    }
+
+    #[test]
+    fn complexity_grows_and_blocks_stay_connected() {
+        let w = random(Mode::Parallel, 42);
+        assert_eq!(w.queries.len(), QUERY_COUNT);
+        let totals: Vec<usize> = w.queries.iter().map(|q| q.total_tables()).collect();
+        assert!(
+            totals.last().unwrap() > totals.first().unwrap(),
+            "{totals:?}"
+        );
+        for q in &w.queries {
+            for blk in q.blocks() {
+                assert!(
+                    JoinGraph::new(blk).is_connected(),
+                    "{} has a connected block graph",
+                    q.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fk_pk_preference_yields_key_joins() {
+        let w = random(Mode::Serial, 42);
+        // Most join predicates land on column 0 (a primary key) of one side.
+        let (mut key_joins, mut all_joins) = (0usize, 0usize);
+        for q in &w.queries {
+            for blk in q.blocks() {
+                for p in blk.join_preds() {
+                    all_joins += 1;
+                    if p.left.column == 0 || p.right.column == 0 {
+                        key_joins += 1;
+                    }
+                }
+            }
+        }
+        assert!(all_joins > 0);
+        assert!(
+            key_joins * 10 >= all_joins * 8,
+            "≥80% FK→PK joins ({key_joins}/{all_joins})"
+        );
+    }
+}

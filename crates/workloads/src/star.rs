@@ -1,0 +1,117 @@
+//! The `star` synthetic workload (paper §5, Fig. 5(a–c), Fig. 6(a)).
+//!
+//! Same batch structure as [`crate::linear`], but table 0 is the center and
+//! every other table joins only to it. Star queries maximize the join count
+//! for a given table count (`(n−1)·2^(n−2)` vs the chain's `(n³−n)/6`), so
+//! this is the workload where plan-level estimation visibly beats join
+//! counting: within a batch HSJN plans stay flat while MGJN/NLJN plans climb
+//! with the predicate count (Fig. 5).
+
+use crate::synth::synth_catalog;
+use crate::Workload;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{Query, QueryBlockBuilder};
+
+/// Table counts of the three batches.
+pub const BATCHES: [usize; 3] = [6, 8, 10];
+/// Join-predicate variants within a batch.
+pub const VARIANTS: usize = 5;
+
+/// Build one star query: `n` tables, `preds` predicates between the center
+/// and each satellite.
+pub fn star_query(catalog: &cote_catalog::Catalog, n: usize, preds: usize, name: &str) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..n {
+        b.add_table(TableId(i as u32));
+    }
+    for i in 1..n {
+        for j in 0..preds {
+            b.join(
+                ColRef::new(TableRef(0), j as u16),
+                ColRef::new(TableRef(i as u8), j as u16),
+            );
+        }
+    }
+    if preds.is_multiple_of(2) {
+        // ORDER BY leading with a join column: makes the single-column join
+        // order and the longer ORDER-BY order coexist as interesting values
+        // — the paper's plan-sharing setup (§5.2: a cheaper plan on
+        // `(R.a,R.b)` prunes the plan on `(R.a)`, so estimates overshoot).
+        b.order_by(vec![
+            ColRef::new(TableRef(0), 0),
+            ColRef::new(TableRef(0), 5),
+        ]);
+    }
+    if preds >= 4 {
+        // GROUP BY overlapping a join column (set subsumption coverage).
+        b.group_by(vec![
+            ColRef::new(TableRef(0), 1),
+            ColRef::new(TableRef(0), 6),
+        ]);
+    }
+    Query::new(name, b.build(catalog).expect("star query is valid"))
+}
+
+/// The full 15-query star workload.
+pub fn star(mode: Mode) -> Workload {
+    let catalog = synth_catalog(mode, *BATCHES.last().expect("nonempty"));
+    let mut queries = Vec::with_capacity(BATCHES.len() * VARIANTS);
+    for &n in &BATCHES {
+        for p in 1..=VARIANTS {
+            let name = format!("star_{n}t_{p}p");
+            queries.push(star_query(&catalog, n, p, &name));
+        }
+    }
+    Workload {
+        name: format!("star_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn star_shape() {
+        let w = star(Mode::Serial);
+        assert_eq!(w.queries.len(), 15);
+        for q in &w.queries {
+            let g = JoinGraph::new(&q.root);
+            let n = q.root.n_tables();
+            assert!(g.is_connected());
+            assert_eq!(g.unique_edge_count(), n - 1);
+            assert_eq!(
+                g.neighbors(TableRef(0)).len(),
+                n - 1,
+                "center sees all satellites"
+            );
+            assert_eq!(
+                g.neighbors(TableRef(1)).len(),
+                1,
+                "satellites see only the center"
+            );
+        }
+    }
+
+    #[test]
+    fn same_join_count_within_batch() {
+        // The heart of the §5.3 argument: all five queries of a batch share
+        // the join graph, so any join-count metric cannot tell them apart.
+        let w = star(Mode::Serial);
+        for batch in w.queries.chunks(VARIANTS) {
+            let edges: Vec<usize> = batch
+                .iter()
+                .map(|q| JoinGraph::new(&q.root).unique_edge_count())
+                .collect();
+            assert!(edges.windows(2).all(|w| w[0] == w[1]));
+            // But interesting columns differ.
+            let cols: Vec<usize> = batch.iter().map(|q| q.root.n_interesting_cols()).collect();
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "{cols:?}");
+        }
+    }
+}

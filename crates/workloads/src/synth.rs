@@ -1,0 +1,87 @@
+//! Shared synthetic-catalog machinery.
+
+use cote_catalog::{Catalog, CatalogBuilder, ColumnDef, IndexDef, Key, NodeGroup, TableDef};
+use cote_common::TableId;
+use cote_optimizer::Mode;
+
+/// Columns every synthetic table carries (`c0` … `c7`).
+pub const SYNTH_COLUMNS: usize = 8;
+
+/// Start a catalog builder for the given mode (parallel = the paper's four
+/// logical nodes).
+pub fn builder(mode: Mode) -> CatalogBuilder {
+    match mode {
+        Mode::Serial => Catalog::builder(),
+        Mode::Parallel => Catalog::builder_parallel(NodeGroup::PAPER_PARALLEL),
+    }
+}
+
+/// Add a synthetic table of `rows` rows with [`SYNTH_COLUMNS`] columns.
+///
+/// `c0` is a near-unique join key (clustered index + primary key); the other
+/// columns have NDVs decreasing by position, so higher column positions make
+/// coarser group-by/order-by attributes. Every third column is skewed to
+/// keep the full and simple cardinality models apart (§5.2).
+pub fn add_synth_table(b: &mut CatalogBuilder, name: &str, rows: f64) -> TableId {
+    let mut columns = Vec::with_capacity(SYNTH_COLUMNS);
+    for c in 0..SYNTH_COLUMNS {
+        let ndv = (rows / (1 << c) as f64).max(2.0);
+        let col = if c % 3 == 2 {
+            ColumnDef::skewed(format!("c{c}"), rows, ndv, 0.6)
+        } else {
+            ColumnDef::uniform(format!("c{c}"), rows, ndv)
+        };
+        columns.push(col);
+    }
+    let t = b.add_table(TableDef::new(name, rows, columns));
+    b.add_index(IndexDef::new(t, vec![0]).clustered().unique());
+    b.add_key(Key {
+        table: t,
+        columns: vec![0],
+        primary: true,
+    });
+    t
+}
+
+/// Build a catalog of `n` synthetic tables named `t0` … with geometric row
+/// counts (so join orders matter to the cost model).
+pub fn synth_catalog(mode: Mode, n: usize) -> Catalog {
+    let mut b = builder(mode);
+    for i in 0..n {
+        let rows = 2_000.0 * (1.6f64).powi(i as i32 % 6);
+        add_synth_table(&mut b, &format!("t{i}"), rows);
+    }
+    b.build().expect("synthetic catalog is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_catalog_shape() {
+        let cat = synth_catalog(Mode::Serial, 10);
+        assert_eq!(cat.table_count(), 10);
+        for i in 0..10u32 {
+            let t = cote_common::TableId(i);
+            assert_eq!(cat.table(t).columns.len(), SYNTH_COLUMNS);
+            assert_eq!(cat.indexes_on(t).count(), 1);
+            assert!(cat.covers_key(t, &[0]));
+        }
+        let p = synth_catalog(Mode::Parallel, 3);
+        assert_eq!(p.node_group().nodes, 4);
+        assert!(p
+            .partitioning(cote_common::TableId(0))
+            .key_columns()
+            .is_some());
+    }
+
+    #[test]
+    fn ndv_decreases_with_column_position() {
+        let cat = synth_catalog(Mode::Serial, 1);
+        let t = cat.table(cote_common::TableId(0));
+        for w in t.columns.windows(2) {
+            assert!(w[0].ndv >= w[1].ndv);
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! TPC-H schema and the seven longest-compiling queries (paper §5:
+//! "we chose from the TPC-H benchmark 7 queries that have the longest
+//! compilation time").
+//!
+//! The join-degree-heaviest TPC-H queries are Q2, Q5, Q7, Q8, Q9, Q20 and
+//! Q21 — encoded here as join-graph renderings (scale factor 1 statistics,
+//! standard keys/foreign keys). Selection lists and arithmetic are irrelevant
+//! to join enumeration and are omitted; GROUP BY / ORDER BY / subquery
+//! structure is kept because it drives the interesting properties.
+
+use crate::synth::builder;
+use crate::Workload;
+use cote_catalog::{Catalog, ColumnDef, ForeignKey, IndexDef, Key, TableDef};
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::Mode;
+use cote_query::{PredOp, Query, QueryBlockBuilder};
+
+/// TPC-H table ids.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchSchema {
+    /// REGION (5 rows): regionkey, name.
+    pub region: TableId,
+    /// NATION (25): nationkey, regionkey, name.
+    pub nation: TableId,
+    /// SUPPLIER (10k): suppkey, nationkey, acctbal.
+    pub supplier: TableId,
+    /// CUSTOMER (150k): custkey, nationkey, mktsegment, acctbal.
+    pub customer: TableId,
+    /// PART (200k): partkey, brand, type, size.
+    pub part: TableId,
+    /// PARTSUPP (800k): partkey, suppkey, supplycost, availqty.
+    pub partsupp: TableId,
+    /// ORDERS (1.5M): orderkey, custkey, orderdate, orderstatus.
+    pub orders: TableId,
+    /// LINEITEM (6M): orderkey, partkey, suppkey, shipdate, quantity,
+    /// extendedprice, discount, receiptdate, commitdate.
+    pub lineitem: TableId,
+}
+
+/// Build the TPC-H SF-1 catalog.
+pub fn tpch_catalog(mode: Mode) -> (Catalog, TpchSchema) {
+    let mut b = builder(mode);
+    let u = ColumnDef::uniform;
+
+    let region = b.add_table(TableDef::new(
+        "region",
+        5.0,
+        vec![u("regionkey", 5.0, 5.0), u("name", 5.0, 5.0)],
+    ));
+    let nation = b.add_table(TableDef::new(
+        "nation",
+        25.0,
+        vec![
+            u("nationkey", 25.0, 25.0),
+            u("regionkey", 25.0, 5.0),
+            u("name", 25.0, 25.0),
+        ],
+    ));
+    let supplier = b.add_table(TableDef::new(
+        "supplier",
+        10_000.0,
+        vec![
+            u("suppkey", 10_000.0, 10_000.0),
+            u("nationkey", 10_000.0, 25.0),
+            u("acctbal", 10_000.0, 9_000.0),
+        ],
+    ));
+    let customer = b.add_table(TableDef::new(
+        "customer",
+        150_000.0,
+        vec![
+            u("custkey", 150_000.0, 150_000.0),
+            u("nationkey", 150_000.0, 25.0),
+            u("mktsegment", 150_000.0, 5.0),
+            u("acctbal", 150_000.0, 100_000.0),
+        ],
+    ));
+    let part = b.add_table(TableDef::new(
+        "part",
+        200_000.0,
+        vec![
+            u("partkey", 200_000.0, 200_000.0),
+            u("brand", 200_000.0, 25.0),
+            u("type", 200_000.0, 150.0),
+            u("size", 200_000.0, 50.0),
+        ],
+    ));
+    let partsupp = b.add_table(TableDef::new(
+        "partsupp",
+        800_000.0,
+        vec![
+            u("partkey", 800_000.0, 200_000.0),
+            u("suppkey", 800_000.0, 10_000.0),
+            u("supplycost", 800_000.0, 100_000.0),
+            u("availqty", 800_000.0, 10_000.0),
+        ],
+    ));
+    let orders = b.add_table(TableDef::new(
+        "orders",
+        1_500_000.0,
+        vec![
+            u("orderkey", 1_500_000.0, 1_500_000.0),
+            u("custkey", 1_500_000.0, 100_000.0),
+            u("orderdate", 1_500_000.0, 2_400.0),
+            u("orderstatus", 1_500_000.0, 3.0),
+        ],
+    ));
+    let lineitem = b.add_table(TableDef::new(
+        "lineitem",
+        6_000_000.0,
+        vec![
+            u("orderkey", 6_000_000.0, 1_500_000.0),
+            u("partkey", 6_000_000.0, 200_000.0),
+            u("suppkey", 6_000_000.0, 10_000.0),
+            u("shipdate", 6_000_000.0, 2_500.0),
+            u("quantity", 6_000_000.0, 50.0),
+            u("extendedprice", 6_000_000.0, 1_000_000.0),
+            u("discount", 6_000_000.0, 11.0),
+            u("receiptdate", 6_000_000.0, 2_500.0),
+            u("commitdate", 6_000_000.0, 2_500.0),
+        ],
+    ));
+
+    for (t, key) in [
+        (region, vec![0u16]),
+        (nation, vec![0]),
+        (supplier, vec![0]),
+        (customer, vec![0]),
+        (part, vec![0]),
+        (partsupp, vec![0, 1]),
+        (orders, vec![0]),
+        (lineitem, vec![0, 1, 2]),
+    ] {
+        b.add_key(Key {
+            table: t,
+            columns: key.clone(),
+            primary: true,
+        });
+        b.add_index(IndexDef::new(t, key).clustered().unique());
+    }
+    b.add_index(IndexDef::new(lineitem, vec![3]));
+    b.add_index(IndexDef::new(orders, vec![2]));
+
+    for (from, col, to) in [
+        (nation, 1u16, region),
+        (supplier, 1, nation),
+        (customer, 1, nation),
+        (partsupp, 0, part),
+        (partsupp, 1, supplier),
+        (orders, 1, customer),
+        (lineitem, 0, orders),
+        (lineitem, 1, part),
+        (lineitem, 2, supplier),
+    ] {
+        b.add_foreign_key(ForeignKey {
+            from_table: from,
+            from_columns: vec![col],
+            to_table: to,
+            to_columns: vec![0],
+        });
+    }
+
+    let schema = TpchSchema {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    };
+    (b.build().expect("TPC-H catalog is valid"), schema)
+}
+
+fn c(t: TableRef, col: u16) -> ColRef {
+    ColRef::new(t, col)
+}
+
+/// The seven-query workload.
+pub fn tpch(mode: Mode) -> Workload {
+    let (catalog, s) = tpch_catalog(mode);
+    let mut queries = Vec::with_capacity(7);
+
+    // Q2: minimum-cost supplier — 5-way join plus a correlated min subquery
+    // over the same 4-way join, ORDER BY 3 columns.
+    {
+        let mut sub = QueryBlockBuilder::new();
+        let ps = sub.add_table(s.partsupp);
+        let su = sub.add_table(s.supplier);
+        let na = sub.add_table(s.nation);
+        let re = sub.add_table(s.region);
+        sub.join(c(ps, 1), c(su, 0));
+        sub.join(c(su, 1), c(na, 0));
+        sub.join(c(na, 1), c(re, 0));
+        sub.local(c(re, 1), PredOp::Eq(2.0));
+        let sub = sub.build(&catalog).expect("q2 sub");
+
+        let mut b = QueryBlockBuilder::new();
+        let pa = b.add_table(s.part);
+        let ps = b.add_table(s.partsupp);
+        let su = b.add_table(s.supplier);
+        let na = b.add_table(s.nation);
+        let re = b.add_table(s.region);
+        b.join(c(pa, 0), c(ps, 0));
+        b.join(c(ps, 1), c(su, 0));
+        b.join(c(su, 1), c(na, 0));
+        b.join(c(na, 1), c(re, 0));
+        b.local(c(pa, 3), PredOp::Eq(15.0));
+        b.local(c(pa, 2), PredOp::Opaque(0.2));
+        b.local(c(re, 1), PredOp::Eq(2.0));
+        b.order_by(vec![c(su, 2), c(na, 2), c(su, 0)]);
+        b.child(sub);
+        queries.push(Query::new("tpch_q2", b.build(&catalog).expect("q2")));
+    }
+
+    // Q5: local supplier volume — 6-way join with a cycle
+    // (customer.nationkey = supplier.nationkey), GROUP BY nation.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let cu = b.add_table(s.customer);
+        let or = b.add_table(s.orders);
+        let li = b.add_table(s.lineitem);
+        let su = b.add_table(s.supplier);
+        let na = b.add_table(s.nation);
+        let re = b.add_table(s.region);
+        b.join(c(cu, 0), c(or, 1));
+        b.join(c(or, 0), c(li, 0));
+        b.join(c(li, 2), c(su, 0));
+        b.join(c(cu, 1), c(su, 1)); // the Q5 cycle edge
+        b.join(c(su, 1), c(na, 0));
+        b.join(c(na, 1), c(re, 0));
+        b.apply_transitive_closure();
+        b.local(c(re, 1), PredOp::Eq(1.0));
+        b.local(c(or, 2), PredOp::Between(700.0, 1065.0));
+        b.group_by(vec![c(na, 2)]);
+        b.order_by(vec![c(na, 2)]);
+        queries.push(Query::new("tpch_q5", b.build(&catalog).expect("q5")));
+    }
+
+    // Q7: volume shipping — 6-way join with two NATION references,
+    // GROUP BY 3 / ORDER BY 3.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let su = b.add_table(s.supplier);
+        let li = b.add_table(s.lineitem);
+        let or = b.add_table(s.orders);
+        let cu = b.add_table(s.customer);
+        let n1 = b.add_table(s.nation);
+        let n2 = b.add_table(s.nation);
+        b.join(c(su, 0), c(li, 2));
+        b.join(c(or, 0), c(li, 0));
+        b.join(c(cu, 0), c(or, 1));
+        b.join(c(su, 1), c(n1, 0));
+        b.join(c(cu, 1), c(n2, 0));
+        b.local(c(n1, 2), PredOp::Eq(7.0));
+        b.local(c(n2, 2), PredOp::Eq(8.0));
+        b.local(c(li, 3), PredOp::Between(800.0, 1500.0));
+        b.group_by(vec![c(n1, 2), c(n2, 2), c(li, 3)]);
+        b.order_by(vec![c(n1, 2), c(n2, 2), c(li, 3)]);
+        queries.push(Query::new("tpch_q7", b.build(&catalog).expect("q7")));
+    }
+
+    // Q8: national market share — 8-way join (two NATIONs), GROUP BY year.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let pa = b.add_table(s.part);
+        let li = b.add_table(s.lineitem);
+        let su = b.add_table(s.supplier);
+        let or = b.add_table(s.orders);
+        let cu = b.add_table(s.customer);
+        let n1 = b.add_table(s.nation);
+        let n2 = b.add_table(s.nation);
+        let re = b.add_table(s.region);
+        b.join(c(pa, 0), c(li, 1));
+        b.join(c(su, 0), c(li, 2));
+        b.join(c(li, 0), c(or, 0));
+        b.join(c(or, 1), c(cu, 0));
+        b.join(c(cu, 1), c(n1, 0));
+        b.join(c(n1, 1), c(re, 0));
+        b.join(c(su, 1), c(n2, 0));
+        b.local(c(re, 1), PredOp::Eq(1.0));
+        b.local(c(pa, 2), PredOp::Eq(103.0));
+        b.local(c(or, 2), PredOp::Between(700.0, 1430.0));
+        b.group_by(vec![c(or, 2)]);
+        b.order_by(vec![c(or, 2)]);
+        queries.push(Query::new("tpch_q8", b.build(&catalog).expect("q8")));
+    }
+
+    // Q9: product type profit — 6-way join including PARTSUPP's composite
+    // key, GROUP BY nation × year.
+    {
+        let mut b = QueryBlockBuilder::new();
+        let pa = b.add_table(s.part);
+        let su = b.add_table(s.supplier);
+        let li = b.add_table(s.lineitem);
+        let ps = b.add_table(s.partsupp);
+        let or = b.add_table(s.orders);
+        let na = b.add_table(s.nation);
+        b.join(c(su, 0), c(li, 2));
+        b.join(c(ps, 1), c(li, 2));
+        b.join(c(ps, 0), c(li, 1));
+        b.join(c(pa, 0), c(li, 1));
+        b.join(c(or, 0), c(li, 0));
+        b.join(c(su, 1), c(na, 0));
+        b.apply_transitive_closure();
+        b.local(c(pa, 2), PredOp::Opaque(0.05));
+        b.group_by(vec![c(na, 2), c(or, 2)]);
+        b.order_by(vec![c(na, 2), c(or, 2)]);
+        queries.push(Query::new("tpch_q9", b.build(&catalog).expect("q9")));
+    }
+
+    // Q20: potential part promotion — supplier × nation with a nested
+    // two-level subquery (partsupp over part, then lineitem availability).
+    {
+        let mut subsub = QueryBlockBuilder::new();
+        let li = subsub.add_table(s.lineitem);
+        let pa2 = subsub.add_table(s.part);
+        subsub.join(c(li, 1), c(pa2, 0));
+        subsub.local(c(li, 3), PredOp::Between(900.0, 1265.0));
+        let subsub = subsub.build(&catalog).expect("q20 subsub");
+
+        let mut sub = QueryBlockBuilder::new();
+        let ps = sub.add_table(s.partsupp);
+        let pa = sub.add_table(s.part);
+        sub.join(c(ps, 0), c(pa, 0));
+        sub.local(c(pa, 1), PredOp::Eq(12.0));
+        sub.child(subsub);
+        let sub = sub.build(&catalog).expect("q20 sub");
+
+        let mut b = QueryBlockBuilder::new();
+        let su = b.add_table(s.supplier);
+        let na = b.add_table(s.nation);
+        b.join(c(su, 1), c(na, 0));
+        b.local(c(na, 2), PredOp::Eq(3.0));
+        b.order_by(vec![c(su, 0)]);
+        b.child(sub);
+        queries.push(Query::new("tpch_q20", b.build(&catalog).expect("q20")));
+    }
+
+    // Q21: suppliers who kept orders waiting — 4-way main join plus two
+    // correlated LINEITEM subqueries (EXISTS / NOT EXISTS).
+    {
+        let mk_li_sub = |catalog: &Catalog| {
+            let mut sub = QueryBlockBuilder::new();
+            let l2 = sub.add_table(s.lineitem);
+            let o2 = sub.add_table(s.orders);
+            sub.join(c(l2, 0), c(o2, 0));
+            sub.local(c(l2, 7), PredOp::Ge(100.0));
+            sub.build(catalog).expect("q21 sub")
+        };
+        let mut b = QueryBlockBuilder::new();
+        let su = b.add_table(s.supplier);
+        let li = b.add_table(s.lineitem);
+        let or = b.add_table(s.orders);
+        let na = b.add_table(s.nation);
+        b.join(c(su, 0), c(li, 2));
+        b.join(c(or, 0), c(li, 0));
+        b.join(c(su, 1), c(na, 0));
+        b.local(c(or, 3), PredOp::Eq(1.0));
+        b.local(c(na, 2), PredOp::Eq(20.0));
+        b.group_by(vec![c(su, 0)]);
+        b.order_by(vec![c(su, 0)]);
+        b.child(mk_li_sub(&catalog));
+        b.child(mk_li_sub(&catalog));
+        queries.push(Query::new("tpch_q21", b.build(&catalog).expect("q21")));
+    }
+
+    Workload {
+        name: format!("tpch_{}", Workload::suffix(mode)),
+        catalog,
+        queries,
+        mode,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_query::JoinGraph;
+
+    #[test]
+    fn seven_queries_all_connected() {
+        let w = tpch(Mode::Parallel);
+        assert_eq!(w.queries.len(), 7);
+        for q in &w.queries {
+            for blk in q.blocks() {
+                assert!(JoinGraph::new(blk).is_connected(), "{}", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn q5_has_a_cycle_q7_self_joins_nation() {
+        let w = tpch(Mode::Serial);
+        let q5 = w.queries.iter().find(|q| q.name == "tpch_q5").unwrap();
+        assert!(
+            JoinGraph::new(&q5.root).cycle_rank() > 0,
+            "Q5's nation cycle"
+        );
+        let q7 = w.queries.iter().find(|q| q.name == "tpch_q7").unwrap();
+        let nation = w.catalog.table_by_name("nation").unwrap();
+        let nation_refs = q7
+            .root
+            .table_refs()
+            .filter(|&t| q7.root.table(t) == nation)
+            .count();
+        assert_eq!(nation_refs, 2, "two NATION references");
+    }
+
+    #[test]
+    fn subquery_structure_matches_spec() {
+        let w = tpch(Mode::Serial);
+        let q20 = w.queries.iter().find(|q| q.name == "tpch_q20").unwrap();
+        assert_eq!(q20.blocks().len(), 3, "Q20 nests two levels");
+        let q21 = w.queries.iter().find(|q| q.name == "tpch_q21").unwrap();
+        assert_eq!(q21.root.children().len(), 2, "Q21 has two EXISTS blocks");
+        let q2 = w.queries.iter().find(|q| q.name == "tpch_q2").unwrap();
+        assert_eq!(q2.blocks().len(), 2);
+    }
+
+    #[test]
+    fn sf1_cardinalities() {
+        let (cat, s) = tpch_catalog(Mode::Serial);
+        assert_eq!(cat.table(s.lineitem).row_count, 6_000_000.0);
+        assert_eq!(cat.table(s.region).row_count, 5.0);
+        assert!(cat.covers_key(s.orders, &[0]));
+        assert!(cat.covers_key(s.partsupp, &[0, 1]));
+        assert!(!cat.covers_key(s.partsupp, &[0]));
+    }
+}

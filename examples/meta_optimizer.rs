@@ -1,0 +1,57 @@
+//! The Figure 1 meta-optimizer in action: decide per query whether the
+//! expensive "high" optimization level is worth its compilation time.
+//!
+//! MOP compiles each query at the low (greedy) level, converts the plan's
+//! cost to an execution-time estimate `E`, asks COTE for the high level's
+//! compilation time `C`, and only recompiles when `E ≥ C`.
+//!
+//! Run with: `cargo run --release --example meta_optimizer`
+
+use cote::{MetaOptimizer, MopChoice};
+use cote_bench::calibrated_cote;
+use cote_common::Result;
+use cote_optimizer::{Mode, OptimizerConfig};
+use cote_workloads::by_name;
+
+fn main() -> Result<()> {
+    // Calibrate a COTE for the serial high level.
+    eprintln!("calibrating COTE...");
+    let (cote, _) = calibrated_cote(Mode::Serial, 2)?;
+    let config = OptimizerConfig::high(Mode::Serial);
+
+    // Two personas: an OLTP-ish system where queries execute in microseconds
+    // per cost unit, and a scan-heavy warehouse where execution dominates.
+    for (label, secs_per_cost_unit) in [
+        ("selective OLTP (fast execution)", 5e-9),
+        ("scan-heavy warehouse", 5e-5),
+    ] {
+        println!("\n=== {label} (1 cost unit = {secs_per_cost_unit:.0e}s) ===");
+        let mop = MetaOptimizer::new(config.clone(), cote.clone(), secs_per_cost_unit);
+        let w = by_name("real1-s")?;
+        let mut reoptimized = 0;
+        for q in &w.queries {
+            let out = mop.choose(&w.catalog, q)?;
+            let verdict = match out.choice {
+                MopChoice::LowPlan => "keep greedy plan ",
+                MopChoice::HighPlan => {
+                    reoptimized += 1;
+                    "recompile at high"
+                }
+            };
+            println!(
+                "{:<10} E(low exec) = {:>9.4}s   C(high compile) = {:>8.4}s  → {verdict}",
+                q.name, out.e_low_seconds, out.c_high_seconds
+            );
+        }
+        println!(
+            "{reoptimized}/{} queries were worth high-level optimization",
+            w.queries.len()
+        );
+    }
+    println!(
+        "\nFigure 1's point: when a query would finish executing before the \
+         high-level\noptimizer finishes compiling (E < C), further optimization \
+         cannot pay off."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Mid-query reoptimization (paper §1.1): during execution, a cardinality
+//! estimate turns out wrong — should the engine stop and recompile?
+//!
+//! "Since reoptimization itself takes time, the decision on whether to
+//! reoptimize or not is better made by comparing the execution cost of the
+//! remaining work with the estimated time to recompile" — and the recompile
+//! time comes from COTE.
+//!
+//! Run with: `cargo run --release --example midquery_reopt`
+
+use cote::{should_reoptimize, ExecutionCheckpoint};
+use cote_bench::calibrated_cote;
+use cote_common::Result;
+use cote_optimizer::{GreedyOptimizer, Mode, OptimizerConfig};
+use cote_workloads::by_name;
+
+fn main() -> Result<()> {
+    eprintln!("calibrating COTE...");
+    let (cote, _) = calibrated_cote(Mode::Serial, 2)?;
+    let config = OptimizerConfig::high(Mode::Serial);
+    let greedy = GreedyOptimizer::new(config);
+
+    let w = by_name("real2-s")?;
+    // Execution speed of this simulated engine.
+    let seconds_per_cost_unit = 1e-8;
+    // Require a 2× payoff before abandoning a running plan.
+    let margin = 2.0;
+
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12}  decision",
+        "query", "remaining(s)", "recompile(s)", "discrepancy"
+    );
+    for q in w.queries.iter().take(10) {
+        // The engine is halfway through its plan when a checkpoint fires.
+        let plan_cost = greedy.optimize_query(&w.catalog, q)?.cost;
+        for discrepancy in [1.0, 50.0] {
+            let cp = ExecutionCheckpoint {
+                remaining_cost_units: plan_cost / 2.0,
+                cardinality_discrepancy: discrepancy,
+                seconds_per_cost_unit,
+            };
+            let d = should_reoptimize(&cote, &w.catalog, q, &cp, margin)?;
+            println!(
+                "{:<12} {:>12.4} {:>12.4} {:>11}×  {}",
+                q.name,
+                d.remaining_seconds,
+                d.recompile_seconds,
+                discrepancy,
+                if d.reoptimize {
+                    "REOPTIMIZE"
+                } else {
+                    "finish current plan"
+                }
+            );
+        }
+    }
+    println!(
+        "\nOn-target executions finish their plans; blown cardinalities make the \
+         remaining\nwork dwarf COTE's recompile estimate, so reoptimization pays."
+    );
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Quickstart: build a catalog and a query, calibrate COTE, estimate the
+//! compilation time of the high optimization level, and check the estimate
+//! against an actual compilation.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cote::{calibrate, Cote};
+use cote_catalog::{Catalog, ColumnDef, ForeignKey, IndexDef, Key, TableDef};
+use cote_common::{ColRef, Result};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{PredOp, Query, QueryBlockBuilder};
+
+fn main() -> Result<()> {
+    // 1. A small order-management schema.
+    let mut b = Catalog::builder();
+    let customers = b.add_table(TableDef::new(
+        "customers",
+        100_000.0,
+        vec![
+            ColumnDef::uniform("id", 100_000.0, 100_000.0),
+            ColumnDef::uniform("country", 100_000.0, 120.0),
+        ],
+    ));
+    let orders = b.add_table(TableDef::new(
+        "orders",
+        1_000_000.0,
+        vec![
+            ColumnDef::uniform("id", 1_000_000.0, 1_000_000.0),
+            ColumnDef::uniform("cust_id", 1_000_000.0, 100_000.0),
+            ColumnDef::uniform("placed_on", 1_000_000.0, 1_460.0),
+        ],
+    ));
+    let items = b.add_table(TableDef::new(
+        "order_items",
+        4_000_000.0,
+        vec![
+            ColumnDef::uniform("order_id", 4_000_000.0, 1_000_000.0),
+            ColumnDef::uniform("product_id", 4_000_000.0, 20_000.0),
+            ColumnDef::uniform("amount", 4_000_000.0, 5_000.0),
+        ],
+    ));
+    let products = b.add_table(TableDef::new(
+        "products",
+        20_000.0,
+        vec![
+            ColumnDef::uniform("id", 20_000.0, 20_000.0),
+            ColumnDef::uniform("category", 20_000.0, 40.0),
+        ],
+    ));
+    for t in [customers, orders, products] {
+        b.add_key(Key {
+            table: t,
+            columns: vec![0],
+            primary: true,
+        });
+        b.add_index(IndexDef::new(t, vec![0]).clustered().unique());
+    }
+    b.add_foreign_key(ForeignKey {
+        from_table: orders,
+        from_columns: vec![1],
+        to_table: customers,
+        to_columns: vec![0],
+    });
+    let catalog = b.build()?;
+
+    // 2. A 4-way join with grouping and ordering.
+    let mut qb = QueryBlockBuilder::new();
+    let c = qb.add_table(customers);
+    let o = qb.add_table(orders);
+    let i = qb.add_table(items);
+    let p = qb.add_table(products);
+    qb.join(ColRef::new(c, 0), ColRef::new(o, 1));
+    qb.join(ColRef::new(o, 0), ColRef::new(i, 0));
+    qb.join(ColRef::new(i, 1), ColRef::new(p, 0));
+    qb.local(ColRef::new(c, 1), PredOp::Eq(42.0));
+    qb.local(ColRef::new(o, 2), PredOp::Between(1_100.0, 1_400.0));
+    qb.group_by(vec![ColRef::new(p, 1)]);
+    qb.order_by(vec![ColRef::new(p, 1)]);
+    let query = Query::new("revenue_by_category", qb.build(&catalog)?);
+
+    // 3. Calibrate the C_t time model on a training set (here: variants of
+    //    the same schema's joins; production systems train once per release,
+    //    paper §3.5).
+    let config = OptimizerConfig::high(Mode::Serial);
+    let mut training = Vec::new();
+    for k in 2..=4usize {
+        for ob in [false, true] {
+            let mut qb = QueryBlockBuilder::new();
+            let tabs = [customers, orders, items, products];
+            let refs: Vec<_> = tabs[..k].iter().map(|&t| qb.add_table(t)).collect();
+            let join_cols = [(0u16, 1u16), (0, 0), (1, 0)];
+            for w in 0..k - 1 {
+                qb.join(
+                    ColRef::new(refs[w], join_cols[w].0),
+                    ColRef::new(refs[w + 1], join_cols[w].1),
+                );
+            }
+            if ob {
+                qb.order_by(vec![ColRef::new(refs[0], 1)]);
+            }
+            training.push(Query::new(format!("train_{k}_{ob}"), qb.build(&catalog)?));
+        }
+    }
+    let calibration = calibrate(&catalog, &training, &config, 3)?;
+    let (cm, cn, ch) = calibration.model.ratio_mnh();
+    println!("calibrated C_m:C_n:C_h = {cm:.1}:{cn:.1}:{ch:.1}");
+
+    // 4. Estimate, then verify against an actual compilation.
+    let cote = Cote::new(config.clone(), calibration.model);
+    let estimate = cote.estimate(&catalog, &query)?;
+    println!(
+        "COTE: {} will generate ≈{} join plans (NLJN {}, MGJN {}, HSJN {})",
+        query.name,
+        estimate.counts.total(),
+        estimate.counts.nljn,
+        estimate.counts.mgjn,
+        estimate.counts.hsjn,
+    );
+    println!(
+        "      predicted compile time {:.3} ms (estimation itself took {:.3} ms)",
+        estimate.seconds * 1e3,
+        estimate.detail.elapsed.as_secs_f64() * 1e3
+    );
+
+    let actual = Optimizer::new(config).optimize_query(&catalog, &query)?;
+    println!(
+        "real optimizer: {} plans generated in {:.3} ms",
+        actual.stats.plans_generated.total(),
+        actual.stats.elapsed.as_secs_f64() * 1e3
+    );
+    println!("\nchosen plan:\n{}", actual.explain());
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Forecasting a workload-analysis tool's compilation phase (paper §1.1).
+//!
+//! Index/materialized-view/partition advisors compile — but never execute —
+//! every query of the input workload, often thousands of times. A COTE
+//! forecast turns their silent hours into a progress bar.
+//!
+//! Run with: `cargo run --release --example workload_advisor`
+
+use cote::forecast_workload;
+use cote_bench::calibrated_cote;
+use cote_common::Result;
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_workloads::by_name;
+
+fn main() -> Result<()> {
+    eprintln!("calibrating COTE...");
+    let (cote, _) = calibrated_cote(Mode::Serial, 2)?;
+
+    // The advisor's input workload: the 17 warehouse queries of real2.
+    let w = by_name("real2-s")?;
+    let forecast = forecast_workload(&cote, &w.catalog, &w.queries)?;
+    println!(
+        "forecast: compiling all {} queries will take ≈{:.2}s\n",
+        w.queries.len(),
+        forecast.total_seconds
+    );
+
+    // Simulate the advisor's compile loop, showing forecast-weighted
+    // progress — a count-based bar would crawl through the flagship query.
+    let optimizer = Optimizer::new(OptimizerConfig::high(Mode::Serial));
+    let mut spent = 0.0f64;
+    for (i, q) in w.queries.iter().enumerate() {
+        let r = optimizer.optimize_query(&w.catalog, q)?;
+        spent += r.stats.elapsed.as_secs_f64();
+        let progress = forecast.progress_after(i + 1);
+        let bar: String = (0..40)
+            .map(|k| {
+                if (k as f64) < progress * 40.0 {
+                    '#'
+                } else {
+                    '.'
+                }
+            })
+            .collect();
+        println!(
+            "[{bar}] {:>5.1}%  {:<10} compiled in {:.3}s, ≈{:.2}s remaining",
+            100.0 * progress,
+            q.name,
+            r.stats.elapsed.as_secs_f64(),
+            forecast.remaining_after(i + 1),
+        );
+    }
+    println!(
+        "\nactual total {spent:.2}s vs forecast {:.2}s ({:+.1}%)",
+        forecast.total_seconds,
+        100.0 * (forecast.total_seconds - spent) / spent
+    );
+    Ok(())
+}

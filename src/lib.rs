@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the COTE reproduction: hosts the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`).
+//!
+//! Re-exports the public stack for convenience.
+
+pub use cote as estimator;
+pub use cote_catalog as catalog;
+pub use cote_common as common;
+pub use cote_optimizer as optimizer;
+pub use cote_query as query;
+pub use cote_workloads as workloads;

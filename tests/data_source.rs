@@ -1,0 +1,159 @@
+//! Integration test: the data-source property (paper Table 1, Garlic [14]).
+//!
+//! Tables live at remote sources; a join of two subplans at the same source
+//! is pushed down and executes there, anything else SHIPs to the local
+//! engine. The execution site is deterministic under this policy, so —
+//! unlike orders/partitions/expensive masks — it multiplies no plans; it
+//! reshapes them and their costs.
+
+use cote::{estimate_query, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{Query, QueryBlockBuilder};
+
+/// Four tables: t0,t1 at remote source 1; t2 at remote source 2; t3 local.
+fn federated_catalog() -> Catalog {
+    let mut b = Catalog::builder();
+    let mut ids = Vec::new();
+    for i in 0..4 {
+        let t = b.add_table(TableDef::new(
+            format!("t{i}"),
+            8_000.0,
+            vec![
+                ColumnDef::uniform("c0", 8_000.0, 800.0),
+                ColumnDef::uniform("c1", 8_000.0, 80.0),
+            ],
+        ));
+        b.add_index(IndexDef::new(t, vec![0]).clustered());
+        ids.push(t);
+    }
+    b.at_source(ids[0], 1);
+    b.at_source(ids[1], 1);
+    b.at_source(ids[2], 2);
+    b.build().unwrap()
+}
+
+fn chain(cat: &Catalog, n: usize) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..n {
+        b.add_table(TableId(i as u32));
+    }
+    for i in 0..n - 1 {
+        b.join(
+            ColRef::new(TableRef(i as u8), 0),
+            ColRef::new(TableRef(i as u8 + 1), 0),
+        );
+    }
+    Query::new("fed", b.build(cat).unwrap())
+}
+
+#[test]
+fn catalog_records_sources() {
+    let cat = federated_catalog();
+    assert_eq!(cat.source_of(TableId(0)), 1);
+    assert_eq!(cat.source_of(TableId(2)), 2);
+    assert_eq!(cat.source_of(TableId(3)), 0);
+    assert!(cat.has_remote_tables());
+    let local = {
+        let mut b = Catalog::builder();
+        b.add_table(TableDef::new(
+            "l",
+            1.0,
+            vec![ColumnDef::uniform("c", 1.0, 1.0)],
+        ));
+        b.build().unwrap()
+    };
+    assert!(!local.has_remote_tables());
+}
+
+#[test]
+fn cross_source_joins_ship_and_same_source_joins_push_down() {
+    let cat = federated_catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg)
+        .optimize_query(&cat, &chain(&cat, 4))
+        .unwrap();
+    let plan = r.explain();
+    // Something crossed a source boundary: SHIPs exist.
+    assert!(plan.contains("Ship(from source"), "plan:\n{plan}");
+    // The t0⋈t1 join (both at source 1) is pushed down: its join node sits
+    // *below* any Ship from source 1 — i.e. there is a Ship whose subtree
+    // contains a join.
+    let lines: Vec<&str> = plan.lines().collect();
+    let ship_idx = lines
+        .iter()
+        .position(|l| l.contains("Ship(from source 1"))
+        .expect("ship from source 1");
+    let ship_indent = lines[ship_idx].len() - lines[ship_idx].trim_start().len();
+    let mut pushed_join = false;
+    for l in &lines[ship_idx + 1..] {
+        let indent = l.len() - l.trim_start().len();
+        if indent <= ship_indent {
+            break;
+        }
+        if l.trim_start().starts_with("NLJN")
+            || l.trim_start().starts_with("MGJN")
+            || l.trim_start().starts_with("HSJN")
+        {
+            pushed_join = true;
+        }
+    }
+    assert!(
+        pushed_join,
+        "the same-source join executes below the Ship:\n{plan}"
+    );
+}
+
+#[test]
+fn deterministic_sites_do_not_multiply_plans() {
+    // The same chain, all-local vs federated: identical generated plan
+    // counts (sites reshape costs, not the combinatorics).
+    let fed = federated_catalog();
+    let mut b = Catalog::builder();
+    for i in 0..4 {
+        let t = b.add_table(TableDef::new(
+            format!("t{i}"),
+            8_000.0,
+            vec![
+                ColumnDef::uniform("c0", 8_000.0, 800.0),
+                ColumnDef::uniform("c1", 8_000.0, 80.0),
+            ],
+        ));
+        b.add_index(IndexDef::new(t, vec![0]).clustered());
+    }
+    let local = b.build().unwrap();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+    let rf = opt.optimize_query(&fed, &chain(&fed, 4)).unwrap();
+    let rl = opt.optimize_query(&local, &chain(&local, 4)).unwrap();
+    assert_eq!(rf.stats.plans_generated, rl.stats.plans_generated);
+    // …and the estimator needs no federation awareness to stay exact.
+    let est = estimate_query(&fed, &chain(&fed, 4), &cfg, &EstimateOptions::default()).unwrap();
+    assert_eq!(est.totals.counts.hsjn, rf.stats.plans_generated.hsjn);
+    // Shipping costs show up in the plan though.
+    assert!(rf.best_cost() > rl.best_cost(), "federation is not free");
+}
+
+#[test]
+fn single_source_query_ships_exactly_once() {
+    // A query entirely at source 1 executes there and ships the result.
+    let cat = federated_catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.add_table(TableId(1));
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    let q = Query::new("pushdown", b.build(&cat).unwrap());
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg).optimize_query(&cat, &q).unwrap();
+    let plan = r.explain();
+    assert_eq!(
+        plan.matches("Ship(").count(),
+        1,
+        "one final result SHIP only:\n{plan}"
+    );
+    assert!(
+        plan.lines().next().unwrap().contains("Ship"),
+        "ship is the root:\n{plan}"
+    );
+}

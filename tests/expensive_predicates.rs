@@ -1,0 +1,182 @@
+//! Integration test: the expensive-predicates property (paper Table 1, last
+//! row — Chaudhuri & Shim) across optimizer and estimator.
+//!
+//! Under the scan-or-root policy each expensive predicate may be evaluated
+//! at its table's scan or deferred to the block root; the per-plan
+//! applied-mask is a physical property ("any subset of the expensive
+//! predicates" is interesting), multiplying generated plans by
+//! 2^(tables with expensive predicates).
+
+use cote::{estimate_query, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+use cote_common::{ColRef, TableId, TableRef};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{Query, QueryBlockBuilder};
+
+fn catalog() -> Catalog {
+    let mut b = Catalog::builder();
+    for i in 0..3 {
+        let t = b.add_table(TableDef::new(
+            format!("t{i}"),
+            10_000.0,
+            vec![
+                ColumnDef::uniform("c0", 10_000.0, 1_000.0),
+                ColumnDef::uniform("c1", 10_000.0, 100.0),
+            ],
+        ));
+        b.add_index(IndexDef::new(t, vec![0]).clustered());
+    }
+    b.build().unwrap()
+}
+
+/// Chain with expensive predicates on the first `k` tables. The other
+/// tables carry highly selective local predicates, so the join output is a
+/// tiny fraction of any scan — the situation where deferring a costly UDF
+/// past the joins pays off (Chaudhuri–Shim's motivating case).
+fn chain(cat: &Catalog, expensive_tables: usize, cheap_udf: bool) -> Query {
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..3 {
+        b.add_table(TableId(i));
+    }
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    b.join(ColRef::new(TableRef(1), 1), ColRef::new(TableRef(2), 1));
+    b.local(
+        ColRef::new(TableRef(1), 0),
+        cote_query::PredOp::Between(0.0, 20.0),
+    );
+    b.local(
+        ColRef::new(TableRef(2), 0),
+        cote_query::PredOp::Between(0.0, 20.0),
+    );
+    for t in 0..expensive_tables {
+        // cheap_udf: nearly free to evaluate (apply-early wins);
+        // otherwise very costly per row (defer-past-joins wins).
+        let cpu = if cheap_udf { 0.0001 } else { 50.0 };
+        b.local_expensive(ColRef::new(TableRef(t as u8), 1), 0.1, cpu);
+    }
+    Query::new("exp", b.build(cat).unwrap())
+}
+
+#[test]
+fn plan_counts_multiply_by_two_per_expensive_table() {
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+    let base = opt.optimize_query(&cat, &chain(&cat, 0, true)).unwrap();
+    let one = opt.optimize_query(&cat, &chain(&cat, 1, true)).unwrap();
+    let two = opt.optimize_query(&cat, &chain(&cat, 2, true)).unwrap();
+    let (b, o, t) = (
+        base.stats.plans_generated.total() as f64,
+        one.stats.plans_generated.total() as f64,
+        two.stats.plans_generated.total() as f64,
+    );
+    assert!(
+        o > 1.5 * b,
+        "one expensive table roughly doubles plans: {b} → {o}"
+    );
+    assert!(
+        t > 1.5 * o,
+        "a second expensive table doubles again: {o} → {t}"
+    );
+}
+
+#[test]
+fn estimator_matches_actuals_with_expensive_predicates() {
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+    for k in 0..=2usize {
+        let q = chain(&cat, k, true);
+        let est = estimate_query(&cat, &q, &cfg, &EstimateOptions::default()).unwrap();
+        let act = opt.optimize_query(&cat, &q).unwrap();
+        assert_eq!(
+            est.totals.counts.hsjn, act.stats.plans_generated.hsjn,
+            "HSJN exact with {k} expensive tables"
+        );
+        assert_eq!(
+            est.totals.scan_plans, act.stats.scan_plans,
+            "scan plans exact with {k} expensive tables"
+        );
+        let (e, a) = (
+            est.totals.counts.total() as f64,
+            act.stats.plans_generated.total() as f64,
+        );
+        assert!((e - a).abs() / a <= 0.30, "k={k}: est {e} vs act {a}");
+    }
+}
+
+#[test]
+fn optimizer_defers_costly_udfs_and_applies_cheap_ones_early() {
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+
+    // Costly UDF: the chosen plan defers it — a root Filter appears.
+    let costly = opt.optimize_query(&cat, &chain(&cat, 1, false)).unwrap();
+    let plan = costly.explain();
+    assert!(
+        plan.contains("Filter"),
+        "costly UDF deferred to the root:\n{plan}"
+    );
+
+    // Cheap UDF: evaluating at the scan shrinks every later join; the chosen
+    // plan needs no root Filter.
+    let cheap = opt.optimize_query(&cat, &chain(&cat, 1, true)).unwrap();
+    let plan = cheap.explain();
+    assert!(
+        !plan.contains("Filter"),
+        "cheap UDF applied at the scan:\n{plan}"
+    );
+
+    // Either way the result applies every predicate exactly once: output
+    // rows match across choices.
+    let r1 = costly.blocks[0]
+        .arena
+        .node(costly.blocks[0].best)
+        .stats
+        .rows;
+    let r2 = cheap.blocks[0].arena.node(cheap.blocks[0].best).stats.rows;
+    assert!(
+        (r1 - r2).abs() < r1.max(r2) * 0.01,
+        "same logical result: {r1} vs {r2}"
+    );
+}
+
+#[test]
+fn builder_validates_expensive_predicates() {
+    let cat = catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.local_expensive(ColRef::new(TableRef(0), 9), 0.5, 1.0);
+    assert!(b.build(&cat).is_err(), "bad column");
+
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.local_expensive(ColRef::new(TableRef(0), 1), 1.5, 1.0);
+    assert!(b.build(&cat).is_err(), "selectivity out of range");
+
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    for _ in 0..17 {
+        b.local_expensive(ColRef::new(TableRef(0), 1), 0.5, 1.0);
+    }
+    assert!(b.build(&cat).is_err(), "mask overflow");
+}
+
+#[test]
+fn masks_are_block_level_bookkeeping() {
+    let cat = catalog();
+    let mut b = QueryBlockBuilder::new();
+    let t0 = b.add_table(TableId(0));
+    let t1 = b.add_table(TableId(1));
+    b.join(ColRef::new(t0, 0), ColRef::new(t1, 0));
+    b.local_expensive(ColRef::new(t0, 1), 0.5, 1.0);
+    b.local_expensive(ColRef::new(t1, 1), 0.25, 2.0);
+    let block = b.build(&cat).unwrap();
+    assert_eq!(block.expensive_preds().len(), 2);
+    assert_eq!(block.expensive_bits_of(t0), 0b01);
+    assert_eq!(block.expensive_bits_of(t1), 0b10);
+    assert_eq!(block.expensive_bits_in(block.all_tables()), 0b11);
+    assert!((block.expensive_selectivity(0b11) - 0.125).abs() < 1e-12);
+    assert_eq!(block.expensive_selectivity(0), 1.0);
+}

@@ -1,0 +1,138 @@
+//! Integration test: the paper's Figure 3 example, end to end.
+//!
+//! `SELECT A.2 FROM A,B,C WHERE A.1=B.1 AND B.2=C.2` with and without
+//! `ORDER BY A.2`: identical join graphs (4 joins), different plan counts —
+//! and our MEMO retains exactly the paper's 12 vs 15 plans.
+
+use cote::{estimate_block, property_lists, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+use cote_common::{ColRef, TableSet};
+use cote_optimizer::properties::order::Ordering;
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{QueryBlock, QueryBlockBuilder};
+
+fn catalog() -> Catalog {
+    let mut b = Catalog::builder();
+    for name in ["A", "B", "C"] {
+        let t = b.add_table(TableDef::new(
+            name,
+            10_000.0,
+            vec![
+                ColumnDef::uniform("col1", 10_000.0, 1_000.0),
+                ColumnDef::uniform("col2", 10_000.0, 1_000.0),
+            ],
+        ));
+        b.add_index(IndexDef::new(t, vec![0]).clustered());
+    }
+    b.build().expect("valid")
+}
+
+fn block(cat: &Catalog, with_orderby: bool) -> QueryBlock {
+    let mut b = QueryBlockBuilder::new();
+    let a = b.add_table(cat.table_by_name("A").unwrap());
+    let bb = b.add_table(cat.table_by_name("B").unwrap());
+    let c = b.add_table(cat.table_by_name("C").unwrap());
+    b.join(ColRef::new(a, 0), ColRef::new(bb, 0));
+    b.join(ColRef::new(bb, 1), ColRef::new(c, 1));
+    if with_orderby {
+        b.order_by(vec![ColRef::new(a, 1)]);
+    }
+    b.build(cat).expect("valid")
+}
+
+#[test]
+fn four_joins_both_queries() {
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    for ob in [false, true] {
+        let blk = block(&cat, ob);
+        let est = estimate_block(&cat, &blk, &cfg, &EstimateOptions::default()).unwrap();
+        assert_eq!(est.pairs, 4, "Figure 3: 'Both Queries Have 4 Joins'");
+    }
+}
+
+#[test]
+fn memo_keeps_twelve_vs_fifteen_plans() {
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg);
+    let plain = opt.optimize_block(&cat, &block(&cat, false)).unwrap();
+    let ordered = opt.optimize_block(&cat, &block(&cat, true)).unwrap();
+    assert_eq!(
+        plain.stats.plans_kept, 12,
+        "Figure 3(a): Number of Plans = 12"
+    );
+    assert_eq!(
+        ordered.stats.plans_kept, 15,
+        "Figure 3(b): Number of Plans = 15"
+    );
+}
+
+#[test]
+fn orderby_extends_interesting_lists_of_entries_containing_a() {
+    // "Adding an orderby clause increases the number of interesting order
+    //  properties that need to be kept in all MEMO entries containing A."
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opts = EstimateOptions::default();
+    let plain = property_lists(&cat, &block(&cat, false), &cfg, &opts).unwrap();
+    let ordered = property_lists(&cat, &block(&cat, true), &cfg, &opts).unwrap();
+    let by_set = |lists: &[(TableSet, cote::estimator::lists::PropLists)], set: TableSet| {
+        lists
+            .iter()
+            .find(|(s, _)| *s == set)
+            .map(|(_, l)| l.orders.len())
+            .expect("entry present")
+    };
+    let a = TableSet::from_bits(0b001);
+    let ab = TableSet::from_bits(0b011);
+    let abc = TableSet::from_bits(0b111);
+    let bc = TableSet::from_bits(0b110);
+    assert_eq!(by_set(&ordered, a), by_set(&plain, a) + 1);
+    assert_eq!(by_set(&ordered, ab), by_set(&plain, ab) + 1);
+    assert_eq!(by_set(&ordered, abc), by_set(&plain, abc) + 1);
+    // Entries without A are untouched.
+    assert_eq!(by_set(&ordered, bc), by_set(&plain, bc));
+}
+
+#[test]
+fn retired_orders_leave_the_memo() {
+    // In Figure 3(a), the join columns A.1/B.1 retire once the A–B predicate
+    // is applied: the AB entry keeps only B.2 (+DC).
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let lists =
+        property_lists(&cat, &block(&cat, false), &cfg, &EstimateOptions::default()).unwrap();
+    let ab = lists
+        .iter()
+        .find(|(s, _)| *s == TableSet::from_bits(0b011))
+        .map(|(_, l)| l.orders.clone())
+        .expect("AB entry");
+    assert_eq!(ab.len(), 1, "only the B.2 order survives in AB: {ab:?}");
+    // The root retires everything (no ORDER BY, no further joins).
+    let abc = lists
+        .iter()
+        .find(|(s, _)| *s == TableSet::from_bits(0b111))
+        .map(|(_, l)| l.orders.clone())
+        .expect("ABC entry");
+    assert!(abc.is_empty(), "root keeps only DC: {abc:?}");
+    // No DC values are ever stored explicitly.
+    for (_, l) in &lists {
+        assert!(!l.orders.contains(&Ordering::dc()));
+    }
+}
+
+#[test]
+fn estimates_match_actual_generated_plans_exactly_here() {
+    // On this tiny example no plan sharing occurs, so Table 3's counts are
+    // exact for every method.
+    let cat = catalog();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let opt = Optimizer::new(cfg.clone());
+    for ob in [false, true] {
+        let blk = block(&cat, ob);
+        let est = estimate_block(&cat, &blk, &cfg, &EstimateOptions::default()).unwrap();
+        let real = opt.optimize_block(&cat, &blk).unwrap();
+        assert_eq!(est.counts, real.stats.plans_generated, "orderby={ob}");
+    }
+}

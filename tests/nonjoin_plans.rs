@@ -1,0 +1,123 @@
+//! Integration test: non-join plan counting (paper §3).
+//!
+//! "Non-join plans … are much easier to estimate. For example, there are
+//! typically two group-by plans … the number of index plans can be estimated
+//! by counting the set of applicable indexes."
+
+use cote::{estimate_query, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+use cote_common::{ColRef, TableId};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{PredOp, Query, QueryBlockBuilder};
+use cote_workloads::by_name;
+
+#[test]
+fn scan_plan_estimates_are_exact_on_workloads() {
+    for name in ["real1-s", "tpch-s", "star-s"] {
+        let w = by_name(name).unwrap();
+        let cfg = OptimizerConfig::high(w.mode);
+        let opt = Optimizer::new(cfg.clone());
+        for q in &w.queries {
+            let est = estimate_query(&w.catalog, q, &cfg, &EstimateOptions::default()).unwrap();
+            let act = opt.optimize_query(&w.catalog, q).unwrap();
+            assert_eq!(
+                est.totals.scan_plans, act.stats.scan_plans,
+                "{name}/{}: access paths are exactly countable",
+                q.name
+            );
+        }
+    }
+}
+
+#[test]
+fn group_plan_estimates_are_exact() {
+    let w = by_name("real1-s").unwrap();
+    let cfg = OptimizerConfig::high(w.mode);
+    let opt = Optimizer::new(cfg.clone());
+    for q in &w.queries {
+        let est = estimate_query(&w.catalog, q, &cfg, &EstimateOptions::default()).unwrap();
+        let act = opt.optimize_query(&w.catalog, q).unwrap();
+        assert_eq!(est.totals.group_plans, act.stats.group_plans, "{}", q.name);
+    }
+}
+
+#[test]
+fn sort_plan_estimates_track_enforcers() {
+    // Sort enforcers are harder (plan sharing can suppress one); assert
+    // workload-level agreement within a small band.
+    let w = by_name("real1-s").unwrap();
+    let cfg = OptimizerConfig::high(w.mode);
+    let opt = Optimizer::new(cfg.clone());
+    let (mut est_sum, mut act_sum) = (0u64, 0u64);
+    for q in &w.queries {
+        let est = estimate_query(&w.catalog, q, &cfg, &EstimateOptions::default()).unwrap();
+        let act = opt.optimize_query(&w.catalog, q).unwrap();
+        est_sum += est.totals.sort_plans;
+        act_sum += act.stats.sort_plans;
+    }
+    assert!(act_sum > 0, "enforcers exist under the eager policy");
+    let err = (est_sum as f64 - act_sum as f64).abs() / act_sum as f64;
+    assert!(
+        err <= 0.35,
+        "sort estimate {est_sum} vs actual {act_sum} ({err:.2})"
+    );
+}
+
+fn anding_fixture() -> (Catalog, Query) {
+    let mut b = Catalog::builder();
+    let t = b.add_table(TableDef::new(
+        "facts",
+        100_000.0,
+        vec![
+            ColumnDef::uniform("a", 100_000.0, 1_000.0),
+            ColumnDef::uniform("b", 100_000.0, 500.0),
+            ColumnDef::uniform("c", 100_000.0, 100.0),
+        ],
+    ));
+    b.add_index(IndexDef::new(t, vec![0]));
+    b.add_index(IndexDef::new(t, vec![1]));
+    b.add_index(IndexDef::new(t, vec![2]));
+    let other = b.add_table(TableDef::new(
+        "dim",
+        1_000.0,
+        vec![ColumnDef::uniform("id", 1_000.0, 1_000.0)],
+    ));
+    b.add_index(IndexDef::new(other, vec![0]).clustered());
+    let cat = b.build().unwrap();
+    let mut qb = QueryBlockBuilder::new();
+    let f = qb.add_table(t);
+    let d = qb.add_table(other);
+    qb.join(ColRef::new(f, 2), ColRef::new(d, 0));
+    qb.local(ColRef::new(f, 0), PredOp::Eq(5.0));
+    qb.local(ColRef::new(f, 1), PredOp::Between(10.0, 20.0));
+    let q = Query::new("anding", qb.build(&cat).unwrap());
+    (cat, q)
+}
+
+#[test]
+fn index_anding_appears_with_multiple_applicable_indexes() {
+    let (cat, q) = anding_fixture();
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg.clone())
+        .optimize_query(&cat, &q)
+        .unwrap();
+    // facts: heap + 3 index scans + 1 ANDing (two applicable); dim: heap + 1 index.
+    assert_eq!(r.stats.scan_plans, 7);
+    let est = estimate_query(&cat, &q, &cfg, &EstimateOptions::default()).unwrap();
+    assert_eq!(est.totals.scan_plans, 7);
+}
+
+#[test]
+fn anding_needs_at_least_two_applicable_indexes() {
+    let (cat, _) = anding_fixture();
+    // Rebuild the query with only one local predicate: no ANDing plan.
+    let mut qb = QueryBlockBuilder::new();
+    let f = qb.add_table(TableId(0));
+    let d = qb.add_table(TableId(1));
+    qb.join(ColRef::new(f, 2), ColRef::new(d, 0));
+    qb.local(ColRef::new(f, 0), PredOp::Eq(5.0));
+    let q = Query::new("single", qb.build(&cat).unwrap());
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg).optimize_query(&cat, &q).unwrap();
+    assert_eq!(r.stats.scan_plans, 6, "no ANDing with one applicable index");
+}

@@ -1,0 +1,254 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! estimator's structural invariants.
+
+use cote::{estimate_block, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, IndexDef, TableDef};
+use cote_common::{ColRef, TableId, TableRef, TableSet};
+use cote_optimizer::properties::order::Ordering;
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_query::{EqClasses, JoinGraph, QueryBlockBuilder};
+use proptest::prelude::*;
+
+// ---------- TableSet laws ----------
+
+fn table_set() -> impl Strategy<Value = TableSet> {
+    any::<u64>().prop_map(|bits| TableSet::from_bits(bits & 0xFFFF))
+}
+
+proptest! {
+    #[test]
+    fn tableset_union_intersection_laws(a in table_set(), b in table_set()) {
+        let u = a.union(b);
+        let i = a.intersect(b);
+        prop_assert!(a.is_subset_of(u) && b.is_subset_of(u));
+        prop_assert!(i.is_subset_of(a) && i.is_subset_of(b));
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+        prop_assert_eq!(a.difference(b).union(i), a);
+        prop_assert_eq!(a.difference(b).is_disjoint(b), true);
+    }
+
+    #[test]
+    fn tableset_iteration_round_trips(a in table_set()) {
+        let rebuilt: TableSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    #[test]
+    fn proper_subsets_complete_and_proper(bits in 0u64..64) {
+        // Sets of ≤6 members: enumerate all proper subsets exhaustively.
+        let set = TableSet::from_bits(bits);
+        let subs: Vec<TableSet> = set.proper_subsets().collect();
+        let expected = (1usize << set.len()).saturating_sub(2);
+        prop_assert_eq!(subs.len(), expected);
+        for s in subs {
+            prop_assert!(s.is_proper_subset_of(set));
+            prop_assert!(!s.is_empty());
+        }
+    }
+}
+
+// ---------- EqClasses / Ordering laws ----------
+
+proptest! {
+    #[test]
+    fn union_find_is_an_equivalence(pairs in proptest::collection::vec((0u16..24, 0u16..24), 0..40)) {
+        let mut eq = EqClasses::new(24);
+        for (a, b) in &pairs {
+            eq.union(*a, *b);
+        }
+        for c in 0..24u16 {
+            // Reflexive + canonical: the representative is stable and is
+            // the smallest member of its class.
+            let r = eq.find(c);
+            prop_assert_eq!(eq.find(r), r);
+            prop_assert!(r <= c);
+        }
+        for (a, b) in &pairs {
+            prop_assert!(eq.equivalent(*a, *b));
+        }
+    }
+
+    #[test]
+    fn ordering_canon_is_idempotent_and_preserves_satisfaction(
+        cols in proptest::collection::vec(0u16..16, 1..6),
+        merges in proptest::collection::vec((0u16..16, 0u16..16), 0..8),
+    ) {
+        let mut eq = EqClasses::new(16);
+        for (a, b) in merges {
+            eq.union(a, b);
+        }
+        let o = Ordering::seq(cols);
+        let c1 = o.canon(&eq);
+        let c2 = c1.canon(&eq);
+        prop_assert_eq!(&c1, &c2, "canon is idempotent");
+        // A canonical order always satisfies its own leading-column request.
+        if let Some(f) = c1.first() {
+            prop_assert!(c1.satisfies(&Ordering::seq(vec![f])));
+        }
+        // Prefixes are satisfied by the full order.
+        for k in 1..=c1.len() {
+            let prefix = Ordering::seq(c1.cols()[..k].to_vec());
+            prop_assert!(c1.satisfies(&prefix));
+        }
+    }
+
+    #[test]
+    fn subsumption_is_asymmetric_and_transitive(
+        base in proptest::collection::vec(0u16..12, 1..5),
+        ext1 in 0u16..12,
+        ext2 in 0u16..12,
+    ) {
+        // Build a ≺ chain by extension: o1 = base, o2 = base+ext1, o3 = base+ext1+ext2.
+        let eq = EqClasses::new(12);
+        let o1 = Ordering::seq(base.clone()).canon(&eq);
+        let mut v2 = base.clone();
+        v2.push(ext1);
+        let o2 = Ordering::seq(v2.clone()).canon(&eq);
+        let mut v3 = v2;
+        v3.push(ext2);
+        let o3 = Ordering::seq(v3).canon(&eq);
+        if o1 != o2 {
+            prop_assert!(o1.subsumed_by(&o2));
+            prop_assert!(!o2.subsumed_by(&o1), "strict asymmetry");
+        }
+        if o1 != o3 && o2 != o3 && o1 != o2 {
+            prop_assert!(o1.subsumed_by(&o3), "transitive through o2");
+        }
+    }
+}
+
+// ---------- Estimator invariants over random chain queries ----------
+
+fn chain_fixture(
+    n: usize,
+    preds_per_edge: usize,
+    orderby: bool,
+) -> (Catalog, cote_query::QueryBlock) {
+    let mut b = Catalog::builder();
+    for i in 0..n {
+        let rows = 3000.0 + 500.0 * i as f64;
+        let t = b.add_table(TableDef::new(
+            format!("t{i}"),
+            rows,
+            vec![
+                ColumnDef::uniform("c0", rows, rows),
+                ColumnDef::uniform("c1", rows, 50.0),
+                ColumnDef::uniform("c2", rows, 10.0),
+            ],
+        ));
+        b.add_index(IndexDef::new(t, vec![0]).clustered());
+    }
+    let cat = b.build().unwrap();
+    let mut qb = QueryBlockBuilder::new();
+    for i in 0..n {
+        qb.add_table(TableId(i as u32));
+    }
+    for i in 0..n - 1 {
+        for p in 0..preds_per_edge {
+            qb.join(
+                ColRef::new(TableRef(i as u8), p as u16),
+                ColRef::new(TableRef(i as u8 + 1), p as u16),
+            );
+        }
+    }
+    if orderby {
+        qb.order_by(vec![ColRef::new(TableRef(0), 2)]);
+    }
+    let block = qb.build(&cat).unwrap();
+    (cat, block)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn estimator_structural_invariants(
+        n in 2usize..6,
+        preds in 1usize..3,
+        orderby in any::<bool>(),
+    ) {
+        let (cat, block) = chain_fixture(n, preds, orderby);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let est = estimate_block(&cat, &block, &cfg, &EstimateOptions::default()).unwrap();
+        // Joins: chain formula (single-pred connectivity; extra predicates
+        // share the edges).
+        let expected_pairs = cote::linear_join_count(n);
+        prop_assert_eq!(est.pairs, expected_pairs);
+        prop_assert_eq!(est.joins, 2 * expected_pairs);
+        // HSJN = orientations in serial mode; NLJN ≥ HSJN (it adds order
+        // variants); everything nonzero.
+        prop_assert_eq!(est.counts.hsjn, est.joins);
+        prop_assert!(est.counts.nljn >= est.joins);
+        prop_assert!(est.counts.mgjn >= expected_pairs);
+        // MEMO entries: all 2^n - 1 - n join sets plus n singles (chains
+        // of this size stay connected through every subset split).
+        prop_assert!(est.memo_entries >= n as u64);
+    }
+
+    #[test]
+    fn estimate_matches_actual_hsjn_and_bounds_others(
+        n in 2usize..5,
+        orderby in any::<bool>(),
+    ) {
+        let (cat, block) = chain_fixture(n, 1, orderby);
+        let cfg = OptimizerConfig::high(Mode::Serial);
+        let est = estimate_block(&cat, &block, &cfg, &EstimateOptions::default()).unwrap();
+        let act = Optimizer::new(cfg).optimize_block(&cat, &block).unwrap();
+        prop_assert_eq!(est.counts.hsjn, act.stats.plans_generated.hsjn);
+        // Estimates never undershoot actuals by more than 30% here, nor
+        // overshoot by more than 50% (tiny-count queries).
+        let (e, a) = (est.counts.total() as f64, act.stats.plans_generated.total() as f64);
+        prop_assert!(e >= 0.7 * a && e <= 1.5 * a, "est {} vs act {}", e, a);
+    }
+}
+
+// ---------- Join-graph invariants over random graphs ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn graph_invariants_over_random_edge_sets(
+        n in 2usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 1..16),
+    ) {
+        let mut b = Catalog::builder();
+        for i in 0..n {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                100.0,
+                vec![ColumnDef::uniform("c0", 100.0, 10.0)],
+            ));
+        }
+        let cat = b.build().unwrap();
+        let mut qb = QueryBlockBuilder::new();
+        for i in 0..n {
+            qb.add_table(TableId(i as u32));
+        }
+        let mut real_edges = 0;
+        for (a, bb) in edges {
+            let (a, bb) = (a % n, bb % n);
+            if a != bb {
+                qb.join(ColRef::new(TableRef(a as u8), 0), ColRef::new(TableRef(bb as u8), 0));
+                real_edges += 1;
+            }
+        }
+        prop_assume!(real_edges > 0);
+        let block = qb.build(&cat).unwrap();
+        let g = JoinGraph::new(&block);
+        // Euler-style consistency: components + cycle rank determined by
+        // unique edges and vertices.
+        prop_assert_eq!(
+            g.cycle_rank() + n,
+            g.unique_edge_count() + g.component_count()
+        );
+        prop_assert_eq!(g.is_connected(), g.component_count() == 1);
+        // Adjacency symmetry.
+        for i in 0..n {
+            for j in g.neighbors(TableRef(i as u8)) {
+                prop_assert!(g.neighbors(j).contains(TableRef(i as u8)));
+            }
+        }
+    }
+}

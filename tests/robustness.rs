@@ -1,0 +1,193 @@
+//! Robustness tests: degenerate statistics, pathological queries, and error
+//! paths across the stack. Nothing here should panic — only return errors or
+//! well-formed results.
+
+use cote::{estimate_query, EstimateOptions};
+use cote_catalog::{Catalog, ColumnDef, TableDef};
+use cote_common::{ColRef, CoteError, TableId, TableRef};
+use cote_optimizer::{GreedyOptimizer, Mode, Optimizer, OptimizerConfig};
+use cote_query::{PredOp, Query, QueryBlockBuilder};
+
+fn tiny_catalog() -> Catalog {
+    let mut b = Catalog::builder();
+    for i in 0..3 {
+        b.add_table(TableDef::new(
+            format!("t{i}"),
+            1000.0,
+            vec![
+                ColumnDef::uniform("c0", 1000.0, 100.0),
+                ColumnDef::uniform("c1", 1000.0, 10.0),
+            ],
+        ));
+    }
+    b.build().unwrap()
+}
+
+fn assert_finite(q: &Query, cat: &Catalog) {
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg.clone()).optimize_query(cat, q).unwrap();
+    assert!(r.best_cost().is_finite(), "{}: finite cost", q.name);
+    assert!(r.best_cost() >= 0.0);
+    let e = estimate_query(cat, q, &cfg, &EstimateOptions::default()).unwrap();
+    assert_eq!(e.totals.joins, r.stats.joins_enumerated, "{}", q.name);
+}
+
+#[test]
+fn zero_cardinality_predicates_stay_finite() {
+    // An equality far outside the column domain drives the full model's
+    // cardinality to 0 — which (a) must keep every cost finite and (b)
+    // legitimately triggers the Cartesian-iff-card-1 heuristic in the full
+    // model but not the simple one: the §5.2 join-count drift, at its most
+    // extreme.
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    for i in 0..3 {
+        b.add_table(TableId(i));
+    }
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    b.join(ColRef::new(TableRef(1), 1), ColRef::new(TableRef(2), 1));
+    b.local(ColRef::new(TableRef(0), 0), PredOp::Eq(1e12));
+    let q = Query::new("zero_card", b.build(&cat).unwrap());
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg.clone())
+        .optimize_query(&cat, &q)
+        .unwrap();
+    assert!(r.best_cost().is_finite() && r.best_cost() >= 0.0);
+    let e = estimate_query(&cat, &q, &cfg, &EstimateOptions::default()).unwrap();
+    assert!(
+        e.totals.joins < r.stats.joins_enumerated,
+        "card-0 admits extra Cartesian joins only in the full model: {} vs {}",
+        e.totals.joins,
+        r.stats.joins_enumerated
+    );
+}
+
+#[test]
+fn empty_range_predicates_stay_finite() {
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.add_table(TableId(1));
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    // lo > hi: zero-selectivity range.
+    b.local(ColRef::new(TableRef(1), 1), PredOp::Between(9.0, 1.0));
+    assert_finite(&Query::new("empty_range", b.build(&cat).unwrap()), &cat);
+}
+
+#[test]
+fn duplicate_join_predicates_are_harmless() {
+    // The same predicate written twice: selectivity applies twice (the
+    // optimizer trusts the query), plans stay consistent between modes.
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.add_table(TableId(1));
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    assert_finite(&Query::new("dup_pred", b.build(&cat).unwrap()), &cat);
+}
+
+#[test]
+fn pure_self_join_clique() {
+    // Four references to the SAME catalog table, fully connected.
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    for _ in 0..4 {
+        b.add_table(TableId(0));
+    }
+    for i in 0..4u8 {
+        for j in i + 1..4 {
+            b.join(ColRef::new(TableRef(i), 0), ColRef::new(TableRef(j), 0));
+        }
+    }
+    assert_finite(&Query::new("self_clique", b.build(&cat).unwrap()), &cat);
+}
+
+#[test]
+fn single_table_with_every_clause() {
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.local(ColRef::new(TableRef(0), 0), PredOp::Ge(50.0));
+    b.group_by(vec![ColRef::new(TableRef(0), 1)]);
+    b.order_by(vec![ColRef::new(TableRef(0), 1)]);
+    b.first_n(u64::MAX);
+    assert_finite(&Query::new("one_table", b.build(&cat).unwrap()), &cat);
+}
+
+#[test]
+fn greedy_matches_dp_feasibility() {
+    // Whatever DP can plan, greedy can plan (and vice versa on these
+    // shapes); both reject the disconnected no-Cartesian case.
+    let cat = tiny_catalog();
+    let mut b = QueryBlockBuilder::new();
+    b.add_table(TableId(0));
+    b.add_table(TableId(2));
+    let q = Query::new("disc", b.build(&cat).unwrap());
+    let mut cfg = OptimizerConfig::high(Mode::Serial);
+    cfg.cartesian_card_one = false;
+    assert!(matches!(
+        Optimizer::new(cfg.clone()).optimize_query(&cat, &q),
+        Err(CoteError::NoPlanFound { .. })
+    ));
+    // Greedy falls back to a Cartesian product rather than failing — it
+    // must always return *a* plan quickly (it is the pilot/low level).
+    assert!(GreedyOptimizer::new(cfg).optimize_query(&cat, &q).is_ok());
+}
+
+#[test]
+fn opaque_selectivity_extremes() {
+    let cat = tiny_catalog();
+    for sel in [0.0, 1.0] {
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(0));
+        b.add_table(TableId(1));
+        b.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+        b.local(ColRef::new(TableRef(0), 1), PredOp::Opaque(sel));
+        assert_finite(
+            &Query::new(format!("opaque_{sel}"), b.build(&cat).unwrap()),
+            &cat,
+        );
+    }
+}
+
+#[test]
+fn deep_subquery_nesting() {
+    // Five levels of nesting: blocks optimize independently and sum.
+    let cat = tiny_catalog();
+    let mut inner: Option<cote_query::QueryBlock> = None;
+    for level in 0..5 {
+        let mut b = QueryBlockBuilder::new();
+        b.add_table(TableId(level % 3));
+        if let Some(child) = inner.take() {
+            b.child(child);
+        }
+        inner = Some(b.build(&cat).unwrap());
+    }
+    let q = Query::new("nested", inner.unwrap());
+    assert_eq!(q.blocks().len(), 5);
+    let cfg = OptimizerConfig::high(Mode::Serial);
+    let r = Optimizer::new(cfg).optimize_query(&cat, &q).unwrap();
+    assert_eq!(r.blocks.len(), 5);
+}
+
+#[test]
+fn zero_row_table() {
+    let mut b = Catalog::builder();
+    b.add_table(TableDef::new(
+        "empty",
+        0.0,
+        vec![ColumnDef::uniform("c0", 0.0, 1.0)],
+    ));
+    b.add_table(TableDef::new(
+        "full",
+        100.0,
+        vec![ColumnDef::uniform("c0", 100.0, 10.0)],
+    ));
+    let cat = b.build().unwrap();
+    let mut qb = QueryBlockBuilder::new();
+    qb.add_table(TableId(0));
+    qb.add_table(TableId(1));
+    qb.join(ColRef::new(TableRef(0), 0), ColRef::new(TableRef(1), 0));
+    assert_finite(&Query::new("zero_rows", qb.build(&cat).unwrap()), &cat);
+}
