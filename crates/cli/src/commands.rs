@@ -18,6 +18,10 @@ USAGE:
   cote compile <workload> [N]         compile for real; stats + chosen plan
   cote forecast <workload>            workload compilation forecast (§1.1)
   cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
+  cote serve <workload>               estimation daemon driven by stdin
+  cote bench-service --workload W --rps R [--duration S] [--clients N]
+                     [--workers N] [--cache N] [--deadline-ms M] [--seed S]
+                                      closed-loop service benchmark
 
 Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
 or -p (parallel), e.g. `cote estimate star-s 3`.
@@ -54,7 +58,7 @@ fn selected(w: &Workload, idx: Option<usize>) -> Vec<usize> {
 
 /// A quick COTE, self-calibrated with the per-phase fit on the workload's
 /// own catalog (1 repeat — good enough for interactive use).
-fn quick_cote(w: &Workload, config: &OptimizerConfig) -> Result<Cote> {
+pub(crate) fn quick_cote(w: &Workload, config: &OptimizerConfig) -> Result<Cote> {
     let train: Vec<cote_query::Query> = w.queries.iter().take(6).cloned().collect();
     let cal = calibrate_per_phase(&[(&w.catalog, &train[..])], config, 1)?;
     Ok(Cote::new(config.clone(), cal.model))

@@ -1,0 +1,271 @@
+//! `cote serve` and `cote bench-service`: the daemon-facing subcommands.
+
+use crate::commands::quick_cote;
+use cote_common::{CoteError, Result};
+use cote_optimizer::OptimizerConfig;
+use cote_query::Query;
+use cote_service::{CoteService, Decision, QueryClass, ServiceConfig};
+use cote_workloads::{by_name, traffic, Workload};
+use std::io::BufRead;
+use std::time::Duration;
+
+/// Flags shared by both subcommands.
+struct ServeArgs {
+    workload: Workload,
+    rps: f64,
+    duration: Duration,
+    clients: usize,
+    seed: u64,
+    cfg: ServiceConfig,
+}
+
+fn bad(reason: String) -> CoteError {
+    CoteError::InvalidQuery { reason }
+}
+
+fn parse_args(args: &[String]) -> Result<ServeArgs> {
+    let mut workload = None;
+    let mut rps = 500.0;
+    let mut duration = Duration::from_secs(3);
+    let mut clients = 8;
+    let mut seed = 42;
+    let mut cfg = ServiceConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String> {
+            it.next()
+                .ok_or_else(|| bad(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--workload" => workload = Some(by_name(value("--workload")?)?),
+            "--rps" => {
+                rps = value("--rps")?
+                    .parse()
+                    .map_err(|_| bad("--rps needs a number".into()))?
+            }
+            "--duration" => {
+                let secs: f64 = value("--duration")?
+                    .parse()
+                    .map_err(|_| bad("--duration needs seconds".into()))?;
+                duration = Duration::from_secs_f64(secs.max(0.0));
+            }
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| bad("--clients needs an integer".into()))?
+            }
+            "--workers" => {
+                let n: usize = value("--workers")?
+                    .parse()
+                    .map_err(|_| bad("--workers needs an integer".into()))?;
+                cfg = cfg.with_workers(n);
+            }
+            "--cache" => {
+                let n: usize = value("--cache")?
+                    .parse()
+                    .map_err(|_| bad("--cache needs an integer".into()))?;
+                cfg = cfg.with_cache_capacity(n);
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|_| bad("--deadline-ms needs milliseconds".into()))?;
+                cfg.deadline = Duration::from_millis(ms);
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| bad("--seed needs an integer".into()))?
+            }
+            // Bare first argument doubles as the workload name.
+            w if workload.is_none() && !w.starts_with("--") => workload = Some(by_name(w)?),
+            other => return Err(bad(format!("unknown flag '{other}'"))),
+        }
+    }
+    let workload = workload.ok_or_else(|| bad("missing --workload <name>".into()))?;
+    Ok(ServeArgs {
+        workload,
+        rps,
+        duration,
+        clients: clients.max(1),
+        seed,
+        cfg,
+    })
+}
+
+fn start_service(w: &Workload, cfg: ServiceConfig) -> Result<CoteService> {
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(w, &config)?;
+    eprintln!(
+        "starting cote-service: {} workers, {} cache slots, {:?} deadline",
+        cfg.workers, cfg.cache_capacity, cfg.deadline
+    );
+    Ok(CoteService::start(w.catalog.clone(), cote, cfg))
+}
+
+fn class_of(q: &Query) -> QueryClass {
+    QueryClass::from_table_count(q.total_tables())
+}
+
+/// `cote serve <workload>` — interactive daemon driven by stdin. Each line
+/// is a 1-based query index (optionally `N interactive|reporting|batch`);
+/// `report` prints the metrics report, `quit` exits.
+pub fn serve(args: &[String]) -> Result<()> {
+    let a = parse_args(args)?;
+    let svc = start_service(&a.workload, a.cfg)?;
+    let n = a.workload.queries.len();
+    eprintln!(
+        "serving {} ({n} queries); enter <index> [class], 'report' or 'quit'",
+        a.workload.name
+    );
+    for line in std::io::stdin().lock().lines() {
+        let line = line.map_err(|e| bad(format!("stdin: {e}")))?;
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            None => continue,
+            Some("quit") | Some("exit") => break,
+            Some("report") => {
+                print!("{}", svc.report());
+                continue;
+            }
+            Some(tok) => {
+                let idx: usize = match tok.parse() {
+                    Ok(i) if (1..=n).contains(&i) => i - 1,
+                    _ => {
+                        eprintln!("expected 1..={n}, 'report' or 'quit'");
+                        continue;
+                    }
+                };
+                let q = &a.workload.queries[idx];
+                let class = match parts.next() {
+                    Some("interactive") => QueryClass::Interactive,
+                    Some("reporting") => QueryClass::Reporting,
+                    Some("batch") => QueryClass::Batch,
+                    Some(other) => {
+                        eprintln!("unknown class '{other}'");
+                        continue;
+                    }
+                    None => class_of(q),
+                };
+                let resp = svc.submit(q, class);
+                match resp.decision {
+                    Decision::Admitted { advice, cached } => {
+                        let src = if cached { "cache" } else { "fresh" };
+                        println!(
+                            "{}: {} [{src}, {:?}, class {}]",
+                            q.name,
+                            advice.choice.label(),
+                            resp.elapsed,
+                            class.name()
+                        );
+                        for (limit, secs) in &advice.levels {
+                            println!("    level {limit:>3}: est {:.3}ms", secs * 1e3);
+                        }
+                    }
+                    Decision::Shed { reason } => {
+                        println!("{}: shed ({})", q.name, reason.name())
+                    }
+                    Decision::Failed { error } => println!("{}: failed: {error}", q.name),
+                }
+            }
+        }
+    }
+    print!("{}", svc.report());
+    Ok(())
+}
+
+/// `cote bench-service --workload W --rps R [--duration S] [--clients N]
+/// [--workers N] [--cache N] [--deadline-ms M] [--seed S]` — closed-loop
+/// Poisson replay of a workload against the daemon, then a full report.
+pub fn bench_service(args: &[String]) -> Result<()> {
+    let a = parse_args(args)?;
+    let schedule = traffic::poisson_schedule(a.workload.queries.len(), a.rps, a.duration, a.seed);
+    if schedule.is_empty() {
+        return Err(bad("empty schedule: check --rps and --duration".into()));
+    }
+    let svc = start_service(&a.workload, a.cfg)?;
+    eprintln!(
+        "replaying {} arrivals over {:?} from {} clients (seed {})...",
+        schedule.len(),
+        a.duration,
+        a.clients,
+        a.seed
+    );
+    let arrivals: Vec<(Duration, usize)> = schedule.iter().map(|x| (x.at, x.query_index)).collect();
+    let report = cote_service::replay(&svc, &a.workload.queries, &arrivals, a.clients);
+    println!("── bench-service: {} ──", a.workload.name);
+    print!("{}", report.summary());
+    println!("── service ──");
+    print!("{}", svc.report());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_and_positional_workload() {
+        let a = parse_args(&args(&["linear-s", "--rps", "50", "--clients", "2"])).unwrap();
+        assert_eq!(a.workload.name, "linear_s");
+        assert!((a.rps - 50.0).abs() < 1e-9);
+        assert_eq!(a.clients, 2);
+        let a = parse_args(&args(&[
+            "--workload",
+            "star-p",
+            "--workers",
+            "3",
+            "--cache",
+            "128",
+            "--deadline-ms",
+            "10",
+            "--duration",
+            "0.5",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(a.cfg.workers, 3);
+        assert_eq!(a.cfg.cache_capacity, 128);
+        assert_eq!(a.cfg.deadline, Duration::from_millis(10));
+        assert_eq!(a.duration, Duration::from_millis(500));
+        assert_eq!(a.seed, 9);
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--rps", "50"])).is_err());
+        assert!(parse_args(&args(&["linear-s", "--nope"])).is_err());
+        assert!(parse_args(&args(&["linear-s", "--rps"])).is_err());
+    }
+
+    #[test]
+    fn bench_service_small_run_prints_report() {
+        // Smoke the whole pipeline at a tiny scale.
+        let a = parse_args(&args(&[
+            "linear-s",
+            "--rps",
+            "200",
+            "--duration",
+            "0.3",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        let svc = start_service(&a.workload, a.cfg).unwrap();
+        let schedule =
+            traffic::poisson_schedule(a.workload.queries.len(), a.rps, a.duration, a.seed);
+        let arrivals: Vec<(Duration, usize)> =
+            schedule.iter().map(|x| (x.at, x.query_index)).collect();
+        let r = cote_service::replay(&svc, &a.workload.queries, &arrivals, a.clients);
+        assert_eq!(r.submitted as usize, arrivals.len());
+        assert_eq!(r.admitted + r.shed + r.failed, r.submitted);
+        let report = svc.report();
+        assert!(report.contains("p50"), "{report}");
+        assert!(report.contains("advisor decisions"), "{report}");
+    }
+}

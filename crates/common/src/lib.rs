@@ -14,13 +14,21 @@
 //!   [`fxhash::FxHashMap`] / [`fxhash::FxHashSet`] aliases. Hashing MEMO keys
 //!   is hot; SipHash is unnecessary for trusted, in-process keys.
 //! * [`error`] — the workspace-wide error type.
+//! * [`rng`] — deterministic SplitMix64 / xoshiro256++ generators, so the
+//!   workload generators and randomized tests need no external `rand`.
+//! * [`lru`] — a small O(1) LRU cache shared by the statement cache and the
+//!   serving layer's sharded estimate cache.
 
 pub mod bitset;
 pub mod error;
 pub mod fxhash;
 pub mod ids;
+pub mod lru;
+pub mod rng;
 
 pub use bitset::TableSet;
 pub use error::{CoteError, Result};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{ColRef, ColumnId, IndexId, TableId, TableRef};
+pub use lru::LruCache;
+pub use rng::{SplitMix64, Xoshiro256pp};

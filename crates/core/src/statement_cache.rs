@@ -7,7 +7,7 @@
 //! the motivating contrast for COTE. Implemented here so the harness can
 //! demonstrate exactly that failure mode.
 
-use cote_common::FxHashMap;
+use cote_common::LruCache;
 use cote_query::{PredOp, Query, QueryBlock};
 use std::hash::{Hash, Hasher};
 
@@ -18,11 +18,22 @@ use std::hash::{Hash, Hasher};
 /// operator kinds, GROUP BY / ORDER BY shapes, subquery structure — but not
 /// literal constants, so `price < 10` and `price < 99` share an entry (as a
 /// parameterized statement cache would).
-#[derive(Debug, Default)]
+///
+/// Unbounded by default (the paper's baseline caches every statement);
+/// [`StatementCache::with_capacity`] bounds it with least-recently-used
+/// eviction, which is what a production statement cache does.
+#[derive(Debug)]
 pub struct StatementCache {
-    entries: FxHashMap<u64, f64>,
+    entries: LruCache<u64, f64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for StatementCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 fn hash_block<H: Hasher>(block: &QueryBlock, h: &mut H) {
@@ -59,13 +70,24 @@ pub fn fingerprint(query: &Query) -> u64 {
 }
 
 impl StatementCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// Empty cache holding at most `capacity` statements; inserting past it
+    /// evicts the least recently *looked-up* statement.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: LruCache::new(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
     }
 
     /// Estimate from the cache, if a structurally identical statement was
-    /// compiled before.
+    /// compiled before. A hit refreshes the statement's recency.
     pub fn lookup(&mut self, query: &Query) -> Option<f64> {
         match self.entries.get(&fingerprint(query)) {
             Some(&secs) => {
@@ -81,7 +103,9 @@ impl StatementCache {
 
     /// Record an actual compilation.
     pub fn record(&mut self, query: &Query, seconds: f64) {
-        self.entries.insert(fingerprint(query), seconds);
+        if self.entries.insert(fingerprint(query), seconds).is_some() {
+            self.evictions += 1;
+        }
     }
 
     /// Lookups served / total lookups.
@@ -102,6 +126,21 @@ impl StatementCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Maximum statements held (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Statements evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drop every cached statement; hit/miss/eviction counters survive.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -174,6 +213,36 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12, "2 hits / 4 lookups");
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_clears() {
+        let cat = catalog();
+        let mut cache = StatementCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let a = query(&cat, 1.0, false);
+        let b = query(&cat, 1.0, true);
+        // Structurally distinct third statement: different join column.
+        let c = {
+            let mut qb = QueryBlockBuilder::new();
+            qb.add_table(TableId(0));
+            qb.add_table(TableId(2));
+            qb.join(ColRef::new(TableRef(0), 1), ColRef::new(TableRef(1), 1));
+            Query::new("q", qb.build(&cat).unwrap())
+        };
+        cache.record(&a, 0.1);
+        cache.record(&b, 0.2);
+        assert_eq!(cache.lookup(&a), Some(0.1), "refreshes a's recency");
+        cache.record(&c, 0.3);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.lookup(&b), None, "b was LRU");
+        assert_eq!(cache.lookup(&a), Some(0.1));
+        assert_eq!(cache.lookup(&c), Some(0.3));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(&a), None);
+        assert_eq!(cache.evictions(), 1, "counters survive clear");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Admission control: concurrency limits, deadline-based shedding, and the
+//! degraded-mode trigger.
+//!
+//! The controller refuses work *before* it costs anything: a request is shed
+//! at submit time when the service-wide in-flight cap is reached or when the
+//! projected queue wait (queue depth ÷ workers × observed mean service
+//! time) already exceeds the request's deadline. Between "healthy" and
+//! "shed" sits graceful degradation — past a queue-depth watermark,
+//! admitted requests skip the full estimator and are advised greedy.
+
+use crate::request::ShedReason;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// The admission controller's verdict for a cache-missing request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueue for full estimation.
+    Admit,
+    /// Enqueue, but on the cheap degraded path.
+    AdmitDegraded,
+    /// Refuse.
+    Shed(ShedReason),
+}
+
+/// Shared admission state (all atomics; no locks on the submit path).
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_inflight: usize,
+    degrade_queue_depth: usize,
+    workers: usize,
+    inflight: AtomicUsize,
+    /// EWMA of worker service time, in nanoseconds (α = 1/8).
+    mean_service_nanos: AtomicU64,
+}
+
+impl AdmissionController {
+    /// Controller for a pool of `workers` threads.
+    pub fn new(max_inflight: usize, degrade_queue_depth: usize, workers: usize) -> Self {
+        Self {
+            max_inflight,
+            degrade_queue_depth,
+            workers: workers.max(1),
+            inflight: AtomicUsize::new(0),
+            mean_service_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests currently queued or being estimated.
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Observed mean estimation service time.
+    pub fn mean_service(&self) -> Duration {
+        Duration::from_nanos(self.mean_service_nanos.load(Ordering::Relaxed))
+    }
+
+    /// Fold one observed service time into the EWMA. A racy read-modify-
+    /// write is acceptable: the value only steers load-shedding heuristics.
+    pub fn observe_service(&self, d: Duration) {
+        let sample = d.as_nanos().min(u64::MAX as u128) as u64;
+        let old = self.mean_service_nanos.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            old - old / 8 + sample / 8
+        };
+        self.mean_service_nanos.store(new, Ordering::Relaxed);
+    }
+
+    /// Queue wait a newly enqueued request should expect.
+    pub fn projected_wait(&self, queue_depth: usize) -> Duration {
+        self.mean_service()
+            .mul_f64(queue_depth as f64 / self.workers as f64)
+    }
+
+    /// Decide a cache-missing request's fate. On `Admit`/`AdmitDegraded`
+    /// the in-flight slot is already taken; release it with
+    /// [`AdmissionController::release`] once a response is sent.
+    pub fn admit(&self, queue_depth: usize, deadline: Duration) -> Admission {
+        if self.max_inflight > 0 {
+            // Optimistic increment-then-check keeps this one atomic op.
+            let prev = self.inflight.fetch_add(1, Ordering::Relaxed);
+            if prev >= self.max_inflight {
+                self.inflight.fetch_sub(1, Ordering::Relaxed);
+                return Admission::Shed(ShedReason::InflightLimit);
+            }
+        } else {
+            self.inflight.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.projected_wait(queue_depth) > deadline {
+            self.inflight.fetch_sub(1, Ordering::Relaxed);
+            return Admission::Shed(ShedReason::DeadlineProjected);
+        }
+        if queue_depth >= self.degrade_queue_depth {
+            Admission::AdmitDegraded
+        } else {
+            Admission::Admit
+        }
+    }
+
+    /// Release the in-flight slot taken by a successful [`AdmissionController::admit`].
+    pub fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_cap_sheds_and_releases() {
+        let a = AdmissionController::new(2, 100, 4);
+        assert_eq!(a.admit(0, Duration::from_secs(1)), Admission::Admit);
+        assert_eq!(a.admit(0, Duration::from_secs(1)), Admission::Admit);
+        assert_eq!(
+            a.admit(0, Duration::from_secs(1)),
+            Admission::Shed(ShedReason::InflightLimit)
+        );
+        a.release();
+        assert_eq!(a.admit(0, Duration::from_secs(1)), Admission::Admit);
+        assert_eq!(a.inflight(), 2);
+    }
+
+    #[test]
+    fn deadline_projection_sheds_deep_queues() {
+        let a = AdmissionController::new(0, 1000, 2);
+        // 1ms mean service, 100 queued, 2 workers → ~50ms projected.
+        a.observe_service(Duration::from_millis(1));
+        assert_eq!(
+            a.admit(100, Duration::from_millis(10)),
+            Admission::Shed(ShedReason::DeadlineProjected)
+        );
+        assert_eq!(a.admit(100, Duration::from_millis(100)), Admission::Admit);
+        // A shed admit keeps no slot.
+        assert_eq!(a.inflight(), 1);
+    }
+
+    #[test]
+    fn degrade_watermark_switches_path() {
+        let a = AdmissionController::new(0, 10, 4);
+        assert_eq!(a.admit(9, Duration::from_secs(1)), Admission::Admit);
+        assert_eq!(
+            a.admit(10, Duration::from_secs(1)),
+            Admission::AdmitDegraded
+        );
+    }
+
+    #[test]
+    fn ewma_tracks_samples() {
+        let a = AdmissionController::new(0, 10, 1);
+        assert_eq!(a.projected_wait(50), Duration::ZERO, "no samples yet");
+        a.observe_service(Duration::from_millis(8));
+        assert_eq!(
+            a.mean_service(),
+            Duration::from_millis(8),
+            "first sample seeds"
+        );
+        for _ in 0..64 {
+            a.observe_service(Duration::from_millis(1));
+        }
+        let m = a.mean_service();
+        assert!(m < Duration::from_millis(2), "EWMA converges: {m:?}");
+    }
+}

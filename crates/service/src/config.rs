@@ -1,0 +1,114 @@
+//! Service tuning knobs.
+
+use crate::request::QueryClass;
+use std::time::Duration;
+
+/// Everything the daemon can be tuned with. `Default` is sized for a laptop
+/// and the repo's workloads; a deployment would scale `workers`,
+/// `cache_capacity` and `queue_capacity` with the machine.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Estimator worker threads. Defaults to available parallelism.
+    pub workers: usize,
+    /// Statement-cache shards (rounded up to a power of two).
+    pub shards: usize,
+    /// Total cached statements across all shards.
+    pub cache_capacity: usize,
+    /// Bounded job-queue capacity; pushes beyond it shed.
+    pub queue_capacity: usize,
+    /// Maximum requests queued + being estimated at once; admissions beyond
+    /// it shed. `0` disables the limit.
+    pub max_inflight: usize,
+    /// Queue depth at which the service degrades to the cheap greedy
+    /// (join-count) estimate instead of the full property-list estimator.
+    pub degrade_queue_depth: usize,
+    /// Per-class deadline on the *estimation response* (submit → advice).
+    /// Requests whose projected or actual wait exceeds it are shed.
+    pub deadline: Duration,
+    /// Per-class compile-time budgets the advisor fits levels into.
+    pub budget_interactive: f64,
+    /// See [`ServiceConfig::budget_interactive`].
+    pub budget_reporting: f64,
+    /// See [`ServiceConfig::budget_interactive`].
+    pub budget_batch: f64,
+    /// Composite-inner limits (below the configured level) the advisor may
+    /// fall back to, cheapest-first; estimated in one pass (§6.2).
+    pub advisor_levels: Vec<usize>,
+    /// Seconds of execution per abstract cost unit for the MOP check: when
+    /// set, the advisor also compiles the greedy plan and keeps it if its
+    /// estimated *execution* undercuts the advised level's *compilation*
+    /// (Figure 1's `E < C` rule). `None` disables the check.
+    pub mop_seconds_per_cost_unit: Option<f64>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self {
+            workers,
+            shards: 16,
+            cache_capacity: 4096,
+            queue_capacity: 1024,
+            max_inflight: 4096,
+            degrade_queue_depth: 512,
+            deadline: Duration::from_millis(250),
+            budget_interactive: 0.002,
+            budget_reporting: 0.050,
+            budget_batch: 5.0,
+            advisor_levels: vec![1, 2, 4],
+            mop_seconds_per_cost_unit: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The compile-time budget for `class`, in seconds.
+    pub fn budget_seconds(&self, class: QueryClass) -> f64 {
+        match class {
+            QueryClass::Interactive => self.budget_interactive,
+            QueryClass::Reporting => self.budget_reporting,
+            QueryClass::Batch => self.budget_batch,
+        }
+    }
+
+    /// Builder-style worker-count override.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style cache-capacity override.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered_budgets() {
+        let c = ServiceConfig::default();
+        assert!(c.workers >= 1);
+        assert!(
+            c.budget_seconds(QueryClass::Interactive) < c.budget_seconds(QueryClass::Reporting)
+        );
+        assert!(c.budget_seconds(QueryClass::Reporting) < c.budget_seconds(QueryClass::Batch));
+        assert!(c.degrade_queue_depth < c.queue_capacity);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = ServiceConfig::default()
+            .with_workers(0)
+            .with_cache_capacity(7);
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.cache_capacity, 7);
+    }
+}

@@ -1,0 +1,321 @@
+//! In-process metrics: atomic counters and log-scaled latency histograms.
+//!
+//! The serving path must observe itself without locks: every instrument here
+//! is a plain `AtomicU64` (or a fixed array of them), so recording from N
+//! worker threads never serializes. Snapshots are taken with relaxed loads —
+//! each number is exact per instrument, the set is only approximately
+//! simultaneous, which is all a monitoring report needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds `0..1` ns), so 64 buckets
+/// cover everything a `u64` of nanoseconds can express (≈ 584 years).
+const BUCKETS: usize = 64;
+
+/// A log₂-scaled histogram of durations.
+///
+/// Recording is one relaxed `fetch_add` into the matching power-of-two
+/// bucket plus a running sum; quantiles are reconstructed from bucket
+/// boundaries with ≤ 2× relative error, which is the usual trade for a
+/// fixed-size lock-free histogram.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Record one duration.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - nanos.leading_zeros()) as usize; // 0 for nanos == 0
+        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freeze the current contents into a [`HistogramSnapshot`].
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`LogHistogram`].
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (exact — the sum is tracked separately).
+    pub fn mean(&self) -> Duration {
+        Duration::from_nanos(self.sum_nanos.checked_div(self.count).unwrap_or(0))
+    }
+
+    /// Quantile `q` in `[0, 1]`, reconstructed from bucket boundaries (the
+    /// geometric midpoint of the bucket holding the rank).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket i spans [2^(i-1), 2^i); use the geometric midpoint.
+                let hi = 1u128 << i;
+                let lo = hi >> 1;
+                let mid = ((lo + hi) / 2) as u64;
+                return Duration::from_nanos(if i == 0 { 0 } else { mid });
+            }
+        }
+        Duration::from_nanos(u64::MAX)
+    }
+
+    /// p50 / p95 / p99 in one call.
+    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// Format a duration compactly for reports.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Every instrument on the serving path, by name.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests submitted.
+    pub requests: Counter,
+    /// Served straight from the sharded statement cache.
+    pub cache_hits: Counter,
+    /// Fell through to the estimator worker pool.
+    pub cache_misses: Counter,
+    /// Cache insertions that evicted an older statement.
+    pub cache_evictions: Counter,
+    /// Requests shed because the queue was at capacity.
+    pub shed_queue_full: Counter,
+    /// Requests shed because the in-flight limit was reached.
+    pub shed_inflight: Counter,
+    /// Requests shed because the projected queue wait exceeded the deadline.
+    pub shed_deadline: Counter,
+    /// Requests whose deadline had already expired when a worker got to
+    /// them (dropped without estimating).
+    pub shed_expired: Counter,
+    /// Requests served in degraded (greedy / join-count) mode.
+    pub degraded: Counter,
+    /// Requests that completed with an advice.
+    pub completed: Counter,
+    /// Estimator errors.
+    pub errors: Counter,
+    /// Estimation service time (per worker execution).
+    pub estimation_latency: LogHistogram,
+    /// End-to-end latency (submit → response).
+    pub e2e_latency: LogHistogram,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: LogHistogram,
+}
+
+impl Metrics {
+    /// Cache hits / lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.cache_hits.get();
+        let m = self.cache_misses.get();
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Total requests shed for any reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_queue_full.get()
+            + self.shed_inflight.get()
+            + self.shed_deadline.get()
+            + self.shed_expired.get()
+    }
+
+    /// Multi-line text report of every instrument.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests            {:>10}\n\
+             completed           {:>10}\n\
+             cache hits          {:>10}  (hit rate {:.1}%)\n\
+             cache misses        {:>10}\n\
+             cache evictions     {:>10}\n\
+             shed: queue full    {:>10}\n\
+             shed: inflight cap  {:>10}\n\
+             shed: deadline      {:>10}\n\
+             shed: expired       {:>10}\n\
+             degraded (greedy)   {:>10}\n\
+             errors              {:>10}\n",
+            self.requests.get(),
+            self.completed.get(),
+            self.cache_hits.get(),
+            self.hit_rate() * 100.0,
+            self.cache_misses.get(),
+            self.cache_evictions.get(),
+            self.shed_queue_full.get(),
+            self.shed_inflight.get(),
+            self.shed_deadline.get(),
+            self.shed_expired.get(),
+            self.degraded.get(),
+            self.errors.get(),
+        ));
+        for (name, h) in [
+            ("estimation", &self.estimation_latency),
+            ("queue wait", &self.queue_wait),
+            ("end-to-end", &self.e2e_latency),
+        ] {
+            let s = h.snapshot();
+            let (p50, p95, p99) = s.percentiles();
+            out.push_str(&format!(
+                "{name:<11} latency  p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}  (n={})\n",
+                fmt_duration(p50),
+                fmt_duration(p95),
+                fmt_duration(p99),
+                fmt_duration(s.mean()),
+                s.count(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_count_from_many_threads() {
+        let m = Arc::new(Metrics::default());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.requests.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.requests.get(), 8000);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = LogHistogram::default();
+        for micros in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 10);
+        let (p50, _, p99) = s.percentiles();
+        // Log buckets: ≤2× error around the true medians.
+        assert!(p50 >= Duration::from_micros(16) && p50 <= Duration::from_micros(96));
+        assert!(p99 >= Duration::from_micros(512), "{p99:?}");
+        assert!(s.mean() >= Duration::from_micros(100));
+        assert_eq!(s.quantile(0.0), s.quantile(0.001));
+    }
+
+    #[test]
+    fn zero_and_empty_histograms_are_sane() {
+        let h = LogHistogram::default();
+        assert_eq!(h.snapshot().quantile(0.5), Duration::ZERO);
+        h.record(Duration::ZERO);
+        assert_eq!(h.snapshot().quantile(0.5), Duration::ZERO);
+        assert_eq!(h.snapshot().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn hit_rate_and_report_render() {
+        let m = Metrics::default();
+        m.cache_hits.add(3);
+        m.cache_misses.inc();
+        m.shed_deadline.add(2);
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(m.shed_total(), 2);
+        let r = m.report();
+        assert!(r.contains("hit rate 75.0%"));
+        assert!(r.contains("end-to-end"));
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00s");
+    }
+}

@@ -1,0 +1,144 @@
+//! Request/response vocabulary of the serving layer.
+
+use crate::advisor::Advice;
+use std::time::Duration;
+
+/// Workload class of a request, mapped to a compile-time budget by the
+/// [`ServiceConfig`](crate::ServiceConfig).
+///
+/// The class expresses how long the caller is willing to let the *optimizer*
+/// run — the knob the paper's §1 applications (optimization-level selection,
+/// admission control, scheduling) all turn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// Point lookups and dashboards: compilation must be near-instant.
+    Interactive,
+    /// Mid-size reporting queries.
+    Reporting,
+    /// Long-running analytics: optimization time amortizes, budget is loose.
+    Batch,
+}
+
+impl QueryClass {
+    /// All classes, for iteration and reports.
+    pub const ALL: [QueryClass; 3] = [
+        QueryClass::Interactive,
+        QueryClass::Reporting,
+        QueryClass::Batch,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryClass::Interactive => "interactive",
+            QueryClass::Reporting => "reporting",
+            QueryClass::Batch => "batch",
+        }
+    }
+
+    /// Heuristic classification by query size (total table references):
+    /// small queries are interactive, mid-size reporting, the rest batch.
+    pub fn from_table_count(tables: usize) -> Self {
+        match tables {
+            0..=4 => QueryClass::Interactive,
+            5..=8 => QueryClass::Reporting,
+            _ => QueryClass::Batch,
+        }
+    }
+}
+
+/// Why the admission controller refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The worker queue was at capacity.
+    QueueFull,
+    /// The service-wide in-flight limit was reached.
+    InflightLimit,
+    /// Projected queue wait exceeded the request deadline at admission.
+    DeadlineProjected,
+    /// The deadline had already passed when a worker dequeued the job.
+    DeadlineExpired,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl ShedReason {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::InflightLimit => "inflight-limit",
+            ShedReason::DeadlineProjected => "deadline-projected",
+            ShedReason::DeadlineExpired => "deadline-expired",
+            ShedReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// The service's verdict on one request.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// Admitted: compile at the advised level.
+    Admitted {
+        /// The advisor's level choice and per-level estimates.
+        advice: Advice,
+        /// Whether the advice came from the statement cache.
+        cached: bool,
+    },
+    /// Refused under load.
+    Shed {
+        /// Which limit fired.
+        reason: ShedReason,
+    },
+    /// The estimator failed (malformed query, enumeration dead end).
+    Failed {
+        /// Error rendered to text (errors cross thread boundaries).
+        error: String,
+    },
+}
+
+/// Full response: the decision plus observed timings.
+#[derive(Debug, Clone)]
+pub struct ServiceResponse {
+    /// The verdict.
+    pub decision: Decision,
+    /// Submit → response wall clock.
+    pub elapsed: Duration,
+}
+
+impl ServiceResponse {
+    /// True when the request was admitted (cached or estimated).
+    pub fn is_admitted(&self) -> bool {
+        matches!(self.decision, Decision::Admitted { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_heuristic_covers_sizes() {
+        assert_eq!(QueryClass::from_table_count(1), QueryClass::Interactive);
+        assert_eq!(QueryClass::from_table_count(4), QueryClass::Interactive);
+        assert_eq!(QueryClass::from_table_count(5), QueryClass::Reporting);
+        assert_eq!(QueryClass::from_table_count(8), QueryClass::Reporting);
+        assert_eq!(QueryClass::from_table_count(9), QueryClass::Batch);
+        for c in QueryClass::ALL {
+            assert!(!c.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn shed_reasons_have_names() {
+        for r in [
+            ShedReason::QueueFull,
+            ShedReason::InflightLimit,
+            ShedReason::DeadlineProjected,
+            ShedReason::DeadlineExpired,
+            ShedReason::Shutdown,
+        ] {
+            assert!(!r.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! The daemon: cache → admission → queue → worker pool → advice.
+//!
+//! [`CoteService`] owns one catalog, one calibrated [`Cote`], a sharded
+//! statement cache, and `N` estimator worker threads behind a bounded MPMC
+//! queue. [`CoteService::submit`] is synchronous from the caller's view —
+//! cache hits return without touching the queue; misses are admitted (or
+//! shed), estimated on a worker, cached, and answered through a per-request
+//! channel. Every stage records into the lock-free [`Metrics`] registry.
+
+use crate::admission::{Admission, AdmissionController};
+use crate::advisor::{LevelAdvisor, LevelChoice};
+use crate::cache::ShardedCache;
+use crate::config::ServiceConfig;
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PushError};
+use crate::request::{Decision, QueryClass, ServiceResponse, ShedReason};
+use cote::{fingerprint, Cote};
+use cote_catalog::Catalog;
+use cote_query::Query;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One unit of work handed to the pool.
+struct Job {
+    query: Query,
+    fingerprint: u64,
+    class: QueryClass,
+    enqueued: Instant,
+    deadline: Duration,
+    degraded: bool,
+    reply: mpsc::Sender<Decision>,
+}
+
+/// State shared between the front door and the workers.
+struct Inner {
+    catalog: Catalog,
+    advisor: LevelAdvisor,
+    cache: ShardedCache,
+    queue: BoundedQueue<Job>,
+    admission: AdmissionController,
+    metrics: Metrics,
+    degrade_queue_depth: usize,
+    /// Advisor decisions by label (`dp@10`, `greedy`, …). One short-lived
+    /// lock per cache miss — not on the hit path.
+    decisions: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Inner {
+    fn record_decision(&self, choice: &LevelChoice) {
+        *self
+            .decisions
+            .lock()
+            .unwrap()
+            .entry(choice.label())
+            .or_insert(0) += 1;
+    }
+}
+
+/// The estimation-and-admission daemon.
+pub struct CoteService {
+    inner: Arc<Inner>,
+    deadline: Duration,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CoteService {
+    /// Start the daemon: spawns `cfg.workers` estimator threads bound to
+    /// `catalog`, advising with `cote` (calibrated for the configured
+    /// optimization level).
+    pub fn start(catalog: Catalog, cote: Cote, cfg: ServiceConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            advisor: LevelAdvisor::new(cote, &cfg),
+            catalog,
+            cache: ShardedCache::new(cfg.shards, cfg.cache_capacity),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            admission: AdmissionController::new(cfg.max_inflight, cfg.degrade_queue_depth, workers),
+            metrics: Metrics::default(),
+            degrade_queue_depth: cfg.degrade_queue_depth,
+            decisions: Mutex::new(BTreeMap::new()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cote-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Self {
+            inner,
+            deadline: cfg.deadline,
+            workers: handles,
+        }
+    }
+
+    /// Submit one query; blocks until a decision (cached advice, fresh
+    /// advice, or shed) is available.
+    pub fn submit(&self, query: &Query, class: QueryClass) -> ServiceResponse {
+        let start = Instant::now();
+        let inner = &*self.inner;
+        inner.metrics.requests.inc();
+        let fp = fingerprint(query);
+
+        // Fast path: the sharded statement cache.
+        if let Some(advice) = inner.cache.get(fp) {
+            inner.metrics.cache_hits.inc();
+            inner.metrics.completed.inc();
+            let decision = Decision::Admitted {
+                advice,
+                cached: true,
+            };
+            let elapsed = start.elapsed();
+            inner.metrics.e2e_latency.record(elapsed);
+            return ServiceResponse { decision, elapsed };
+        }
+        inner.metrics.cache_misses.inc();
+
+        // Admission: concurrency cap and deadline projection.
+        let depth = inner.queue.len();
+        let degraded = match inner.admission.admit(depth, self.deadline) {
+            Admission::Shed(reason) => {
+                match reason {
+                    ShedReason::InflightLimit => inner.metrics.shed_inflight.inc(),
+                    ShedReason::DeadlineProjected => inner.metrics.shed_deadline.inc(),
+                    _ => {}
+                }
+                return self.respond_shed(start, reason);
+            }
+            Admission::AdmitDegraded => true,
+            Admission::Admit => false,
+        };
+
+        // Hand off to the pool.
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            query: query.clone(),
+            fingerprint: fp,
+            class,
+            enqueued: Instant::now(),
+            deadline: self.deadline,
+            degraded,
+            reply: tx,
+        };
+        if let Err((_, e)) = inner.queue.try_push(job) {
+            inner.admission.release();
+            let reason = match e {
+                PushError::Full => {
+                    inner.metrics.shed_queue_full.inc();
+                    ShedReason::QueueFull
+                }
+                PushError::Closed => ShedReason::Shutdown,
+            };
+            return self.respond_shed(start, reason);
+        }
+
+        // Workers always answer each accepted job; the timeout is a
+        // last-resort guard against a panicked worker.
+        let guard = self.deadline.saturating_mul(20).max(Duration::from_secs(5));
+        let decision = rx.recv_timeout(guard).unwrap_or(Decision::Failed {
+            error: "worker did not respond (panicked?)".into(),
+        });
+        let elapsed = start.elapsed();
+        inner.metrics.e2e_latency.record(elapsed);
+        ServiceResponse { decision, elapsed }
+    }
+
+    fn respond_shed(&self, start: Instant, reason: ShedReason) -> ServiceResponse {
+        let elapsed = start.elapsed();
+        self.inner.metrics.e2e_latency.record(elapsed);
+        ServiceResponse {
+            decision: Decision::Shed { reason },
+            elapsed,
+        }
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The statement cache (for size/occupancy inspection).
+    pub fn cache(&self) -> &ShardedCache {
+        &self.inner.cache
+    }
+
+    /// Advisor decision counts by label, sorted.
+    pub fn decision_counts(&self) -> Vec<(String, u64)> {
+        self.inner
+            .decisions
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Worker threads serving the queue.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Full text report: metrics plus advisor decisions.
+    pub fn report(&self) -> String {
+        let mut out = self.inner.metrics.report();
+        out.push_str(&format!(
+            "cached statements   {:>10}  ({} shards)\n",
+            self.inner.cache.len(),
+            self.inner.cache.shard_count()
+        ));
+        out.push_str("advisor decisions:\n");
+        let decisions = self.decision_counts();
+        if decisions.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (label, n) in decisions {
+            out.push_str(&format!("  {label:<12} {n:>10}\n"));
+        }
+        out
+    }
+}
+
+impl Drop for CoteService {
+    fn drop(&mut self) {
+        // Close the queue; workers drain accepted jobs, answer them, exit.
+        self.inner.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(job) = inner.queue.pop() {
+        let wait = job.enqueued.elapsed();
+        inner.metrics.queue_wait.record(wait);
+
+        // Deadline-based load shedding at dequeue: estimating a request
+        // whose caller has given up only adds to the backlog.
+        if wait > job.deadline {
+            inner.metrics.shed_expired.inc();
+            let _ = job.reply.send(Decision::Shed {
+                reason: ShedReason::DeadlineExpired,
+            });
+            inner.admission.release();
+            continue;
+        }
+
+        // Graceful degradation may also trigger here: the queue can have
+        // backed up after this job was admitted.
+        let degraded = job.degraded || inner.queue.len() >= inner.degrade_queue_depth;
+
+        let t0 = Instant::now();
+        let outcome = if degraded {
+            Ok(inner.advisor.advise_degraded())
+        } else {
+            inner.advisor.advise(&inner.catalog, &job.query, job.class)
+        };
+        let service_time = t0.elapsed();
+        inner.metrics.estimation_latency.record(service_time);
+        inner.admission.observe_service(service_time);
+
+        let decision = match outcome {
+            Ok(advice) => {
+                if advice.degraded {
+                    inner.metrics.degraded.inc();
+                }
+                inner.record_decision(&advice.choice);
+                if inner.cache.insert(job.fingerprint, advice.clone()) {
+                    inner.metrics.cache_evictions.inc();
+                }
+                inner.metrics.completed.inc();
+                Decision::Admitted {
+                    advice,
+                    cached: false,
+                }
+            }
+            Err(e) => {
+                inner.metrics.errors.inc();
+                Decision::Failed {
+                    error: e.to_string(),
+                }
+            }
+        };
+        let _ = job.reply.send(decision);
+        inner.admission.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote::TimeModel;
+    use cote_catalog::{ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    use cote_optimizer::{Mode, OptimizerConfig};
+    use cote_query::QueryBlockBuilder;
+
+    fn setup() -> (Catalog, Vec<Query>) {
+        let mut b = Catalog::builder();
+        for i in 0..6 {
+            b.add_table(TableDef::new(
+                format!("t{i}"),
+                1000.0 + 100.0 * i as f64,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 1000.0),
+                    ColumnDef::uniform("c1", 1000.0, 25.0),
+                ],
+            ));
+        }
+        let cat = b.build().unwrap();
+        // Chain queries of 2..=6 tables, distinct structures.
+        let queries = (2..=6)
+            .map(|n| {
+                let mut qb = QueryBlockBuilder::new();
+                for i in 0..n {
+                    qb.add_table(TableId(i));
+                }
+                for i in 0..n - 1 {
+                    qb.join(
+                        ColRef::new(TableRef(i as u8), 0),
+                        ColRef::new(TableRef(i as u8 + 1), 0),
+                    );
+                }
+                Query::new(format!("chain{n}"), qb.build(&cat).unwrap())
+            })
+            .collect();
+        (cat, queries)
+    }
+
+    fn cote() -> Cote {
+        Cote::new(
+            OptimizerConfig::high(Mode::Serial),
+            TimeModel {
+                c_nljn: 1e-6,
+                c_mgjn: 1e-6,
+                c_hsjn: 1e-6,
+                intercept: 0.0,
+            },
+        )
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            shards: 4,
+            cache_capacity: 64,
+            queue_capacity: 64,
+            max_inflight: 0,
+            degrade_queue_depth: 64,
+            deadline: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_same_advice() {
+        let (cat, queries) = setup();
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        let q = &queries[2];
+        let first = svc.submit(q, QueryClass::Batch);
+        let second = svc.submit(q, QueryClass::Batch);
+        let (a1, c1) = match first.decision {
+            Decision::Admitted { advice, cached } => (advice, cached),
+            other => panic!("{other:?}"),
+        };
+        let (a2, c2) = match second.decision {
+            Decision::Admitted { advice, cached } => (advice, cached),
+            other => panic!("{other:?}"),
+        };
+        assert!(!c1 && c2, "first misses, second hits");
+        assert_eq!(a1.levels, a2.levels, "cache returns the same estimates");
+        assert_eq!(svc.metrics().cache_hits.get(), 1);
+        assert_eq!(svc.metrics().cache_misses.get(), 1);
+        assert!(svc.metrics().hit_rate() > 0.49);
+        let report = svc.report();
+        assert!(report.contains("advisor decisions"), "{report}");
+    }
+
+    #[test]
+    fn every_query_gets_a_decision_and_metrics_add_up() {
+        let (cat, queries) = setup();
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        for q in &queries {
+            for _ in 0..3 {
+                let r = svc.submit(q, QueryClass::Reporting);
+                assert!(r.is_admitted(), "{:?}", r.decision);
+            }
+        }
+        let m = svc.metrics();
+        assert_eq!(m.requests.get(), 15);
+        assert_eq!(m.cache_misses.get(), 5, "one miss per distinct structure");
+        assert_eq!(m.cache_hits.get(), 10);
+        assert_eq!(m.completed.get(), 15);
+        assert_eq!(m.estimation_latency.count(), 5);
+        assert_eq!(svc.cache().len(), 5);
+        let decided: u64 = svc.decision_counts().iter().map(|(_, n)| n).sum();
+        assert_eq!(decided, 5);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_everything_queued() {
+        let (cat, queries) = setup();
+        let cfg = ServiceConfig {
+            deadline: Duration::ZERO,
+            ..small_cfg()
+        };
+        let svc = CoteService::start(cat, cote(), cfg);
+        // Wait is always > 0s, so workers shed every job at dequeue.
+        let r = svc.submit(&queries[0], QueryClass::Interactive);
+        match r.decision {
+            Decision::Shed {
+                reason: ShedReason::DeadlineExpired,
+            } => {}
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(svc.metrics().shed_expired.get(), 1);
+        assert_eq!(svc.metrics().shed_total(), 1);
+    }
+
+    #[test]
+    fn shutdown_answers_queued_work() {
+        let (cat, queries) = setup();
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        let r = svc.submit(&queries[4], QueryClass::Batch);
+        assert!(r.is_admitted());
+        drop(svc); // must not hang or drop queued responses
+    }
+}

@@ -11,11 +11,10 @@
 use crate::customer::dw_catalog;
 use crate::Workload;
 use cote_catalog::Catalog;
+use cote_common::rng::Xoshiro256pp;
 use cote_common::{ColRef, TableId, TableRef};
 use cote_optimizer::Mode;
 use cote_query::{PredOp, Query, QueryBlock, QueryBlockBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of queries in the workload (matches Fig. 5(d–f)'s x-axis).
 pub const QUERY_COUNT: usize = 12;
@@ -33,7 +32,7 @@ fn fk_edges(catalog: &Catalog) -> Vec<(TableId, u16, TableId)> {
 pub struct RandomQueryGen {
     catalog: Catalog,
     edges: Vec<(TableId, u16, TableId)>,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
 }
 
 impl RandomQueryGen {
@@ -43,7 +42,7 @@ impl RandomQueryGen {
         Self {
             catalog,
             edges,
-            rng: SmallRng::seed_from_u64(seed),
+            rng: Xoshiro256pp::new(seed),
         }
     }
 
@@ -58,7 +57,7 @@ impl RandomQueryGen {
         let mut b = QueryBlockBuilder::new();
         // Seed with the source of a random FK edge (a fact or snowflaking
         // dimension — something with outgoing edges).
-        let first_edge = self.edges[self.rng.gen_range(0..self.edges.len())];
+        let first_edge = self.edges[self.rng.range_usize(0, self.edges.len())];
         let mut refs: Vec<(TableRef, TableId)> = Vec::new();
         let t0 = b.add_table(first_edge.0);
         refs.push((t0, first_edge.0));
@@ -81,18 +80,18 @@ impl RandomQueryGen {
             if candidates.is_empty() {
                 break;
             }
-            if self.rng.gen_range(0..6) == 0 {
+            if self.rng.below(6) == 0 {
                 // Same-name merge: re-reference an existing table and join
                 // keys (key = key), yielding card-1-ish groups.
-                let &(r, tid) = &refs[self.rng.gen_range(0..refs.len())];
+                let &(r, tid) = &refs[self.rng.range_usize(0, refs.len())];
                 let again = b.add_table(tid);
                 b.join(ColRef::new(r, 0), ColRef::new(again, 0));
                 refs.push((again, tid));
             } else {
-                let (r, _tid, col, to) = candidates[self.rng.gen_range(0..candidates.len())];
+                let (r, _tid, col, to) = candidates[self.rng.range_usize(0, candidates.len())];
                 // Avoid re-adding a dimension already joined from this ref.
                 let t = b.add_table(to);
-                if self.rng.gen_range(0..8) == 0 {
+                if self.rng.below(8) == 0 {
                     b.left_outer_join(ColRef::new(r, col), ColRef::new(t, 0));
                 } else {
                     b.join(ColRef::new(r, col), ColRef::new(t, 0));
@@ -104,29 +103,35 @@ impl RandomQueryGen {
         // Local predicates: one per ~2 tables, on random non-key columns.
         let n_preds = refs.len() / 2 + 1;
         for _ in 0..n_preds {
-            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+            let (r, tid) = refs[self.rng.range_usize(0, refs.len())];
             let ncols = self.catalog.table(tid).columns.len() as u16;
-            let col = self.rng.gen_range(1..ncols.max(2));
-            let op = match self.rng.gen_range(0..4) {
-                0 => PredOp::Eq(self.rng.gen_range(0.0..10.0)),
-                1 => PredOp::Le(self.rng.gen_range(1.0..100.0)),
-                2 => PredOp::Between(1.0, self.rng.gen_range(2.0..50.0)),
-                _ => PredOp::Opaque(self.rng.gen_range(0.01..0.5)),
+            let col = self.rng.range_usize(1, ncols.max(2) as usize) as u16;
+            let op = match self.rng.below(4) {
+                0 => PredOp::Eq(self.rng.range_f64(0.0, 10.0)),
+                1 => PredOp::Le(self.rng.range_f64(1.0, 100.0)),
+                2 => PredOp::Between(1.0, self.rng.range_f64(2.0, 50.0)),
+                _ => PredOp::Opaque(self.rng.range_f64(0.01, 0.5)),
             };
             b.local(ColRef::new(r, col), op);
         }
         // ORDER BY / GROUP BY half the time each.
-        if self.rng.gen_bool(0.5) {
-            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+        if self.rng.chance(0.5) {
+            let (r, tid) = refs[self.rng.range_usize(0, refs.len())];
             let ncols = self.catalog.table(tid).columns.len() as u16;
-            b.order_by(vec![ColRef::new(r, self.rng.gen_range(0..ncols))]);
+            b.order_by(vec![ColRef::new(
+                r,
+                self.rng.range_usize(0, ncols as usize) as u16,
+            )]);
         }
-        if self.rng.gen_bool(0.5) {
-            let (r, tid) = refs[self.rng.gen_range(0..refs.len())];
+        if self.rng.chance(0.5) {
+            let (r, tid) = refs[self.rng.range_usize(0, refs.len())];
             let ncols = self.catalog.table(tid).columns.len() as u16;
-            b.group_by(vec![ColRef::new(r, self.rng.gen_range(0..ncols))]);
+            b.group_by(vec![ColRef::new(
+                r,
+                self.rng.range_usize(0, ncols as usize) as u16,
+            )]);
         }
-        if self.rng.gen_bool(0.4) {
+        if self.rng.chance(0.4) {
             b.apply_transitive_closure();
         }
         b

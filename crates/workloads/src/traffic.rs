@@ -1,0 +1,104 @@
+//! Arrival-schedule generation for replaying workloads against a service.
+//!
+//! A schedule is a sorted list of [`Arrival`]s: *when* (offset from replay
+//! start) and *which* (index into the workload's query list). Inter-arrival
+//! times are exponential — a Poisson process at the requested rate — which
+//! is the standard open-loop model for independent clients; query picks are
+//! uniform over the workload. Both draw from the in-repo seeded PRNG, so a
+//! `(workload, rps, duration, seed)` tuple always replays identically.
+
+use cote_common::rng::Xoshiro256pp;
+use std::time::Duration;
+
+/// One scheduled request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from replay start.
+    pub at: Duration,
+    /// Index into the workload's query list.
+    pub query_index: usize,
+}
+
+/// Poisson arrival schedule: mean rate `rps` over `duration`, queries drawn
+/// uniformly from `n_queries`. Returns arrivals sorted by time. Empty when
+/// `rps`, `duration` or `n_queries` is zero/non-finite.
+pub fn poisson_schedule(n_queries: usize, rps: f64, duration: Duration, seed: u64) -> Vec<Arrival> {
+    if n_queries == 0 || !rps.is_finite() || rps <= 0.0 || duration.is_zero() {
+        return Vec::new();
+    }
+    let mut rng = Xoshiro256pp::new(seed);
+    let mean_gap = 1.0 / rps;
+    let mut t = 0.0f64;
+    let horizon = duration.as_secs_f64();
+    let mut out = Vec::with_capacity((rps * horizon) as usize + 1);
+    loop {
+        t += rng.exponential(mean_gap);
+        if t >= horizon {
+            break;
+        }
+        out.push(Arrival {
+            at: Duration::from_secs_f64(t),
+            query_index: rng.range_usize(0, n_queries),
+        });
+    }
+    out
+}
+
+/// Fixed-rate (deterministic-gap) schedule: one arrival every `1/rps`
+/// seconds, queries round-robin. Useful for tests where Poisson jitter
+/// would blur assertions.
+pub fn uniform_schedule(n_queries: usize, rps: f64, duration: Duration) -> Vec<Arrival> {
+    if n_queries == 0 || !rps.is_finite() || rps <= 0.0 || duration.is_zero() {
+        return Vec::new();
+    }
+    let gap = 1.0 / rps;
+    let total = (duration.as_secs_f64() * rps) as usize;
+    (0..total)
+        .map(|i| Arrival {
+            at: Duration::from_secs_f64(i as f64 * gap),
+            query_index: i % n_queries,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_and_determinism() {
+        let a = poisson_schedule(5, 1000.0, Duration::from_secs(2), 7);
+        let b = poisson_schedule(5, 1000.0, Duration::from_secs(2), 7);
+        assert_eq!(a, b, "same seed, same schedule");
+        // ~2000 expected; Poisson stddev ≈ 45, allow ±6σ.
+        assert!(
+            (a.len() as i64 - 2000).abs() < 270,
+            "got {} arrivals",
+            a.len()
+        );
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+        assert!(a.iter().all(|x| x.query_index < 5));
+        assert!(a.last().unwrap().at < Duration::from_secs(2));
+        let c = poisson_schedule(5, 1000.0, Duration::from_secs(2), 8);
+        assert_ne!(a, c, "seed matters");
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_empty() {
+        assert!(poisson_schedule(0, 100.0, Duration::from_secs(1), 1).is_empty());
+        assert!(poisson_schedule(5, 0.0, Duration::from_secs(1), 1).is_empty());
+        assert!(poisson_schedule(5, f64::NAN, Duration::from_secs(1), 1).is_empty());
+        assert!(poisson_schedule(5, 100.0, Duration::ZERO, 1).is_empty());
+        assert!(uniform_schedule(5, 0.0, Duration::from_secs(1)).is_empty());
+    }
+
+    #[test]
+    fn uniform_is_evenly_spaced_round_robin() {
+        let s = uniform_schedule(3, 100.0, Duration::from_secs(1));
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0].at, Duration::ZERO);
+        assert_eq!(s[10].query_index, 1);
+        let gap = s[1].at - s[0].at;
+        assert!((gap.as_secs_f64() - 0.01).abs() < 1e-9);
+    }
+}

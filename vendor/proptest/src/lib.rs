@@ -1,0 +1,318 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The container this workspace builds in has no network and no registry
+//! cache, so the real proptest cannot be resolved; this crate implements the
+//! subset its tests actually use — range/tuple/vec/`any` strategies,
+//! `prop_map`, the `proptest!` macro with `#![proptest_config(..)]`, and the
+//! `prop_assert*`/`prop_assume!` macros — on top of the workspace's own
+//! xoshiro256++ PRNG.
+//!
+//! Semantics: each `#[test]` runs its body `cases` times (default 256) with
+//! independently sampled inputs from a fixed seed, so failures reproduce.
+//! There is **no shrinking**: a failure reports the sampled inputs via the
+//! assertion message instead of a minimal counterexample.
+
+use cote_common::rng::Xoshiro256pp;
+use std::ops::Range;
+
+/// Test-runner configuration (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. The stub keeps proptest's name but drops shrinking:
+/// a strategy is just a sampling function.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Sample one value.
+    fn sample(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Map the generated value (proptest's `prop_map`).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut Xoshiro256pp) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Xoshiro256pp) -> $t {
+                debug_assert!(self.start < self.end);
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut Xoshiro256pp) -> f64 {
+        rng.range_f64(self.start, self.end)
+    }
+}
+
+/// `any::<T>()` support: uniform over the whole domain.
+pub trait Arbitrary: Sized {
+    /// Sample an arbitrary value.
+    fn arbitrary(rng: &mut Xoshiro256pp) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut Xoshiro256pp) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut Xoshiro256pp) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Xoshiro256pp) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy for any value of `T` (proptest's `any`).
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut Xoshiro256pp) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over all of `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$i:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::Strategy;
+    use cote_common::rng::Xoshiro256pp;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` samples with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Rejection marker raised by `prop_assume!` (the runner samples a
+/// replacement case instead of failing).
+#[derive(Debug)]
+pub struct CaseRejected;
+
+#[doc(hidden)]
+pub mod runner {
+    use super::{CaseRejected, ProptestConfig};
+
+    /// Drive one property: `cases` accepted samples, each allowed to reject
+    /// (via `prop_assume!`) a bounded number of times.
+    pub fn run_property<F>(config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut cote_common::rng::Xoshiro256pp) -> Result<(), CaseRejected>,
+    {
+        // Fixed seed: deterministic tests, reproducible failures.
+        let mut rng = cote_common::rng::Xoshiro256pp::new(0xC07E_5EED);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < config.cases {
+            match body(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(CaseRejected) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < config.cases.saturating_mul(64).max(1024),
+                        "prop_assume! rejected too many cases ({rejected})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Everything a proptest-style test file imports.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// The `proptest!` block macro: wraps `#[test]` functions whose arguments
+/// are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    // With a leading #![proptest_config(...)] attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    // Without: default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        // The caller writes `#[test]` (real proptest expects it too), so the
+        // metas are passed through verbatim rather than adding another.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::runner::run_property(&config, |__rng| {
+                $(let $arg = $crate::Strategy::sample(&$strategy, __rng);)+
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Reject the current case and sample a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::CaseRejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u16..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn vec_and_tuple_strategies(v in crate::collection::vec((0u16..8, 0u16..8), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            for (a, b) in v {
+                prop_assert!(a < 8 && b < 8);
+            }
+        }
+
+        #[test]
+        fn assume_resamples(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = any::<u64>().prop_map(|v| v % 7);
+        let mut rng = cote_common::rng::Xoshiro256pp::new(1);
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng) < 7);
+        }
+    }
+}
