@@ -4,60 +4,79 @@
 //! other 8% — "more than 90% of the time is either directly or indirectly
 //! spent on generating and saving join plans".
 //!
+//! The breakdown is rebuilt from real `cote-obs` spans: a [`PhaseProfiler`]
+//! hooks every span close during compilation and aggregates self time per
+//! phase, so the percentages come from the same span tree that the JSONL
+//! trace export sees (no hand-threaded `Duration` fields).
+//!
 //! Usage: `fig2_breakdown [workload]` (default `real2-s`).
 
 use cote_bench::{compile_workload, table::TextTable, workload_arg};
-use cote_optimizer::{OptimizerConfig, PhaseTimes};
+use cote_obs::{phase, PhaseProfiler};
+use cote_optimizer::OptimizerConfig;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = workload_arg("real2-s")?;
     let config = OptimizerConfig::high(w.mode);
     eprintln!("compiling {} ({} queries)...", w.name, w.queries.len());
+    let prof = PhaseProfiler::install();
     let runs = compile_workload(&w, &config, 1)?;
+    let agg = prof.finish();
 
-    let mut time = PhaseTimes::default();
-    let mut elapsed = Duration::default();
-    for r in &runs {
-        time.add(&r.stats.time);
-        elapsed += r.stats.elapsed;
+    let self_of = |p: &str| agg.get(p).map_or(Duration::ZERO, |a| a.self_time);
+    let elapsed = agg.get(phase::COMPILE).map_or(Duration::ZERO, |a| a.total);
+    if elapsed.is_zero() {
+        eprintln!("no compile spans recorded (obs-off build?) — nothing to break down");
+        return Ok(());
     }
+    // Self times are disjoint across the span tree, so the buckets below
+    // partition the compile wall clock exactly.
+    let mgjn = self_of(phase::MGJN);
+    let nljn = self_of(phase::NLJN);
+    let hsjn = self_of(phase::HSJN);
+    let saving = self_of(phase::SAVE);
+    let other = self_of(phase::ENUMERATE)
+        + self_of(phase::SCAN)
+        + self_of(phase::FINALIZE)
+        + self_of(phase::COMPILE);
     let pct = |d: Duration| 100.0 * d.as_secs_f64() / elapsed.as_secs_f64();
 
     println!("\nFigure 2 — compilation time breakdown ({})", w.name);
     let mut t = TextTable::new(vec!["category", "ours %", "paper %"]);
     t.row(vec![
         "MGJN plan generation".to_string(),
-        format!("{:.1}", pct(time.mgjn)),
+        format!("{:.1}", pct(mgjn)),
         "37".into(),
     ]);
     t.row(vec![
         "NLJN plan generation".to_string(),
-        format!("{:.1}", pct(time.nljn)),
+        format!("{:.1}", pct(nljn)),
         "34".into(),
     ]);
     t.row(vec![
         "HSJN plan generation".to_string(),
-        format!("{:.1}", pct(time.hsjn)),
+        format!("{:.1}", pct(hsjn)),
         "5".into(),
     ]);
     t.row(vec![
         "plan saving".to_string(),
-        format!("{:.1}", pct(time.saving)),
+        format!("{:.1}", pct(saving)),
         "16".into(),
     ]);
     t.row(vec![
         "other (enum, scans, enforcers)".to_string(),
-        format!("{:.1}", pct(time.enumeration + time.other)),
+        format!("{:.1}", pct(other)),
         "8".into(),
     ]);
     t.print();
-    let join_related = pct(time.mgjn) + pct(time.nljn) + pct(time.hsjn) + pct(time.saving);
+    let join_related = pct(mgjn) + pct(nljn) + pct(hsjn) + pct(saving);
     println!(
         "\njoin-plan generation + saving: {join_related:.1}% (paper: >90%)\n\
-         total compile time: {:.3}s over {} queries",
+         total compile time: {:.3}s over {} queries ({} spans profiled)",
         elapsed.as_secs_f64(),
-        runs.len()
+        runs.len(),
+        agg.values().map(|a| a.count).sum::<u64>()
     );
     Ok(())
 }

@@ -18,7 +18,12 @@ USAGE:
   cote compile <workload> [N]         compile for real; stats + chosen plan
   cote forecast <workload>            workload compilation forecast (§1.1)
   cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
+  cote metrics <workload> [N] [--json] [--trace FILE]
+                                      estimate, then dump the global metrics
+                                      registry (Prometheus text, or JSON);
+                                      --trace writes span events as JSONL
   cote serve <workload>               estimation daemon driven by stdin
+                                      ('metrics [json]' dumps the registry)
   cote bench-service --workload W --rps R [--duration S] [--clients N]
                      [--workers N] [--cache N] [--deadline-ms M] [--seed S]
                                       closed-loop service benchmark
@@ -202,6 +207,56 @@ pub fn forecast(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `cote metrics <workload> [N] [--json] [--trace FILE]` — run COTE
+/// estimates over the workload with tracing on, then expose the process-wide
+/// registry (optimizer plan counters, estimator run counters, statement-cache
+/// totals). `--trace FILE` additionally writes the span events as JSONL.
+pub fn metrics(args: &[String]) -> Result<()> {
+    let mut json = false;
+    let mut trace_path = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--trace" => {
+                trace_path = Some(
+                    it.next()
+                        .ok_or_else(|| CoteError::InvalidQuery {
+                            reason: "--trace needs a file path".into(),
+                        })?
+                        .clone(),
+                )
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    let (w, idx) = parse(&rest)?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    cote_obs::set_tracing(trace_path.is_some());
+    for i in selected(&w, idx) {
+        cote.estimate(&w.catalog, &w.queries[i])?;
+    }
+    if let Some(path) = trace_path {
+        cote_obs::set_tracing(false);
+        let events = cote_obs::take_events();
+        std::fs::write(&path, cote_obs::to_jsonl(&events)).map_err(|e| {
+            CoteError::InvalidQuery {
+                reason: format!("writing {path}: {e}"),
+            }
+        })?;
+        eprintln!("wrote {} trace events to {path}", events.len());
+    }
+    if json {
+        println!("{}", cote_obs::global().json());
+    } else {
+        print!("{}", cote_obs::global().prometheus_text());
+    }
+    Ok(())
+}
+
 /// `cote mop <workload> <secs-per-cost-unit>`
 pub fn mop(args: &[String]) -> Result<()> {
     let (w, _) = parse(args)?;
@@ -261,6 +316,30 @@ mod tests {
         let (w, _) = parse(&["real1-s".to_string()]).unwrap();
         assert_eq!(selected(&w, None).len(), 8);
         assert_eq!(selected(&w, Some(4)), vec![4]);
+    }
+
+    #[test]
+    fn metrics_command_dumps_registry_and_trace() {
+        let path = std::env::temp_dir().join("cote-cli-metrics-trace.jsonl");
+        let args: Vec<String> = vec![
+            "real1-s".into(),
+            "1".into(),
+            "--trace".into(),
+            path.to_str().unwrap().into(),
+        ];
+        metrics(&args).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = cote_obs::parse_jsonl(&text).unwrap();
+        // With spans compiled out the JSONL is empty but still parses.
+        #[cfg(not(feature = "obs-off"))]
+        assert!(
+            events.iter().any(|e| e.phase == "estimate"),
+            "expected an estimate span, got {events:?}"
+        );
+        let _ = events;
+        let runs = cote_obs::global().counter("estimator_runs_total");
+        assert!(runs.get() >= 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! cote compile <workload> [N]         compile for real; stats + chosen plan
 //! cote forecast <workload>            §1.1 workload compilation forecast
 //! cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
+//! cote metrics <workload> [N]         estimate + global metrics registry dump
 //! cote serve <workload>               estimation daemon driven by stdin
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
 //! ```
@@ -27,6 +28,7 @@ fn main() -> ExitCode {
         Some("compile") => commands::compile(&args[1..]),
         Some("forecast") => commands::forecast(&args[1..]),
         Some("mop") => commands::mop(&args[1..]),
+        Some("metrics") => commands::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),
         Some("help") | None => {

@@ -110,13 +110,15 @@ fn class_of(q: &Query) -> QueryClass {
 
 /// `cote serve <workload>` — interactive daemon driven by stdin. Each line
 /// is a 1-based query index (optionally `N interactive|reporting|batch`);
-/// `report` prints the metrics report, `quit` exits.
+/// `report` prints the metrics report, `metrics` / `metrics json` expose the
+/// registry (Prometheus text / JSON), `quit` exits. A final metrics dump is
+/// written on shutdown (the stdin protocol's stand-in for dump-on-SIGTERM).
 pub fn serve(args: &[String]) -> Result<()> {
     let a = parse_args(args)?;
     let svc = start_service(&a.workload, a.cfg)?;
     let n = a.workload.queries.len();
     eprintln!(
-        "serving {} ({n} queries); enter <index> [class], 'report' or 'quit'",
+        "serving {} ({n} queries); enter <index> [class], 'report', 'metrics [json]' or 'quit'",
         a.workload.name
     );
     for line in std::io::stdin().lock().lines() {
@@ -127,6 +129,13 @@ pub fn serve(args: &[String]) -> Result<()> {
             Some("quit") | Some("exit") => break,
             Some("report") => {
                 print!("{}", svc.report());
+                continue;
+            }
+            Some("metrics") => {
+                match parts.next() {
+                    Some("json") => println!("{}", svc.metrics().json()),
+                    _ => print!("{}", svc.metrics().prometheus_text()),
+                }
                 continue;
             }
             Some(tok) => {
@@ -172,6 +181,8 @@ pub fn serve(args: &[String]) -> Result<()> {
         }
     }
     print!("{}", svc.report());
+    eprintln!("── final metrics dump ──");
+    eprint!("{}", svc.metrics().prometheus_text());
     Ok(())
 }
 
@@ -198,6 +209,7 @@ pub fn bench_service(args: &[String]) -> Result<()> {
     print!("{}", report.summary());
     println!("── service ──");
     print!("{}", svc.report());
+    println!("statement cache: {}", svc.metrics().cache_stats().render());
     Ok(())
 }
 

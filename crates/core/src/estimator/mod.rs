@@ -22,6 +22,7 @@ pub mod lists;
 use crate::options::EstimateOptions;
 use cote_catalog::Catalog;
 use cote_common::{ColRef, FxHashSet, Result, TableRef};
+use cote_obs::{phase, Counter, Span, Stopwatch};
 use cote_optimizer::cardinality::SimpleCardinality;
 use cote_optimizer::context::OptContext;
 use cote_optimizer::enumerator::{enumerate, JoinSite, JoinVisitor};
@@ -31,7 +32,8 @@ use cote_optimizer::properties::partition::{is_interesting_partition, PartitionV
 use cote_optimizer::{OptimizerConfig, PerMethod};
 use cote_query::{Query, QueryBlock};
 use lists::PropLists;
-use std::time::{Duration, Instant};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// Estimated plan counts (and friends) for one query block.
 #[derive(Debug, Clone, Default)]
@@ -419,6 +421,7 @@ pub fn estimate_block(
 ) -> Result<BlockEstimate> {
     let ctx = OptContext::new(catalog, block, config);
     let mut visitor = PlanEstimator::new(opts, config.composite_inner_limit);
+    let mut span = Span::enter(phase::ESTIMATE);
     let outcome = if opts.top_down {
         cote_optimizer::enumerate_topdown(&ctx, &SimpleCardinality, &mut visitor)?
     } else {
@@ -429,6 +432,20 @@ pub fn estimate_block(
         .iter()
         .map(|(_, e)| e.payload.value_count() as u64)
         .sum();
+    // Per-level estimate markers (§6.2 piggyback), nested in the estimate
+    // span; then the block-level plan/MEMO counts as span fields.
+    for (&limit, counts) in visitor.levels.iter().zip(&visitor.level_counts) {
+        let mut level = Span::enter(phase::ESTIMATE_LEVEL);
+        level.record("limit", limit as u64);
+        level.record("plans", counts.total());
+        level.close();
+    }
+    span.record("pairs", outcome.pairs);
+    span.record("joins", outcome.joins);
+    span.record("memo_entries", outcome.memo.len() as u64);
+    span.record("plans", visitor.level_counts[0].total());
+    span.record("property_values", property_values);
+    span.close();
     Ok(BlockEstimate {
         counts: visitor.level_counts[0],
         level_counts: visitor.level_counts,
@@ -469,15 +486,40 @@ pub fn estimate_query(
     config: &OptimizerConfig,
     opts: &EstimateOptions,
 ) -> Result<QueryEstimate> {
-    let started = Instant::now();
+    let c = run_counters();
+    // Tag this thread's spans with a fresh run id and the query id, so the
+    // JSONL trace can be grouped per estimator run.
+    cote_obs::set_context(c.runs.inc_and_get(), &query.name);
+    let wall = Stopwatch::start();
     let mut totals = BlockEstimate::default();
     for block in query.blocks() {
         let b = estimate_block(catalog, block, config, opts)?;
         totals.add(&b);
     }
+    c.estimated_plans.add(totals.counts.total());
+    c.estimated_pairs.add(totals.pairs);
     Ok(QueryEstimate {
         totals,
-        elapsed: started.elapsed(),
+        elapsed: wall.elapsed(),
+    })
+}
+
+/// Global-registry counters published per estimator run.
+struct RunCounters {
+    runs: Arc<Counter>,
+    estimated_plans: Arc<Counter>,
+    estimated_pairs: Arc<Counter>,
+}
+
+fn run_counters() -> &'static RunCounters {
+    static CELLS: OnceLock<RunCounters> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let r = cote_obs::global();
+        RunCounters {
+            runs: r.counter("estimator_runs_total"),
+            estimated_plans: r.counter("estimator_estimated_plans_total"),
+            estimated_pairs: r.counter("estimator_estimated_pairs_total"),
+        }
     })
 }
 
@@ -611,10 +653,10 @@ mod tests {
         let block = chain(&cat, 7, true);
         let cfg = OptimizerConfig::high(Mode::Serial);
         let q = Query::new("t", block);
-        let started = Instant::now();
+        let started = std::time::Instant::now();
         let _ = estimate_query(&cat, &q, &cfg, &EstimateOptions::default()).unwrap();
         let est_time = started.elapsed();
-        let started = Instant::now();
+        let started = std::time::Instant::now();
         let ctx_block = &q.root;
         let mut gen = RealPlanGen::new(None);
         let ctx = OptContext::new(&cat, ctx_block, &cfg);

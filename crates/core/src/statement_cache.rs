@@ -8,8 +8,10 @@
 //! demonstrate exactly that failure mode.
 
 use cote_common::LruCache;
+use cote_obs::{CacheStats, Counter};
 use cote_query::{PredOp, Query, QueryBlock};
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 /// A compile-time cache keyed by query *structure*.
 ///
@@ -25,9 +27,32 @@ use std::hash::{Hash, Hasher};
 #[derive(Debug)]
 pub struct StatementCache {
     entries: LruCache<u64, f64>,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    // cote-obs instruments instead of bare fields: per-instance counts feed
+    // [`StatementCache::stats`], and every event is mirrored into the
+    // process-wide `statement_cache_*` registry counters.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+}
+
+/// Global-registry mirrors, summed across every cache instance in the
+/// process (what `cote metrics` exposes).
+struct GlobalCounters {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    evictions: Arc<Counter>,
+}
+
+fn global_counters() -> &'static GlobalCounters {
+    static CELLS: OnceLock<GlobalCounters> = OnceLock::new();
+    CELLS.get_or_init(|| {
+        let r = cote_obs::global();
+        GlobalCounters {
+            hits: r.counter("statement_cache_hits_total"),
+            misses: r.counter("statement_cache_misses_total"),
+            evictions: r.counter("statement_cache_evictions_total"),
+        }
+    })
 }
 
 impl Default for StatementCache {
@@ -80,9 +105,9 @@ impl StatementCache {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             entries: LruCache::new(capacity),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            hits: Counter::default(),
+            misses: Counter::default(),
+            evictions: Counter::default(),
         }
     }
 
@@ -91,11 +116,13 @@ impl StatementCache {
     pub fn lookup(&mut self, query: &Query) -> Option<f64> {
         match self.entries.get(&fingerprint(query)) {
             Some(&secs) => {
-                self.hits += 1;
+                self.hits.inc();
+                global_counters().hits.inc();
                 Some(secs)
             }
             None => {
-                self.misses += 1;
+                self.misses.inc();
+                global_counters().misses.inc();
                 None
             }
         }
@@ -104,18 +131,23 @@ impl StatementCache {
     /// Record an actual compilation.
     pub fn record(&mut self, query: &Query, seconds: f64) {
         if self.entries.insert(fingerprint(query), seconds).is_some() {
-            self.evictions += 1;
+            self.evictions.inc();
+            global_counters().evictions.inc();
+        }
+    }
+
+    /// Hit/miss/eviction snapshot for this cache instance.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
         }
     }
 
     /// Lookups served / total lookups.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.stats().hit_rate()
     }
 
     /// Cached statements.
@@ -135,7 +167,7 @@ impl StatementCache {
 
     /// Statements evicted to make room.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.evictions.get()
     }
 
     /// Drop every cached statement; hit/miss/eviction counters survive.
@@ -213,6 +245,24 @@ mod tests {
         );
         assert_eq!(cache.len(), 1);
         assert!((cache.hit_rate() - 0.5).abs() < 1e-12, "2 hits / 4 lookups");
+    }
+
+    #[test]
+    fn stats_snapshot_and_global_mirror() {
+        let cat = catalog();
+        let global_hits = cote_obs::global().counter("statement_cache_hits_total");
+        let before = global_hits.get();
+        let mut cache = StatementCache::new();
+        let q = query(&cat, 1.0, false);
+        cache.lookup(&q);
+        cache.record(&q, 0.5);
+        cache.lookup(&q);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        // The registry mirror is process-wide: other tests may also bump
+        // it, so assert growth rather than an exact value.
+        assert!(global_hits.get() > before);
     }
 
     #[test]

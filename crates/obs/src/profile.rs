@@ -1,0 +1,134 @@
+//! Span-close profiling: aggregate per-phase time on the current thread.
+//!
+//! [`PhaseProfiler::install`] hooks span closes and accumulates, per span
+//! name, the close count and the total/self durations. The bench harness
+//! uses this to rebuild the paper's Fig. 2 phase breakdown from real spans
+//! instead of hand-threaded `Duration` fields. Under `obs-off` the profiler
+//! installs nothing and every aggregate reads as zero/empty.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Accumulated timings for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseAgg {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Sum of total durations.
+    pub total: Duration,
+    /// Sum of self times (total minus children) — disjoint across phases,
+    /// so self times of sibling phases can be compared and summed.
+    pub self_time: Duration,
+}
+
+#[cfg(not(feature = "obs-off"))]
+mod imp {
+    use super::{BTreeMap, Duration, PhaseAgg};
+    use crate::span::{clear_span_hook, set_span_hook};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Installs a span hook on the current thread and aggregates by phase.
+    pub struct PhaseProfiler {
+        agg: Rc<RefCell<BTreeMap<&'static str, PhaseAgg>>>,
+    }
+
+    impl PhaseProfiler {
+        /// Install as this thread's span hook (replacing any previous one).
+        pub fn install() -> Self {
+            let agg: Rc<RefCell<BTreeMap<&'static str, PhaseAgg>>> = Rc::default();
+            let sink = Rc::clone(&agg);
+            set_span_hook(move |rec| {
+                let mut m = sink.borrow_mut();
+                let e = m.entry(rec.name).or_default();
+                e.count += 1;
+                e.total += rec.total;
+                e.self_time += rec.self_time;
+            });
+            PhaseProfiler { agg }
+        }
+
+        /// Copy of the aggregates so far.
+        pub fn snapshot(&self) -> BTreeMap<&'static str, PhaseAgg> {
+            self.agg.borrow().clone()
+        }
+
+        /// Summed self time for one phase (zero if never seen).
+        pub fn self_time(&self, phase: &str) -> Duration {
+            self.agg
+                .borrow()
+                .get(phase)
+                .map_or(Duration::ZERO, |a| a.self_time)
+        }
+
+        /// Summed total time for one phase (zero if never seen).
+        pub fn total(&self, phase: &str) -> Duration {
+            self.agg
+                .borrow()
+                .get(phase)
+                .map_or(Duration::ZERO, |a| a.total)
+        }
+
+        /// Uninstall the hook and return the aggregates.
+        pub fn finish(self) -> BTreeMap<&'static str, PhaseAgg> {
+            clear_span_hook();
+            self.agg.borrow().clone()
+        }
+    }
+}
+
+#[cfg(feature = "obs-off")]
+mod imp {
+    use super::{BTreeMap, Duration, PhaseAgg};
+
+    /// Compiled-out profiler: installs nothing, aggregates nothing.
+    pub struct PhaseProfiler;
+
+    impl PhaseProfiler {
+        pub fn install() -> Self {
+            PhaseProfiler
+        }
+
+        pub fn snapshot(&self) -> BTreeMap<&'static str, PhaseAgg> {
+            BTreeMap::new()
+        }
+
+        pub fn self_time(&self, _phase: &str) -> Duration {
+            Duration::ZERO
+        }
+
+        pub fn total(&self, _phase: &str) -> Duration {
+            Duration::ZERO
+        }
+
+        pub fn finish(self) -> BTreeMap<&'static str, PhaseAgg> {
+            BTreeMap::new()
+        }
+    }
+}
+
+pub use imp::PhaseProfiler;
+
+#[cfg(all(test, not(feature = "obs-off")))]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn profiler_aggregates_by_phase() {
+        let prof = PhaseProfiler::install();
+        for _ in 0..3 {
+            let outer = Span::enter("outer");
+            Span::enter("inner").close();
+            outer.close();
+        }
+        let agg = prof.finish();
+        assert_eq!(agg["outer"].count, 3);
+        assert_eq!(agg["inner"].count, 3);
+        assert!(agg["outer"].total >= agg["inner"].total);
+        assert!(agg["outer"].self_time + agg["inner"].total >= agg["outer"].total);
+        // After finish() the hook is gone.
+        Span::enter("later").close();
+        assert!(!agg.contains_key("later"));
+    }
+}

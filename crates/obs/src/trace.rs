@@ -1,0 +1,328 @@
+//! Trace events and their JSONL wire format.
+//!
+//! One span close → one [`TraceEvent`] → one JSON object per line. The
+//! writer and parser are hand-rolled (std-only, no serde in the container)
+//! and round-trip exactly: `parse_jsonl(to_jsonl(events)) == events`.
+
+/// One closed span, as flushed from the thread-local trace buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Estimator run id (0 when no context was set).
+    pub run: u64,
+    /// Query id/name from the active context ("" when unset).
+    pub query: String,
+    /// Phase name (the span name — see the taxonomy in DESIGN.md).
+    pub phase: String,
+    /// Nesting depth at close (0 = root span).
+    pub depth: u64,
+    /// Span start, nanoseconds since the recording thread's first span.
+    pub start_ns: u64,
+    /// Total span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Duration minus time spent in child spans, in nanoseconds.
+    pub self_ns: u64,
+    /// Span fields (plan counts, MEMO entries, …), in recording order.
+    pub fields: Vec<(String, u64)>,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceEvent {
+    /// Serialize as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!("{{\"run\":{},\"query\":\"", self.run));
+        escape_into(&mut out, &self.query);
+        out.push_str("\",\"phase\":\"");
+        escape_into(&mut out, &self.phase);
+        out.push_str(&format!(
+            "\",\"depth\":{},\"start_ns\":{},\"dur_ns\":{},\"self_ns\":{},\"fields\":{{",
+            self.depth, self.start_ns, self.dur_ns, self.self_ns
+        ));
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(&mut out, k);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse one JSONL line back into an event.
+    pub fn parse(line: &str) -> Result<TraceEvent, String> {
+        let mut p = Parser::new(line);
+        let ev = p.event()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(ev)
+    }
+}
+
+/// Serialize a batch of events as JSONL (one object per line, trailing
+/// newline included when non-empty).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a JSONL document (blank lines skipped) into events.
+pub fn parse_jsonl(s: &str) -> Result<Vec<TraceEvent>, String> {
+    s.lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| TraceEvent::parse(l).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
+
+/// Minimal recursive-descent parser for the flat event object. Only the
+/// shapes the writer emits are accepted: string and u64 values, plus the
+/// one-level `fields` object of u64s.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (the input came from a &str, so
+                    // boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let ch = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn fields(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            out.push((key, self.number()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+
+    fn event(&mut self) -> Result<TraceEvent, String> {
+        self.expect(b'{')?;
+        let mut ev = TraceEvent {
+            run: 0,
+            query: String::new(),
+            phase: String::new(),
+            depth: 0,
+            start_ns: 0,
+            dur_ns: 0,
+            self_ns: 0,
+            fields: Vec::new(),
+        };
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(ev);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "run" => ev.run = self.number()?,
+                "query" => ev.query = self.string()?,
+                "phase" => ev.phase = self.string()?,
+                "depth" => ev.depth = self.number()?,
+                "start_ns" => ev.start_ns = self.number()?,
+                "dur_ns" => ev.dur_ns = self.number()?,
+                "self_ns" => ev.self_ns = self.number()?,
+                "fields" => ev.fields = self.fields()?,
+                other => return Err(format!("unknown key '{other}'")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(ev);
+                }
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                run: 1,
+                query: "chain4".into(),
+                phase: "estimate".into(),
+                depth: 0,
+                start_ns: 120,
+                dur_ns: 4_500,
+                self_ns: 4_100,
+                fields: vec![("plans".into(), 42), ("memo_entries".into(), 7)],
+            },
+            TraceEvent {
+                run: 2,
+                query: "odd \"name\"\twith\\escapes".into(),
+                phase: "nljn".into(),
+                depth: 3,
+                start_ns: 0,
+                dur_ns: 1,
+                self_ns: 1,
+                fields: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(TraceEvent::parse("not json").is_err());
+        assert!(TraceEvent::parse("{\"run\":1").is_err());
+        assert!(TraceEvent::parse("{\"run\":1} trailing").is_err());
+        assert!(TraceEvent::parse("{\"nope\":1}").is_err());
+        assert!(parse_jsonl("{\"run\":1}\nbroken\n").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n\n", sample()[0].to_json());
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let ev = TraceEvent {
+            query: "ctl\u{1}char µs".into(),
+            ..sample()[1].clone()
+        };
+        assert_eq!(TraceEvent::parse(&ev.to_json()).unwrap(), ev);
+    }
+}

@@ -1,0 +1,75 @@
+//! Satellite: 8 threads hammering the same registry instruments lose no
+//! increments — every atomic total matches a serially computed shadow.
+
+use cote_obs::Registry;
+use std::time::Duration;
+
+const THREADS: u64 = 8;
+const ITERS: u64 = 10_000;
+
+#[test]
+fn eight_threads_lose_no_counter_increments() {
+    let r = Registry::new();
+    // Every thread bumps the same counter by a thread-specific stride so a
+    // lost update would be visible in the total, not just the count.
+    let shadow: u64 = (0..THREADS).map(|t| ITERS * (t + 1)).sum();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let c = r.counter("shared_total");
+            scope.spawn(move || {
+                for _ in 0..ITERS {
+                    c.add(t + 1);
+                }
+            });
+        }
+    });
+    assert_eq!(r.counter("shared_total").get(), shadow);
+}
+
+#[test]
+fn eight_threads_lose_no_histogram_samples() {
+    let r = Registry::new();
+    // Serial shadow: the same samples recorded once, single-threaded.
+    let serial = Registry::new();
+    let sh = serial.histogram("lat");
+    for t in 0..THREADS {
+        for i in 0..ITERS {
+            sh.record(Duration::from_nanos(t * 1_000 + (i % 97)));
+        }
+    }
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let h = r.histogram("lat");
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    h.record(Duration::from_nanos(t * 1_000 + (i % 97)));
+                }
+            });
+        }
+    });
+    let concurrent = r.histogram("lat").snapshot();
+    let shadow = serial.histogram("lat").snapshot();
+    assert_eq!(concurrent.count(), THREADS * ITERS);
+    assert_eq!(concurrent.count(), shadow.count());
+    assert_eq!(concurrent.sum_nanos(), shadow.sum_nanos());
+    assert_eq!(concurrent.buckets(), shadow.buckets());
+    for q in [0.5, 0.95, 0.99] {
+        assert_eq!(concurrent.quantile(q), shadow.quantile(q));
+    }
+}
+
+#[test]
+fn registration_races_yield_one_instrument() {
+    let r = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let r = &r;
+            scope.spawn(move || {
+                for _ in 0..ITERS {
+                    r.counter("raced_total").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(r.counter("raced_total").get(), THREADS * ITERS);
+}

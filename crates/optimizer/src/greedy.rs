@@ -11,8 +11,9 @@ use crate::context::OptContext;
 use crate::cost::{hsjn_cost, table_scan, Cost, JoinCostInput, StreamStats};
 use cote_catalog::Catalog;
 use cote_common::{CoteError, Result, TableSet};
+use cote_obs::Stopwatch;
 use cote_query::{Query, QueryBlock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Result of a greedy optimization.
 #[derive(Debug, Clone)]
@@ -47,7 +48,7 @@ impl GreedyOptimizer {
 
     /// Optimize a whole query (sums block costs).
     pub fn optimize_query(&self, catalog: &Catalog, query: &Query) -> Result<GreedyResult> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let mut cost = 0.0;
         let mut join_order = Vec::new();
         for block in query.blocks() {
@@ -64,7 +65,7 @@ impl GreedyOptimizer {
 
     /// Optimize one block greedily.
     pub fn optimize_block(&self, catalog: &Catalog, block: &QueryBlock) -> Result<GreedyResult> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let ctx = OptContext::new(catalog, block, &self.config);
         let model = FullCardinality;
 

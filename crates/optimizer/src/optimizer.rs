@@ -6,15 +6,15 @@ use crate::context::OptContext;
 use crate::cost::{group_cost, sort_cost, Cost};
 use crate::enumerator::enumerate;
 use crate::greedy::GreedyOptimizer;
-use crate::instrument::CompileStats;
+use crate::instrument::{self, CompileStats};
 use crate::memo::Memo;
 use crate::plan::{PlanArena, PlanId, PlanKind, PlanProps};
 use crate::plangen::{PlanList, RealPlanGen};
 use crate::properties::order::Ordering;
 use cote_catalog::Catalog;
 use cote_common::Result;
+use cote_obs::{phase, Span, Stopwatch};
 use cote_query::{Query, QueryBlock};
-use std::time::Instant;
 
 /// Result of optimizing one query block.
 pub struct BlockResult {
@@ -88,7 +88,10 @@ impl Optimizer {
                 reason: "every join method is disabled".into(),
             });
         }
-        let started = Instant::now();
+        // Functional wall clock (feeds the calibrated time model) — kept
+        // separate from the compile span, which vanishes under `obs-off`.
+        let wall = Stopwatch::start();
+        let mut root_span = Span::enter(phase::COMPILE);
         let ctx = OptContext::new(catalog, block, &self.config);
 
         // Pilot pass (§6.1): a quickly precomputed full plan bounds DP plan
@@ -105,13 +108,18 @@ impl Optimizer {
         };
 
         let mut gen = RealPlanGen::new(pilot_bound);
+        let enum_span = Span::enter(phase::ENUMERATE);
         let outcome = enumerate(&ctx, &FullCardinality, &mut gen)?;
+        // Enumeration skeleton = the span's self time: everything the phase
+        // buckets (nljn/mgjn/hsjn/save/scan/finalize child spans) did not
+        // absorb, with no hand-threaded subtraction.
+        let enum_time = enum_span.close();
 
         // Finalization ("other"): apply GROUP BY / ORDER BY on the root.
-        let fin_started = Instant::now();
+        let fin_span = Span::enter(phase::FINALIZE);
         let root_plans = outcome.memo.entry(outcome.root).payload.plans.clone();
         let (best, best_cost) = finalize_block(&ctx, &mut gen, &root_plans);
-        gen.stats.time.other += fin_started.elapsed();
+        gen.stats.time.other += fin_span.close().self_time;
 
         let mut stats = gen.stats;
         stats.pairs_enumerated = outcome.pairs;
@@ -122,15 +130,14 @@ impl Optimizer {
             .iter()
             .map(|(_, e)| e.payload.plans.len() as u64)
             .sum();
-        stats.elapsed = started.elapsed();
-        // Enumeration skeleton = whatever the phase buckets did not absorb.
-        stats.time.enumeration = stats
-            .elapsed
-            .saturating_sub(stats.time.nljn)
-            .saturating_sub(stats.time.mgjn)
-            .saturating_sub(stats.time.hsjn)
-            .saturating_sub(stats.time.saving)
-            .saturating_sub(stats.time.other);
+        stats.time.enumeration = enum_time.self_time;
+        stats.elapsed = wall.elapsed();
+        root_span.record("plans_generated", stats.plans_generated.total());
+        root_span.record("plans_kept", stats.plans_kept);
+        root_span.record("memo_entries", stats.memo_entries);
+        root_span.record("pairs", stats.pairs_enumerated);
+        root_span.close();
+        instrument::publish(&stats);
 
         Ok(BlockResult {
             arena: gen.arena,

@@ -28,8 +28,8 @@ use crate::properties::partition::PartitionVal;
 use crate::properties::JoinMethod;
 use cote_catalog::EquiDepthHistogram;
 use cote_common::{ColRef, TableRef, TableSet};
+use cote_obs::{phase, Span};
 use cote_query::EqClasses;
-use std::time::Instant;
 
 /// Per-entry payload of the real optimizer: the plan list.
 #[derive(Debug, Default)]
@@ -83,7 +83,7 @@ impl RealPlanGen {
     /// `p`'s (equal or more general), its partition is identical, and it is
     /// at least as pipelinable.
     fn try_insert(&mut self, list: &mut Vec<PlanId>, new: PlanId) -> bool {
-        let started = Instant::now();
+        let span = Span::enter(phase::SAVE);
         let kept = {
             let arena = &self.arena;
             let n = arena.node(new);
@@ -112,7 +112,7 @@ impl RealPlanGen {
                 true
             }
         };
-        self.stats.time.saving += started.elapsed();
+        self.stats.time.saving += span.close().self_time;
         kept
     }
 
@@ -633,7 +633,7 @@ impl JoinVisitor for RealPlanGen {
         core: &MemoEntry<()>,
         t: TableRef,
     ) -> PlanList {
-        let started = Instant::now();
+        let span = Span::enter(phase::SCAN);
         let table = ctx.catalog.table(ctx.block.table(t));
         let row_bytes = table.avg_row_bytes();
         let out_stats = StreamStats::of(core.cardinality, row_bytes);
@@ -750,7 +750,8 @@ impl JoinVisitor for RealPlanGen {
                 }
             }
         }
-        self.stats.time.other += started.elapsed();
+        // Self time only: nested `save` spans already fill the saving bucket.
+        self.stats.time.other += span.close().self_time;
         list
     }
 
@@ -800,7 +801,8 @@ impl JoinVisitor for RealPlanGen {
 
             // ---------------- NLJN ----------------
             if methods.nljn {
-                let started = Instant::now();
+                let mut span = Span::enter(phase::NLJN);
+                let before = self.stats.plans_generated.nljn;
                 // The DB2 oversight (§5.2): extra plans for subsumed orders.
                 let redundant: Vec<(PlanId, Ordering)> = if ctx.config.redundant_nljn {
                     let mut extras = Vec::new();
@@ -867,12 +869,14 @@ impl JoinVisitor for RealPlanGen {
                         );
                     }
                 }
-                self.stats.time.nljn += started.elapsed();
+                span.record("plans", self.stats.plans_generated.nljn - before);
+                self.stats.time.nljn += span.close().self_time;
             }
 
             // ---------------- MGJN ----------------
             if methods.mgjn && !oj.mgjn_reqs.is_empty() {
-                let started = Instant::now();
+                let mut span = Span::enter(phase::MGJN);
+                let before = self.stats.plans_generated.mgjn;
                 for (o_req, i_req) in &oj.mgjn_reqs {
                     // One suitably sorted inner per applied-expensive mask.
                     let inner_sorted: Vec<PlanId> = inner_mask_reps
@@ -926,12 +930,14 @@ impl JoinVisitor for RealPlanGen {
                         }
                     }
                 }
-                self.stats.time.mgjn += started.elapsed();
+                span.record("plans", self.stats.plans_generated.mgjn - before);
+                self.stats.time.mgjn += span.close().self_time;
             }
 
             // ---------------- HSJN ----------------
             if methods.hsjn {
-                let started = Instant::now();
+                let mut span = Span::enter(phase::HSJN);
+                let before = self.stats.plans_generated.hsjn;
                 for (pv, repart_both) in &pvs {
                     for &outer_plan in &outer_mask_reps {
                         for &inner_plan in &inner_mask_reps {
@@ -959,7 +965,8 @@ impl JoinVisitor for RealPlanGen {
                         }
                     }
                 }
-                self.stats.time.hsjn += started.elapsed();
+                span.record("plans", self.stats.plans_generated.hsjn - before);
+                self.stats.time.hsjn += span.close().self_time;
             }
         }
     }
@@ -968,7 +975,7 @@ impl JoinVisitor for RealPlanGen {
         if !ctx.config.eager_orders {
             return;
         }
-        let started = Instant::now();
+        let span = Span::enter(phase::FINALIZE);
         // Eager enforcement (§4 item 1): force each applicable interesting
         // order that no kept plan provides.
         let set = memo.entry(id).set;
@@ -1004,7 +1011,7 @@ impl JoinVisitor for RealPlanGen {
             let sorted = self.sorted(ctx, cheapest, target);
             self.save(memo, id, sorted);
         }
-        self.stats.time.other += started.elapsed();
+        self.stats.time.other += span.close().self_time;
     }
 }
 

@@ -43,7 +43,9 @@ pub use advisor::{mop_rule, Advice, LevelAdvisor, LevelChoice};
 pub use bench::{replay, BenchReport};
 pub use cache::ShardedCache;
 pub use config::ServiceConfig;
-pub use metrics::{Counter, HistogramSnapshot, LogHistogram, Metrics};
+pub use metrics::{
+    fmt_duration, CacheStats, Counter, Gauge, HistogramSnapshot, LogHistogram, Metrics,
+};
 pub use queue::{BoundedQueue, PushError};
 pub use request::{Decision, QueryClass, ServiceResponse, ShedReason};
 pub use service::CoteService;

@@ -1,196 +1,128 @@
-//! In-process metrics: atomic counters and log-scaled latency histograms.
+//! In-process metrics, backed by the `cote-obs` registry.
 //!
 //! The serving path must observe itself without locks: every instrument here
-//! is a plain `AtomicU64` (or a fixed array of them), so recording from N
-//! worker threads never serializes. Snapshots are taken with relaxed loads —
-//! each number is exact per instrument, the set is only approximately
-//! simultaneous, which is all a monitoring report needs.
+//! is a `cote-obs` atomic behind an `Arc` handle, so recording from N worker
+//! threads never serializes. Each [`Metrics`] owns its own [`Registry`] —
+//! concurrent daemons and tests never share instruments — and exposes it as
+//! Prometheus text or JSON for the `metrics` stdin command of `cote serve`.
+//!
+//! The instrument types themselves ([`Counter`], [`LogHistogram`],
+//! [`HistogramSnapshot`], [`fmt_duration`]) are re-exported from `cote-obs`
+//! so existing callers keep compiling unchanged.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use cote_obs::Registry;
+use std::sync::Arc;
 
-/// A monotonically increasing counter.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// Add one.
-    pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Add `n`.
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// Number of power-of-two latency buckets: bucket `i` holds samples in
-/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds `0..1` ns), so 64 buckets
-/// cover everything a `u64` of nanoseconds can express (≈ 584 years).
-const BUCKETS: usize = 64;
-
-/// A log₂-scaled histogram of durations.
-///
-/// Recording is one relaxed `fetch_add` into the matching power-of-two
-/// bucket plus a running sum; quantiles are reconstructed from bucket
-/// boundaries with ≤ 2× relative error, which is the usual trade for a
-/// fixed-size lock-free histogram.
-#[derive(Debug)]
-pub struct LogHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_nanos: AtomicU64,
-}
-
-impl Default for LogHistogram {
-    fn default() -> Self {
-        Self {
-            buckets: [(); BUCKETS].map(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_nanos: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LogHistogram {
-    /// Record one duration.
-    pub fn record(&self, d: Duration) {
-        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
-        let bucket = (64 - nanos.leading_zeros()) as usize; // 0 for nanos == 0
-        self.buckets[bucket.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
-    }
-
-    /// Samples recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Freeze the current contents into a [`HistogramSnapshot`].
-    pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            count: self.count.load(Ordering::Relaxed),
-            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// Point-in-time copy of a [`LogHistogram`].
-#[derive(Debug, Clone)]
-pub struct HistogramSnapshot {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    sum_nanos: u64,
-}
-
-impl HistogramSnapshot {
-    /// Samples in the snapshot.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Arithmetic mean (exact — the sum is tracked separately).
-    pub fn mean(&self) -> Duration {
-        Duration::from_nanos(self.sum_nanos.checked_div(self.count).unwrap_or(0))
-    }
-
-    /// Quantile `q` in `[0, 1]`, reconstructed from bucket boundaries (the
-    /// geometric midpoint of the bucket holding the rank).
-    pub fn quantile(&self, q: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                // Bucket i spans [2^(i-1), 2^i); use the geometric midpoint.
-                let hi = 1u128 << i;
-                let lo = hi >> 1;
-                let mid = ((lo + hi) / 2) as u64;
-                return Duration::from_nanos(if i == 0 { 0 } else { mid });
-            }
-        }
-        Duration::from_nanos(u64::MAX)
-    }
-
-    /// p50 / p95 / p99 in one call.
-    pub fn percentiles(&self) -> (Duration, Duration, Duration) {
-        (
-            self.quantile(0.50),
-            self.quantile(0.95),
-            self.quantile(0.99),
-        )
-    }
-}
-
-/// Format a duration compactly for reports.
-pub fn fmt_duration(d: Duration) -> String {
-    let ns = d.as_nanos() as f64;
-    if ns < 1e3 {
-        format!("{ns:.0}ns")
-    } else if ns < 1e6 {
-        format!("{:.1}µs", ns / 1e3)
-    } else if ns < 1e9 {
-        format!("{:.2}ms", ns / 1e6)
-    } else {
-        format!("{:.2}s", ns / 1e9)
-    }
-}
+pub use cote_obs::{fmt_duration, CacheStats, Counter, Gauge, HistogramSnapshot, LogHistogram};
 
 /// Every instrument on the serving path, by name.
-#[derive(Debug, Default)]
+///
+/// The public fields are `Arc` handles into the owned registry; `Deref`
+/// keeps call sites (`m.requests.inc()`) identical to the pre-registry
+/// layout. Registry names follow Prometheus conventions
+/// (`cote_service_requests_total`, `cote_service_e2e_latency_seconds`, …).
 pub struct Metrics {
+    registry: Registry,
     /// Requests submitted.
-    pub requests: Counter,
+    pub requests: Arc<Counter>,
     /// Served straight from the sharded statement cache.
-    pub cache_hits: Counter,
+    pub cache_hits: Arc<Counter>,
     /// Fell through to the estimator worker pool.
-    pub cache_misses: Counter,
+    pub cache_misses: Arc<Counter>,
     /// Cache insertions that evicted an older statement.
-    pub cache_evictions: Counter,
+    pub cache_evictions: Arc<Counter>,
     /// Requests shed because the queue was at capacity.
-    pub shed_queue_full: Counter,
+    pub shed_queue_full: Arc<Counter>,
     /// Requests shed because the in-flight limit was reached.
-    pub shed_inflight: Counter,
+    pub shed_inflight: Arc<Counter>,
     /// Requests shed because the projected queue wait exceeded the deadline.
-    pub shed_deadline: Counter,
+    pub shed_deadline: Arc<Counter>,
     /// Requests whose deadline had already expired when a worker got to
     /// them (dropped without estimating).
-    pub shed_expired: Counter,
+    pub shed_expired: Arc<Counter>,
     /// Requests served in degraded (greedy / join-count) mode.
-    pub degraded: Counter,
+    pub degraded: Arc<Counter>,
     /// Requests that completed with an advice.
-    pub completed: Counter,
+    pub completed: Arc<Counter>,
     /// Estimator errors.
-    pub errors: Counter,
+    pub errors: Arc<Counter>,
+    /// Jobs currently sitting in the worker queue.
+    pub queue_depth: Arc<Gauge>,
     /// Estimation service time (per worker execution).
-    pub estimation_latency: LogHistogram,
+    pub estimation_latency: Arc<LogHistogram>,
     /// End-to-end latency (submit → response).
-    pub e2e_latency: LogHistogram,
+    pub e2e_latency: Arc<LogHistogram>,
     /// Time spent queued before a worker picked the job up.
-    pub queue_wait: LogHistogram,
+    pub queue_wait: Arc<LogHistogram>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        let registry = Registry::new();
+        let requests = registry.counter("cote_service_requests_total");
+        let cache_hits = registry.counter("cote_service_cache_hits_total");
+        let cache_misses = registry.counter("cote_service_cache_misses_total");
+        let cache_evictions = registry.counter("cote_service_cache_evictions_total");
+        let shed_queue_full = registry.counter("cote_service_shed_queue_full_total");
+        let shed_inflight = registry.counter("cote_service_shed_inflight_total");
+        let shed_deadline = registry.counter("cote_service_shed_deadline_total");
+        let shed_expired = registry.counter("cote_service_shed_expired_total");
+        let degraded = registry.counter("cote_service_degraded_total");
+        let completed = registry.counter("cote_service_completed_total");
+        let errors = registry.counter("cote_service_errors_total");
+        let queue_depth = registry.gauge("cote_service_queue_depth");
+        let estimation_latency = registry.histogram("cote_service_estimation_latency_seconds");
+        let e2e_latency = registry.histogram("cote_service_e2e_latency_seconds");
+        let queue_wait = registry.histogram("cote_service_queue_wait_seconds");
+        Self {
+            registry,
+            requests,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            shed_queue_full,
+            shed_inflight,
+            shed_deadline,
+            shed_expired,
+            degraded,
+            completed,
+            errors,
+            queue_depth,
+            estimation_latency,
+            e2e_latency,
+            queue_wait,
+        }
+    }
 }
 
 impl Metrics {
+    /// The backing registry (for custom exposition or extra instruments).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Prometheus text exposition of every instrument.
+    pub fn prometheus_text(&self) -> String {
+        self.registry.prometheus_text()
+    }
+
+    /// JSON exposition of every instrument.
+    pub fn json(&self) -> String {
+        self.registry.json()
+    }
+
+    /// Statement-cache hit/miss/eviction snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.get(),
+            misses: self.cache_misses.get(),
+            evictions: self.cache_evictions.get(),
+        }
+    }
+
     /// Cache hits / lookups.
     pub fn hit_rate(&self) -> f64 {
-        let h = self.cache_hits.get();
-        let m = self.cache_misses.get();
-        if h + m == 0 {
-            0.0
-        } else {
-            h as f64 / (h + m) as f64
-        }
+        self.cache_stats().hit_rate()
     }
 
     /// Total requests shed for any reason.
@@ -253,6 +185,7 @@ impl Metrics {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Duration;
 
     #[test]
     fn counters_count_from_many_threads() {
@@ -282,7 +215,7 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count(), 10);
         let (p50, _, p99) = s.percentiles();
-        // Log buckets: ≤2× error around the true medians.
+        // Log buckets with interpolation: well inside 2× of the true median.
         assert!(p50 >= Duration::from_micros(16) && p50 <= Duration::from_micros(96));
         assert!(p99 >= Duration::from_micros(512), "{p99:?}");
         assert!(s.mean() >= Duration::from_micros(100));
@@ -309,6 +242,33 @@ mod tests {
         let r = m.report();
         assert!(r.contains("hit rate 75.0%"));
         assert!(r.contains("end-to-end"));
+    }
+
+    #[test]
+    fn cache_stats_snapshot_renders() {
+        let m = Metrics::default();
+        m.cache_hits.add(3);
+        m.cache_misses.inc();
+        m.cache_evictions.add(2);
+        let s = m.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 1, 2));
+        assert_eq!(s.render(), "hits 3 misses 1 evictions 2 (hit rate 75.0%)");
+    }
+
+    #[test]
+    fn registry_exposition_covers_the_instruments() {
+        let m = Metrics::default();
+        m.requests.add(4);
+        m.queue_depth.set(2);
+        m.e2e_latency.record(Duration::from_micros(10));
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE cote_service_requests_total counter"));
+        assert!(text.contains("cote_service_requests_total 4"));
+        assert!(text.contains("cote_service_queue_depth 2"));
+        assert!(text.contains("cote_service_e2e_latency_seconds_count 1"));
+        let json = m.json();
+        assert!(json.contains("\"cote_service_requests_total\":4"));
+        assert!(json.contains("\"cote_service_e2e_latency_seconds\":{\"count\":1"));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::request::{Decision, QueryClass, ServiceResponse, ShedReason};
 use cote::{fingerprint, Cote};
 use cote_catalog::Catalog;
+use cote_obs::{phase, Span};
 use cote_query::Query;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -157,6 +158,7 @@ impl CoteService {
             };
             return self.respond_shed(start, reason);
         }
+        inner.metrics.queue_depth.add(1);
 
         // Workers always answer each accepted job; the timeout is a
         // last-resort guard against a panicked worker.
@@ -236,6 +238,7 @@ impl Drop for CoteService {
 
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
+        inner.metrics.queue_depth.add(-1);
         let wait = job.enqueued.elapsed();
         inner.metrics.queue_wait.record(wait);
 
@@ -254,6 +257,8 @@ fn worker_loop(inner: &Inner) {
         // backed up after this job was admitted.
         let degraded = job.degraded || inner.queue.len() >= inner.degrade_queue_depth;
 
+        let mut span = Span::enter(phase::SERVICE_ESTIMATE);
+        span.record("degraded", degraded as u64);
         let t0 = Instant::now();
         let outcome = if degraded {
             Ok(inner.advisor.advise_degraded())
@@ -261,6 +266,7 @@ fn worker_loop(inner: &Inner) {
             inner.advisor.advise(&inner.catalog, &job.query, job.class)
         };
         let service_time = t0.elapsed();
+        span.close();
         inner.metrics.estimation_latency.record(service_time);
         inner.admission.observe_service(service_time);
 
