@@ -22,11 +22,22 @@ USAGE:
                                       estimate, then dump the global metrics
                                       registry (Prometheus text, or JSON);
                                       --trace writes span events as JSONL
-  cote serve <workload>               estimation daemon driven by stdin
-                                      ('metrics [json]' dumps the registry)
+  cote serve <workload> [--listen ADDR]
+                                      estimation daemon driven by stdin
+                                      ('metrics [json]' dumps the registry);
+                                      --listen also serves the wire protocol
+                                      (PING/ESTIMATE/ADMIT/METRICS) and HTTP
+                                      (GET /metrics, /healthz, POST /estimate)
+                                      on ADDR (port 0 = ephemeral, printed)
   cote bench-service --workload W --rps R [--duration S] [--clients N]
                      [--workers N] [--cache N] [--deadline-ms M] [--seed S]
                                       closed-loop service benchmark
+  cote bench-net --workload W --rps R [--duration S] [--clients N]
+                 [--addr HOST:PORT | --listen ADDR] [--handlers N]
+                 [--pending-conns N] [--drain-ms M]
+                                      open-loop benchmark over real TCP
+                                      sockets (self-hosts a server unless
+                                      --addr targets a running one)
 
 Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
 or -p (parallel), e.g. `cote estimate star-s 3`.

@@ -9,8 +9,9 @@
 //! cote forecast <workload>            §1.1 workload compilation forecast
 //! cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
 //! cote metrics <workload> [N]         estimate + global metrics registry dump
-//! cote serve <workload>               estimation daemon driven by stdin
+//! cote serve <workload> [--listen ADDR]     estimation daemon (stdin + TCP/HTTP)
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
+//! cote bench-net --workload W --rps R       open-loop benchmark over TCP sockets
 //! ```
 
 mod commands;
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("metrics") => commands::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),
+        Some("bench-net") => serve::bench_net(&args[1..]),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -1,15 +1,18 @@
-//! `cote serve` and `cote bench-service`: the daemon-facing subcommands.
+//! `cote serve`, `cote bench-service` and `cote bench-net`: the
+//! daemon-facing subcommands.
 
 use crate::commands::quick_cote;
 use cote_common::{CoteError, Result};
+use cote_net::{FrameError, LineReader, NetClientConfig, NetConfig, NetServer, MAX_LINE_BYTES};
 use cote_optimizer::OptimizerConfig;
 use cote_query::Query;
 use cote_service::{CoteService, Decision, QueryClass, ServiceConfig};
 use cote_workloads::{by_name, traffic, Workload};
-use std::io::BufRead;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Flags shared by both subcommands.
+/// Flags shared by the serving subcommands.
 struct ServeArgs {
     workload: Workload,
     rps: f64,
@@ -17,6 +20,12 @@ struct ServeArgs {
     clients: usize,
     seed: u64,
     cfg: ServiceConfig,
+    net: NetConfig,
+    /// `--listen ADDR`: also serve TCP/HTTP on this address.
+    listen: Option<String>,
+    /// `--addr HOST:PORT`: bench an already-running server instead of
+    /// self-hosting one.
+    addr: Option<String>,
 }
 
 fn bad(reason: String) -> CoteError {
@@ -30,6 +39,9 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
     let mut clients = 8;
     let mut seed = 42;
     let mut cfg = ServiceConfig::default();
+    let mut net = NetConfig::default();
+    let mut listen = None;
+    let mut addr = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String> {
@@ -77,6 +89,24 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
                     .parse()
                     .map_err(|_| bad("--seed needs an integer".into()))?
             }
+            "--listen" => listen = Some(value("--listen")?.clone()),
+            "--addr" => addr = Some(value("--addr")?.clone()),
+            "--handlers" => {
+                net.handlers = value("--handlers")?
+                    .parse()
+                    .map_err(|_| bad("--handlers needs an integer".into()))?
+            }
+            "--pending-conns" => {
+                net.pending_conns = value("--pending-conns")?
+                    .parse()
+                    .map_err(|_| bad("--pending-conns needs an integer".into()))?
+            }
+            "--drain-ms" => {
+                let ms: u64 = value("--drain-ms")?
+                    .parse()
+                    .map_err(|_| bad("--drain-ms needs milliseconds".into()))?;
+                net.drain_deadline = Duration::from_millis(ms);
+            }
             // Bare first argument doubles as the workload name.
             w if workload.is_none() && !w.starts_with("--") => workload = Some(by_name(w)?),
             other => return Err(bad(format!("unknown flag '{other}'"))),
@@ -90,6 +120,9 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
         clients: clients.max(1),
         seed,
         cfg,
+        net,
+        listen,
+        addr,
     })
 }
 
@@ -108,21 +141,85 @@ fn class_of(q: &Query) -> QueryClass {
     QueryClass::from_table_count(q.total_tables())
 }
 
-/// `cote serve <workload>` — interactive daemon driven by stdin. Each line
-/// is a 1-based query index (optionally `N interactive|reporting|batch`);
-/// `report` prints the metrics report, `metrics` / `metrics json` expose the
-/// registry (Prometheus text / JSON), `quit` exits. A final metrics dump is
-/// written on shutdown (the stdin protocol's stand-in for dump-on-SIGTERM).
+fn resolve_addr(s: &str) -> Result<SocketAddr> {
+    s.to_socket_addrs()
+        .map_err(|e| bad(format!("cannot resolve '{s}': {e}")))?
+        .next()
+        .ok_or_else(|| bad(format!("'{s}' resolves to no address")))
+}
+
+/// Drain the service, then check the queue-depth gauge accounting: after a
+/// quiesced run it must read zero on every path (completed, shed, expired).
+fn check_gauge_drained(svc: &CoteService) -> Result<()> {
+    if !svc.drain(Duration::from_secs(10)) {
+        return Err(bad(format!(
+            "service did not drain: {} queued, {} in flight",
+            svc.queue_len(),
+            svc.inflight()
+        )));
+    }
+    let depth = svc.metrics().queue_depth.get();
+    if depth != 0 {
+        return Err(bad(format!(
+            "queue-depth gauge leaked: {depth} after drain"
+        )));
+    }
+    eprintln!("queue-depth gauge drained to zero");
+    Ok(())
+}
+
+/// `cote serve <workload> [--listen ADDR]` — the estimation daemon.
+///
+/// stdin drives it interactively: each line is a 1-based query index
+/// (optionally `N interactive|reporting|batch`); `report` prints the
+/// metrics report, `metrics` / `metrics json` expose the registry
+/// (Prometheus text / JSON), `quit` (or EOF) exits. With `--listen ADDR`
+/// the same service also answers the wire protocol and HTTP on that
+/// address (`127.0.0.1:0` picks an ephemeral port, printed on startup).
+/// Shutdown gracefully drains network connections and queued estimates,
+/// then writes a final metrics dump (the stdin protocol's stand-in for
+/// dump-on-SIGTERM). Both front-ends read lines through the same
+/// length-capped reader, so no input can allocate unboundedly.
 pub fn serve(args: &[String]) -> Result<()> {
-    let a = parse_args(args)?;
-    let svc = start_service(&a.workload, a.cfg)?;
-    let n = a.workload.queries.len();
+    let mut a = parse_args(args)?;
+    let svc = Arc::new(start_service(&a.workload, a.cfg)?);
+    let queries = Arc::new(std::mem::take(&mut a.workload.queries));
+    let n = queries.len();
+    let server = match &a.listen {
+        Some(addr) => {
+            let server = NetServer::bind(Arc::clone(&svc), Arc::clone(&queries), addr, a.net)
+                .map_err(|e| bad(format!("bind {addr}: {e}")))?;
+            // Exact line the CI smoke job (and humans) scrape the port from.
+            eprintln!("listening on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     eprintln!(
         "serving {} ({n} queries); enter <index> [class], 'report', 'metrics [json]' or 'quit'",
         a.workload.name
     );
-    for line in std::io::stdin().lock().lines() {
-        let line = line.map_err(|e| bad(format!("stdin: {e}")))?;
+    let stdin = std::io::stdin();
+    let mut reader = LineReader::new(stdin.lock(), MAX_LINE_BYTES);
+    loop {
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => break, // EOF: shut down
+            Err(FrameError::Oversize { limit }) => {
+                eprintln!("input line exceeds {limit} bytes; ignored");
+                match reader.skip_line() {
+                    Ok(true) => continue,
+                    Ok(false) => break,
+                    Err(e) => return Err(bad(format!("stdin: {e}"))),
+                }
+            }
+            Err(FrameError::InvalidUtf8) => {
+                eprintln!("input line is not valid utf-8; ignored");
+                continue;
+            }
+            Err(FrameError::Truncated) => break,
+            Err(FrameError::Io(e)) => return Err(bad(format!("stdin: {e}"))),
+        };
         let mut parts = line.split_whitespace();
         match parts.next() {
             None => continue,
@@ -146,7 +243,7 @@ pub fn serve(args: &[String]) -> Result<()> {
                         continue;
                     }
                 };
-                let q = &a.workload.queries[idx];
+                let q = &queries[idx];
                 let class = match parts.next() {
                     Some("interactive") => QueryClass::Interactive,
                     Some("reporting") => QueryClass::Reporting,
@@ -180,6 +277,12 @@ pub fn serve(args: &[String]) -> Result<()> {
             }
         }
     }
+    if let Some(server) = server {
+        eprintln!("shutting down: {}", server.shutdown().summary());
+    }
+    if !svc.drain(Duration::from_secs(5)) {
+        eprintln!("warning: service did not fully drain before dump");
+    }
     print!("{}", svc.report());
     eprintln!("── final metrics dump ──");
     eprint!("{}", svc.metrics().prometheus_text());
@@ -210,7 +313,60 @@ pub fn bench_service(args: &[String]) -> Result<()> {
     println!("── service ──");
     print!("{}", svc.report());
     println!("statement cache: {}", svc.metrics().cache_stats().render());
-    Ok(())
+    check_gauge_drained(&svc)
+}
+
+/// `cote bench-net --workload W --rps R [--duration S] [--clients N]
+/// [--addr HOST:PORT | --listen ADDR] [service/net flags]` — open-loop
+/// Poisson replay over real TCP sockets. Without `--addr` it self-hosts a
+/// server on an ephemeral loopback port, benches it, then drains and
+/// verifies the queue-depth gauge returns to zero.
+pub fn bench_net(args: &[String]) -> Result<()> {
+    let mut a = parse_args(args)?;
+    let schedule = traffic::poisson_schedule(a.workload.queries.len(), a.rps, a.duration, a.seed);
+    if schedule.is_empty() {
+        return Err(bad("empty schedule: check --rps and --duration".into()));
+    }
+    // Wire indices are 1-based.
+    let arrivals: Vec<(Duration, usize)> =
+        schedule.iter().map(|x| (x.at, x.query_index + 1)).collect();
+    let client_cfg = NetClientConfig::default();
+
+    if let Some(addr) = &a.addr {
+        // Target an already-running `cote serve --listen` (same workload!).
+        let addr = resolve_addr(addr)?;
+        eprintln!(
+            "benching {} arrivals over {:?} against {addr} from {} clients...",
+            arrivals.len(),
+            a.duration,
+            a.clients
+        );
+        let report = cote_net::bench_net(addr, &arrivals, a.clients, &client_cfg);
+        println!("── bench-net: {} → {addr} ──", a.workload.name);
+        print!("{}", report.summary());
+        return Ok(());
+    }
+
+    let svc = Arc::new(start_service(&a.workload, a.cfg)?);
+    let queries = Arc::new(std::mem::take(&mut a.workload.queries));
+    let listen = a.listen.as_deref().unwrap_or("127.0.0.1:0");
+    let server = NetServer::bind(Arc::clone(&svc), queries, listen, a.net)
+        .map_err(|e| bad(format!("bind {listen}: {e}")))?;
+    let addr = server.local_addr();
+    eprintln!(
+        "benching {} arrivals over {:?} against self-hosted {addr} from {} clients...",
+        arrivals.len(),
+        a.duration,
+        a.clients
+    );
+    let report = cote_net::bench_net(addr, &arrivals, a.clients, &client_cfg);
+    println!("── bench-net: {} → {addr} ──", a.workload.name);
+    print!("{}", report.summary());
+    eprintln!("shutting down: {}", server.shutdown().summary());
+    println!("── service ──");
+    print!("{}", svc.report());
+    println!("statement cache: {}", svc.metrics().cache_stats().render());
+    check_gauge_drained(&svc)
 }
 
 #[cfg(test)]
@@ -254,6 +410,32 @@ mod tests {
     }
 
     #[test]
+    fn parse_net_flags() {
+        let a = parse_args(&args(&[
+            "linear-s",
+            "--listen",
+            "127.0.0.1:0",
+            "--handlers",
+            "2",
+            "--pending-conns",
+            "8",
+            "--drain-ms",
+            "750",
+        ]))
+        .unwrap();
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(a.net.handlers, 2);
+        assert_eq!(a.net.pending_conns, 8);
+        assert_eq!(a.net.drain_deadline, Duration::from_millis(750));
+        assert!(a.addr.is_none());
+        let a = parse_args(&args(&["linear-s", "--addr", "127.0.0.1:7071"])).unwrap();
+        assert_eq!(a.addr.as_deref(), Some("127.0.0.1:7071"));
+        assert!(parse_args(&args(&["linear-s", "--listen"])).is_err());
+        assert!(resolve_addr("127.0.0.1:7071").is_ok());
+        assert!(resolve_addr("not an address").is_err());
+    }
+
+    #[test]
     fn bench_service_small_run_prints_report() {
         // Smoke the whole pipeline at a tiny scale.
         let a = parse_args(&args(&[
@@ -279,5 +461,27 @@ mod tests {
         let report = svc.report();
         assert!(report.contains("p50"), "{report}");
         assert!(report.contains("advisor decisions"), "{report}");
+        check_gauge_drained(&svc).unwrap();
+    }
+
+    #[test]
+    fn bench_net_self_hosted_small_run() {
+        // End-to-end over loopback sockets at a tiny scale.
+        bench_net(&args(&[
+            "linear-s",
+            "--rps",
+            "150",
+            "--duration",
+            "0.3",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+            "--handlers",
+            "2",
+            "--drain-ms",
+            "2000",
+        ]))
+        .unwrap();
     }
 }

@@ -1,0 +1,173 @@
+//! Open-loop socket load generator.
+//!
+//! Drives a running [`NetServer`](crate::NetServer) over real TCP
+//! connections from an arrival schedule (typically
+//! `cote_workloads::traffic::poisson_schedule`). Each client thread owns
+//! one connection and paces itself to the schedule's arrival times — when
+//! the server lags, later arrivals are still issued on time (up to the
+//! per-connection serialization), so offered load stays close to the
+//! schedule and overload shows up as `BUSY` responses and rising latency
+//! rather than a silently throttled generator.
+
+use crate::client::{NetClient, NetClientConfig};
+use crate::proto::WireResponse;
+use cote_obs::{fmt_duration, HistogramSnapshot, LogHistogram};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What one network bench run observed (client side).
+#[derive(Debug, Clone)]
+pub struct NetBenchReport {
+    /// Wall-clock of the whole replay.
+    pub wall: Duration,
+    /// Requests sent (= schedule length minus connect failures).
+    pub submitted: u64,
+    /// `OK` responses.
+    pub ok: u64,
+    /// `OK` responses served from the statement cache.
+    pub cached: u64,
+    /// `BUSY` responses (admission shed, connection shed, drain).
+    pub busy: u64,
+    /// `ERR` responses plus transport failures.
+    pub errors: u64,
+    /// Requests issued at or behind schedule.
+    pub late_starts: u64,
+    /// Client connections used.
+    pub clients: usize,
+    /// Offered rate implied by the schedule.
+    pub offered_rps: f64,
+    /// Client-observed request latency (send → response parsed).
+    pub latency: HistogramSnapshot,
+}
+
+impl NetBenchReport {
+    /// Achieved response rate.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.is_zero() {
+            0.0
+        } else {
+            self.submitted as f64 / self.wall.as_secs_f64()
+        }
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        let (p50, p95, p99) = self.latency.percentiles();
+        format!(
+            "clients             {:>10}\n\
+             offered rate        {:>10.1} req/s\n\
+             achieved throughput {:>10.1} req/s\n\
+             wall time           {:>10.1?}\n\
+             submitted           {:>10}\n\
+             ok                  {:>10}  ({} cached)\n\
+             busy                {:>10}\n\
+             errors              {:>10}\n\
+             late starts         {:>10}\n\
+             rtt latency  p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}  (n={})\n",
+            self.clients,
+            self.offered_rps,
+            self.throughput(),
+            self.wall,
+            self.submitted,
+            self.ok,
+            self.cached,
+            self.busy,
+            self.errors,
+            self.late_starts,
+            fmt_duration(p50),
+            fmt_duration(p95),
+            fmt_duration(p99),
+            fmt_duration(self.latency.mean()),
+            self.latency.count(),
+        )
+    }
+}
+
+/// Replay `arrivals` (`(offset, 1-based query index)` pairs, offsets
+/// ascending) against the server at `addr` from `clients` connections.
+/// A client whose connection dies reconnects once per request; persistent
+/// failure counts as errors rather than aborting the run.
+pub fn bench_net(
+    addr: SocketAddr,
+    arrivals: &[(Duration, usize)],
+    clients: usize,
+    client_cfg: &NetClientConfig,
+) -> NetBenchReport {
+    let clients = clients.clamp(1, arrivals.len().max(1));
+    let ok = AtomicU64::new(0);
+    let cached = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let late = AtomicU64::new(0);
+    let submitted = AtomicU64::new(0);
+    let latency = LogHistogram::default();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let (ok, cached, busy, errors, late, submitted, latency) =
+                (&ok, &cached, &busy, &errors, &late, &submitted, &latency);
+            scope.spawn(move || {
+                let mut conn = NetClient::connect_with(addr, client_cfg).ok();
+                // Round-robin split keeps each client's sub-schedule sorted.
+                for (at, index) in arrivals.iter().skip(c).step_by(clients) {
+                    let now = start.elapsed();
+                    if now < *at {
+                        std::thread::sleep(*at - now);
+                    } else {
+                        late.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if conn.is_none() {
+                        conn = NetClient::connect_with(addr, client_cfg).ok();
+                    }
+                    let Some(client) = conn.as_mut() else {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    match client.estimate(*index, None) {
+                        Ok(WireResponse::Ok(payload)) => {
+                            latency.record(t0.elapsed());
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if payload.contains("\"cached\":true") {
+                                cached.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Ok(WireResponse::Busy(_)) => {
+                            latency.record(t0.elapsed());
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(WireResponse::Err(_)) => {
+                            latency.record(t0.elapsed());
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            conn = None; // reconnect on the next arrival
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let offered_rps = match arrivals.last() {
+        Some((last, _)) if !last.is_zero() => arrivals.len() as f64 / last.as_secs_f64(),
+        _ => 0.0,
+    };
+    NetBenchReport {
+        wall,
+        submitted: submitted.into_inner(),
+        ok: ok.into_inner(),
+        cached: cached.into_inner(),
+        busy: busy.into_inner(),
+        errors: errors.into_inner(),
+        late_starts: late.into_inner(),
+        clients,
+        offered_rps,
+        latency: latency.snapshot(),
+    }
+}

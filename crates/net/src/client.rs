@@ -1,0 +1,158 @@
+//! Blocking wire-protocol client for [`NetServer`](crate::NetServer).
+//!
+//! One [`NetClient`] wraps one TCP connection. Requests are frames;
+//! [`NetClient::request`] writes one and reads one response, so callers can
+//! also pipeline manually with [`NetClient::send`] + [`NetClient::recv`].
+
+use crate::frame::{FrameError, LineReader, MAX_LINE_BYTES};
+use crate::proto::{WireRequest, WireResponse};
+use cote_service::QueryClass;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Connect/read/write failed.
+    Io(std::io::Error),
+    /// The server broke framing (oversize, truncated, invalid UTF-8).
+    Frame(FrameError),
+    /// The response line did not parse, or the stream ended mid-exchange.
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+/// Connection knobs for [`NetClient::connect_with`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (bounds a hung server).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Response line cap.
+    pub max_line_bytes: usize,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// One wire-protocol connection.
+pub struct NetClient {
+    reader: LineReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl NetClient {
+    /// Connect with default timeouts.
+    pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
+        Self::connect_with(addr, &NetClientConfig::default())
+    }
+
+    /// Connect with explicit timeouts/caps.
+    pub fn connect_with(addr: SocketAddr, cfg: &NetClientConfig) -> Result<Self, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: LineReader::new(stream, cfg.max_line_bytes),
+            writer,
+        })
+    }
+
+    /// Write one request frame without waiting for the response.
+    pub fn send(&mut self, req: &WireRequest) -> Result<(), NetError> {
+        self.send_raw(&req.render())
+    }
+
+    /// Write one raw line (for protocol tests); `\n` is appended.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), NetError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read one response frame.
+    pub fn recv(&mut self) -> Result<WireResponse, NetError> {
+        match self.reader.read_line()? {
+            Some(line) => WireResponse::parse(&line).map_err(NetError::Protocol),
+            None => Err(NetError::Protocol("connection closed".into())),
+        }
+    }
+
+    /// One request/response exchange.
+    pub fn request(&mut self, req: &WireRequest) -> Result<WireResponse, NetError> {
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// `PING` → expects `OK pong`.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.request(&WireRequest::Ping)? {
+            WireResponse::Ok(p) if p == "pong" => Ok(()),
+            other => Err(NetError::Protocol(format!("unexpected: {other:?}"))),
+        }
+    }
+
+    /// `ESTIMATE index [class]` — full per-level JSON on `OK`.
+    pub fn estimate(
+        &mut self,
+        index: usize,
+        class: Option<QueryClass>,
+    ) -> Result<WireResponse, NetError> {
+        self.request(&WireRequest::Estimate { index, class })
+    }
+
+    /// `ADMIT index [class]` — compact verdict.
+    pub fn admit(
+        &mut self,
+        index: usize,
+        class: Option<QueryClass>,
+    ) -> Result<WireResponse, NetError> {
+        self.request(&WireRequest::Admit { index, class })
+    }
+
+    /// `METRICS` — the service registry as one JSON line.
+    pub fn metrics_json(&mut self) -> Result<String, NetError> {
+        match self.request(&WireRequest::Metrics)? {
+            WireResponse::Ok(json) => Ok(json),
+            other => Err(NetError::Protocol(format!("unexpected: {other:?}"))),
+        }
+    }
+}

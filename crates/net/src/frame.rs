@@ -1,0 +1,264 @@
+//! Length-capped line framing.
+//!
+//! Every front-end that reads untrusted lines — the TCP wire protocol, the
+//! HTTP request parser, and the `cote serve` stdin command loop — goes
+//! through [`LineReader`]. The reader enforces a hard per-line byte cap
+//! *while buffering*, so a peer that never sends a newline cannot make the
+//! process allocate unboundedly; `std`'s `BufRead::lines` has no such cap.
+//!
+//! Framing rules: a frame is one line terminated by `\n` (a trailing `\r`
+//! is stripped, so `\r\n` peers work); the terminator is not part of the
+//! frame; frames must be valid UTF-8 and at most `max_line` bytes. EOF in
+//! the middle of a line is a [`FrameError::Truncated`] frame, not a short
+//! line — wire peers must terminate every frame.
+
+use std::io::Read;
+
+/// Default per-line cap, shared by the TCP server, the HTTP parser and the
+/// stdin loop. Generous for any sane request; tiny against a memory bomb.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Why a frame could not be produced.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The line exceeded the reader's byte cap before a `\n` arrived.
+    Oversize {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The line was not valid UTF-8.
+    InvalidUtf8,
+    /// The stream ended mid-line (no terminating `\n`).
+    Truncated,
+    /// The underlying reader failed (includes socket read timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize { limit } => write!(f, "line exceeds {limit} bytes"),
+            FrameError::InvalidUtf8 => write!(f, "line is not valid utf-8"),
+            FrameError::Truncated => write!(f, "stream ended mid-line"),
+            FrameError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// True when the error is a socket read timeout (idle peer), which the
+    /// server treats as "hang up", not as a protocol violation.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// A buffered line reader with a hard per-line byte cap.
+pub struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes `0..start` of `buf` are already consumed.
+    start: usize,
+    max_line: usize,
+    bytes_read: u64,
+}
+
+impl<R: Read> LineReader<R> {
+    /// Wrap `inner`, capping lines at `max_line` bytes (at least 1).
+    pub fn new(inner: R, max_line: usize) -> Self {
+        Self {
+            inner,
+            buf: Vec::with_capacity(1024),
+            start: 0,
+            max_line: max_line.max(1),
+            bytes_read: 0,
+        }
+    }
+
+    /// Total bytes pulled from the underlying reader so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// The per-line cap.
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Drop consumed bytes so the buffer never grows past one line + one
+    /// read chunk.
+    fn compact(&mut self) {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    fn fill(&mut self) -> Result<usize, FrameError> {
+        self.compact();
+        let mut chunk = [0u8; 4096];
+        let n = self.inner.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        self.bytes_read += n as u64;
+        Ok(n)
+    }
+
+    /// Read one frame. `Ok(None)` is a clean EOF (stream ended exactly on a
+    /// line boundary). After an `Oversize` error the oversized line is still
+    /// buffered/incoming; call [`LineReader::skip_line`] to resynchronize
+    /// (stdin does; the TCP server just closes the connection).
+    pub fn read_line(&mut self) -> Result<Option<String>, FrameError> {
+        loop {
+            if let Some(pos) = self.pending().iter().position(|&b| b == b'\n') {
+                if pos > self.max_line {
+                    return Err(FrameError::Oversize {
+                        limit: self.max_line,
+                    });
+                }
+                let line_start = self.start;
+                let mut end = line_start + pos;
+                self.start = end + 1;
+                if end > line_start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let line = std::str::from_utf8(&self.buf[line_start..end])
+                    .map_err(|_| FrameError::InvalidUtf8)?
+                    .to_string();
+                return Ok(Some(line));
+            }
+            // No newline buffered: refuse to buffer more than the cap.
+            if self.pending().len() > self.max_line {
+                return Err(FrameError::Oversize {
+                    limit: self.max_line,
+                });
+            }
+            if self.fill()? == 0 {
+                if self.pending().is_empty() {
+                    return Ok(None);
+                }
+                return Err(FrameError::Truncated);
+            }
+        }
+    }
+
+    /// Discard bytes up to and including the next `\n`, without buffering
+    /// more than one chunk at a time. Returns `false` on EOF before a
+    /// newline. Memory stays bounded no matter how long the line is.
+    pub fn skip_line(&mut self) -> Result<bool, FrameError> {
+        loop {
+            if let Some(pos) = self.pending().iter().position(|&b| b == b'\n') {
+                self.start += pos + 1;
+                return Ok(true);
+            }
+            self.start += self.pending().len();
+            if self.fill()? == 0 {
+                return Ok(false);
+            }
+        }
+    }
+
+    /// Read exactly `n` more bytes (for sized HTTP bodies), using whatever
+    /// is already buffered first. The caller is responsible for capping `n`.
+    pub fn read_exact_bytes(&mut self, n: usize) -> Result<Vec<u8>, FrameError> {
+        let mut out = Vec::with_capacity(n.min(MAX_LINE_BYTES));
+        while out.len() < n {
+            if self.pending().is_empty() && self.fill()? == 0 {
+                return Err(FrameError::Truncated);
+            }
+            let take = (n - out.len()).min(self.pending().len());
+            out.extend_from_slice(&self.buf[self.start..self.start + take]);
+            self.start += take;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reader(bytes: &[u8], cap: usize) -> LineReader<&[u8]> {
+        LineReader::new(bytes, cap)
+    }
+
+    #[test]
+    fn splits_lines_and_strips_crlf() {
+        let mut r = reader(b"one\r\ntwo\nthree\n", 64);
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("one"));
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("two"));
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("three"));
+        assert!(r.read_line().unwrap().is_none(), "clean EOF");
+        assert_eq!(r.bytes_read(), 15);
+    }
+
+    #[test]
+    fn empty_lines_are_frames() {
+        let mut r = reader(b"\n\nx\n", 8);
+        assert_eq!(r.read_line().unwrap().as_deref(), Some(""));
+        assert_eq!(r.read_line().unwrap().as_deref(), Some(""));
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn oversize_without_newline_never_buffers_past_cap() {
+        let big = vec![b'a'; 1 << 20];
+        let mut r = reader(&big, 128);
+        match r.read_line() {
+            Err(FrameError::Oversize { limit: 128 }) => {}
+            other => panic!("{other:?}"),
+        }
+        // The guard fired after at most cap + one chunk of buffering.
+        assert!(r.buf.capacity() < 128 + 2 * 4096 + 1024);
+    }
+
+    #[test]
+    fn oversize_with_newline_then_skip_resynchronizes() {
+        let mut input = vec![b'x'; 300];
+        input.extend_from_slice(b"\nok\n");
+        let mut r = reader(&input, 64);
+        assert!(matches!(r.read_line(), Err(FrameError::Oversize { .. })));
+        assert!(r.skip_line().unwrap());
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn truncated_and_invalid_utf8_are_distinct_errors() {
+        let mut r = reader(b"no newline", 64);
+        assert!(matches!(r.read_line(), Err(FrameError::Truncated)));
+        let mut r = reader(&[0xFF, 0xFE, b'\n'], 64);
+        assert!(matches!(r.read_line(), Err(FrameError::InvalidUtf8)));
+    }
+
+    #[test]
+    fn read_exact_bytes_spans_buffer_and_stream() {
+        let mut r = reader(b"head\nbody-bytes", 64);
+        assert_eq!(r.read_line().unwrap().as_deref(), Some("head"));
+        assert_eq!(r.read_exact_bytes(10).unwrap(), b"body-bytes");
+        assert!(matches!(r.read_exact_bytes(1), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn timeout_classification() {
+        let to = FrameError::Io(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+        assert!(to.is_timeout());
+        assert!(!FrameError::Truncated.is_timeout());
+    }
+}

@@ -1,0 +1,215 @@
+//! A deliberately minimal HTTP/1.1 server-side implementation.
+//!
+//! Just enough for a Prometheus scraper, a load balancer's health probe and
+//! a JSON client: request line + headers through the same length-capped
+//! [`LineReader`] as the wire protocol, a `Content-Length`-sized body with
+//! its own cap, and `Connection: close` semantics on every response (one
+//! request per connection keeps the server's drain story trivial —
+//! pipelined/keep-alive clients belong on the wire protocol, which is
+//! cheaper anyway).
+
+use crate::frame::{FrameError, LineReader};
+use std::io::Read;
+
+/// Parsed request head plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method verb, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query string).
+    pub path: String,
+    /// Decoded body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// Why an HTTP request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request line, header, or body (HTTP 400).
+    BadRequest(String),
+    /// Declared body exceeds the configured cap (HTTP 413).
+    BodyTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// Transport-level failure (including frame violations).
+    Frame(FrameError),
+}
+
+impl From<FrameError> for HttpError {
+    fn from(e: FrameError) -> Self {
+        HttpError::Frame(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::BodyTooLarge { limit } => write!(f, "body exceeds {limit} bytes"),
+            HttpError::Frame(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Upper bound on header lines per request; a scraper sends a handful.
+const MAX_HEADERS: usize = 64;
+
+/// True when a first request line looks like HTTP rather than the wire
+/// protocol — used by the server to sniff the protocol on a shared port.
+pub fn looks_like_http(first_line: &str) -> bool {
+    first_line.ends_with("HTTP/1.1") || first_line.ends_with("HTTP/1.0")
+}
+
+/// Parse the rest of an HTTP request whose request line (`first_line`) was
+/// already consumed by protocol sniffing. Bodies are capped at `max_body`.
+pub fn read_request<R: Read>(
+    first_line: &str,
+    r: &mut LineReader<R>,
+    max_body: usize,
+) -> Result<HttpRequest, HttpError> {
+    let mut parts = first_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => {
+            return Err(HttpError::BadRequest(
+                "request line is not 'METHOD path HTTP/1.x'".into(),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported version '{version}'"
+        )));
+    }
+    let mut content_length = 0usize;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers".into()));
+        }
+        let line = match r.read_line()? {
+            Some(l) => l,
+            None => return Err(HttpError::Frame(FrameError::Truncated)),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("header without ':': '{line}'")))?;
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadRequest("unparsable content-length".into()))?;
+            if content_length > max_body {
+                return Err(HttpError::BodyTooLarge { limit: max_body });
+            }
+        }
+    }
+    let body = if content_length > 0 {
+        String::from_utf8(r.read_exact_bytes(content_length)?)
+            .map_err(|_| HttpError::BadRequest("body is not valid utf-8".into()))?
+    } else {
+        String::new()
+    };
+    Ok(HttpRequest {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Render a full response with `Connection: close` and a sized body.
+pub fn render_response(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let retry = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n{retry}\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str, max_body: usize) -> Result<HttpRequest, HttpError> {
+        let mut r = LineReader::new(raw.as_bytes(), 1024);
+        let first = r.read_line().unwrap().unwrap();
+        read_request(&first, &mut r, max_body)
+    }
+
+    #[test]
+    fn parses_get_and_post_with_body() {
+        let req = parse("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", 64).unwrap();
+        assert_eq!(
+            (req.method.as_str(), req.path.as_str()),
+            ("GET", "/metrics")
+        );
+        assert!(req.body.is_empty());
+        let req = parse(
+            "POST /estimate HTTP/1.1\r\nContent-Length: 12\r\n\r\n{\"query\": 3}",
+            64,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"query\": 3}");
+    }
+
+    #[test]
+    fn rejects_bad_request_lines_and_oversize_bodies() {
+        assert!(matches!(
+            parse("GET\r\n\r\n", 64),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n", 64),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 64),
+            Err(HttpError::BodyTooLarge { limit: 64 })
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab", 64),
+            Err(HttpError::Frame(FrameError::Truncated))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-header\r\n\r\n", 64),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn sniffs_http_request_lines() {
+        assert!(looks_like_http("GET /metrics HTTP/1.1"));
+        assert!(looks_like_http("POST /estimate HTTP/1.0"));
+        assert!(!looks_like_http("ESTIMATE 3 batch"));
+        assert!(!looks_like_http("PING"));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let r = render_response(200, "text/plain", "ok\n");
+        assert!(r.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 3\r\n"));
+        assert!(r.contains("Connection: close\r\n"));
+        assert!(r.ends_with("\r\n\r\nok\n"));
+        let busy = render_response(503, "application/json", "{}");
+        assert!(busy.contains("Retry-After: 1\r\n"));
+    }
+}

@@ -1,0 +1,45 @@
+//! `cote-net`: the network front-end that puts
+//! [`CoteService`](cote_service::CoteService) on the wire.
+//!
+//! PR 1 built the estimation-and-admission daemon and PR 2 its
+//! observability; both were only reachable in-process or via stdin. This
+//! crate adds the serving stack, `std`-only:
+//!
+//! ```text
+//!            ┌──────────────────────────────────────────────────────┐
+//!  TCP ────▶ │ acceptor ─▶ bounded pending queue ─▶ handler pool    │
+//!            │     │            full → "BUSY connections" + close   │
+//!            │     ▼                                                │
+//!            │ per connection: length-capped frames, protocol sniff │
+//!            │   wire:  PING / ESTIMATE / ADMIT / METRICS           │
+//!            │   http:  GET /metrics | GET /healthz | POST /estimate│
+//!            │ CoteService::submit → OK | BUSY <reason> | ERR       │
+//!            └──────────────────────────────────────────────────────┘
+//! ```
+//!
+//! - [`frame`]: the length-capped line reader every untrusted input goes
+//!   through (including `cote serve`'s stdin loop).
+//! - [`proto`]: the one-line request/response grammar and JSON payloads.
+//! - [`http`]: a minimal HTTP/1.1 parser/printer for scrapers and probes.
+//! - [`server`]: acceptor + bounded handler pool, layered backpressure
+//!   (connection cap here, estimation admission inside the service),
+//!   graceful deadline-bounded drain.
+//! - [`client`]: a blocking wire-protocol client.
+//! - [`bench`]: an open-loop socket load generator over
+//!   `cote_workloads::traffic` schedules.
+
+pub mod bench;
+pub mod client;
+pub mod frame;
+pub mod http;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use bench::{bench_net, NetBenchReport};
+pub use client::{NetClient, NetClientConfig, NetError};
+pub use frame::{FrameError, LineReader, MAX_LINE_BYTES};
+pub use http::{HttpError, HttpRequest};
+pub use metrics::NetMetrics;
+pub use proto::{parse_class, parse_request, WireRequest, WireResponse};
+pub use server::{DrainReport, NetConfig, NetServer};

@@ -1,0 +1,73 @@
+//! Network-layer instruments, registered into the *service's* registry so
+//! one `GET /metrics` scrape (or `METRICS` frame) exposes the whole stack —
+//! admission and estimation counters next to connection and byte counters.
+
+use cote_obs::{Counter, Gauge, LogHistogram, Registry};
+use std::sync::Arc;
+
+/// Every instrument the serving layer records, by name.
+#[derive(Clone)]
+pub struct NetMetrics {
+    /// Connections accepted.
+    pub conns: Arc<Counter>,
+    /// Connections currently open (accepted, not yet closed).
+    pub conns_active: Arc<Gauge>,
+    /// Connections shed at accept with a `BUSY connections` response
+    /// because the handler pool and its backlog were full.
+    pub conns_shed: Arc<Counter>,
+    /// Wire-protocol requests handled.
+    pub requests: Arc<Counter>,
+    /// HTTP requests handled.
+    pub http_requests: Arc<Counter>,
+    /// `BUSY` responses written (admission sheds, drain refusals).
+    pub busy_responses: Arc<Counter>,
+    /// Frames/requests that violated the protocol (oversize, invalid
+    /// UTF-8, truncated, unparsable).
+    pub malformed: Arc<Counter>,
+    /// Bytes read from peers.
+    pub bytes_in: Arc<Counter>,
+    /// Bytes written to peers.
+    pub bytes_out: Arc<Counter>,
+    /// Request latency, first frame byte parsed → response flushed.
+    pub request_latency: Arc<LogHistogram>,
+}
+
+impl NetMetrics {
+    /// Register (or re-attach to) the net instruments in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            conns: registry.counter("cote_net_connections_total"),
+            conns_active: registry.gauge("cote_net_active_connections"),
+            conns_shed: registry.counter("cote_net_connections_shed_total"),
+            requests: registry.counter("cote_net_requests_total"),
+            http_requests: registry.counter("cote_net_http_requests_total"),
+            busy_responses: registry.counter("cote_net_busy_responses_total"),
+            malformed: registry.counter("cote_net_malformed_total"),
+            bytes_in: registry.counter("cote_net_bytes_read_total"),
+            bytes_out: registry.counter("cote_net_bytes_written_total"),
+            request_latency: registry.histogram("cote_net_request_latency_seconds"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_share_the_registry() {
+        let r = Registry::new();
+        let m = NetMetrics::new(&r);
+        m.conns.inc();
+        m.conns_active.add(1);
+        m.bytes_in.add(42);
+        let text = r.prometheus_text();
+        assert!(text.contains("cote_net_connections_total 1"));
+        assert!(text.contains("cote_net_active_connections 1"));
+        assert!(text.contains("cote_net_bytes_read_total 42"));
+        // Re-attaching returns the same instruments.
+        let again = NetMetrics::new(&r);
+        again.conns.inc();
+        assert_eq!(m.conns.get(), 2);
+    }
+}

@@ -1,0 +1,490 @@
+//! The network front-end: one acceptor, a bounded pool of connection
+//! handlers, protocol sniffing (wire frames and HTTP/1.1 share one port),
+//! overload shedding with `BUSY`, and a graceful deadline-bounded drain.
+//!
+//! ```text
+//!  accept ──▶ bounded pending queue ──▶ K handler threads
+//!     │            │ full?                   │ per connection:
+//!     │            └──▶ "BUSY connections"   │   sniff wire|HTTP
+//!     │                 + close (shed)       │   parse (length-capped)
+//!     │                                      │   CoteService::submit
+//!     └─ stops at drain                      │   OK / BUSY / ERR
+//! ```
+//!
+//! Backpressure is layered: the pending-connection queue bounds *sockets*
+//! (excess gets a protocol-level `BUSY connections`, never an unbounded
+//! accept backlog), and the existing [`AdmissionController`] inside
+//! [`CoteService`] bounds *estimation work* (its sheds surface as
+//! `BUSY <reason>` frames / HTTP 503). Shutdown stops the acceptor, answers
+//! queued connections with `BUSY draining`, lets in-flight requests finish
+//! until the drain deadline, then force-closes stragglers so the process
+//! can always exit.
+//!
+//! [`AdmissionController`]: cote_service::AdmissionController
+
+use crate::frame::{FrameError, LineReader, MAX_LINE_BYTES};
+use crate::http::{self, HttpError, HttpRequest};
+use crate::metrics::NetMetrics;
+use crate::proto::{self, WireRequest, WireResponse};
+use cote_obs::{phase, Span};
+use cote_query::Query;
+use cote_service::{BoundedQueue, CoteService, QueryClass};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-layer knobs. `Default` suits tests and laptops; the connection
+/// bound (`handlers + pending_conns`) is the knob a deployment sizes.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Connection-handler threads (concurrently served connections).
+    pub handlers: usize,
+    /// Accepted connections waiting for a handler; beyond this, accept
+    /// sheds with `BUSY connections`.
+    pub pending_conns: usize,
+    /// Per-line byte cap for wire frames and HTTP header lines.
+    pub max_line_bytes: usize,
+    /// HTTP body cap (`Content-Length` beyond this is 413).
+    pub max_body_bytes: usize,
+    /// Socket read timeout; an idle connection is closed after this.
+    pub read_timeout: Duration,
+    /// Socket write timeout; a peer that won't read is disconnected.
+    pub write_timeout: Duration,
+    /// How long shutdown waits for in-flight connections before
+    /// force-closing them.
+    pub drain_deadline: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            handlers: 4,
+            pending_conns: 64,
+            max_line_bytes: MAX_LINE_BYTES,
+            max_body_bytes: MAX_LINE_BYTES,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What shutdown observed while draining.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// True when every connection finished before the deadline.
+    pub drained_cleanly: bool,
+    /// Connections force-closed at the deadline.
+    pub forced_connections: usize,
+    /// Time spent waiting for the drain.
+    pub waited: Duration,
+}
+
+impl DrainReport {
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        if self.drained_cleanly {
+            format!("drained cleanly in {:?}", self.waited)
+        } else {
+            format!(
+                "drain deadline hit after {:?}: force-closed {} connection(s)",
+                self.waited, self.forced_connections
+            )
+        }
+    }
+}
+
+struct Shared {
+    svc: Arc<CoteService>,
+    queries: Arc<Vec<Query>>,
+    cfg: NetConfig,
+    pending: BoundedQueue<TcpStream>,
+    draining: AtomicBool,
+    metrics: NetMetrics,
+    /// Write-half clones of open connections, for force-close at the drain
+    /// deadline. Touched once per connection open/close — off the hot path.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn open_conns(&self) -> usize {
+        self.conns.lock().unwrap().len()
+    }
+}
+
+/// A running network front-end over one [`CoteService`].
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Serve `svc` on `listener`. `queries` is the workload the wire
+    /// protocol's 1-based indices refer to.
+    pub fn start(
+        svc: Arc<CoteService>,
+        queries: Arc<Vec<Query>>,
+        listener: TcpListener,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let local_addr = listener.local_addr()?;
+        let handlers = cfg.handlers.max(1);
+        let shared = Arc::new(Shared {
+            metrics: NetMetrics::new(svc.metrics().registry()),
+            pending: BoundedQueue::new(cfg.pending_conns.max(1)),
+            svc,
+            queries,
+            cfg,
+            draining: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let handler_threads = (0..handlers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cote-net-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = shared.pending.pop() {
+                            handle_conn(&shared, stream);
+                        }
+                    })
+                    .expect("spawn net handler")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("cote-net-accept".into())
+                .spawn(move || accept_loop(&shared, &listener))
+                .expect("spawn net acceptor")
+        };
+        Ok(NetServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            handlers: handler_threads,
+        })
+    }
+
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and serve.
+    pub fn bind(
+        svc: Arc<CoteService>,
+        queries: Arc<Vec<Query>>,
+        addr: &str,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        NetServer::start(svc, queries, TcpListener::bind(addr)?, cfg)
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Network-layer instruments (shared with the service registry).
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.shared.metrics
+    }
+
+    /// Connections currently open.
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_conns()
+    }
+
+    /// Graceful shutdown: stop accepting, answer queued connections with
+    /// `BUSY draining`, wait for in-flight connections up to the configured
+    /// drain deadline, force-close the rest, and join every thread.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Release);
+        // Unblock the acceptor with a loopback connection; if that fails
+        // (firewalled 0.0.0.0 bind, exotic setups) fall back on its accept
+        // loop noticing the flag at the next real connection.
+        let wake_ip = match self.local_addr.ip() {
+            ip if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+            ip => ip,
+        };
+        let wake = SocketAddr::new(wake_ip, self.local_addr.port());
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(250));
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        // Handlers drain the queue (answering `BUSY draining`), then exit.
+        self.shared.pending.close();
+
+        let deadline = self.shared.cfg.drain_deadline;
+        let start = Instant::now();
+        let drained = loop {
+            if self.shared.open_conns() == 0 && self.shared.pending.is_empty() {
+                break true;
+            }
+            if start.elapsed() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        };
+        let mut forced = 0usize;
+        if !drained {
+            for (_, stream) in self.shared.conns.lock().unwrap().drain() {
+                let _ = stream.shutdown(Shutdown::Both);
+                forced += 1;
+            }
+        }
+        for h in self.handlers.drain(..) {
+            let _ = h.join();
+        }
+        DrainReport {
+            drained_cleanly: drained,
+            forced_connections: forced,
+            waited: start.elapsed(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.handlers.is_empty() {
+            let _ = self.shutdown_impl();
+        }
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener) {
+    for incoming in listener.incoming() {
+        if shared.draining() {
+            return; // wake-up (or racing) connection: drop it, stop accepting
+        }
+        let stream = match incoming {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.conns.inc();
+        let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+        let _ = stream.set_nodelay(true);
+        if let Err((mut stream, _)) = shared.pending.try_push(stream) {
+            // Pool and backlog full: protocol-level shed, never an
+            // unbounded accept queue.
+            shared.metrics.conns_shed.inc();
+            let line = WireResponse::Busy("connections".into()).render();
+            if stream.write_all(line.as_bytes()).is_ok() {
+                shared.metrics.bytes_out.add(line.len() as u64);
+            }
+        }
+    }
+}
+
+/// Serve one connection until EOF, error, idle timeout, or drain.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let mut span = Span::enter(phase::NET_CONN);
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().unwrap().insert(conn_id, clone);
+    }
+    shared.metrics.conns_active.add(1);
+
+    let mut writer = stream.try_clone();
+    let mut reader = LineReader::new(&stream, shared.cfg.max_line_bytes);
+    let mut requests = 0u64;
+    if let Ok(writer) = writer.as_mut() {
+        requests = conn_loop(shared, &mut reader, writer);
+    }
+    span.record("requests", requests);
+    span.close();
+
+    shared.metrics.bytes_in.add(reader.bytes_read());
+    shared.metrics.conns_active.add(-1);
+    shared.conns.lock().unwrap().remove(&conn_id);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The per-connection request loop; returns how many requests it served.
+fn conn_loop(shared: &Shared, reader: &mut LineReader<&TcpStream>, writer: &mut TcpStream) -> u64 {
+    let mut served = 0u64;
+    loop {
+        // A connection popped (or parked) during drain gets a protocol
+        // answer rather than a silent close.
+        if shared.draining() {
+            shared.metrics.busy_responses.inc();
+            write_out(
+                shared,
+                writer,
+                &WireResponse::Busy("draining".into()).render(),
+            );
+            return served;
+        }
+        let line = match reader.read_line() {
+            Ok(Some(line)) => line,
+            Ok(None) => return served, // clean EOF
+            Err(e) => {
+                match &e {
+                    FrameError::Oversize { limit } => {
+                        shared.metrics.malformed.inc();
+                        let msg = WireResponse::Err(format!("line exceeds {limit} bytes")).render();
+                        write_out(shared, writer, &msg);
+                    }
+                    FrameError::InvalidUtf8 => {
+                        shared.metrics.malformed.inc();
+                        write_out(
+                            shared,
+                            writer,
+                            &WireResponse::Err("invalid utf-8".into()).render(),
+                        );
+                    }
+                    FrameError::Truncated => shared.metrics.malformed.inc(),
+                    FrameError::Io(_) => {} // timeout or peer reset: just close
+                }
+                return served;
+            }
+        };
+        if line.is_empty() {
+            continue; // tolerate blank lines between frames
+        }
+        served += 1;
+        let mut span = Span::enter(phase::NET_REQUEST);
+        let t0 = Instant::now();
+        if http::looks_like_http(&line) {
+            span.record("http", 1);
+            shared.metrics.http_requests.inc();
+            let response = http_response(shared, &line, reader);
+            write_out(shared, writer, &response);
+            shared.metrics.request_latency.record(t0.elapsed());
+            span.close();
+            return served; // Connection: close semantics
+        }
+        span.record("http", 0);
+        shared.metrics.requests.inc();
+        let response = wire_response(shared, &line);
+        if matches!(response, WireResponse::Busy(_)) {
+            shared.metrics.busy_responses.inc();
+        }
+        write_out(shared, writer, &response.render());
+        shared.metrics.request_latency.record(t0.elapsed());
+        span.close();
+    }
+}
+
+fn write_out(shared: &Shared, writer: &mut TcpStream, payload: &str) {
+    if writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok() {
+        shared.metrics.bytes_out.add(payload.len() as u64);
+    }
+}
+
+/// Resolve a wire index/class pair against the served workload and submit.
+fn submit(shared: &Shared, index: usize, class: Option<QueryClass>, full: bool) -> WireResponse {
+    let n = shared.queries.len();
+    if index == 0 || index > n {
+        return WireResponse::Err(format!("query index out of range (1..={n})"));
+    }
+    let query = &shared.queries[index - 1];
+    let class = class.unwrap_or_else(|| QueryClass::from_table_count(query.total_tables()));
+    let resp = shared.svc.submit(query, class);
+    proto::decision_response(&query.name, &resp, full)
+}
+
+fn wire_response(shared: &Shared, line: &str) -> WireResponse {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.malformed.inc();
+            return WireResponse::Err(e);
+        }
+    };
+    match req {
+        WireRequest::Ping => WireResponse::Ok("pong".into()),
+        WireRequest::Metrics => WireResponse::Ok(shared.svc.metrics().json()),
+        WireRequest::Estimate { index, class } => submit(shared, index, class, true),
+        WireRequest::Admit { index, class } => submit(shared, index, class, false),
+    }
+}
+
+fn http_response(shared: &Shared, first_line: &str, reader: &mut LineReader<&TcpStream>) -> String {
+    let req = match http::read_request(first_line, reader, shared.cfg.max_body_bytes) {
+        Ok(r) => r,
+        Err(HttpError::BodyTooLarge { limit }) => {
+            shared.metrics.malformed.inc();
+            return http::render_response(
+                413,
+                "text/plain",
+                &format!("body exceeds {limit} bytes\n"),
+            );
+        }
+        Err(e) => {
+            shared.metrics.malformed.inc();
+            return http::render_response(400, "text/plain", &format!("{e}\n"));
+        }
+    };
+    route_http(shared, &req)
+}
+
+fn route_http(shared: &Shared, req: &HttpRequest) -> String {
+    let path = req.path.split('?').next().unwrap_or("");
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => http::render_response(200, "text/plain", "ok\n"),
+        ("GET", "/metrics") => http::render_response(
+            200,
+            "text/plain; version=0.0.4",
+            &shared.svc.metrics().prometheus_text(),
+        ),
+        ("POST", "/estimate") => {
+            let index = match proto::json_extract_u64(&req.body, "query") {
+                Some(i) => i as usize,
+                None => {
+                    return http::render_response(
+                        400,
+                        "application/json",
+                        "{\"status\":\"error\",\"error\":\"body needs {\\\"query\\\":N}\"}",
+                    )
+                }
+            };
+            let class = match req.body.contains("\"class\"") {
+                true => {
+                    match proto::json_extract_str(&req.body, "class").and_then(proto::parse_class) {
+                        Some(c) => Some(c),
+                        None => {
+                            return http::render_response(
+                                400,
+                                "application/json",
+                                "{\"status\":\"error\",\"error\":\"unknown class\"}",
+                            )
+                        }
+                    }
+                }
+                false => None,
+            };
+            match submit(shared, index, class, true) {
+                WireResponse::Ok(json) => http::render_response(200, "application/json", &json),
+                WireResponse::Busy(reason) => http::render_response(
+                    503,
+                    "application/json",
+                    &format!("{{\"status\":\"busy\",\"reason\":\"{reason}\"}}"),
+                ),
+                WireResponse::Err(msg) => http::render_response(
+                    400,
+                    "application/json",
+                    &format!(
+                        "{{\"status\":\"error\",\"error\":\"{}\"}}",
+                        proto::json_escape(&msg)
+                    ),
+                ),
+            }
+        }
+        ("GET", _) => http::render_response(404, "text/plain", "not found\n"),
+        _ => http::render_response(405, "text/plain", "method not allowed\n"),
+    }
+}

@@ -1,0 +1,370 @@
+//! End-to-end tests over real loopback sockets: concurrent clients get the
+//! same answers a serial [`CoteService`] gives, overload sheds with `BUSY`
+//! instead of hanging, malformed frames are answered (or closed on)
+//! deterministically, and shutdown drains with the queue-depth gauge back
+//! at zero.
+
+use cote::{Cote, TimeModel};
+use cote_catalog::{Catalog, ColumnDef, TableDef};
+use cote_common::{ColRef, TableId, TableRef};
+use cote_net::proto::json_extract_str;
+use cote_net::{NetClient, NetClientConfig, NetConfig, NetServer, WireRequest, WireResponse};
+use cote_optimizer::{Mode, OptimizerConfig};
+use cote_query::{Query, QueryBlockBuilder};
+use cote_service::{CoteService, Decision, QueryClass, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fixture() -> (Catalog, Vec<Query>) {
+    let mut b = Catalog::builder();
+    for i in 0..6 {
+        b.add_table(TableDef::new(
+            format!("t{i}"),
+            1000.0 + 100.0 * i as f64,
+            vec![
+                ColumnDef::uniform("c0", 1000.0, 1000.0),
+                ColumnDef::uniform("c1", 1000.0, 25.0),
+            ],
+        ));
+    }
+    let cat = b.build().unwrap();
+    let queries = (2..=6)
+        .map(|n| {
+            let mut qb = QueryBlockBuilder::new();
+            for i in 0..n {
+                qb.add_table(TableId(i));
+            }
+            for i in 0..n - 1 {
+                qb.join(
+                    ColRef::new(TableRef(i as u8), 0),
+                    ColRef::new(TableRef(i as u8 + 1), 0),
+                );
+            }
+            Query::new(format!("chain{n}"), qb.build(&cat).unwrap())
+        })
+        .collect();
+    (cat, queries)
+}
+
+fn cote() -> Cote {
+    Cote::new(
+        OptimizerConfig::high(Mode::Serial),
+        TimeModel {
+            c_nljn: 1e-6,
+            c_mgjn: 1e-6,
+            c_hsjn: 1e-6,
+            intercept: 0.0,
+        },
+    )
+}
+
+fn service(cfg: ServiceConfig) -> (Arc<CoteService>, Arc<Vec<Query>>) {
+    let (cat, queries) = fixture();
+    (
+        Arc::new(CoteService::start(cat, cote(), cfg)),
+        Arc::new(queries),
+    )
+}
+
+fn small_cfg() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        shards: 4,
+        cache_capacity: 64,
+        queue_capacity: 64,
+        max_inflight: 0,
+        degrade_queue_depth: 64,
+        deadline: Duration::from_secs(5),
+        ..Default::default()
+    }
+}
+
+fn quick_client_cfg() -> NetClientConfig {
+    NetClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        ..Default::default()
+    }
+}
+
+/// Assert a service has fully drained and its queue-depth gauge is back to
+/// zero — the accounting invariant every test ends on.
+fn assert_gauge_drained(svc: &CoteService) {
+    assert!(svc.drain(Duration::from_secs(10)), "service did not drain");
+    assert_eq!(
+        svc.metrics().queue_depth.get(),
+        0,
+        "queue-depth gauge leaked"
+    );
+}
+
+#[test]
+fn concurrent_clients_match_serial_service_answers() {
+    let (svc, queries) = service(small_cfg());
+
+    // Ground truth: what the service answers serially, in-process.
+    let expected: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let class = QueryClass::from_table_count(q.total_tables());
+            match svc.submit(q, class).decision {
+                Decision::Admitted { advice, .. } => advice.choice.label(),
+                other => panic!("serial submit not admitted: {other:?}"),
+            }
+        })
+        .collect();
+
+    let server = NetServer::bind(
+        Arc::clone(&svc),
+        Arc::clone(&queries),
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    std::thread::scope(|scope| {
+        for _ in 0..CLIENTS {
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = NetClient::connect_with(addr, &quick_client_cfg()).unwrap();
+                client.ping().unwrap();
+                for _ in 0..ROUNDS {
+                    for (i, want) in expected.iter().enumerate() {
+                        let resp = client.estimate(i + 1, None).unwrap();
+                        let payload = match resp {
+                            WireResponse::Ok(p) => p,
+                            other => panic!("ESTIMATE {}: {other:?}", i + 1),
+                        };
+                        assert_eq!(
+                            json_extract_str(&payload, "choice"),
+                            Some(want.as_str()),
+                            "wire answer diverged from serial answer: {payload}"
+                        );
+                        assert_eq!(json_extract_str(&payload, "status"), Some("ok"));
+                    }
+                }
+            });
+        }
+    });
+
+    let served = server.metrics().requests.get();
+    assert_eq!(
+        served as usize,
+        CLIENTS * (1 + ROUNDS * expected.len()),
+        "every request got exactly one response"
+    );
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_eq!(report.forced_connections, 0);
+    assert_gauge_drained(&svc);
+}
+
+#[test]
+fn overload_sheds_busy_and_never_hangs() {
+    let (svc, queries) = service(small_cfg());
+    let cfg = NetConfig {
+        handlers: 1,
+        pending_conns: 1,
+        read_timeout: Duration::from_secs(2),
+        drain_deadline: Duration::from_millis(300),
+        ..Default::default()
+    };
+    let server = NetServer::bind(Arc::clone(&svc), queries, "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let ccfg = quick_client_cfg();
+
+    // Occupy the only handler: a full round-trip guarantees the handler
+    // thread picked this connection up before the next ones arrive.
+    let mut held = NetClient::connect_with(addr, &ccfg).unwrap();
+    held.ping().unwrap();
+    // Fill the single pending slot (accepted, never served).
+    let parked = NetClient::connect_with(addr, &ccfg).unwrap();
+
+    // Every further connection must be shed with a protocol-level BUSY,
+    // within the client's read timeout — never a hang.
+    for _ in 0..3 {
+        let mut extra = NetClient::connect_with(addr, &ccfg).unwrap();
+        let t0 = Instant::now();
+        match extra.recv() {
+            Ok(WireResponse::Busy(reason)) => assert_eq!(reason, "connections"),
+            other => panic!("expected BUSY connections, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(2), "shed was not prompt");
+    }
+    assert!(server.metrics().conns_shed.get() >= 3);
+
+    // The held connection still works: shedding never breaks served peers.
+    held.ping().unwrap();
+
+    drop(held);
+    drop(parked);
+    let report = server.shutdown();
+    assert_eq!(report.forced_connections, 0, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}
+
+#[test]
+fn malformed_frames_get_err_or_close_never_hang() {
+    let (svc, queries) = service(small_cfg());
+    let cfg = NetConfig {
+        max_line_bytes: 256,
+        read_timeout: Duration::from_secs(2),
+        ..Default::default()
+    };
+    let server = NetServer::bind(Arc::clone(&svc), queries, "127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr();
+    let ccfg = quick_client_cfg();
+
+    // Unknown verb and out-of-range index: ERR, connection stays usable.
+    let mut c = NetClient::connect_with(addr, &ccfg).unwrap();
+    c.send_raw("FROB 1").unwrap();
+    assert!(matches!(c.recv(), Ok(WireResponse::Err(_))));
+    match c.estimate(999, None) {
+        Ok(WireResponse::Err(msg)) => assert!(msg.contains("out of range"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    c.ping().unwrap();
+
+    // Oversize line: ERR naming the cap, then the server closes.
+    let mut c = NetClient::connect_with(addr, &ccfg).unwrap();
+    c.send_raw(&"a".repeat(1000)).unwrap();
+    match c.recv() {
+        Ok(WireResponse::Err(msg)) => assert!(msg.contains("exceeds 256"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    assert!(c.recv().is_err(), "server closes after an oversize frame");
+
+    // Invalid UTF-8: ERR, then close (raw socket — the client only sends str).
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(&[0xFF, 0xFE, b'\n']).unwrap();
+    let mut resp = String::new();
+    raw.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("ERR"), "{resp:?}");
+
+    // Truncated frame (EOF before the newline): silent close, no response.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"PING").unwrap();
+    raw.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut buf = Vec::new();
+    raw.read_to_end(&mut buf).unwrap();
+    assert!(buf.is_empty(), "truncated frames get no response: {buf:?}");
+
+    assert!(server.metrics().malformed.get() >= 4);
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (svc, queries) = service(small_cfg());
+    let server = NetServer::bind(
+        Arc::clone(&svc),
+        queries,
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .unwrap();
+    let mut c = NetClient::connect_with(server.local_addr(), &quick_client_cfg()).unwrap();
+
+    // Write four frames back-to-back, then read four responses: one
+    // response per request, in request order.
+    c.send(&WireRequest::Ping).unwrap();
+    c.send(&WireRequest::Estimate {
+        index: 1,
+        class: Some(QueryClass::Batch),
+    })
+    .unwrap();
+    c.send(&WireRequest::Metrics).unwrap();
+    c.send(&WireRequest::Ping).unwrap();
+
+    assert_eq!(c.recv().unwrap(), WireResponse::Ok("pong".into()));
+    match c.recv().unwrap() {
+        WireResponse::Ok(p) => {
+            assert_eq!(json_extract_str(&p, "query"), Some("chain2"), "{p}")
+        }
+        other => panic!("{other:?}"),
+    }
+    match c.recv().unwrap() {
+        WireResponse::Ok(p) => assert!(p.starts_with('{'), "METRICS returns JSON: {p}"),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(c.recv().unwrap(), WireResponse::Ok("pong".into()));
+
+    drop(c);
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}
+
+/// One HTTP exchange on a fresh connection (`Connection: close` semantics).
+fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(request.as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn http_endpoints_share_the_port() {
+    let (svc, queries) = service(small_cfg());
+    let server = NetServer::bind(
+        Arc::clone(&svc),
+        queries,
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let health = http_exchange(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    let metrics = http_exchange(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+    assert!(
+        metrics.contains("cote_net_connections_total"),
+        "net instruments in the scrape: {metrics}"
+    );
+    assert!(
+        metrics.contains("cote_service_queue_depth"),
+        "service instruments in the same scrape: {metrics}"
+    );
+
+    let body = "{\"query\":1,\"class\":\"batch\"}";
+    let est = http_exchange(
+        addr,
+        &format!(
+            "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(est.starts_with("HTTP/1.1 200 OK\r\n"), "{est}");
+    assert!(est.contains("\"status\":\"ok\""), "{est}");
+    assert!(est.contains("\"levels\":["), "{est}");
+
+    let missing = http_exchange(addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.1 404 "), "{missing}");
+    let bad_method = http_exchange(addr, "DELETE /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(bad_method.starts_with("HTTP/1.1 405 "), "{bad_method}");
+    let bad_body = http_exchange(
+        addr,
+        "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}",
+    );
+    assert!(bad_body.starts_with("HTTP/1.1 400 "), "{bad_body}");
+
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}

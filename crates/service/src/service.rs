@@ -147,7 +147,13 @@ impl CoteService {
             degraded,
             reply: tx,
         };
+        // Gauge before push: a worker may pop (and decrement) the instant
+        // the push lands, so incrementing afterwards could transiently read
+        // negative. This ordering keeps the gauge ≥ true depth and always
+        // back to zero once the queue empties.
+        inner.metrics.queue_depth.add(1);
         if let Err((_, e)) = inner.queue.try_push(job) {
+            inner.metrics.queue_depth.add(-1);
             inner.admission.release();
             let reason = match e {
                 PushError::Full => {
@@ -158,7 +164,6 @@ impl CoteService {
             };
             return self.respond_shed(start, reason);
         }
-        inner.metrics.queue_depth.add(1);
 
         // Workers always answer each accepted job; the timeout is a
         // last-resort guard against a panicked worker.
@@ -204,6 +209,34 @@ impl CoteService {
     /// Worker threads serving the queue.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Jobs currently sitting in the worker queue.
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+
+    /// Requests queued or being estimated right now.
+    pub fn inflight(&self) -> usize {
+        self.inner.admission.inflight()
+    }
+
+    /// Wait (polling) until every accepted request has been answered —
+    /// queue empty and nothing in flight — or `deadline` passes. Returns
+    /// `true` when fully drained. Front-ends call this before dropping the
+    /// service so a shutdown dump reflects a quiesced system; dropping
+    /// without draining is still safe (workers answer queued jobs).
+    pub fn drain(&self, deadline: Duration) -> bool {
+        let give_up = Instant::now() + deadline;
+        loop {
+            if self.queue_len() == 0 && self.inflight() == 0 {
+                return true;
+            }
+            if Instant::now() >= give_up {
+                return self.queue_len() == 0 && self.inflight() == 0;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
     }
 
     /// Full text report: metrics plus advisor decisions.
@@ -426,6 +459,32 @@ mod tests {
         }
         assert_eq!(svc.metrics().shed_expired.get(), 1);
         assert_eq!(svc.metrics().shed_total(), 1);
+    }
+
+    #[test]
+    fn queue_depth_gauge_returns_to_zero_on_every_path() {
+        let (cat, queries) = setup();
+        // Zero deadline: every queued job is shed at dequeue; tiny queue so
+        // the queue-full path also fires under concurrent submitters.
+        let cfg = ServiceConfig {
+            deadline: Duration::ZERO,
+            queue_capacity: 2,
+            ..small_cfg()
+        };
+        let svc = CoteService::start(cat, cote(), cfg);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for q in &queries {
+                        let _ = svc.submit(q, QueryClass::Interactive);
+                    }
+                });
+            }
+        });
+        assert!(svc.drain(Duration::from_secs(5)), "drains after load");
+        assert_eq!(svc.metrics().queue_depth.get(), 0, "gauge leaks");
+        assert_eq!(svc.inflight(), 0);
+        assert_eq!(svc.queue_len(), 0);
     }
 
     #[test]
