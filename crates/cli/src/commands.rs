@@ -2,7 +2,7 @@
 
 use cote::{calibrate_per_phase, forecast_workload, Cote, MetaOptimizer, MopChoice};
 use cote_common::{CoteError, Result};
-use cote_optimizer::{JoinMethod, Optimizer, OptimizerConfig};
+use cote_optimizer::{JoinMethod, Mode, Optimizer, OptimizerConfig};
 use cote_query::to_sql;
 use cote_workloads::{by_name, Workload, ALL_WORKLOADS};
 
@@ -38,6 +38,12 @@ USAGE:
                                       open-loop benchmark over real TCP
                                       sockets (self-hosts a server unless
                                       --addr targets a running one)
+  cote bench-par [--tables N] [--threads A,B,..] [--repeat R]
+                                      intra-query parallel enumeration bench:
+                                      optimize an N-table star (default 12)
+                                      serially and at each thread count,
+                                      verify identical plans/cost, report
+                                      speedups
 
 Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
 or -p (parallel), e.g. `cote estimate star-s 3`.
@@ -303,6 +309,144 @@ pub fn mop(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// `cote bench-par [--tables N] [--threads A,B,..] [--repeat R]` — optimize
+/// one N-table star query serially and with intra-query parallel enumeration
+/// at each requested thread count, check the results are identical, and
+/// report wall-clock speedups. Honest numbers: on a single-core machine the
+/// parallel runs will not be faster.
+pub fn bench_par(args: &[String]) -> Result<()> {
+    let mut tables = 12usize;
+    let mut threads = vec![2usize, 4, 8];
+    let mut repeat = 3usize;
+    let mut it = args.iter();
+    let bad = |flag: &str, v: &str| CoteError::InvalidQuery {
+        reason: format!("{flag}: cannot parse '{v}'"),
+    };
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CoteError::InvalidQuery {
+                reason: format!("{flag} needs a value"),
+            })
+        };
+        match a.as_str() {
+            "--tables" => {
+                let v = val("--tables")?;
+                tables = v.parse().map_err(|_| bad("--tables", &v))?;
+            }
+            "--threads" => {
+                let v = val("--threads")?;
+                threads = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|_| bad("--threads", s)))
+                    .collect::<Result<_>>()?;
+            }
+            "--repeat" => {
+                let v = val("--repeat")?;
+                repeat = v.parse::<usize>().map_err(|_| bad("--repeat", &v))?.max(1);
+            }
+            other => {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("bench-par: unknown flag '{other}'"),
+                });
+            }
+        }
+    }
+    if tables < 2 {
+        return Err(CoteError::InvalidQuery {
+            reason: "--tables must be at least 2".into(),
+        });
+    }
+
+    let (cat, q) = star_query(tables);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("bench-par: {tables}-table star, {repeat} repeats, {cores} cores available");
+
+    let run = |nthreads: usize| -> Result<(f64, u64, u64, f64)> {
+        let cfg = OptimizerConfig::high(Mode::Serial).with_enum_threads(nthreads);
+        let optimizer = Optimizer::new(cfg);
+        let mut best_secs = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..repeat {
+            let started = std::time::Instant::now();
+            let r = optimizer.optimize_query(&cat, &q)?;
+            best_secs = best_secs.min(started.elapsed().as_secs_f64());
+            out = Some(r);
+        }
+        let r = out.expect("repeat >= 1");
+        Ok((
+            best_secs,
+            r.stats.plans_generated.total(),
+            r.stats.pairs_enumerated,
+            r.best_cost(),
+        ))
+    };
+
+    let (serial_secs, serial_plans, serial_pairs, serial_cost) = run(1)?;
+    println!(
+        "{:>7} {:>12} {:>12} {:>12} {:>9}",
+        "threads", "time", "plans", "pairs", "speedup"
+    );
+    println!(
+        "{:>7} {:>10.3}ms {:>12} {:>12} {:>9}",
+        1,
+        serial_secs * 1e3,
+        serial_plans,
+        serial_pairs,
+        "1.00x"
+    );
+    for &t in &threads {
+        let (secs, plans, pairs, cost) = run(t)?;
+        if (plans, pairs) != (serial_plans, serial_pairs) || cost != serial_cost {
+            return Err(CoteError::InvalidQuery {
+                reason: format!(
+                    "divergence at {t} threads: plans {plans} vs {serial_plans}, \
+                     pairs {pairs} vs {serial_pairs}, cost {cost} vs {serial_cost}"
+                ),
+            });
+        }
+        println!(
+            "{:>7} {:>10.3}ms {:>12} {:>12} {:>8.2}x",
+            t,
+            secs * 1e3,
+            plans,
+            pairs,
+            serial_secs / secs
+        );
+    }
+    println!("all thread counts produced identical plan counts and best cost");
+    Ok(())
+}
+
+/// An n-table star: t0 is the hub, every satellite joins it on c0.
+fn star_query(n: usize) -> (cote_catalog::Catalog, cote_query::Query) {
+    use cote_catalog::{ColumnDef, TableDef};
+    use cote_common::{ColRef, TableId, TableRef};
+    let mut b = cote_catalog::Catalog::builder();
+    for i in 0..n {
+        b.add_table(TableDef::new(
+            format!("t{i}"),
+            (1000 + 100 * i) as f64,
+            vec![
+                ColumnDef::uniform("c0", (1000 + 100 * i) as f64, 100.0),
+                ColumnDef::uniform("c1", (1000 + 100 * i) as f64, 10.0),
+            ],
+        ));
+    }
+    let cat = b.build().expect("star catalog");
+    let mut qb = cote_query::QueryBlockBuilder::new();
+    for i in 0..n {
+        qb.add_table(TableId(i as u32));
+    }
+    for i in 1..n {
+        qb.join(
+            ColRef::new(TableRef(0), 0),
+            ColRef::new(TableRef(i as u8), 0),
+        );
+    }
+    let block = qb.build(&cat).expect("star block");
+    (cat, cote_query::Query::new("bench-par-star", block))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +495,21 @@ mod tests {
         let runs = cote_obs::global().counter("estimator_runs_total");
         assert!(runs.get() >= 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_par_small_star_agrees_across_thread_counts() {
+        let args: Vec<String> = vec![
+            "--tables".into(),
+            "6".into(),
+            "--threads".into(),
+            "2,3".into(),
+            "--repeat".into(),
+            "1".into(),
+        ];
+        bench_par(&args).unwrap();
+        assert!(bench_par(&["--tables".into(), "1".into()]).is_err());
+        assert!(bench_par(&["--bogus".into()]).is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! cote serve <workload> [--listen ADDR]     estimation daemon (stdin + TCP/HTTP)
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
 //! cote bench-net --workload W --rps R       open-loop benchmark over TCP sockets
+//! cote bench-par [--tables N] [--threads A,B] parallel-enumeration speedup bench
 //! ```
 
 mod commands;
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         Some("serve") => serve::serve(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),
         Some("bench-net") => serve::bench_net(&args[1..]),
+        Some("bench-par") => commands::bench_par(&args[1..]),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

@@ -26,7 +26,8 @@ use cote_obs::{phase, Counter, Span, Stopwatch};
 use cote_optimizer::cardinality::SimpleCardinality;
 use cote_optimizer::context::OptContext;
 use cote_optimizer::enumerator::{enumerate, JoinSite, JoinVisitor};
-use cote_optimizer::memo::{EntryId, Memo, MemoEntry};
+use cote_optimizer::memo::{EntryId, MemoEntry, MemoStore};
+use cote_optimizer::par::{enumerate_par, ParallelJoinVisitor};
 use cote_optimizer::properties::order::{is_interesting, Ordering};
 use cote_optimizer::properties::partition::{is_interesting_partition, PartitionVal};
 use cote_optimizer::{OptimizerConfig, PerMethod};
@@ -253,7 +254,12 @@ impl JoinVisitor for PlanEstimator<'_> {
         PropLists::default()
     }
 
-    fn on_join(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<PropLists>, site: &JoinSite) {
+    fn on_join<M: MemoStore<PropLists>>(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut M,
+        site: &JoinSite,
+    ) {
         use cote_optimizer::JoinMethod::{Hsjn, Mgjn, Nljn};
         let parallel = ctx.config.parallel();
         let methods = ctx.config.join_methods;
@@ -408,7 +414,49 @@ impl JoinVisitor for PlanEstimator<'_> {
         }
     }
 
-    fn finish_entry(&mut self, _ctx: &OptContext<'_>, _memo: &mut Memo<PropLists>, _id: EntryId) {}
+    fn finish_entry<M: MemoStore<PropLists>>(
+        &mut self,
+        _ctx: &OptContext<'_>,
+        _memo: &mut M,
+        _id: EntryId,
+    ) {
+    }
+}
+
+impl<'o> ParallelJoinVisitor for PlanEstimator<'o> {
+    type Worker = PlanEstimator<'o>;
+
+    fn fork_level(&mut self, workers: usize) -> Vec<PlanEstimator<'o>> {
+        (0..workers)
+            .map(|_| {
+                let n = self.levels.len();
+                PlanEstimator {
+                    opts: self.opts,
+                    levels: self.levels.clone(),
+                    level_counts: vec![PerMethod::default(); n],
+                    compound_counts: PerMethod::default(),
+                    // Per-entry state: every joined entry's orientations are
+                    // enumerated within one mask, so a worker-local set gives
+                    // the same first-join answers as the serial walk.
+                    propagated: FxHashSet::default(),
+                    scan_est: 0,
+                    sort_est: 0,
+                }
+            })
+            .collect()
+    }
+
+    fn absorb_level(&mut self, workers: Vec<PlanEstimator<'o>>) {
+        for w in workers {
+            for (a, b) in self.level_counts.iter_mut().zip(&w.level_counts) {
+                a.add(b);
+            }
+            self.compound_counts.add(&w.compound_counts);
+            self.scan_est += w.scan_est;
+            self.sort_est += w.sort_est;
+        }
+    }
+    // remap_payload: default no-op — PropLists holds no arena or MEMO ids.
 }
 
 /// Estimate the generated plan counts for one block by reusing the join
@@ -424,6 +472,8 @@ pub fn estimate_block(
     let mut span = Span::enter(phase::ESTIMATE);
     let outcome = if opts.top_down {
         cote_optimizer::enumerate_topdown(&ctx, &SimpleCardinality, &mut visitor)?
+    } else if opts.enum_threads > 1 {
+        enumerate_par(&ctx, &SimpleCardinality, &mut visitor, opts.enum_threads)?
     } else {
         enumerate(&ctx, &SimpleCardinality, &mut visitor)?
     };

@@ -15,7 +15,8 @@ use cote_common::{Result, TableRef};
 use cote_optimizer::cardinality::SimpleCardinality;
 use cote_optimizer::context::OptContext;
 use cote_optimizer::enumerator::{enumerate, JoinSite, JoinVisitor};
-use cote_optimizer::memo::{EntryId, Memo, MemoEntry};
+use cote_optimizer::memo::{EntryId, MemoEntry, MemoStore};
+use cote_optimizer::par::{enumerate_par, ParallelJoinVisitor};
 use cote_optimizer::OptimizerConfig;
 use cote_query::Query;
 
@@ -47,8 +48,16 @@ impl JoinVisitor for CountOnly {
     type Payload = ();
     fn base_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>, _: TableRef) {}
     fn join_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>) {}
-    fn on_join(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: &JoinSite) {}
-    fn finish_entry(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: EntryId) {}
+    fn on_join<M: MemoStore<()>>(&mut self, _: &OptContext<'_>, _: &mut M, _: &JoinSite) {}
+    fn finish_entry<M: MemoStore<()>>(&mut self, _: &OptContext<'_>, _: &mut M, _: EntryId) {}
+}
+
+impl ParallelJoinVisitor for CountOnly {
+    type Worker = CountOnly;
+    fn fork_level(&mut self, workers: usize) -> Vec<CountOnly> {
+        (0..workers).map(|_| CountOnly).collect()
+    }
+    fn absorb_level(&mut self, _workers: Vec<CountOnly>) {}
 }
 
 /// Count joins for a query by enumerating (works on any graph shape,
@@ -58,7 +67,11 @@ pub fn count_joins(catalog: &Catalog, query: &Query, config: &OptimizerConfig) -
     for block in query.blocks() {
         let ctx = OptContext::new(catalog, block, config);
         let mut v = CountOnly;
-        let out = enumerate(&ctx, &SimpleCardinality, &mut v)?;
+        let out = if config.enum_threads > 1 {
+            enumerate_par(&ctx, &SimpleCardinality, &mut v, config.enum_threads)?
+        } else {
+            enumerate(&ctx, &SimpleCardinality, &mut v)?
+        };
         pairs += out.pairs;
     }
     Ok(pairs)

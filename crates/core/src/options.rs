@@ -17,6 +17,9 @@ pub struct EstimateOptions {
     /// join sites, so estimates are identical — this exists to demonstrate
     /// exactly that.
     pub top_down: bool,
+    /// Worker threads for the estimator's counting walk (`1` = serial).
+    /// Ignored in top-down mode, which has no level barrier to shard at.
+    pub enum_threads: usize,
 }
 
 impl Default for EstimateOptions {
@@ -26,6 +29,7 @@ impl Default for EstimateOptions {
             compound_properties: false,
             levels: Vec::new(),
             top_down: false,
+            enum_threads: 1,
         }
     }
 }
@@ -43,5 +47,6 @@ mod tests {
             "separate lists are the paper's choice"
         );
         assert!(o.levels.is_empty());
+        assert_eq!(o.enum_threads, 1, "parallel estimation is opt-in");
     }
 }

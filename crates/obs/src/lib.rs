@@ -49,6 +49,9 @@ pub mod phase {
     pub const SCAN: &str = "scan";
     /// MEMO entry finalization (group-by/order post-passes).
     pub const FINALIZE: &str = "finalize";
+    /// One parallel-enumerated DP level: fork, worker stripes, shard merge
+    /// (records `level`, `masks`, `workers`).
+    pub const ENUM_PAR_LEVEL: &str = "enum_par_level";
     /// One COTE block estimate (counting pass over the enumerator).
     pub const ESTIMATE: &str = "estimate";
     /// Per-level estimate marker inside [`ESTIMATE`].

@@ -69,6 +69,10 @@ pub struct OptimizerConfig {
     pub buffer_pages: f64,
     /// Sort memory in pages before external merge is costed.
     pub sort_pages: f64,
+    /// Worker threads for intra-query parallel enumeration (`1` = the serial
+    /// walk). Any value produces a MEMO bit-identical to the serial one; see
+    /// [`crate::par::enumerate_par`].
+    pub enum_threads: usize,
 }
 
 impl OptimizerConfig {
@@ -86,6 +90,7 @@ impl OptimizerConfig {
             eager_orders: true,
             buffer_pages: 1_000.0,
             sort_pages: 256.0,
+            enum_threads: 1,
         }
     }
 
@@ -122,6 +127,13 @@ impl OptimizerConfig {
     #[must_use]
     pub fn with_eager_orders(mut self, on: bool) -> Self {
         self.eager_orders = on;
+        self
+    }
+
+    /// Set the enumeration worker-thread count (floored at 1).
+    #[must_use]
+    pub fn with_enum_threads(mut self, threads: usize) -> Self {
+        self.enum_threads = threads.max(1);
         self
     }
 
@@ -163,5 +175,14 @@ mod tests {
             .with_pilot_pass(true)
             .with_eager_orders(false);
         assert!(c.redundant_nljn && c.pilot_pass && !c.eager_orders);
+    }
+
+    #[test]
+    fn enum_threads_default_and_floor() {
+        assert_eq!(OptimizerConfig::high(Mode::Serial).enum_threads, 1);
+        let c = OptimizerConfig::high(Mode::Serial).with_enum_threads(8);
+        assert_eq!(c.enum_threads, 8);
+        let c = c.with_enum_threads(0);
+        assert_eq!(c.enum_threads, 1, "floored at 1");
     }
 }

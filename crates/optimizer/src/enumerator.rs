@@ -9,7 +9,7 @@
 
 use crate::cardinality::CardinalityModel;
 use crate::context::OptContext;
-use crate::memo::{boundary_classes, outer_enabled, EntryId, Memo, MemoEntry};
+use crate::memo::{boundary_classes, outer_enabled, EntryId, Memo, MemoEntry, MemoStore};
 use cote_common::{CoteError, Result, TableRef, TableSet};
 use cote_query::EqClasses;
 
@@ -54,12 +54,24 @@ pub trait JoinVisitor {
     fn join_payload(&mut self, ctx: &OptContext<'_>, core: &MemoEntry<()>) -> Self::Payload;
 
     /// One enumerated join pair (Table 3 `accumulate_plans`, called with
-    /// both orientations resolved).
-    fn on_join(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<Self::Payload>, site: &JoinSite);
+    /// both orientations resolved). Generic over [`MemoStore`] so the same
+    /// code runs on the real MEMO (serial walk) and on a per-worker shard
+    /// (parallel walk).
+    fn on_join<M: MemoStore<Self::Payload>>(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut M,
+        site: &JoinSite,
+    );
 
     /// All joins for this entry's table set have been enumerated (enforcer
     /// hook; also fires for single-table entries right after creation).
-    fn finish_entry(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<Self::Payload>, id: EntryId);
+    fn finish_entry<M: MemoStore<Self::Payload>>(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut M,
+        id: EntryId,
+    );
 }
 
 /// Result of an enumeration pass.
@@ -86,134 +98,20 @@ pub fn enumerate<V: JoinVisitor, M: CardinalityModel>(
     if n > MAX_DP_TABLES {
         return Err(CoteError::TooManyTables { requested: n });
     }
-    let ncols = block.n_interesting_cols();
     let mut memo: Memo<V::Payload> = Memo::new();
-
-    // Single-table entries.
-    for t in block.table_refs() {
-        let set = TableSet::singleton(t);
-        let eq = EqClasses::new(ncols);
-        let core = MemoEntry {
-            set,
-            cardinality: model.base(ctx, t),
-            eq: eq.clone(),
-            boundary: boundary_classes(block, set, &eq),
-            outer_enabled: outer_enabled(block, set),
-            payload: (),
-        };
-        let payload = visitor.base_payload(ctx, &core, t);
-        let id = memo.insert(MemoEntry {
-            set: core.set,
-            cardinality: core.cardinality,
-            eq: core.eq,
-            boundary: core.boundary,
-            outer_enabled: core.outer_enabled,
-            payload,
-        });
-        visitor.finish_entry(ctx, &mut memo, id);
-    }
+    base_entries(ctx, model, visitor, &mut memo);
 
     let mut pairs = 0u64;
     let mut joins = 0u64;
     let limit_bits = 1u64 << n;
-    let inner_limit = ctx.config.composite_inner_limit;
-    let thr = ctx.config.cartesian_card_threshold;
 
     for sz in 2..=n {
         // Gosper's hack: all sz-subsets of {0..n-1} in ascending order.
         let mut mask = (1u64 << sz) - 1;
         while mask < limit_bits {
-            let set = TableSet::from_bits(mask);
-            let mut created: Option<EntryId> = None;
-            for a_set in set.proper_subsets() {
-                let b_set = set.difference(a_set);
-                if a_set.bits() >= b_set.bits() {
-                    continue; // visit each unordered split once
-                }
-                let (Some(a_id), Some(b_id)) = (memo.id_of(a_set), memo.id_of(b_set)) else {
-                    continue;
-                };
-                let preds = block.preds_between(a_set, b_set);
-                if preds.is_empty() {
-                    let ca = memo.entry(a_id).cardinality;
-                    let cb = memo.entry(b_id).cardinality;
-                    if !(ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
-                        continue;
-                    }
-                }
-                // Orientation eligibility.
-                let null_in = |s: TableSet| {
-                    preds
-                        .iter()
-                        .all(|&pi| match block.join_preds()[pi].outer_join {
-                            None => true,
-                            Some(oid) => s.contains(block.outer_joins()[oid as usize].null_side),
-                        })
-                };
-                let a_outer_ok =
-                    memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
-                let b_outer_ok =
-                    memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
-                if !a_outer_ok && !b_outer_ok {
-                    continue;
-                }
-
-                let joined = match created.or_else(|| memo.id_of(set)) {
-                    Some(j) => j,
-                    None => {
-                        let mut eq = memo.entry(a_id).eq.clone();
-                        eq.absorb(&memo.entry(b_id).eq);
-                        for &pi in &preds {
-                            let p = &block.join_preds()[pi];
-                            let (l, r) = (
-                                block.col_id(p.left).expect("interned"),
-                                block.col_id(p.right).expect("interned"),
-                            );
-                            eq.union(l, r);
-                        }
-                        let cardinality = model.join(
-                            ctx,
-                            memo.entry(a_id).cardinality,
-                            memo.entry(b_id).cardinality,
-                            &preds,
-                        );
-                        let core = MemoEntry {
-                            set,
-                            cardinality,
-                            boundary: boundary_classes(block, set, &eq),
-                            outer_enabled: outer_enabled(block, set),
-                            eq,
-                            payload: (),
-                        };
-                        let payload = visitor.join_payload(ctx, &core);
-                        let id = memo.insert(MemoEntry {
-                            set: core.set,
-                            cardinality: core.cardinality,
-                            eq: core.eq,
-                            boundary: core.boundary,
-                            outer_enabled: core.outer_enabled,
-                            payload,
-                        });
-                        created = Some(id);
-                        id
-                    }
-                };
-
-                pairs += 1;
-                joins += u64::from(a_outer_ok) + u64::from(b_outer_ok);
-                let site = JoinSite {
-                    a: a_id,
-                    b: b_id,
-                    joined,
-                    preds,
-                    a_outer_ok,
-                    b_outer_ok,
-                };
-                visitor.on_join(ctx, &mut memo, &site);
-            }
-            if let Some(id) = created {
-                visitor.finish_entry(ctx, &mut memo, id);
-            }
+            let (p, j) = process_mask(ctx, model, visitor, &mut memo, mask);
+            pairs += p;
+            joins += j;
             // Next sz-subset.
             let c = mask & mask.wrapping_neg();
             let r = mask + c;
@@ -238,6 +136,178 @@ pub fn enumerate<V: JoinVisitor, M: CardinalityModel>(
         pairs,
         joins,
     })
+}
+
+/// Create the single-table MEMO entries (paper Table 3 `initialize`, base
+/// case). Shared between the serial and parallel enumeration drivers.
+pub(crate) fn base_entries<V: JoinVisitor, M: CardinalityModel>(
+    ctx: &OptContext<'_>,
+    model: &M,
+    visitor: &mut V,
+    memo: &mut Memo<V::Payload>,
+) {
+    let block = ctx.block;
+    let ncols = block.n_interesting_cols();
+    for t in block.table_refs() {
+        let set = TableSet::singleton(t);
+        let eq = EqClasses::new(ncols);
+        let core = MemoEntry {
+            set,
+            cardinality: model.base(ctx, t),
+            eq: eq.clone(),
+            boundary: boundary_classes(block, set, &eq),
+            outer_enabled: outer_enabled(block, set),
+            payload: (),
+        };
+        let payload = visitor.base_payload(ctx, &core, t);
+        let id = memo.insert(MemoEntry {
+            set: core.set,
+            cardinality: core.cardinality,
+            eq: core.eq,
+            boundary: core.boundary,
+            outer_enabled: core.outer_enabled,
+            payload,
+        });
+        visitor.finish_entry(ctx, memo, id);
+    }
+}
+
+/// Process one quantifier-set `mask` of the current DP level: enumerate its
+/// unordered splits, lazily create the joined entry, and drive the visitor.
+/// Returns `(pairs, joins)` counted for this mask.
+///
+/// Generic over [`MemoStore`] so the body runs identically on the real MEMO
+/// (serial) and on a per-worker [`MemoShard`](crate::memo::MemoShard)
+/// (parallel). Correctness of sharing relies on a DP invariant: both join
+/// inputs of a size-`sz` set have size `< sz`, so within a level every input
+/// lookup hits the frozen prefix.
+pub(crate) fn process_mask<V, C, S>(
+    ctx: &OptContext<'_>,
+    model: &C,
+    visitor: &mut V,
+    memo: &mut S,
+    mask: u64,
+) -> (u64, u64)
+where
+    V: JoinVisitor,
+    C: CardinalityModel,
+    S: MemoStore<V::Payload>,
+{
+    let block = ctx.block;
+    let inner_limit = ctx.config.composite_inner_limit;
+    let thr = ctx.config.cartesian_card_threshold;
+    let set = TableSet::from_bits(mask);
+    let mut pairs = 0u64;
+    let mut joins = 0u64;
+    let mut created: Option<EntryId> = None;
+    for a_set in set.proper_subsets() {
+        let b_set = set.difference(a_set);
+        if a_set.bits() >= b_set.bits() {
+            continue; // visit each unordered split once
+        }
+        let (Some(a_id), Some(b_id)) = (memo.id_of(a_set), memo.id_of(b_set)) else {
+            continue;
+        };
+        let preds = block.preds_between(a_set, b_set);
+        if preds.is_empty() {
+            let ca = memo.entry(a_id).cardinality;
+            let cb = memo.entry(b_id).cardinality;
+            if !(ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
+                continue;
+            }
+        }
+        // Orientation eligibility.
+        let null_in = |s: TableSet| {
+            preds
+                .iter()
+                .all(|&pi| match block.join_preds()[pi].outer_join {
+                    None => true,
+                    Some(oid) => s.contains(block.outer_joins()[oid as usize].null_side),
+                })
+        };
+        let a_outer_ok =
+            memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
+        let b_outer_ok =
+            memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
+        if !a_outer_ok && !b_outer_ok {
+            continue;
+        }
+
+        let joined = match created.or_else(|| memo.id_of(set)) {
+            Some(j) => j,
+            None => {
+                let mut eq = memo.entry(a_id).eq.clone();
+                eq.absorb(&memo.entry(b_id).eq);
+                for &pi in &preds {
+                    let p = &block.join_preds()[pi];
+                    let (l, r) = (
+                        block.col_id(p.left).expect("interned"),
+                        block.col_id(p.right).expect("interned"),
+                    );
+                    eq.union(l, r);
+                }
+                let cardinality = model.join(
+                    ctx,
+                    memo.entry(a_id).cardinality,
+                    memo.entry(b_id).cardinality,
+                    &preds,
+                );
+                let core = MemoEntry {
+                    set,
+                    cardinality,
+                    boundary: boundary_classes(block, set, &eq),
+                    outer_enabled: outer_enabled(block, set),
+                    eq,
+                    payload: (),
+                };
+                let payload = visitor.join_payload(ctx, &core);
+                let id = memo.insert(MemoEntry {
+                    set: core.set,
+                    cardinality: core.cardinality,
+                    eq: core.eq,
+                    boundary: core.boundary,
+                    outer_enabled: core.outer_enabled,
+                    payload,
+                });
+                created = Some(id);
+                id
+            }
+        };
+
+        pairs += 1;
+        joins += u64::from(a_outer_ok) + u64::from(b_outer_ok);
+        let site = JoinSite {
+            a: a_id,
+            b: b_id,
+            joined,
+            preds,
+            a_outer_ok,
+            b_outer_ok,
+        };
+        visitor.on_join(ctx, memo, &site);
+    }
+    if let Some(id) = created {
+        visitor.finish_entry(ctx, memo, id);
+    }
+    (pairs, joins)
+}
+
+/// All `sz`-subsets of `{0..n-1}` as bit masks in ascending order (Gosper's
+/// hack, materialized — the parallel driver stripes this list over workers).
+pub(crate) fn level_masks(n: usize, sz: usize) -> Vec<u64> {
+    let limit_bits = 1u64 << n;
+    let mut out = Vec::new();
+    let mut mask = (1u64 << sz) - 1;
+    while mask < limit_bits {
+        out.push(mask);
+        let c = mask & mask.wrapping_neg();
+        let r = mask + c;
+        if r >= limit_bits {
+            break;
+        }
+        mask = (((r ^ mask) >> 2) / c) | r;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -266,10 +336,10 @@ mod tests {
         fn join_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>) {
             self.join_entries += 1;
         }
-        fn on_join(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: &JoinSite) {
+        fn on_join<M: MemoStore<()>>(&mut self, _: &OptContext<'_>, _: &mut M, _: &JoinSite) {
             self.sites += 1;
         }
-        fn finish_entry(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: EntryId) {
+        fn finish_entry<M: MemoStore<()>>(&mut self, _: &OptContext<'_>, _: &mut M, _: EntryId) {
             self.finished += 1;
         }
     }
@@ -443,10 +513,16 @@ mod tests {
             type Payload = ();
             fn base_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>, _: TableRef) {}
             fn join_payload(&mut self, _: &OptContext<'_>, _: &MemoEntry<()>) {}
-            fn on_join(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, s: &JoinSite) {
+            fn on_join<M: MemoStore<()>>(&mut self, _: &OptContext<'_>, _: &mut M, s: &JoinSite) {
                 self.0.push((s.a_outer_ok, s.b_outer_ok));
             }
-            fn finish_entry(&mut self, _: &OptContext<'_>, _: &mut Memo<()>, _: EntryId) {}
+            fn finish_entry<M: MemoStore<()>>(
+                &mut self,
+                _: &OptContext<'_>,
+                _: &mut M,
+                _: EntryId,
+            ) {
+            }
         }
         let mut v = Grab(Vec::new());
         let out = enumerate(&ctx, &FullCardinality, &mut v).unwrap();

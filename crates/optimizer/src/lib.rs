@@ -11,6 +11,9 @@
 //! * [`enumerator`] — the dynamic-programming join enumerator, **generic
 //!   over a [`enumerator::JoinVisitor`]** so the estimator can reuse it
 //!   verbatim while bypassing plan generation (the paper's §3.1 idea);
+//! * [`par`] — intra-query parallel enumeration: each DP level's masks are
+//!   striped across scoped workers over per-worker MEMO shards, merged
+//!   deterministically at the level barrier;
 //! * [`plangen`] — the real plan generator: join methods, enforcers,
 //!   property-aware pruning;
 //! * [`properties`] — physical properties (Tables 1–2): order, partition,
@@ -36,6 +39,7 @@ pub mod greedy;
 pub mod instrument;
 pub mod memo;
 pub mod optimizer;
+pub mod par;
 pub mod plan;
 pub mod plangen;
 pub mod planspace;
@@ -48,8 +52,9 @@ pub use enumerator::{enumerate, EnumOutcome, JoinSite, JoinVisitor};
 pub use enumerator_topdown::enumerate_topdown;
 pub use greedy::{GreedyOptimizer, GreedyResult};
 pub use instrument::{CompileStats, PerMethod, PhaseTimes};
-pub use memo::{EntryId, Memo, MemoEntry};
+pub use memo::{EntryId, Memo, MemoEntry, MemoShard, MemoStore};
 pub use optimizer::{BlockResult, OptimizeResult, Optimizer};
+pub use par::{enumerate_par, ParallelJoinVisitor};
 pub use plan::{PlanArena, PlanId, PlanKind, PlanProps};
 pub use plangen::{PlanList, RealPlanGen};
 pub use planspace::{sample_plan, PlanSpaceCounter, SpaceCount};

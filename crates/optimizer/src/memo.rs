@@ -129,6 +129,167 @@ impl<P> Memo<P> {
     }
 }
 
+/// Storage abstraction over a MEMO: either the real [`Memo`] or a per-worker
+/// [`MemoShard`] layered over a frozen level prefix.
+///
+/// [`JoinVisitor`](crate::JoinVisitor) callbacks are generic over this trait
+/// so the *same* visitor code runs unchanged in the serial walk (directly on
+/// the `Memo`) and inside a parallel level worker (on a shard). The contract
+/// mirrors `Memo`'s inherent methods exactly.
+pub trait MemoStore<P> {
+    /// Number of entries visible through this store.
+    fn len(&self) -> usize;
+    /// True when no entries are visible.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Entry id covering `set`, if present.
+    fn id_of(&self, set: TableSet) -> Option<EntryId>;
+    /// Entry by id.
+    fn entry(&self, id: EntryId) -> &MemoEntry<P>;
+    /// Mutable entry by id.
+    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P>;
+    /// Two entries by id (disjoint borrow), plus a third mutable one.
+    fn join_view(
+        &mut self,
+        a: EntryId,
+        b: EntryId,
+        j: EntryId,
+    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>);
+    /// Insert a new entry; panics if the set is already present.
+    fn insert(&mut self, entry: MemoEntry<P>) -> EntryId;
+}
+
+impl<P> MemoStore<P> for Memo<P> {
+    fn len(&self) -> usize {
+        Memo::len(self)
+    }
+    fn id_of(&self, set: TableSet) -> Option<EntryId> {
+        Memo::id_of(self, set)
+    }
+    fn entry(&self, id: EntryId) -> &MemoEntry<P> {
+        Memo::entry(self, id)
+    }
+    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
+        Memo::entry_mut(self, id)
+    }
+    fn join_view(
+        &mut self,
+        a: EntryId,
+        b: EntryId,
+        j: EntryId,
+    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+        Memo::join_view(self, a, b, j)
+    }
+    fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
+        Memo::insert(self, entry)
+    }
+}
+
+/// A per-worker MEMO overlay for intra-level parallel enumeration.
+///
+/// During a parallel DP level every worker shares the frozen `base` MEMO
+/// (all entries of strictly smaller levels — join inputs never live at the
+/// current level, so workers only ever *read* the base) and accumulates the
+/// current level's entries it creates in a private `local` tail. Local
+/// entries get provisional ids continuing the base numbering
+/// (`base.len() + local index`); at the level barrier the engine drains the
+/// shards and re-inserts their entries into the real MEMO in globally
+/// ascending `set.bits()` order, which reproduces the exact ids the serial
+/// walk would have assigned.
+#[derive(Debug)]
+pub struct MemoShard<'a, P> {
+    base: &'a Memo<P>,
+    local: Vec<MemoEntry<P>>,
+    local_index: FxHashMap<u64, EntryId>,
+}
+
+impl<'a, P> MemoShard<'a, P> {
+    /// A shard layered over the frozen `base`.
+    pub fn new(base: &'a Memo<P>) -> Self {
+        Self {
+            base,
+            local: Vec::new(),
+            local_index: FxHashMap::default(),
+        }
+    }
+
+    fn base_len(&self) -> u32 {
+        self.base.len() as u32
+    }
+
+    /// Consume the shard, returning its locally created entries in creation
+    /// order (ascending `set.bits()` within the level, by construction).
+    pub fn into_locals(self) -> Vec<MemoEntry<P>> {
+        self.local
+    }
+}
+
+impl<P> MemoStore<P> for MemoShard<'_, P> {
+    fn len(&self) -> usize {
+        self.base.len() + self.local.len()
+    }
+    fn id_of(&self, set: TableSet) -> Option<EntryId> {
+        self.base
+            .id_of(set)
+            .or_else(|| self.local_index.get(&set.bits()).copied())
+    }
+    fn entry(&self, id: EntryId) -> &MemoEntry<P> {
+        let bl = self.base_len();
+        if id.0 < bl {
+            self.base.entry(id)
+        } else {
+            &self.local[(id.0 - bl) as usize]
+        }
+    }
+    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
+        let bl = self.base_len();
+        assert!(id.0 >= bl, "cannot mutate a frozen base entry from a shard");
+        &mut self.local[(id.0 - bl) as usize]
+    }
+    fn join_view(
+        &mut self,
+        a: EntryId,
+        b: EntryId,
+        j: EntryId,
+    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+        let bl = self.base_len();
+        assert!(a != j && b != j && a != b, "join entries must be distinct");
+        assert!(j.0 >= bl, "joined entry must be shard-local");
+        // Join inputs live at strictly smaller DP levels than the joined
+        // entry, so during level-parallel enumeration `a` and `b` are always
+        // frozen base entries; the general local/local case is still handled
+        // via the distinctness assertion above.
+        let local = self.local.as_mut_ptr();
+        unsafe {
+            let ea: &MemoEntry<P> = if a.0 < bl {
+                self.base.entry(a)
+            } else {
+                &*local.add((a.0 - bl) as usize)
+            };
+            let eb: &MemoEntry<P> = if b.0 < bl {
+                self.base.entry(b)
+            } else {
+                &*local.add((b.0 - bl) as usize)
+            };
+            let ej = &mut *local.add((j.0 - bl) as usize);
+            (ea, eb, ej)
+        }
+    }
+    fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
+        let id = EntryId(self.base_len() + self.local.len() as u32);
+        assert!(
+            self.base.id_of(entry.set).is_none(),
+            "duplicate MEMO entry for {} (already frozen)",
+            entry.set
+        );
+        let prev = self.local_index.insert(entry.set.bits(), id);
+        assert!(prev.is_none(), "duplicate MEMO entry for {}", entry.set);
+        self.local.push(entry);
+        id
+    }
+}
+
 /// Compute an entry's boundary classes: representatives (under `eq`) of the
 /// entry's columns that appear in join predicates reaching outside `set`.
 pub fn boundary_classes(block: &QueryBlock, set: TableSet, eq: &EqClasses) -> Vec<u16> {
@@ -255,6 +416,59 @@ mod tests {
             payload: (),
         });
         let _ = memo.join_view(a, a, a);
+    }
+
+    #[test]
+    fn shard_overlays_frozen_base() {
+        let mut memo: Memo<u32> = Memo::new();
+        let mk = |bits: u64, v: u32| MemoEntry {
+            set: TableSet::from_bits(bits),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: v,
+        };
+        let a = memo.insert(mk(0b001, 1));
+        let b = memo.insert(mk(0b010, 2));
+        let mut shard = MemoShard::new(&memo);
+        // Base entries are visible through the shard.
+        assert_eq!(
+            MemoStore::id_of(&shard, TableSet::from_bits(0b001)),
+            Some(a)
+        );
+        assert_eq!(MemoStore::entry(&shard, b).payload, 2);
+        assert_eq!(MemoStore::len(&shard), 2);
+        // Local inserts continue the base numbering.
+        let j = shard.insert(mk(0b011, 0));
+        assert_eq!(j, EntryId(2));
+        assert_eq!(MemoStore::len(&shard), 3);
+        assert_eq!(
+            MemoStore::id_of(&shard, TableSet::from_bits(0b011)),
+            Some(j)
+        );
+        let (ea, eb, ej) = shard.join_view(a, b, j);
+        ej.payload = ea.payload + eb.payload;
+        assert_eq!(MemoStore::entry_mut(&mut shard, j).payload, 3);
+        let locals = shard.into_locals();
+        assert_eq!(locals.len(), 1);
+        assert_eq!(locals[0].payload, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen base entry")]
+    fn shard_refuses_to_mutate_base() {
+        let mut memo: Memo<()> = Memo::new();
+        let a = memo.insert(MemoEntry {
+            set: TableSet::first_n(1),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary: vec![],
+            outer_enabled: true,
+            payload: (),
+        });
+        let mut shard = MemoShard::new(&memo);
+        let _ = shard.entry_mut(a);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::enumerator::enumerate;
 use crate::greedy::GreedyOptimizer;
 use crate::instrument::{self, CompileStats};
 use crate::memo::Memo;
+use crate::par::enumerate_par;
 use crate::plan::{PlanArena, PlanId, PlanKind, PlanProps};
 use crate::plangen::{PlanList, RealPlanGen};
 use crate::properties::order::Ordering;
@@ -109,7 +110,11 @@ impl Optimizer {
 
         let mut gen = RealPlanGen::new(pilot_bound);
         let enum_span = Span::enter(phase::ENUMERATE);
-        let outcome = enumerate(&ctx, &FullCardinality, &mut gen)?;
+        let outcome = if self.config.enum_threads > 1 {
+            enumerate_par(&ctx, &FullCardinality, &mut gen, self.config.enum_threads)?
+        } else {
+            enumerate(&ctx, &FullCardinality, &mut gen)?
+        };
         // Enumeration skeleton = the span's self time: everything the phase
         // buckets (nljn/mgjn/hsjn/save/scan/finalize child spans) did not
         // absorb, with no hand-threaded subtraction.

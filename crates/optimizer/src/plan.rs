@@ -6,6 +6,7 @@ use crate::properties::partition::PartitionVal;
 use crate::properties::JoinMethod;
 use cote_common::{IndexId, TableRef};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Index of a plan node in a [`PlanArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +99,39 @@ pub enum PlanKind {
     },
 }
 
+impl PlanId {
+    /// Shift a fork-provisional id by `delta` if it lies at or above
+    /// `fork_base` (ids below are frozen base nodes and keep their value).
+    pub fn remapped(self, fork_base: u32, delta: u32) -> PlanId {
+        if self.0 >= fork_base {
+            PlanId(self.0 + delta)
+        } else {
+            self
+        }
+    }
+}
+
+impl PlanKind {
+    /// Remap the input plan ids of this operator after a fork merge (see
+    /// [`PlanArena::absorb_locals`]).
+    pub fn remap_inputs(&mut self, fork_base: u32, delta: u32) {
+        match self {
+            PlanKind::Sort { input }
+            | PlanKind::Repartition { input }
+            | PlanKind::Broadcast { input }
+            | PlanKind::Ship { input, .. }
+            | PlanKind::Filter { input, .. }
+            | PlanKind::Group { input, .. } => *input = input.remapped(fork_base, delta),
+            PlanKind::Join { outer, inner, .. } => {
+                *outer = outer.remapped(fork_base, delta);
+                *inner = inner.remapped(fork_base, delta);
+            }
+            PlanKind::TableScan { .. } | PlanKind::IndexScan { .. } | PlanKind::IndexAnd { .. } => {
+            }
+        }
+    }
+}
+
 /// Physical properties carried by a plan (paper §3.2). The stored `order` is
 /// the *effective* value: a retired order is recorded as DC at insertion.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,9 +185,17 @@ pub struct PlanNode {
 }
 
 /// Append-only arena of plan nodes for one optimization run.
+///
+/// For intra-level parallel enumeration an arena can be *forked*: a fork
+/// shares the (frozen) parent arena as a read-only base and allocates its own
+/// nodes above `base_len`, so per-worker plan generation needs no locking.
+/// [`PlanArena::absorb_locals`] merges fork tails back in worker order,
+/// remapping their provisional ids.
 #[derive(Debug, Default)]
 pub struct PlanArena {
     nodes: Vec<PlanNode>,
+    base: Option<Arc<PlanArena>>,
+    base_len: u32,
 }
 
 impl PlanArena {
@@ -162,14 +204,31 @@ impl PlanArena {
         Self::default()
     }
 
-    /// Number of nodes ever created (= plans generated and wired).
+    /// A fork sharing `base` read-only; new nodes are numbered from
+    /// `base.len()` upward.
+    pub fn fork(base: &Arc<PlanArena>) -> Self {
+        Self {
+            nodes: Vec::new(),
+            base: Some(Arc::clone(base)),
+            base_len: base.len() as u32,
+        }
+    }
+
+    /// Number of nodes ever created (= plans generated and wired),
+    /// including the shared base of a fork.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len as usize + self.nodes.len()
     }
 
     /// True when no nodes exist.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// Consume a fork, returning the nodes it allocated above the base.
+    /// Drops the fork's `Arc` handle on the base.
+    pub fn into_local_nodes(self) -> Vec<PlanNode> {
+        self.nodes
     }
 
     /// Allocate a node.
@@ -180,7 +239,7 @@ impl PlanArena {
         cost: Cost,
         stats: StreamStats,
     ) -> PlanId {
-        let id = PlanId(self.nodes.len() as u32);
+        let id = PlanId(self.base_len + self.nodes.len() as u32);
         self.nodes.push(PlanNode {
             kind,
             props,
@@ -193,7 +252,36 @@ impl PlanArena {
 
     /// Node by id.
     pub fn node(&self, id: PlanId) -> &PlanNode {
-        &self.nodes[id.0 as usize]
+        if id.0 < self.base_len {
+            self.base
+                .as_ref()
+                .expect("base id on an unforked arena")
+                .node(id)
+        } else {
+            &self.nodes[(id.0 - self.base_len) as usize]
+        }
+    }
+
+    /// Append the local node tails of forks of this arena (taken in worker
+    /// order via [`PlanArena::into_local_nodes`]), remapping each tail's
+    /// provisional ids — which all start at `fork_base = self.len()` — to
+    /// their merged positions. Returns the per-fork id delta: a fork-local
+    /// `PlanId(x)` with `x >= fork_base` becomes `PlanId(x + delta[w])`.
+    pub fn absorb_locals(&mut self, locals: Vec<Vec<PlanNode>>) -> Vec<u32> {
+        assert!(self.base.is_none(), "absorb into the reclaimed base arena");
+        let fork_base = self.nodes.len() as u32;
+        let mut deltas = Vec::with_capacity(locals.len());
+        let mut appended = 0u32;
+        for tail in locals {
+            let delta = appended;
+            deltas.push(delta);
+            appended += tail.len() as u32;
+            for mut node in tail {
+                node.kind.remap_inputs(fork_base, delta);
+                self.nodes.push(node);
+            }
+        }
+        deltas
     }
 
     /// Render an indented operator tree (for examples and debugging).
@@ -284,6 +372,62 @@ mod tests {
         let p = leaf(&mut a, 0, 5.0);
         assert_eq!(a.len(), 1);
         assert_eq!(a.node(p).total, 5.0 * crate::cost::IO_WEIGHT);
+    }
+
+    #[test]
+    fn forked_arenas_merge_with_remapped_ids() {
+        let mut main = PlanArena::new();
+        let l0 = leaf(&mut main, 0, 1.0);
+        let l1 = leaf(&mut main, 1, 2.0);
+        let base = Arc::new(main);
+
+        // Two forks each join the shared leaves; their provisional ids
+        // collide (both start at base.len()).
+        let mut forks = Vec::new();
+        for _ in 0..2 {
+            let mut f = PlanArena::fork(&base);
+            assert_eq!(f.len(), 2);
+            assert_eq!(f.node(l0).total, base.node(l0).total, "base visible");
+            let j = f.add(
+                PlanKind::Join {
+                    method: JoinMethod::Hsjn,
+                    outer: l0,
+                    inner: l1,
+                    strategy: PartStrategy::Colocated,
+                },
+                PlanProps::dc(),
+                Cost::ZERO,
+                StreamStats::of(10.0, 128.0),
+            );
+            assert_eq!(j, PlanId(2), "provisional id continues the base");
+            let s = f.add(
+                PlanKind::Sort { input: j },
+                PlanProps::dc(),
+                Cost::ZERO,
+                StreamStats::of(10.0, 128.0),
+            );
+            assert_eq!(s, PlanId(3));
+            forks.push(f);
+        }
+
+        let locals: Vec<_> = forks.into_iter().map(PlanArena::into_local_nodes).collect();
+        let mut main = Arc::try_unwrap(base).expect("forks dropped their handles");
+        let deltas = main.absorb_locals(locals);
+        assert_eq!(deltas, vec![0, 2]);
+        assert_eq!(main.len(), 6);
+        // Fork 1's Sort(3) landed at 5 and now points at its Join at 4.
+        match main.node(PlanId(5)).kind {
+            PlanKind::Sort { input } => assert_eq!(input, PlanId(4)),
+            ref k => panic!("expected Sort, got {k:?}"),
+        }
+        // Join inputs still point at the frozen base leaves.
+        match main.node(PlanId(4)).kind {
+            PlanKind::Join { outer, inner, .. } => {
+                assert_eq!(outer, l0);
+                assert_eq!(inner, l1);
+            }
+            ref k => panic!("expected Join, got {k:?}"),
+        }
     }
 
     #[test]

@@ -21,7 +21,8 @@ use crate::cost::{
 };
 use crate::enumerator::{JoinSite, JoinVisitor};
 use crate::instrument::CompileStats;
-use crate::memo::{EntryId, Memo, MemoEntry};
+use crate::memo::{EntryId, MemoEntry, MemoStore};
+use crate::par::ParallelJoinVisitor;
 use crate::plan::{PartStrategy, PlanArena, PlanId, PlanKind, PlanProps};
 use crate::properties::order::{is_interesting, Ordering};
 use crate::properties::partition::PartitionVal;
@@ -30,6 +31,7 @@ use cote_catalog::EquiDepthHistogram;
 use cote_common::{ColRef, TableRef, TableSet};
 use cote_obs::{phase, Span};
 use cote_query::EqClasses;
+use std::sync::Arc;
 
 /// Per-entry payload of the real optimizer: the plan list.
 #[derive(Debug, Default)]
@@ -49,6 +51,12 @@ pub struct RealPlanGen {
     pub stats: CompileStats,
     /// Pilot-pass cost bound (§6.1), if enabled.
     pub pilot_bound: Option<f64>,
+    /// While a parallel level runs: the frozen main arena the workers fork.
+    level_base: Option<Arc<PlanArena>>,
+    /// After a level merge: first provisional id of the workers' fork tails.
+    level_fork_base: u32,
+    /// After a level merge: per-worker id delta (see `PlanArena::absorb_locals`).
+    level_deltas: Vec<u32>,
 }
 
 /// Everything extracted from the three MEMO entries of one oriented join
@@ -74,6 +82,22 @@ impl RealPlanGen {
             arena: PlanArena::new(),
             stats: CompileStats::default(),
             pilot_bound,
+            level_base: None,
+            level_fork_base: 0,
+            level_deltas: Vec::new(),
+        }
+    }
+
+    /// A worker clone plan-generating into `arena` (a fork of the level's
+    /// frozen main arena).
+    fn worker(&self, arena: PlanArena) -> Self {
+        Self {
+            arena,
+            stats: CompileStats::default(),
+            pilot_bound: self.pilot_bound,
+            level_base: None,
+            level_fork_base: 0,
+            level_deltas: Vec::new(),
         }
     }
 
@@ -121,7 +145,7 @@ impl RealPlanGen {
     /// An entry's first plan is exempt from pilot pruning — the bound is a
     /// heuristic and must never leave an entry (and hence possibly the
     /// root) without any plan.
-    fn save(&mut self, memo: &mut Memo<PlanList>, joined: EntryId, plan: PlanId) {
+    fn save<M: MemoStore<PlanList>>(&mut self, memo: &mut M, joined: EntryId, plan: PlanId) {
         if !memo.entry(joined).payload.plans.is_empty()
             && self.pilot_pruned(self.arena.node(plan).total)
         {
@@ -368,10 +392,10 @@ impl RealPlanGen {
 
     /// Build, count and save one join plan.
     #[allow(clippy::too_many_arguments)]
-    fn emit_join(
+    fn emit_join<M: MemoStore<PlanList>>(
         &mut self,
         ctx: &OptContext<'_>,
-        memo: &mut Memo<PlanList>,
+        memo: &mut M,
         joined: EntryId,
         method: JoinMethod,
         outer: PlanId,
@@ -459,10 +483,10 @@ impl RealPlanGen {
     }
 
     /// Extract all inputs of one oriented join from the MEMO.
-    fn extract(
+    fn extract<M: MemoStore<PlanList>>(
         &self,
         ctx: &OptContext<'_>,
-        memo: &Memo<PlanList>,
+        memo: &M,
         o_id: EntryId,
         i_id: EntryId,
         joined: EntryId,
@@ -767,7 +791,12 @@ impl JoinVisitor for RealPlanGen {
         }
     }
 
-    fn on_join(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<PlanList>, site: &JoinSite) {
+    fn on_join<M: MemoStore<PlanList>>(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut M,
+        site: &JoinSite,
+    ) {
         let parallel = ctx.config.parallel();
         let methods = ctx.config.join_methods;
 
@@ -971,7 +1000,12 @@ impl JoinVisitor for RealPlanGen {
         }
     }
 
-    fn finish_entry(&mut self, ctx: &OptContext<'_>, memo: &mut Memo<PlanList>, id: EntryId) {
+    fn finish_entry<M: MemoStore<PlanList>>(
+        &mut self,
+        ctx: &OptContext<'_>,
+        memo: &mut M,
+        id: EntryId,
+    ) {
         if !ctx.config.eager_orders {
             return;
         }
@@ -1012,6 +1046,41 @@ impl JoinVisitor for RealPlanGen {
             self.save(memo, id, sorted);
         }
         self.stats.time.other += span.close().self_time;
+    }
+}
+
+impl ParallelJoinVisitor for RealPlanGen {
+    type Worker = RealPlanGen;
+
+    fn fork_level(&mut self, workers: usize) -> Vec<RealPlanGen> {
+        // Freeze the main arena for the duration of the level; every worker
+        // forks it and allocates plan nodes above the shared prefix.
+        let base = Arc::new(std::mem::take(&mut self.arena));
+        let forks = (0..workers)
+            .map(|_| self.worker(PlanArena::fork(&base)))
+            .collect();
+        self.level_base = Some(base);
+        forks
+    }
+
+    fn absorb_level(&mut self, workers: Vec<RealPlanGen>) {
+        let mut locals = Vec::with_capacity(workers.len());
+        for w in workers {
+            self.stats.add(&w.stats);
+            locals.push(w.arena.into_local_nodes());
+        }
+        // All fork handles are dropped now; reclaim the frozen base.
+        self.arena = Arc::try_unwrap(self.level_base.take().expect("level was forked"))
+            .expect("workers dropped their arena handles");
+        self.level_fork_base = self.arena.len() as u32;
+        self.level_deltas = self.arena.absorb_locals(locals);
+    }
+
+    fn remap_payload(&mut self, worker: usize, payload: &mut PlanList) {
+        let delta = self.level_deltas[worker];
+        for p in &mut payload.plans {
+            *p = p.remapped(self.level_fork_base, delta);
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 //! (COTE) — lets the harness show why the middle ground wins.
 
 use crate::enumerator::{JoinSite, JoinVisitor};
-use crate::memo::{EntryId, Memo, MemoEntry};
+use crate::memo::{EntryId, Memo, MemoEntry, MemoStore};
 use crate::OptContext;
 use cote_common::TableRef;
 
@@ -73,7 +73,12 @@ impl JoinVisitor for PlanSpaceCounter {
         SpaceCount::default()
     }
 
-    fn on_join(&mut self, _ctx: &OptContext<'_>, memo: &mut Memo<SpaceCount>, site: &JoinSite) {
+    fn on_join<M: MemoStore<SpaceCount>>(
+        &mut self,
+        _ctx: &OptContext<'_>,
+        memo: &mut M,
+        site: &JoinSite,
+    ) {
         let a_trees = memo.entry(site.a).payload.trees;
         let b_trees = memo.entry(site.b).payload.trees;
         let orientations = u64::from(site.a_outer_ok) + u64::from(site.b_outer_ok);
@@ -86,7 +91,13 @@ impl JoinVisitor for PlanSpaceCounter {
         j.payload.derivations.push((site.a, site.b, combos));
     }
 
-    fn finish_entry(&mut self, _ctx: &OptContext<'_>, _memo: &mut Memo<SpaceCount>, _id: EntryId) {}
+    fn finish_entry<M: MemoStore<SpaceCount>>(
+        &mut self,
+        _ctx: &OptContext<'_>,
+        _memo: &mut M,
+        _id: EntryId,
+    ) {
+    }
 }
 
 /// Sample one complete join tree uniformly at random from the counted

@@ -1,0 +1,270 @@
+//! Property-test generators: random catalogs and join graphs.
+//!
+//! Every differential and oracle test in the suite needs the same raw
+//! material — a random but *valid* `(Catalog, Query)` pair whose join graph
+//! has a known shape. This module packages that as a plain-data
+//! [`QuerySpec`] (so specs print nicely in failure messages) plus a
+//! [`proptest`] [`Strategy`] that samples them, and a non-proptest
+//! [`corpus`] helper for tests that want a fixed seeded batch.
+//!
+//! A spec is deterministic: the same spec always builds the same catalog
+//! and query, byte for byte, because all per-table detail (row counts,
+//! distinct values, indexes, partitioning) is derived from `spec.seed`
+//! through the workspace PRNG.
+
+use cote_catalog::{Catalog, ColumnDef, IndexDef, NodeGroup, Partitioning, TableDef};
+use cote_common::rng::Xoshiro256pp;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_query::{Query, QueryBlockBuilder};
+use proptest::{any, Strategy};
+
+/// Join-graph shape of a generated query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphShape {
+    /// t0–t1–…–tn-1, a linear chain.
+    Chain,
+    /// t0 is the hub; every other table joins it.
+    Star,
+    /// A chain closed back to t0 (the #P-complete case of §2.2).
+    Cycle,
+    /// Every pair of tables joined — the densest (and smallest) graphs.
+    Clique,
+}
+
+impl GraphShape {
+    /// All shapes, in sampling order.
+    pub const ALL: [GraphShape; 4] = [
+        GraphShape::Chain,
+        GraphShape::Star,
+        GraphShape::Cycle,
+        GraphShape::Clique,
+    ];
+}
+
+/// A self-contained recipe for one random catalog + query pair.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Join-graph shape.
+    pub shape: GraphShape,
+    /// Number of tables (cliques are capped at 7 by [`QuerySpec::build`] to
+    /// keep the exponential DP affordable in tests).
+    pub tables: usize,
+    /// Add an ORDER BY on the hub table's second column.
+    pub order_by: bool,
+    /// Add a GROUP BY on the last table's second column.
+    pub group_by: bool,
+    /// Build a 4-node parallel catalog with mixed table partitionings
+    /// instead of a serial one.
+    pub partitioned: bool,
+    /// Give tables clustered/unclustered indexes on the join column.
+    pub indexes: bool,
+    /// Drives all remaining per-table detail (rows, distinct values, which
+    /// tables get indexes, partitioning schemes).
+    pub seed: u64,
+}
+
+impl QuerySpec {
+    /// Strip every source of interesting orders: no ORDER BY, no GROUP BY,
+    /// no indexes. Used by the estimator-vs-optimizer exact-count oracle,
+    /// where order-dependent plan terms would differ by design.
+    #[must_use]
+    pub fn plain(mut self) -> Self {
+        self.order_by = false;
+        self.group_by = false;
+        self.indexes = false;
+        self
+    }
+
+    /// Effective table count after the per-shape cap.
+    pub fn effective_tables(&self) -> usize {
+        let cap = match self.shape {
+            GraphShape::Clique => 7,
+            _ => 12,
+        };
+        self.tables.clamp(2, cap)
+    }
+
+    /// Materialize the catalog and query this spec describes.
+    pub fn build(&self) -> (Catalog, Query) {
+        let n = self.effective_tables();
+        let mut rng = Xoshiro256pp::new(self.seed ^ 0xC07E_0D1C);
+        let mut b = if self.partitioned {
+            Catalog::builder_parallel(NodeGroup::new(4))
+        } else {
+            Catalog::builder()
+        };
+        for i in 0..n {
+            let rows: f64 = [100.0, 1_000.0, 5_000.0, 20_000.0][rng.below(4) as usize];
+            let ndv0 = (rows / [1.0, 5.0, 20.0][rng.below(3) as usize]).max(2.0);
+            let ndv1 = (rows / 50.0).max(2.0);
+            let def = TableDef::new(
+                format!("t{i}"),
+                rows,
+                vec![
+                    ColumnDef::uniform("c0", rows, ndv0),
+                    ColumnDef::uniform("c1", rows, ndv1),
+                ],
+            );
+            let t = if self.partitioned {
+                // Mixed placements: hash on the join column, range on the
+                // second column, or replicated small tables.
+                match rng.below(4) {
+                    0 => b.add_table_partitioned(
+                        def,
+                        Partitioning::range(vec![1], NodeGroup::new(4)),
+                    ),
+                    1 => b.add_table_partitioned(def, Partitioning::replicated(NodeGroup::new(4))),
+                    _ => b.add_table(def),
+                }
+            } else {
+                b.add_table(def)
+            };
+            if self.indexes && rng.below(2) == 0 {
+                let ix = IndexDef::new(t, vec![0]);
+                b.add_index(if rng.below(2) == 0 {
+                    ix.clustered()
+                } else {
+                    ix
+                });
+            }
+        }
+        let cat = b.build().expect("generated catalog is well-formed");
+
+        let mut qb = QueryBlockBuilder::new();
+        for i in 0..n {
+            qb.add_table(TableId(i as u32));
+        }
+        let col = |t: usize, c: u16| ColRef::new(TableRef(t as u8), c);
+        match self.shape {
+            GraphShape::Chain => {
+                for i in 0..n - 1 {
+                    qb.join(col(i, 0), col(i + 1, 0));
+                }
+            }
+            GraphShape::Star => {
+                for i in 1..n {
+                    qb.join(col(0, 0), col(i, 0));
+                }
+            }
+            GraphShape::Cycle => {
+                for i in 0..n - 1 {
+                    qb.join(col(i, 0), col(i + 1, 0));
+                }
+                if n > 2 {
+                    qb.join(col(n - 1, 0), col(0, 0));
+                }
+            }
+            GraphShape::Clique => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        qb.join(col(i, 0), col(j, 0));
+                    }
+                }
+            }
+        }
+        if self.order_by {
+            qb.order_by(vec![col(0, 1)]);
+        }
+        if self.group_by {
+            qb.group_by(vec![col(n - 1, 1)]);
+        }
+        let block = qb.build(&cat).expect("generated query is well-formed");
+        let name = format!("{:?}-{}t-seed{:x}", self.shape, n, self.seed);
+        (cat, Query::new(name, block))
+    }
+}
+
+/// Proptest strategy over [`QuerySpec`]s with `min_tables..=max_tables`
+/// tables (pre-cap; see [`QuerySpec::effective_tables`]).
+pub fn query_spec(min_tables: usize, max_tables: usize) -> impl Strategy<Value = QuerySpec> {
+    let lo = min_tables.max(2);
+    let hi = max_tables.max(lo) + 1;
+    (any::<u64>(), lo..hi, 0u8..4, 0u8..8).prop_map(|(seed, tables, shape, flags)| QuerySpec {
+        shape: GraphShape::ALL[shape as usize],
+        tables,
+        order_by: flags & 1 != 0,
+        group_by: flags & 2 != 0,
+        partitioned: flags & 4 != 0,
+        indexes: true,
+        seed,
+    })
+}
+
+/// A fixed corpus of `count` specs sampled from [`query_spec`] with a given
+/// seed — for tests that iterate one deterministic batch rather than run
+/// under the proptest harness.
+pub fn corpus(count: usize, min_tables: usize, max_tables: usize, seed: u64) -> Vec<QuerySpec> {
+    let strat = query_spec(min_tables, max_tables);
+    let mut rng = Xoshiro256pp::new(seed);
+    (0..count).map(|_| strat.sample(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn specs_build_deterministically() {
+        for spec in corpus(24, 2, 9, 7) {
+            let (c1, q1) = spec.build();
+            let (c2, q2) = spec.build();
+            assert_eq!(c1.table_count(), c2.table_count(), "{spec:?}");
+            assert_eq!(q1.root.join_preds().len(), q2.root.join_preds().len());
+            assert_eq!(q1.name, q2.name);
+            // Shape sanity: predicate counts per shape.
+            let n = spec.effective_tables();
+            let preds = q1.root.join_preds().len();
+            let expect = match spec.shape {
+                GraphShape::Chain => n - 1,
+                GraphShape::Star => n - 1,
+                GraphShape::Cycle => {
+                    if n > 2 {
+                        n
+                    } else {
+                        n - 1
+                    }
+                }
+                GraphShape::Clique => n * (n - 1) / 2,
+            };
+            assert_eq!(preds, expect, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn plain_strips_order_sources() {
+        let spec = QuerySpec {
+            shape: GraphShape::Chain,
+            tables: 4,
+            order_by: true,
+            group_by: true,
+            partitioned: false,
+            indexes: true,
+            seed: 3,
+        }
+        .plain();
+        let (cat, q) = spec.build();
+        assert!(q.root.order_by().is_empty());
+        assert!(q.root.group_by().is_empty());
+        assert_eq!(cat.index_count(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn sampled_specs_always_optimize(spec in query_spec(2, 8)) {
+            let (cat, q) = spec.build();
+            let mode = if spec.partitioned {
+                cote_optimizer::Mode::Parallel
+            } else {
+                cote_optimizer::Mode::Serial
+            };
+            let cfg = cote_optimizer::OptimizerConfig::high(mode);
+            let r = cote_optimizer::Optimizer::new(cfg)
+                .optimize_query(&cat, &q)
+                .expect("generated query optimizes");
+            prop_assert!(r.stats.plans_generated.total() > 0, "{:?}", spec);
+        }
+    }
+}

@@ -13,7 +13,11 @@
 //!   replaying any workload against the `cote-service` daemon;
 //! * [`customer`] — `real1` (8 queries) and `real2` (17 queries), synthetic
 //!   data-warehouse stand-ins for the paper's customer workloads (see
-//!   DESIGN.md §2 for the substitution argument).
+//!   DESIGN.md §2 for the substitution argument);
+//! * [`generators`] — proptest strategies and seeded corpora of random
+//!   catalog + join-graph pairs (chain/star/cycle/clique, optional ORDER
+//!   BY/GROUP BY, partitioned tables), shared by the differential and
+//!   oracle test suites.
 //!
 //! Every constructor takes a [`cote_optimizer::Mode`]: `Serial` builds a
 //! single-node catalog, `Parallel` a 4-logical-node shared-nothing catalog
@@ -21,6 +25,7 @@
 
 pub mod customer;
 pub mod cycle;
+pub mod generators;
 pub mod linear;
 pub mod random;
 pub mod star;

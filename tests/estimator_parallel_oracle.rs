@@ -1,0 +1,98 @@
+//! Estimator-vs-optimizer oracle, serial and parallel.
+//!
+//! On a corpus with no interesting-order sources (no indexes, ORDER BY or
+//! GROUP BY — [`QuerySpec::plain`]) and the Cartesian-card-1 heuristic off
+//! (so the simple and full cardinality models enumerate identical join
+//! sites), the COTE prediction is not an approximation: every orientation
+//! generates exactly one NLJN, zero MGJN and one HSJN plan, and the
+//! estimator's counting walk must agree with the real plan generator *to
+//! the plan*. The oracle holds for the serial counting walk, for the
+//! parallel one at several thread counts, and against both the serial and
+//! parallel optimizer.
+
+use cote::{count_joins, estimate_block, EstimateOptions};
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_workloads::generators::{corpus, QuerySpec};
+
+const EST_THREADS: [usize; 3] = [1, 2, 4];
+
+fn plain_specs() -> Vec<QuerySpec> {
+    corpus(12, 2, 9, 0x04AC)
+        .into_iter()
+        .map(|mut s| {
+            s.partitioned = false; // serial catalogs: no partition-term drift
+            s.plain()
+        })
+        .collect()
+}
+
+fn exact_config() -> OptimizerConfig {
+    let mut cfg = OptimizerConfig::high(Mode::Serial);
+    // With the heuristic on, the estimator's simple cardinality model can
+    // admit different Cartesian pairs than the full model — the deliberate
+    // drift of Fig. 5(d–f). Exactness needs it off.
+    cfg.cartesian_card_one = false;
+    cfg
+}
+
+#[test]
+fn estimated_counts_equal_actuals_serial_and_parallel() {
+    for spec in plain_specs() {
+        let (cat, q) = spec.build();
+        let block = &q.root;
+        let cfg = exact_config();
+        let real = Optimizer::new(cfg.clone())
+            .optimize_block(&cat, block)
+            .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        for threads in EST_THREADS {
+            let opts = EstimateOptions {
+                enum_threads: threads,
+                ..Default::default()
+            };
+            let est = estimate_block(&cat, block, &cfg, &opts)
+                .unwrap_or_else(|e| panic!("{spec:?} @ {threads}: {e}"));
+            assert_eq!(
+                est.counts, real.stats.plans_generated,
+                "{spec:?}: plan counts per method @ {threads} threads"
+            );
+            assert_eq!(est.pairs, real.stats.pairs_enumerated, "{spec:?}");
+            assert_eq!(est.joins, real.stats.joins_enumerated, "{spec:?}");
+            assert_eq!(est.memo_entries, real.memo.len() as u64, "{spec:?}");
+        }
+    }
+}
+
+#[test]
+fn estimated_counts_equal_parallel_optimizer_actuals() {
+    // Close the square: the *parallel* optimizer's actuals equal the
+    // parallel estimator's predictions too.
+    for spec in plain_specs().into_iter().take(6) {
+        let (cat, q) = spec.build();
+        let block = &q.root;
+        let cfg = exact_config().with_enum_threads(4);
+        let real = Optimizer::new(cfg.clone())
+            .optimize_block(&cat, block)
+            .unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+        let opts = EstimateOptions {
+            enum_threads: 2,
+            ..Default::default()
+        };
+        let est = estimate_block(&cat, block, &cfg, &opts).unwrap();
+        assert_eq!(est.counts, real.stats.plans_generated, "{spec:?}");
+        assert_eq!(est.pairs, real.stats.pairs_enumerated, "{spec:?}");
+    }
+}
+
+#[test]
+fn join_counts_are_thread_invariant() {
+    // The baseline estimator's enumerating counter threads the same
+    // machinery: counts must not depend on the worker count.
+    for spec in plain_specs().into_iter().take(6) {
+        let (cat, q) = spec.build();
+        let serial = count_joins(&cat, &q, &exact_config()).unwrap();
+        for threads in [2, 4, 8] {
+            let par = count_joins(&cat, &q, &exact_config().with_enum_threads(threads)).unwrap();
+            assert_eq!(serial, par, "{spec:?} @ {threads} threads");
+        }
+    }
+}

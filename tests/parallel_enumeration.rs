@@ -1,0 +1,131 @@
+//! Differential test oracle for intra-query parallel enumeration.
+//!
+//! The contract under test (DESIGN.md § Parallel enumeration): for any
+//! query and any worker-thread count, the parallel enumerator produces the
+//! *same optimization result* as the serial walk — same best-plan cost,
+//! same per-method generated-plan counts, same MEMO entries level by
+//! level. The oracle is the serial enumerator itself; a random corpus of
+//! chain/star/cycle/clique queries (with ORDER BY, GROUP BY and
+//! partitioned-table variety) drives both sides.
+
+use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
+use cote_workloads::generators::{corpus, query_spec, QuerySpec};
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn config_for(spec: &QuerySpec) -> OptimizerConfig {
+    let mode = if spec.partitioned {
+        Mode::Parallel
+    } else {
+        Mode::Serial
+    };
+    OptimizerConfig::high(mode)
+}
+
+/// Per-level MEMO entry counts: `counts[k]` = entries covering `k+1` tables.
+fn level_histogram(memo: &cote_optimizer::Memo<cote_optimizer::PlanList>) -> Vec<usize> {
+    let mut hist = Vec::new();
+    for (_, e) in memo.iter() {
+        let level = e.set.len();
+        if hist.len() < level {
+            hist.resize(level, 0);
+        }
+        hist[level - 1] += 1;
+    }
+    hist
+}
+
+/// Optimize one spec at `threads` workers and return the comparable facts.
+#[allow(clippy::type_complexity)]
+fn facts(spec: &QuerySpec, threads: usize) -> (f64, u64, u64, u64, Vec<usize>, Vec<(u64, usize)>) {
+    let (cat, q) = spec.build();
+    let cfg = config_for(spec).with_enum_threads(threads);
+    let r = Optimizer::new(cfg)
+        .optimize_query(&cat, &q)
+        .unwrap_or_else(|e| panic!("{spec:?} @ {threads} threads: {e}"));
+    let block = &r.blocks[0];
+    // Entry identity: (set bits, plan-list length) in MEMO id order — the
+    // merge contract says ids and list shapes are serial-identical.
+    let entries: Vec<(u64, usize)> = block
+        .memo
+        .iter()
+        .map(|(_, e)| (e.set.bits(), e.payload.plans.len()))
+        .collect();
+    (
+        block.best_cost,
+        r.stats.plans_generated.total(),
+        r.stats.pairs_enumerated,
+        r.stats.joins_enumerated,
+        level_histogram(&block.memo),
+        entries,
+    )
+}
+
+fn assert_identical(spec: &QuerySpec) {
+    let serial = facts(spec, 1);
+    for t in THREADS {
+        let par = facts(spec, t);
+        assert_eq!(
+            serial.0, par.0,
+            "{spec:?}: best cost diverged at {t} threads"
+        );
+        assert_eq!(
+            serial.1, par.1,
+            "{spec:?}: plan count diverged at {t} threads"
+        );
+        assert_eq!(serial.2, par.2, "{spec:?}: pairs diverged at {t} threads");
+        assert_eq!(serial.3, par.3, "{spec:?}: joins diverged at {t} threads");
+        assert_eq!(
+            serial.4, par.4,
+            "{spec:?}: per-level MEMO histogram diverged at {t} threads"
+        );
+        assert_eq!(
+            serial.5, par.5,
+            "{spec:?}: MEMO entry order/shape diverged at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn fixed_corpus_parallel_matches_serial() {
+    // A deterministic 20-query corpus across all four shapes; every thread
+    // count must reproduce the serial result exactly.
+    for spec in corpus(20, 2, 10, 0xD1FF) {
+        assert_identical(&spec);
+    }
+}
+
+#[test]
+fn shape_extremes_parallel_matches_serial() {
+    use cote_workloads::generators::GraphShape;
+    // The corner cases mask striping must get right: tiny queries (levels
+    // with fewer masks than workers) and the densest/biggest graphs.
+    for (shape, tables) in [
+        (GraphShape::Chain, 2),
+        (GraphShape::Chain, 3),
+        (GraphShape::Star, 12),
+        (GraphShape::Cycle, 9),
+        (GraphShape::Clique, 7),
+    ] {
+        let spec = QuerySpec {
+            shape,
+            tables,
+            order_by: true,
+            group_by: shape == GraphShape::Cycle,
+            partitioned: shape == GraphShape::Star,
+            indexes: true,
+            seed: 0xBEEF ^ tables as u64,
+        };
+        assert_identical(&spec);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_specs_parallel_matches_serial(spec in query_spec(2, 9)) {
+        assert_identical(&spec);
+    }
+}

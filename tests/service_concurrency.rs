@@ -207,3 +207,87 @@ fn concurrent_submissions_match_serial_estimates() {
     );
     assert_eq!(svc.cache().len(), 14, "one entry per distinct statement");
 }
+
+#[test]
+fn parallel_enumeration_under_service_load_stays_stable() {
+    // Each estimator worker now runs the *parallel* counting walk (4
+    // enumeration threads), so worker threads spawn scoped thread pools
+    // while 6 client threads hammer the admission controller and the
+    // sharded statement cache. The claims: no deadlock (the test
+    // completes), admitted answers equal the serial-enumeration ground
+    // truth (fingerprints and advice stable), and every admission is
+    // released — the queue-depth gauge and in-flight count return to zero.
+    let cat = catalog(8);
+    let queries: Vec<Query> = (2..=8)
+        .flat_map(|n| [chain(&cat, n, false), chain(&cat, n, true)])
+        .collect();
+    let model = TimeModel {
+        c_nljn: 1e-6,
+        c_mgjn: 1e-6,
+        c_hsjn: 1e-6,
+        intercept: 0.0,
+    };
+    let cote_with = |threads: usize| {
+        Cote::new(OptimizerConfig::high(Mode::Serial), model.clone()).with_options(
+            EstimateOptions {
+                enum_threads: threads,
+                ..Default::default()
+            },
+        )
+    };
+    let cfg = ServiceConfig {
+        workers: 3,
+        shards: 4,
+        cache_capacity: 256,
+        max_inflight: 64,
+        deadline: Duration::from_secs(30),
+        ..Default::default()
+    };
+
+    // Serial-enumeration ground truth.
+    let serial: HashMap<u64, Vec<(usize, f64)>> = {
+        let advisor = cote_service::LevelAdvisor::new(cote_with(1), &cfg);
+        queries
+            .iter()
+            .map(|q| {
+                let a = advisor.advise(&cat, q, QueryClass::Batch).unwrap();
+                (fingerprint(q), a.levels)
+            })
+            .collect()
+    };
+
+    let svc = CoteService::start(cat, cote_with(4), cfg);
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let (svc, queries, serial) = (&svc, &queries, &serial);
+            scope.spawn(move || {
+                for round in 0..4 {
+                    for i in 0..queries.len() {
+                        let q = &queries[(i + t * 5 + round) % queries.len()];
+                        let fp_before = fingerprint(q);
+                        let resp = svc.submit(q, QueryClass::Batch);
+                        assert_eq!(fp_before, fingerprint(q), "fingerprint unstable");
+                        match resp.decision {
+                            Decision::Admitted { advice, .. } => {
+                                assert_eq!(
+                                    &advice.levels, &serial[&fp_before],
+                                    "{}: parallel-enumeration advice diverged",
+                                    q.name
+                                );
+                            }
+                            other => panic!("{}: unexpected {other:?}", q.name),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert!(svc.drain(Duration::from_secs(10)), "service quiesces");
+    let m = svc.metrics();
+    assert_eq!(m.requests.get(), 6 * 4 * 14);
+    assert_eq!(m.errors.get(), 0);
+    assert_eq!(m.shed_total(), 0, "64 in-flight covers 6 clients");
+    assert_eq!(m.queue_depth.get(), 0, "queue-depth gauge returns to zero");
+    assert_eq!(svc.inflight(), 0, "every admission released");
+    assert_eq!(svc.cache().len(), 14, "one entry per distinct statement");
+}
