@@ -14,6 +14,10 @@ USAGE:
   cote workloads                      list workload names
   cote show <workload> [N]            pseudo-SQL of a workload('s Nth query)
   cote estimate <workload> [N]        COTE estimates (quick self-calibration)
+  cote estimate [workload] --sql <SQL|-> | --sql-file PATH
+                                      parse, bind and estimate one SQL
+                                      statement against a workload's catalog
+                                      (default tpch-s); '-' reads stdin
   cote memo <workload> N              estimator MEMO property lists
   cote compile <workload> [N]         compile for real; stats + chosen plan
   cote forecast <workload>            workload compilation forecast (§1.1)
@@ -44,6 +48,13 @@ USAGE:
                                       serially and at each thread count,
                                       verify identical plans/cost, report
                                       speedups
+  cote bench-all [--json] [--repeat R] [--workloads A,B,..]
+                                      compile every workload (default: all
+                                      serial ones) with the instrumented
+                                      optimizer and report Fig 2/4-style
+                                      per-phase times, plans/sec and the
+                                      statement-cache hit-rate over a
+                                      repeated statement stream
 
 Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
 or -p (parallel), e.g. `cote estimate star-s 3`.
@@ -111,9 +122,40 @@ pub fn show(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// `cote estimate <workload> [N]`
+/// `cote estimate <workload> [N]`, or with `--sql <SQL|->` / `--sql-file
+/// PATH`: run one SQL statement through the text front-end (parse, bind,
+/// lower) and estimate it against a workload's catalog.
 pub fn estimate(args: &[String]) -> Result<()> {
-    let (w, idx) = parse(args)?;
+    let mut sql: Option<String> = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CoteError::InvalidQuery {
+                reason: format!("{flag} needs a value"),
+            })
+        };
+        match a.as_str() {
+            "--sql" => {
+                let v = val("--sql")?;
+                sql = Some(if v == "-" { read_stdin()? } else { v });
+            }
+            "--sql-file" => {
+                let path = val("--sql-file")?;
+                sql =
+                    Some(
+                        std::fs::read_to_string(&path).map_err(|e| CoteError::InvalidQuery {
+                            reason: format!("reading {path}: {e}"),
+                        })?,
+                    );
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    if let Some(sql) = sql {
+        return estimate_sql(sql.trim(), &rest);
+    }
+    let (w, idx) = parse(&rest)?;
     let config = OptimizerConfig::high(w.mode);
     eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
     let cote = quick_cote(&w, &config)?;
@@ -134,6 +176,55 @@ pub fn estimate(args: &[String]) -> Result<()> {
             e.seconds * 1e3
         );
     }
+    Ok(())
+}
+
+fn read_stdin() -> Result<String> {
+    use std::io::Read;
+    let mut buf = String::new();
+    std::io::stdin()
+        .read_to_string(&mut buf)
+        .map_err(|e| CoteError::InvalidQuery {
+            reason: format!("reading stdin: {e}"),
+        })?;
+    Ok(buf)
+}
+
+/// The `--sql` path of `cote estimate`: the optional positional argument
+/// names the workload whose catalog the statement binds against.
+fn estimate_sql(sql: &str, rest: &[String]) -> Result<()> {
+    let name = rest.first().map(String::as_str).unwrap_or("tpch-s");
+    let w = by_name(name)?;
+    let compiled = cote_sql::compile(sql, &w.catalog, "sql").map_err(|e| {
+        // Multi-line caret rendering; the leading newline keeps the caret
+        // aligned after main's `error:` prefix.
+        CoteError::InvalidQuery {
+            reason: format!("\n{}", e.render(sql)),
+        }
+    })?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    let e = cote.estimate(&w.catalog, &compiled.query)?;
+    println!(
+        "catalog:     {} ({} tables)",
+        w.name,
+        w.catalog.table_count()
+    );
+    println!("fingerprint: {:016x}", compiled.fingerprint);
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>10} {:>12}",
+        "query", "NLJN", "MGJN", "HSJN", "joins", "est time"
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>10} {:>10.3}ms",
+        compiled.query.name,
+        e.counts.nljn,
+        e.counts.mgjn,
+        e.counts.hsjn,
+        e.detail.totals.pairs,
+        e.seconds * 1e3
+    );
     Ok(())
 }
 
@@ -417,6 +508,202 @@ pub fn bench_par(args: &[String]) -> Result<()> {
     Ok(())
 }
 
+/// One workload's aggregated bench-all numbers.
+struct WorkloadBench {
+    name: String,
+    queries: usize,
+    /// Summed phase wall-clock, in the Figure 2/4 order: enumeration,
+    /// NLJN, MGJN, HSJN, plan saving, other.
+    phase_seconds: [f64; 6],
+    elapsed_seconds: f64,
+    plans_generated: u64,
+    plans_kept: u64,
+    pairs_enumerated: u64,
+    memo_entries: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_hit_rate: f64,
+}
+
+/// Phase labels matching `WorkloadBench::phase_seconds`.
+const PHASE_NAMES: [&str; 6] = ["enumeration", "nljn", "mgjn", "hsjn", "saving", "other"];
+
+fn bench_workload(name: &str, repeat: usize) -> Result<WorkloadBench> {
+    let w = by_name(name)?;
+    let cfg = OptimizerConfig::high(w.mode);
+    let runs = cote_bench::compile_workload(&w, &cfg, repeat)?;
+    let mut b = WorkloadBench {
+        name: name.to_string(),
+        queries: w.queries.len(),
+        phase_seconds: [0.0; 6],
+        elapsed_seconds: 0.0,
+        plans_generated: 0,
+        plans_kept: 0,
+        pairs_enumerated: 0,
+        memo_entries: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
+    };
+    for r in &runs {
+        let t = &r.stats.time;
+        for (acc, d) in b.phase_seconds.iter_mut().zip([
+            t.enumeration,
+            t.nljn,
+            t.mgjn,
+            t.hsjn,
+            t.saving,
+            t.other,
+        ]) {
+            *acc += d.as_secs_f64();
+        }
+        b.elapsed_seconds += r.seconds;
+        b.plans_generated += r.stats.plans_generated.total();
+        b.plans_kept += r.stats.plans_kept;
+        b.pairs_enumerated += r.stats.pairs_enumerated;
+        b.memo_entries += r.stats.memo_entries;
+    }
+    // Statement-cache behavior over a stream that replays every statement
+    // twice: first arrivals miss and are recorded, second arrivals should
+    // all hit (structurally identical statements hit on the first pass).
+    let mut cache = cote::StatementCache::new();
+    for _ in 0..2 {
+        for (q, r) in w.queries.iter().zip(&runs) {
+            if cache.lookup(q).is_none() {
+                cache.record(q, r.seconds);
+            }
+        }
+    }
+    let cs = cache.stats();
+    b.cache_hits = cs.hits;
+    b.cache_misses = cs.misses;
+    b.cache_hit_rate = cache.hit_rate();
+    Ok(b)
+}
+
+fn bench_all_json(rows: &[WorkloadBench], repeat: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"bench-all\",\n");
+    out.push_str(&format!("  \"repeat\": {repeat},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, b) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", b.name));
+        out.push_str(&format!("      \"queries\": {},\n", b.queries));
+        out.push_str(&format!(
+            "      \"elapsed_seconds\": {:.6},\n",
+            b.elapsed_seconds
+        ));
+        out.push_str("      \"phase_seconds\": {");
+        for (j, (label, secs)) in PHASE_NAMES.iter().zip(b.phase_seconds).enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            out.push_str(&format!("{sep}\"{label}\": {secs:.6}"));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!(
+            "      \"plans_generated\": {},\n",
+            b.plans_generated
+        ));
+        out.push_str(&format!("      \"plans_kept\": {},\n", b.plans_kept));
+        out.push_str(&format!(
+            "      \"pairs_enumerated\": {},\n",
+            b.pairs_enumerated
+        ));
+        out.push_str(&format!("      \"memo_entries\": {},\n", b.memo_entries));
+        out.push_str(&format!(
+            "      \"plans_per_second\": {:.1},\n",
+            b.plans_generated as f64 / b.elapsed_seconds.max(1e-12)
+        ));
+        out.push_str(&format!(
+            "      \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}\n",
+            b.cache_hits, b.cache_misses, b.cache_hit_rate
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `cote bench-all [--json] [--repeat R] [--workloads A,B,..]` — compile
+/// each workload with the instrumented optimizer and aggregate the Figure
+/// 2/4 phase decomposition, plan throughput, and the statement-cache
+/// hit-rate over a stream replaying every statement twice.
+pub fn bench_all(args: &[String]) -> Result<()> {
+    let mut json = false;
+    let mut repeat = 1usize;
+    let mut names: Vec<String> = ALL_WORKLOADS
+        .iter()
+        .filter(|n| n.ends_with("-s"))
+        .map(|s| s.to_string())
+        .collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CoteError::InvalidQuery {
+                reason: format!("{flag} needs a value"),
+            })
+        };
+        match a.as_str() {
+            "--json" => json = true,
+            "--repeat" => {
+                let v = val("--repeat")?;
+                repeat = v
+                    .parse::<usize>()
+                    .map_err(|_| CoteError::InvalidQuery {
+                        reason: format!("--repeat: cannot parse '{v}'"),
+                    })?
+                    .max(1);
+            }
+            "--workloads" => {
+                names = val("--workloads")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            other => {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("bench-all: unknown flag '{other}'"),
+                });
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(names.len());
+    for name in &names {
+        eprintln!("bench-all: compiling {name} ({repeat} repeat(s))...");
+        rows.push(bench_workload(name, repeat)?);
+    }
+    if json {
+        print!("{}", bench_all_json(&rows, repeat));
+        return Ok(());
+    }
+    println!(
+        "{:<10} {:>7} {:>11} {:>10} {:>12} {:>9}",
+        "workload", "queries", "time", "plans", "plans/sec", "hit-rate"
+    );
+    for b in &rows {
+        println!(
+            "{:<10} {:>7} {:>9.3}ms {:>10} {:>12.1} {:>8.1}%",
+            b.name,
+            b.queries,
+            b.elapsed_seconds * 1e3,
+            b.plans_generated,
+            b.plans_generated as f64 / b.elapsed_seconds.max(1e-12),
+            100.0 * b.cache_hit_rate
+        );
+        let parts: Vec<String> = PHASE_NAMES
+            .iter()
+            .zip(b.phase_seconds)
+            .map(|(l, s)| format!("{l} {:.3}ms", s * 1e3))
+            .collect();
+        println!("           {}", parts.join("  "));
+    }
+    Ok(())
+}
+
 /// An n-table star: t0 is the hub, every satellite joins it on c0.
 fn star_query(n: usize) -> (cote_catalog::Catalog, cote_query::Query) {
     use cote_catalog::{ColumnDef, TableDef};
@@ -510,6 +797,37 @@ mod tests {
         bench_par(&args).unwrap();
         assert!(bench_par(&["--tables".into(), "1".into()]).is_err());
         assert!(bench_par(&["--bogus".into()]).is_err());
+    }
+
+    #[test]
+    fn estimate_sql_binds_against_tpch_and_rejects_bad_sql() {
+        let args: Vec<String> = vec![
+            "--sql".into(),
+            "SELECT * FROM customer c, orders o WHERE c.custkey = o.custkey".into(),
+        ];
+        estimate(&args).unwrap();
+        let bad: Vec<String> = vec!["--sql".into(), "SELECT * FROM nowhere".into()];
+        let err = estimate(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown table"), "{err}");
+        assert!(err.contains('^'), "caret rendering: {err}");
+        assert!(estimate(&["--sql".into()]).is_err());
+        assert!(estimate(&["--sql-file".into(), "/no/such/file.sql".into()]).is_err());
+    }
+
+    #[test]
+    fn bench_all_aggregates_one_workload_into_json() {
+        let rows = vec![bench_workload("real1-s", 1).unwrap()];
+        let json = bench_all_json(&rows, 1);
+        assert!(json.contains("\"name\": \"real1-s\""), "{json}");
+        assert!(json.contains("\"plans_per_second\""), "{json}");
+        assert!(json.contains("\"enumeration\""), "{json}");
+        // The stream replays every statement twice: the second pass hits on
+        // every lookup, so at least half the lookups are hits.
+        assert!(rows[0].cache_hit_rate >= 0.5, "{}", rows[0].cache_hit_rate);
+        assert!(rows[0].plans_generated > 0);
+        assert!(rows[0].elapsed_seconds > 0.0);
+        assert!(bench_all(&["--bogus".into()]).is_err());
+        assert!(bench_all(&["--repeat".into(), "x".into()]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cote workloads                      list workload names
 //! cote show <workload> [N]            pseudo-SQL of a workload('s Nth query)
 //! cote estimate <workload> [N]        COTE estimates (quick self-calibration)
+//! cote estimate [workload] --sql <SQL|->    estimate one SQL statement
 //! cote memo <workload> N              estimator MEMO property lists
 //! cote compile <workload> [N]         compile for real; stats + chosen plan
 //! cote forecast <workload>            §1.1 workload compilation forecast
@@ -13,6 +14,7 @@
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
 //! cote bench-net --workload W --rps R       open-loop benchmark over TCP sockets
 //! cote bench-par [--tables N] [--threads A,B] parallel-enumeration speedup bench
+//! cote bench-all [--json]             phase times, plans/sec, cache hit-rate
 //! ```
 
 mod commands;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         Some("bench-service") => serve::bench_service(&args[1..]),
         Some("bench-net") => serve::bench_net(&args[1..]),
         Some("bench-par") => commands::bench_par(&args[1..]),
+        Some("bench-all") => commands::bench_all(&args[1..]),
         Some("help") | None => {
             print!("{}", commands::USAGE);
             Ok(())

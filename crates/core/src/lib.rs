@@ -78,5 +78,5 @@ pub use mop::{MetaOptimizer, MopChoice, MopOutcome};
 pub use options::EstimateOptions;
 pub use regression::{least_squares, mean_abs_pct_error, nonnegative_least_squares};
 pub use reopt::{should_reoptimize, ExecutionCheckpoint, ReoptDecision};
-pub use statement_cache::{fingerprint, StatementCache};
+pub use statement_cache::{fingerprint, StatementCache, StructuralHasher};
 pub use time_model::TimeModel;

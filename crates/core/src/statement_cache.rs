@@ -7,7 +7,7 @@
 //! the motivating contrast for COTE. Implemented here so the harness can
 //! demonstrate exactly that failure mode.
 
-use cote_common::LruCache;
+use cote_common::{ColRef, LruCache, TableId, TableRef};
 use cote_obs::{CacheStats, Counter};
 use cote_query::{PredOp, Query, QueryBlock};
 use std::hash::{Hash, Hasher};
@@ -61,37 +61,114 @@ impl Default for StatementCache {
     }
 }
 
-fn hash_block<H: Hasher>(block: &QueryBlock, h: &mut H) {
-    block.n_tables().hash(h);
-    for t in block.table_refs() {
-        block.table(t).hash(h);
+/// The literal-normalizing structural hasher every fingerprint path shares.
+///
+/// Both the built-[`QueryBlock`] fingerprint below and `cote-sql`'s
+/// AST-level fingerprint feed the *same canonical event sequence* through
+/// this hasher, so a statement parsed from SQL text and the equivalent
+/// hand-built spec produce bit-identical fingerprints — the statement cache
+/// can be consulted from either entry point. Literal constants never enter
+/// the hash (only operator *kinds* do): `WHERE a = 1` and `WHERE a = 2` are
+/// one statement with a parameter slot.
+///
+/// Canonical event order per block: [`Self::begin_block`], every join
+/// predicate in declaration order, every local predicate in declaration
+/// order, every expensive predicate's column, then [`Self::block_shape`],
+/// then each child block recursively in order.
+#[derive(Default)]
+pub struct StructuralHasher {
+    h: cote_common::fxhash::FxHasher,
+}
+
+impl StructuralHasher {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
     }
-    for p in block.join_preds() {
-        (p.left, p.right, p.implied, p.outer_join).hash(h);
-    }
-    for p in block.local_preds() {
-        p.column.hash(h);
-        // Operator kind only — constants are parameters.
-        std::mem::discriminant(&p.op).hash(h);
-        if let PredOp::Opaque(_) = p.op {
-            // Opaque predicates differ structurally per selectivity class.
-            0xdeadu16.hash(h);
+
+    /// Open a block: its FROM list as catalog table ids, in FROM order.
+    pub fn begin_block<I: ExactSizeIterator<Item = TableId>>(&mut self, tables: I) {
+        tables.len().hash(&mut self.h);
+        for t in tables {
+            t.hash(&mut self.h);
         }
     }
-    block.group_by().hash(h);
-    block.order_by().hash(h);
-    block.first_n().is_some().hash(h);
-    block.children().len().hash(h);
+
+    /// One join predicate (orientation is significant — lowering preserves
+    /// the written order, so both paths see the same columns).
+    pub fn join_pred(&mut self, left: ColRef, right: ColRef, implied: bool, outer: Option<u16>) {
+        (left, right, implied, outer).hash(&mut self.h);
+    }
+
+    /// One local predicate: column plus operator kind. The literal operand
+    /// is a parameter slot and is *not* hashed.
+    pub fn local_pred(&mut self, column: ColRef, op: &PredOp) {
+        column.hash(&mut self.h);
+        let kind: u8 = match op {
+            PredOp::Eq(_) => 0,
+            PredOp::Le(_) => 1,
+            PredOp::Ge(_) => 2,
+            PredOp::Between(_, _) => 3,
+            // Opaque predicates differ structurally per selectivity class.
+            PredOp::Opaque(_) => 4,
+        };
+        kind.hash(&mut self.h);
+    }
+
+    /// One expensive (deferrable) predicate's column. Selectivity and cost
+    /// are statistics, not structure.
+    pub fn expensive_pred(&mut self, column: ColRef) {
+        column.hash(&mut self.h);
+    }
+
+    /// Close a block: GROUP BY / ORDER BY shapes, FETCH FIRST presence, and
+    /// the child-block count (children are then hashed recursively).
+    pub fn block_shape(
+        &mut self,
+        group_by: &[ColRef],
+        order_by: &[ColRef],
+        has_first_n: bool,
+        children: usize,
+    ) {
+        group_by.hash(&mut self.h);
+        order_by.hash(&mut self.h);
+        has_first_n.hash(&mut self.h);
+        children.hash(&mut self.h);
+    }
+
+    /// The finished fingerprint.
+    pub fn finish(self) -> u64 {
+        self.h.finish()
+    }
+}
+
+fn hash_block(block: &QueryBlock, sh: &mut StructuralHasher) {
+    sh.begin_block((0..block.n_tables()).map(|i| block.table(TableRef(i as u8))));
+    for p in block.join_preds() {
+        sh.join_pred(p.left, p.right, p.implied, p.outer_join);
+    }
+    for p in block.local_preds() {
+        sh.local_pred(p.column, &p.op);
+    }
+    for p in block.expensive_preds() {
+        sh.expensive_pred(p.column);
+    }
+    sh.block_shape(
+        block.group_by(),
+        block.order_by(),
+        block.first_n().is_some(),
+        block.children().len(),
+    );
     for c in block.children() {
-        hash_block(c, h);
+        hash_block(c, sh);
     }
 }
 
 /// Structural fingerprint of a query.
 pub fn fingerprint(query: &Query) -> u64 {
-    let mut h = cote_common::fxhash::FxHasher::default();
-    hash_block(&query.root, &mut h);
-    h.finish()
+    let mut sh = StructuralHasher::new();
+    hash_block(&query.root, &mut sh);
+    sh.finish()
 }
 
 impl StatementCache {

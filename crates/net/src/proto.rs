@@ -9,10 +9,12 @@
 //! ```text
 //! request  = "PING"
 //!          | "ESTIMATE" index [class]       ; full per-level estimates
+//!          | "ESTIMATE" "SQL" text          ; parse+bind+estimate SQL text
 //!          | "ADMIT"    index [class]       ; compact admit/shed verdict
 //!          | "METRICS"                      ; registry JSON, one line
 //! index    = 1-based index into the served workload's query list
 //! class    = "interactive" | "reporting" | "batch"   ; default: by size
+//! text     = rest of the line (one statement; newlines are frame breaks)
 //!
 //! response = "OK " payload | "BUSY " reason | "ERR " message
 //! ```
@@ -26,7 +28,7 @@
 use cote_service::{Decision, QueryClass, ServiceResponse};
 
 /// A parsed wire request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WireRequest {
     /// Liveness probe.
     Ping,
@@ -36,6 +38,11 @@ pub enum WireRequest {
         index: usize,
         /// Explicit class; `None` lets the server classify by query size.
         class: Option<QueryClass>,
+    },
+    /// Full estimate of a SQL statement bound against the served catalog.
+    EstimateSql {
+        /// The statement text (one line — frames are newline-delimited).
+        sql: String,
     },
     /// Compact admission verdict (no per-level payload).
     Admit {
@@ -57,6 +64,7 @@ impl WireRequest {
                 Some(c) => format!("ESTIMATE {index} {}", c.name()),
                 None => format!("ESTIMATE {index}"),
             },
+            WireRequest::EstimateSql { sql } => format!("ESTIMATE SQL {sql}"),
             WireRequest::Admit { index, class } => match class {
                 Some(c) => format!("ADMIT {index} {}", c.name()),
                 None => format!("ADMIT {index}"),
@@ -82,9 +90,20 @@ pub fn parse_request(line: &str) -> Result<WireRequest, String> {
     } else if verb.eq_ignore_ascii_case("METRICS") {
         WireRequest::Metrics
     } else if verb.eq_ignore_ascii_case("ESTIMATE") || verb.eq_ignore_ascii_case("ADMIT") {
-        let index: usize = parts
-            .next()
-            .ok_or("missing query index")?
+        let second = parts.next().ok_or("missing query index")?;
+        if verb.eq_ignore_ascii_case("ESTIMATE") && second.eq_ignore_ascii_case("SQL") {
+            // Rest-of-line capture: everything after the SQL marker is the
+            // statement, whitespace and all.
+            let after_verb = line.trim_start()[verb.len()..].trim_start();
+            let sql = after_verb[second.len()..].trim();
+            if sql.is_empty() {
+                return Err("ESTIMATE SQL needs a statement".into());
+            }
+            return Ok(WireRequest::EstimateSql {
+                sql: sql.to_string(),
+            });
+        }
+        let index: usize = second
             .parse()
             .map_err(|_| "query index must be a positive integer".to_string())?;
         if index == 0 {
@@ -228,6 +247,36 @@ pub fn json_extract_str<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     rest.split('"').next()
 }
 
+/// Full JSON string extraction with escape handling, for the `"sql"` field
+/// of `POST /estimate` bodies (statements legitimately contain quotes,
+/// backslashes only via escapes). Supports `\" \\ \/ \n \r \t \uXXXX`.
+pub fn json_extract_string(body: &str, key: &str) -> Option<String> {
+    let rest = json_value_after_key(body, key)?;
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                    out.push(char::from_u32(code)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
 fn json_value_after_key<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     let needle = format!("\"{key}\"");
     let at = body.find(&needle)? + needle.len();
@@ -266,6 +315,24 @@ mod tests {
                 class: Some(QueryClass::Interactive)
             }
         );
+    }
+
+    #[test]
+    fn parse_estimate_sql_captures_the_rest_of_the_line() {
+        let req = parse_request("ESTIMATE SQL SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0").unwrap();
+        assert_eq!(
+            req,
+            WireRequest::EstimateSql {
+                sql: "SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0".into()
+            }
+        );
+        // Case-insensitive marker, round-trips through render.
+        let req = parse_request("estimate sql select * from t0").unwrap();
+        assert_eq!(parse_request(&req.render()).unwrap(), req);
+        assert!(parse_request("ESTIMATE SQL").is_err());
+        assert!(parse_request("ESTIMATE SQL   ").is_err());
+        // ADMIT has no SQL form: "SQL" is not an index.
+        assert!(parse_request("ADMIT SQL SELECT 1").is_err());
     }
 
     #[test]
@@ -311,5 +378,21 @@ mod tests {
         assert_eq!(json_extract_u64(body, "missing"), None);
         assert_eq!(json_extract_u64("{\"query\":\"x\"}", "query"), None);
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_extract_string_handles_escapes() {
+        let body = "{\"sql\": \"SELECT * FROM t WHERE c = 'it''s \\\"x\\\"\\n'\"}";
+        assert_eq!(
+            json_extract_string(body, "sql").as_deref(),
+            Some("SELECT * FROM t WHERE c = 'it''s \"x\"\n'")
+        );
+        assert_eq!(
+            json_extract_string("{\"sql\":\"\\u0041B\"}", "sql").as_deref(),
+            Some("AB")
+        );
+        assert_eq!(json_extract_string("{\"sql\": 5}", "sql"), None);
+        assert_eq!(json_extract_string("{\"sql\":\"unterminated", "sql"), None);
+        assert_eq!(json_extract_string("{\"sql\":\"bad\\q\"}", "sql"), None);
     }
 }

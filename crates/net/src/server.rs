@@ -397,6 +397,23 @@ fn submit(shared: &Shared, index: usize, class: Option<QueryClass>, full: bool) 
     proto::decision_response(&query.name, &resp, full)
 }
 
+/// Parse, bind and lower SQL text against the served catalog, then submit.
+///
+/// Front-end failures (lex/parse/bind) come back as `ERR sql: <position>:
+/// <message>` — the position is line:column within the submitted statement —
+/// and surface as HTTP 400 on the `POST /estimate` path.
+fn submit_sql(shared: &Shared, sql: &str, class: Option<QueryClass>) -> WireResponse {
+    let compiled = match cote_sql::compile(sql, shared.svc.catalog(), "sql") {
+        Ok(c) => c,
+        Err(e) => return WireResponse::Err(format!("sql: {}", e.one_line(sql))),
+    };
+    let name = format!("sql-{:016x}", compiled.fingerprint);
+    let query = Query::new(name.clone(), compiled.query.root);
+    let class = class.unwrap_or_else(|| QueryClass::from_table_count(query.total_tables()));
+    let resp = shared.svc.submit(&query, class);
+    proto::decision_response(&name, &resp, true)
+}
+
 fn wire_response(shared: &Shared, line: &str) -> WireResponse {
     let req = match proto::parse_request(line) {
         Ok(r) => r,
@@ -409,6 +426,7 @@ fn wire_response(shared: &Shared, line: &str) -> WireResponse {
         WireRequest::Ping => WireResponse::Ok("pong".into()),
         WireRequest::Metrics => WireResponse::Ok(shared.svc.metrics().json()),
         WireRequest::Estimate { index, class } => submit(shared, index, class, true),
+        WireRequest::EstimateSql { sql } => submit_sql(shared, &sql, None),
         WireRequest::Admit { index, class } => submit(shared, index, class, false),
     }
 }
@@ -442,16 +460,6 @@ fn route_http(shared: &Shared, req: &HttpRequest) -> String {
             &shared.svc.metrics().prometheus_text(),
         ),
         ("POST", "/estimate") => {
-            let index = match proto::json_extract_u64(&req.body, "query") {
-                Some(i) => i as usize,
-                None => {
-                    return http::render_response(
-                        400,
-                        "application/json",
-                        "{\"status\":\"error\",\"error\":\"body needs {\\\"query\\\":N}\"}",
-                    )
-                }
-            };
             let class = match req.body.contains("\"class\"") {
                 true => {
                     match proto::json_extract_str(&req.body, "class").and_then(proto::parse_class) {
@@ -467,7 +475,32 @@ fn route_http(shared: &Shared, req: &HttpRequest) -> String {
                 }
                 false => None,
             };
-            match submit(shared, index, class, true) {
+            let response = if req.body.contains("\"sql\"") {
+                match proto::json_extract_string(&req.body, "sql") {
+                    Some(sql) => submit_sql(shared, &sql, class),
+                    None => {
+                        return http::render_response(
+                            400,
+                            "application/json",
+                            "{\"status\":\"error\",\"error\":\"malformed sql field\"}",
+                        )
+                    }
+                }
+            } else {
+                let index = match proto::json_extract_u64(&req.body, "query") {
+                    Some(i) => i as usize,
+                    None => {
+                        return http::render_response(
+                            400,
+                            "application/json",
+                            "{\"status\":\"error\",\"error\":\"body needs \
+                             {\\\"query\\\":N} or {\\\"sql\\\":\\\"...\\\"}\"}",
+                        )
+                    }
+                };
+                submit(shared, index, class, true)
+            };
+            match response {
                 WireResponse::Ok(json) => http::render_response(200, "application/json", &json),
                 WireResponse::Busy(reason) => http::render_response(
                     503,

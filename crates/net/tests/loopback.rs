@@ -305,6 +305,92 @@ fn pipelined_requests_are_answered_in_order() {
     assert_gauge_drained(&svc);
 }
 
+#[test]
+fn sql_estimates_over_wire_and_http() {
+    let (svc, queries) = service(small_cfg());
+    let server = NetServer::bind(
+        Arc::clone(&svc),
+        queries,
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let mut c = NetClient::connect_with(addr, &quick_client_cfg()).unwrap();
+
+    // ESTIMATE SQL of the same join the fixture serves as `chain2` (index 1)
+    // must produce the same advice.
+    let want = match c.estimate(1, None).unwrap() {
+        WireResponse::Ok(p) => json_extract_str(&p, "choice").unwrap().to_string(),
+        other => panic!("{other:?}"),
+    };
+    let sql = "SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0";
+    c.send(&WireRequest::EstimateSql { sql: sql.into() })
+        .unwrap();
+    let first = match c.recv().unwrap() {
+        WireResponse::Ok(p) => p,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(json_extract_str(&first, "choice"), Some(want.as_str()));
+    assert!(
+        json_extract_str(&first, "query")
+            .unwrap()
+            .starts_with("sql-"),
+        "{first}"
+    );
+
+    // A literal variant of the same statement structure hits the cache.
+    c.send_raw("ESTIMATE SQL SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0 AND t0.c1 = 7")
+        .unwrap();
+    assert!(matches!(c.recv().unwrap(), WireResponse::Ok(_)));
+    c.send_raw("ESTIMATE SQL SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0 AND t0.c1 = 99")
+        .unwrap();
+    match c.recv().unwrap() {
+        WireResponse::Ok(p) => assert!(p.contains("\"cached\":true"), "{p}"),
+        other => panic!("{other:?}"),
+    }
+
+    // Parse and bind failures are structured ERRs with a position.
+    c.send_raw("ESTIMATE SQL SELECT * FROM").unwrap();
+    match c.recv().unwrap() {
+        WireResponse::Err(m) => assert!(m.contains("sql: error at 1:"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+    c.send_raw("ESTIMATE SQL SELECT * FROM nowhere").unwrap();
+    match c.recv().unwrap() {
+        WireResponse::Err(m) => assert!(m.contains("unknown table 'nowhere'"), "{m}"),
+        other => panic!("{other:?}"),
+    }
+
+    // HTTP: {"sql": ...} body, success and structured 400.
+    let body = format!("{{\"sql\":\"{sql}\"}}");
+    let est = http_exchange(
+        addr,
+        &format!(
+            "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert!(est.starts_with("HTTP/1.1 200 OK\r\n"), "{est}");
+    assert!(est.contains(&format!("\"choice\":\"{want}\"")), "{est}");
+
+    let bad = "{\"sql\":\"SELECT * FROM t0 WHERE t0.nope = 1\"}";
+    let resp = http_exchange(
+        addr,
+        &format!(
+            "POST /estimate HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{bad}",
+            bad.len()
+        ),
+    );
+    assert!(resp.starts_with("HTTP/1.1 400 "), "{resp}");
+    assert!(resp.contains("unknown column 'nope'"), "{resp}");
+
+    drop(c);
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}
+
 /// One HTTP exchange on a fresh connection (`Connection: close` semantics).
 fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
     let mut s = TcpStream::connect(addr).unwrap();

@@ -2,7 +2,11 @@
 //!
 //! Keyed by [`cote::fingerprint`] (structural identity — literals are
 //! parameters), valued by the advisor's full [`Advice`] so a hit skips both
-//! the estimator *and* the level decision. Shards are independent
+//! the estimator *and* the level decision. Statements arriving as SQL text
+//! key the same cache through `cote-sql`'s AST-level fingerprint, which
+//! feeds the identical `cote::StructuralHasher` event stream — so
+//! `WHERE a = 1` and `WHERE a = 2` share one entry whether they arrive as
+//! text or as built queries. Shards are independent
 //! `RwLock<LruCache>`s selected by the fingerprint's high bits; under N
 //! threads the lock held per operation covers 1/shards of the keyspace, and
 //! read-mostly traffic (hot statements) takes only read locks on the fast

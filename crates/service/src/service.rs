@@ -190,6 +190,12 @@ impl CoteService {
         &self.inner.metrics
     }
 
+    /// The catalog this service estimates against (front-ends that accept
+    /// SQL text bind statements against it before submitting).
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
     /// The statement cache (for size/occupancy inspection).
     pub fn cache(&self) -> &ShardedCache {
         &self.inner.cache

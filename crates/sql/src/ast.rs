@@ -1,0 +1,363 @@
+//! Typed AST for the supported SQL subset, plus a canonical renderer.
+//!
+//! The grammar is the conjunctive SELECT core that the estimation model can
+//! represent (see DESIGN.md §"SQL front-end"): explicit `JOIN … ON` and
+//! implicit comma joins, `WHERE` conjunctions of equi-join and local
+//! comparison predicates, `GROUP BY` / `ORDER BY` column lists,
+//! `FETCH FIRST n ROWS ONLY` / `LIMIT n`, and uncorrelated `IN (SELECT …)` /
+//! `EXISTS (SELECT …)` subqueries.
+//!
+//! Every node records the byte offset of its defining token in a [`Pos`].
+//! `Pos` compares equal to every other `Pos`, so derived `PartialEq` on AST
+//! nodes is *structural* equality — exactly what the AST→SQL→AST round-trip
+//! oracle needs (re-parsing the rendered text yields different offsets).
+
+use std::fmt::Write as _;
+
+/// Byte offset of a token in the source text.
+///
+/// Equality is intentionally vacuous (all positions are "equal") so that
+/// derived [`PartialEq`] on AST nodes compares structure only.
+#[derive(Debug, Clone, Copy, Default, Eq)]
+pub struct Pos(pub usize);
+
+impl PartialEq for Pos {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+/// An identifier with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ident {
+    /// The identifier text as written (case preserved).
+    pub text: String,
+    /// Source position of the first character.
+    pub pos: Pos,
+}
+
+impl Ident {
+    /// Case-insensitive name comparison (SQL identifier semantics here:
+    /// unquoted, folded for matching, preserved for display).
+    pub fn matches(&self, other: &str) -> bool {
+        self.text.eq_ignore_ascii_case(other)
+    }
+}
+
+/// A possibly-qualified column reference: `c0` or `t0.c0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnName {
+    /// Optional table-or-alias qualifier.
+    pub table: Option<Ident>,
+    /// Column name.
+    pub column: Ident,
+}
+
+impl ColumnName {
+    /// Position to report errors against: the qualifier if present.
+    pub fn pos(&self) -> Pos {
+        self.table.as_ref().map_or(self.column.pos, |t| t.pos)
+    }
+}
+
+/// The projected columns: `*` or an explicit list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *` — the estimator ignores projection, this is the norm.
+    Star,
+    /// `SELECT a.x, b.y` — resolved for validity, then ignored.
+    Columns(Vec<ColumnName>),
+}
+
+/// One FROM-list entry: a table name with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableItem {
+    /// Catalog table name.
+    pub table: Ident,
+    /// `AS alias` or bare alias, if any.
+    pub alias: Option<Ident>,
+}
+
+impl TableItem {
+    /// The name this quantifier is known by in column qualifiers.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_ref().unwrap_or(&self.table).text.as_str()
+    }
+}
+
+/// Explicit join flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `JOIN` / `INNER JOIN`.
+    Inner,
+    /// `LEFT JOIN` / `LEFT OUTER JOIN`.
+    LeftOuter,
+}
+
+/// An explicit `JOIN <table> ON <cond> [AND <cond>]*` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Inner or left-outer.
+    pub kind: JoinKind,
+    /// The joined table.
+    pub table: TableItem,
+    /// The ON conjunction, in source order.
+    pub on: Vec<Condition>,
+}
+
+/// One FROM-list item: a base table plus any explicit joins chained onto it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The leading table.
+    pub table: TableItem,
+    /// Explicit joins, left to right.
+    pub joins: Vec<JoinClause>,
+}
+
+/// Comparison operator in a local predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with its sides swapped (`1 < c` ⇒ `c > 1`).
+    pub fn flipped(self) -> Self {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A literal constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (mapped to a stable numeric encoding at bind time).
+    Str(String),
+}
+
+/// One conjunct of a WHERE or ON clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `a.x = b.y` — an equi-join between two table references.
+    JoinEq {
+        /// Left column as written.
+        left: ColumnName,
+        /// Right column as written.
+        right: ColumnName,
+    },
+    /// `a.x <op> literal` — a local comparison predicate.
+    Cmp {
+        /// The column.
+        col: ColumnName,
+        /// The operator (literal-first comparisons are flipped at parse
+        /// time, so the column is always on the left here).
+        op: CmpOp,
+        /// The literal.
+        value: Literal,
+    },
+    /// `a.x BETWEEN lo AND hi`.
+    Between {
+        /// The column.
+        col: ColumnName,
+        /// Lower bound.
+        lo: Literal,
+        /// Upper bound.
+        hi: Literal,
+    },
+    /// `a.x IN (SELECT …)` — uncorrelated, lowered as a child block.
+    InSubquery {
+        /// The probe column (resolved for validity).
+        col: ColumnName,
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+    },
+    /// `EXISTS (SELECT …)` — uncorrelated, lowered as a child block.
+    Exists {
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+    },
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection.
+    pub select: SelectList,
+    /// FROM list in source order.
+    pub from: Vec<FromItem>,
+    /// WHERE conjunction in source order.
+    pub where_clause: Vec<Condition>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColumnName>,
+    /// ORDER BY columns.
+    pub order_by: Vec<ColumnName>,
+    /// `FETCH FIRST n ROWS ONLY` / `LIMIT n`.
+    pub fetch_first: Option<u64>,
+}
+
+fn render_col(out: &mut String, c: &ColumnName) {
+    if let Some(t) = &c.table {
+        let _ = write!(out, "{}.", t.text);
+    }
+    let _ = write!(out, "{}", c.column.text);
+}
+
+fn render_literal(out: &mut String, l: &Literal) {
+    match l {
+        Literal::Number(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Literal::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+    }
+}
+
+fn render_table(out: &mut String, t: &TableItem) {
+    let _ = write!(out, "{}", t.table.text);
+    if let Some(a) = &t.alias {
+        let _ = write!(out, " AS {}", a.text);
+    }
+}
+
+fn render_cond(out: &mut String, c: &Condition) {
+    match c {
+        Condition::JoinEq { left, right } => {
+            render_col(out, left);
+            out.push_str(" = ");
+            render_col(out, right);
+        }
+        Condition::Cmp { col, op, value } => {
+            render_col(out, col);
+            let _ = write!(out, " {} ", op.sql());
+            render_literal(out, value);
+        }
+        Condition::Between { col, lo, hi } => {
+            render_col(out, col);
+            out.push_str(" BETWEEN ");
+            render_literal(out, lo);
+            out.push_str(" AND ");
+            render_literal(out, hi);
+        }
+        Condition::InSubquery { col, subquery } => {
+            render_col(out, col);
+            out.push_str(" IN (");
+            out.push_str(&render(subquery));
+            out.push(')');
+        }
+        Condition::Exists { subquery } => {
+            out.push_str("EXISTS (");
+            out.push_str(&render(subquery));
+            out.push(')');
+        }
+    }
+}
+
+fn render_col_list(out: &mut String, cols: &[ColumnName]) {
+    for (i, c) in cols.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_col(out, c);
+    }
+}
+
+/// Render a statement back to canonical SQL text.
+///
+/// The output is parseable by [`crate::parse`] and structurally equal to the
+/// input under the AST's position-blind `PartialEq` — the round-trip oracle
+/// `parse(render(ast)) == ast` holds for every AST the parser can produce.
+pub fn render(stmt: &SelectStmt) -> String {
+    let mut out = String::from("SELECT ");
+    match &stmt.select {
+        SelectList::Star => out.push('*'),
+        SelectList::Columns(cols) => render_col_list(&mut out, cols),
+    }
+    out.push_str(" FROM ");
+    for (i, item) in stmt.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_table(&mut out, &item.table);
+        for j in &item.joins {
+            out.push_str(match j.kind {
+                JoinKind::Inner => " JOIN ",
+                JoinKind::LeftOuter => " LEFT OUTER JOIN ",
+            });
+            render_table(&mut out, &j.table);
+            out.push_str(" ON ");
+            for (k, c) in j.on.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(" AND ");
+                }
+                render_cond(&mut out, c);
+            }
+        }
+    }
+    if !stmt.where_clause.is_empty() {
+        out.push_str(" WHERE ");
+        for (i, c) in stmt.where_clause.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" AND ");
+            }
+            render_cond(&mut out, c);
+        }
+    }
+    if !stmt.group_by.is_empty() {
+        out.push_str(" GROUP BY ");
+        render_col_list(&mut out, &stmt.group_by);
+    }
+    if !stmt.order_by.is_empty() {
+        out.push_str(" ORDER BY ");
+        render_col_list(&mut out, &stmt.order_by);
+    }
+    if let Some(n) = stmt.fetch_first {
+        let _ = write!(out, " FETCH FIRST {n} ROWS ONLY");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_equality_is_vacuous() {
+        assert_eq!(Pos(1), Pos(999));
+        let a = Ident {
+            text: "x".into(),
+            pos: Pos(0),
+        };
+        let b = Ident {
+            text: "x".into(),
+            pos: Pos(42),
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,528 @@
+//! Name resolution against a `cote-catalog` catalog.
+//!
+//! The binder turns a parsed [`SelectStmt`] into a [`BoundQuery`]: every
+//! table name becomes a [`TableId`], every column reference a query-local
+//! [`ColRef`], and every condition a typed predicate in a canonical order.
+//! All resolution failures carry the source position of the offending
+//! identifier.
+//!
+//! Canonical predicate order (the fingerprint and the differential oracle
+//! depend on it): quantifiers enter the FROM list in syntactic order; join
+//! and local predicates are collected in *encounter* order — each FROM
+//! item's ON conjunctions left to right, then the WHERE conjunction — with
+//! column orientation exactly as written. No transitive closure, no
+//! reordering: lowering preserves what the statement said, and the
+//! optimizer's own closure pass (`apply_transitive_closure`) stays where it
+//! belongs, behind the builder.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::parser::MAX_DEPTH;
+use cote_catalog::Catalog;
+use cote_common::{ColRef, TableId, TableRef};
+use cote_query::PredOp;
+
+/// A bound join predicate (always an equality).
+#[derive(Debug, Clone, Copy)]
+pub struct BoundJoin {
+    /// Left column as written.
+    pub left: ColRef,
+    /// Right column as written.
+    pub right: ColRef,
+    /// `Some` when this equality is the ON condition of a LEFT OUTER JOIN;
+    /// ids are assigned in predicate-encounter order, matching the id the
+    /// query-block builder will assign during lowering.
+    pub outer: Option<u16>,
+}
+
+/// A bound local predicate.
+#[derive(Debug, Clone)]
+pub struct BoundLocal {
+    /// The restricted column.
+    pub column: ColRef,
+    /// Operator and literal, ready for the query block.
+    pub op: PredOp,
+}
+
+/// One bound query block.
+#[derive(Debug, Clone)]
+pub struct BoundBlock {
+    /// FROM-list tables in syntactic order; position = [`TableRef`] value.
+    pub tables: Vec<TableId>,
+    /// Join predicates in encounter order (ON clauses, then WHERE).
+    pub join_preds: Vec<BoundJoin>,
+    /// Local predicates in encounter order.
+    pub local_preds: Vec<BoundLocal>,
+    /// GROUP BY columns.
+    pub group_by: Vec<ColRef>,
+    /// ORDER BY columns.
+    pub order_by: Vec<ColRef>,
+    /// FETCH FIRST / LIMIT row count.
+    pub first_n: Option<u64>,
+    /// Subquery blocks (IN/EXISTS) in encounter order.
+    pub children: Vec<BoundBlock>,
+}
+
+/// A fully bound statement: the root block tree.
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// Root query block.
+    pub root: BoundBlock,
+}
+
+/// Map a string literal to a stable numeric stand-in.
+///
+/// The catalog's histograms are numeric, so string constants are folded to a
+/// deterministic value derived from their bytes. Equality selectivity only
+/// depends on the constant through histogram bucket lookup, and distinct
+/// strings map to distinct values with high probability — good enough for
+/// estimation, and stable across runs (the fingerprint never sees it).
+pub fn encode_str_literal(s: &str) -> f64 {
+    let mut h = cote_common::fxhash::FxHasher::default();
+    std::hash::Hash::hash(s.as_bytes(), &mut h);
+    // Keep the value in a float-exact integer range.
+    (std::hash::Hasher::finish(&h) >> 11) as f64
+}
+
+fn literal_value(l: &Literal) -> f64 {
+    match l {
+        Literal::Number(v) => *v,
+        Literal::Str(s) => encode_str_literal(s),
+    }
+}
+
+struct Quantifier {
+    name: String,
+    table: TableId,
+}
+
+struct Scope<'a> {
+    catalog: &'a Catalog,
+    quantifiers: Vec<Quantifier>,
+}
+
+impl<'a> Scope<'a> {
+    fn lookup_table(&self, name: &Ident) -> Result<TableId, SqlError> {
+        for i in 0..self.catalog.table_count() {
+            let id = TableId(i as u32);
+            if name.matches(&self.catalog.table(id).name) {
+                return Ok(id);
+            }
+        }
+        Err(SqlError::at(
+            name.pos.0,
+            format!("unknown table '{}'", name.text),
+        ))
+    }
+
+    fn add_quantifier(&mut self, item: &TableItem) -> Result<(), SqlError> {
+        let table = self.lookup_table(&item.table)?;
+        let name = item.binding_name().to_string();
+        if self
+            .quantifiers
+            .iter()
+            .any(|q| q.name.eq_ignore_ascii_case(&name))
+        {
+            let pos = item.alias.as_ref().unwrap_or(&item.table).pos.0;
+            return Err(SqlError::at(
+                pos,
+                format!(
+                    "duplicate table name '{name}' in FROM list (use an alias to disambiguate)"
+                ),
+            ));
+        }
+        if self.quantifiers.len() >= TableRef::MAX_TABLES {
+            return Err(SqlError::at(
+                item.table.pos.0,
+                format!(
+                    "FROM list exceeds {} table references (the quantifier \
+                     bitset is 64 bits wide)",
+                    TableRef::MAX_TABLES
+                ),
+            ));
+        }
+        self.quantifiers.push(Quantifier { name, table });
+        Ok(())
+    }
+
+    fn resolve_column(&self, c: &ColumnName) -> Result<ColRef, SqlError> {
+        match &c.table {
+            Some(q) => {
+                let idx = self
+                    .quantifiers
+                    .iter()
+                    .position(|quant| q.matches(&quant.name))
+                    .ok_or_else(|| {
+                        SqlError::at(q.pos.0, format!("unknown table or alias '{}'", q.text))
+                    })?;
+                let table = self.catalog.table(self.quantifiers[idx].table);
+                let col = table
+                    .columns
+                    .iter()
+                    .position(|col| c.column.matches(&col.name))
+                    .ok_or_else(|| {
+                        SqlError::at(
+                            c.column.pos.0,
+                            format!(
+                                "unknown column '{}' in table '{}'",
+                                c.column.text, table.name
+                            ),
+                        )
+                    })?;
+                Ok(ColRef::new(TableRef(idx as u8), col as u16))
+            }
+            None => {
+                let mut hits = Vec::new();
+                for (i, q) in self.quantifiers.iter().enumerate() {
+                    let table = self.catalog.table(q.table);
+                    if let Some(col) = table
+                        .columns
+                        .iter()
+                        .position(|col| c.column.matches(&col.name))
+                    {
+                        hits.push((i, col, q.name.clone()));
+                    }
+                }
+                match hits.as_slice() {
+                    [] => Err(SqlError::at(
+                        c.column.pos.0,
+                        format!("unknown column '{}'", c.column.text),
+                    )),
+                    [(i, col, _)] => Ok(ColRef::new(TableRef(*i as u8), *col as u16)),
+                    many => {
+                        let names: Vec<String> = many
+                            .iter()
+                            .map(|(_, _, n)| format!("{n}.{}", c.column.text))
+                            .collect();
+                        Err(SqlError::at(
+                            c.column.pos.0,
+                            format!(
+                                "ambiguous column '{}' (matches {})",
+                                c.column.text,
+                                names.join(", ")
+                            ),
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Bind a parsed statement against `catalog`.
+pub fn bind(stmt: &SelectStmt, catalog: &Catalog) -> Result<BoundQuery, SqlError> {
+    let root = bind_block(stmt, catalog, 0)?;
+    Ok(BoundQuery { root })
+}
+
+fn bind_block(stmt: &SelectStmt, catalog: &Catalog, depth: usize) -> Result<BoundBlock, SqlError> {
+    // The parser enforces its own cap; this one guards direct AST
+    // construction (e.g. fuzzers building deep trees without parsing).
+    if depth > MAX_DEPTH {
+        return Err(SqlError::unpositioned(format!(
+            "subquery nesting exceeds {MAX_DEPTH} levels"
+        )));
+    }
+    let mut scope = Scope {
+        catalog,
+        quantifiers: Vec::new(),
+    };
+    // Pass 1: all quantifiers, in syntactic order. SQL's explicit-join scoping
+    // is flattened — every quantifier in the block sees every other, which is
+    // what the query-block model expects.
+    for item in &stmt.from {
+        scope.add_quantifier(&item.table)?;
+        for j in &item.joins {
+            scope.add_quantifier(&j.table)?;
+        }
+    }
+
+    let mut out = BoundBlock {
+        tables: scope.quantifiers.iter().map(|q| q.table).collect(),
+        join_preds: Vec::new(),
+        local_preds: Vec::new(),
+        group_by: Vec::new(),
+        order_by: Vec::new(),
+        first_n: stmt.fetch_first,
+        children: Vec::new(),
+    };
+
+    // Pass 2: projection (validity only — the estimator ignores projection).
+    if let SelectList::Columns(cols) = &stmt.select {
+        for c in cols {
+            scope.resolve_column(c)?;
+        }
+    }
+
+    // Pass 3: conditions, in encounter order: each FROM item's ON
+    // conjunctions, then the WHERE conjunction.
+    let mut next_outer: u16 = 0;
+    for item in &stmt.from {
+        for j in &item.joins {
+            match j.kind {
+                JoinKind::Inner => {
+                    for cond in &j.on {
+                        bind_condition(cond, &scope, catalog, depth, &mut out, None)?;
+                    }
+                }
+                JoinKind::LeftOuter => {
+                    // The model ties each outer join to exactly one
+                    // preserving/null-side pair, so the ON clause must be a
+                    // single equality involving the joined table.
+                    if j.on.len() != 1 {
+                        return Err(SqlError::at(
+                            j.table.table.pos.0,
+                            "LEFT OUTER JOIN requires exactly one equality in its ON clause",
+                        ));
+                    }
+                    let id = next_outer;
+                    next_outer += 1;
+                    bind_condition(&j.on[0], &scope, catalog, depth, &mut out, Some((id, j)))?;
+                }
+            }
+        }
+    }
+    for cond in &stmt.where_clause {
+        bind_condition(cond, &scope, catalog, depth, &mut out, None)?;
+    }
+
+    // Pass 4: grouping and ordering.
+    for c in &stmt.group_by {
+        out.group_by.push(scope.resolve_column(c)?);
+    }
+    for c in &stmt.order_by {
+        out.order_by.push(scope.resolve_column(c)?);
+    }
+    Ok(out)
+}
+
+fn bind_condition(
+    cond: &Condition,
+    scope: &Scope<'_>,
+    catalog: &Catalog,
+    depth: usize,
+    out: &mut BoundBlock,
+    outer: Option<(u16, &JoinClause)>,
+) -> Result<(), SqlError> {
+    if let Some((_, j)) = outer {
+        if !matches!(cond, Condition::JoinEq { .. }) {
+            return Err(SqlError::at(
+                j.table.table.pos.0,
+                "LEFT OUTER JOIN requires exactly one equality in its ON clause",
+            ));
+        }
+    }
+    match cond {
+        Condition::JoinEq { left, right } => {
+            let l = scope.resolve_column(left)?;
+            let r = scope.resolve_column(right)?;
+            if l.table == r.table {
+                return Err(SqlError::at(
+                    left.pos().0,
+                    "join predicate must span two different table references",
+                ));
+            }
+            let outer_id = match outer {
+                None => None,
+                Some((id, j)) => {
+                    // Orientation: preserving side first, null side (the
+                    // OUTER-joined table) second — required by the builder.
+                    let null_ref = null_side_ref(scope, j)?;
+                    if r.table == null_ref {
+                        // as written
+                    } else if l.table == null_ref {
+                        // flip so the null side is on the right
+                        let (fl, fr) = (r, l);
+                        out.join_preds.push(BoundJoin {
+                            left: fl,
+                            right: fr,
+                            outer: Some(id),
+                        });
+                        return Ok(());
+                    } else {
+                        return Err(SqlError::at(
+                            left.pos().0,
+                            format!(
+                                "LEFT OUTER JOIN ON clause must reference the joined table \
+                                 '{}'",
+                                j.table.binding_name()
+                            ),
+                        ));
+                    }
+                    Some(id)
+                }
+            };
+            out.join_preds.push(BoundJoin {
+                left: l,
+                right: r,
+                outer: outer_id,
+            });
+        }
+        Condition::Cmp { col, op, value } => {
+            let c = scope.resolve_column(col)?;
+            let v = literal_value(value);
+            // `<` and `>` fold into the model's closed-range operators; the
+            // histogram granularity makes the open/closed distinction moot.
+            let op = match op {
+                CmpOp::Eq => PredOp::Eq(v),
+                CmpOp::Lt | CmpOp::Le => PredOp::Le(v),
+                CmpOp::Gt | CmpOp::Ge => PredOp::Ge(v),
+            };
+            out.local_preds.push(BoundLocal { column: c, op });
+        }
+        Condition::Between { col, lo, hi } => {
+            let c = scope.resolve_column(col)?;
+            out.local_preds.push(BoundLocal {
+                column: c,
+                op: PredOp::Between(literal_value(lo), literal_value(hi)),
+            });
+        }
+        Condition::InSubquery { col, subquery } => {
+            // Validate the probe column, then lower the subquery as an
+            // uncorrelated child block (the query model carries no
+            // correlation columns — see DESIGN.md).
+            scope.resolve_column(col)?;
+            out.children.push(bind_block(subquery, catalog, depth + 1)?);
+        }
+        Condition::Exists { subquery } => {
+            out.children.push(bind_block(subquery, catalog, depth + 1)?);
+        }
+    }
+    Ok(())
+}
+
+/// The [`TableRef`] of the table a LEFT OUTER JOIN clause introduces.
+fn null_side_ref(scope: &Scope<'_>, j: &JoinClause) -> Result<TableRef, SqlError> {
+    let name = j.table.binding_name();
+    let idx = scope
+        .quantifiers
+        .iter()
+        .position(|q| q.name.eq_ignore_ascii_case(name))
+        .expect("joined table was added as a quantifier in pass 1");
+    Ok(TableRef(idx as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use cote_catalog::{ColumnDef, TableDef};
+
+    fn catalog() -> Catalog {
+        let mut b = Catalog::builder();
+        for name in ["orders", "lines", "parts"] {
+            b.add_table(TableDef::new(
+                name,
+                1000.0,
+                vec![
+                    ColumnDef::uniform("id", 1000.0, 1000.0),
+                    ColumnDef::uniform("day", 1000.0, 30.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    fn bind_sql(sql: &str) -> Result<BoundQuery, SqlError> {
+        bind(&parse(sql).unwrap(), &catalog())
+    }
+
+    #[test]
+    fn binds_tables_columns_and_predicates() {
+        let b =
+            bind_sql("SELECT * FROM orders o, lines l WHERE o.id = l.id AND o.day BETWEEN 1 AND 7")
+                .unwrap();
+        assert_eq!(b.root.tables, vec![TableId(0), TableId(1)]);
+        assert_eq!(b.root.join_preds.len(), 1);
+        let j = b.root.join_preds[0];
+        assert_eq!(j.left, ColRef::new(TableRef(0), 0));
+        assert_eq!(j.right, ColRef::new(TableRef(1), 0));
+        assert!(matches!(
+            b.root.local_preds[0].op,
+            PredOp::Between(lo, hi) if lo == 1.0 && hi == 7.0
+        ));
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_when_unambiguous() {
+        // `day` exists in all three tables → ambiguous with two quantifiers.
+        let e = bind_sql("SELECT * FROM orders, lines WHERE day = 3").unwrap_err();
+        assert!(e.message.contains("ambiguous column 'day'"), "{e}");
+        // With one quantifier it resolves.
+        let b = bind_sql("SELECT * FROM orders WHERE day = 3").unwrap();
+        assert_eq!(b.root.local_preds[0].column, ColRef::new(TableRef(0), 1));
+    }
+
+    #[test]
+    fn unknown_names_error_with_positions() {
+        let sql = "SELECT * FROM nowhere";
+        let e = bind_sql(sql).unwrap_err();
+        assert_eq!(e.offset, Some(sql.find("nowhere").unwrap()));
+
+        let sql = "SELECT * FROM orders WHERE orders.nope = 1";
+        let e = bind_sql(sql).unwrap_err();
+        assert_eq!(e.offset, Some(sql.find("nope").unwrap()));
+        assert!(e.message.contains("in table 'orders'"), "{e}");
+
+        let sql = "SELECT * FROM orders WHERE ghost.id = 1";
+        let e = bind_sql(sql).unwrap_err();
+        assert!(e.message.contains("unknown table or alias 'ghost'"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_quantifiers_need_aliases() {
+        let e = bind_sql("SELECT * FROM orders, orders").unwrap_err();
+        assert!(e.message.contains("duplicate table name"), "{e}");
+        let b = bind_sql("SELECT * FROM orders a, orders b WHERE a.id = b.id").unwrap();
+        assert_eq!(b.root.tables, vec![TableId(0), TableId(0)]);
+    }
+
+    #[test]
+    fn left_outer_join_orients_null_side_right() {
+        // Written with the null side on the left of the equality.
+        let b = bind_sql("SELECT * FROM orders LEFT JOIN lines ON lines.id = orders.id").unwrap();
+        let j = b.root.join_preds[0];
+        assert_eq!(j.outer, Some(0));
+        assert_eq!(j.left.table, TableRef(0), "preserving side first");
+        assert_eq!(j.right.table, TableRef(1), "null side second");
+    }
+
+    #[test]
+    fn left_outer_join_on_must_be_single_equality() {
+        let e = bind_sql("SELECT * FROM orders LEFT JOIN lines ON lines.day <= 3").unwrap_err();
+        assert!(e.message.contains("exactly one equality"), "{e}");
+        let e = bind_sql(
+            "SELECT * FROM orders LEFT JOIN lines ON lines.id = orders.id AND lines.day = orders.day",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("exactly one equality"), "{e}");
+    }
+
+    #[test]
+    fn same_table_equality_is_rejected() {
+        let e = bind_sql("SELECT * FROM orders o WHERE o.id = o.day").unwrap_err();
+        assert!(e.message.contains("span two different"), "{e}");
+    }
+
+    #[test]
+    fn subqueries_become_children() {
+        let b = bind_sql(
+            "SELECT * FROM orders WHERE orders.id IN (SELECT * FROM lines) \
+             AND EXISTS (SELECT * FROM parts WHERE parts.day = 2)",
+        )
+        .unwrap();
+        assert_eq!(b.root.children.len(), 2);
+        assert_eq!(b.root.children[1].local_preds.len(), 1);
+    }
+
+    #[test]
+    fn string_literals_encode_deterministically() {
+        let a = encode_str_literal("BUILDING");
+        let b = encode_str_literal("BUILDING");
+        let c = encode_str_literal("AUTOMOBILE");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let bound = bind_sql("SELECT * FROM orders WHERE orders.day = 'MON'").unwrap();
+        assert!(matches!(bound.root.local_preds[0].op, PredOp::Eq(_)));
+    }
+}

@@ -1,0 +1,135 @@
+//! Positioned front-end errors.
+//!
+//! Every stage of the front-end (lexer, parser, binder, lowering) reports
+//! failures through one type, [`SqlError`], carrying a byte offset into the
+//! original statement text. The offset is resolved to a 1-based line/column
+//! pair lazily, against whatever source string the caller still holds — the
+//! error itself stays small and `'static`.
+
+use cote_common::CoteError;
+use std::fmt;
+
+/// A front-end error: a message plus an optional byte offset into the
+/// statement text where the problem was detected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the source text, when a position is known.
+    pub offset: Option<usize>,
+}
+
+impl SqlError {
+    /// An error anchored at a byte offset.
+    pub fn at(offset: usize, message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    /// An error with no usable position (e.g. raised during lowering).
+    pub fn unpositioned(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// Resolve the stored byte offset to a 1-based `(line, column)` pair.
+    ///
+    /// Columns count Unicode scalar values, not bytes, so carets line up in
+    /// a terminal. Offsets past the end of `src` clamp to the last position.
+    pub fn line_col(&self, src: &str) -> Option<(usize, usize)> {
+        let offset = self.offset?.min(src.len());
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= offset {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Some((line, col))
+    }
+
+    /// One-line rendering with position: `parse error at 1:17: expected ...`.
+    pub fn one_line(&self, src: &str) -> String {
+        match self.line_col(src) {
+            Some((line, col)) => format!("error at {line}:{col}: {}", self.message),
+            None => format!("error: {}", self.message),
+        }
+    }
+
+    /// Multi-line rendering: the offending source line with a `^` caret.
+    pub fn render(&self, src: &str) -> String {
+        let Some((line, col)) = self.line_col(src) else {
+            return format!("error: {}", self.message);
+        };
+        let text = src.lines().nth(line - 1).unwrap_or("");
+        let caret = " ".repeat(col - 1);
+        format!(
+            "error at {line}:{col}: {}\n  | {text}\n  | {caret}^",
+            self.message
+        )
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} (at byte {o})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlError> for CoteError {
+    fn from(e: SqlError) -> Self {
+        CoteError::InvalidQuery {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<CoteError> for SqlError {
+    fn from(e: CoteError) -> Self {
+        SqlError::unpositioned(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_lines_and_chars() {
+        let src = "SELECT *\nFROM nowhere";
+        let e = SqlError::at(14, "unknown table");
+        assert_eq!(e.line_col(src), Some((2, 6)));
+        assert_eq!(e.one_line(src), "error at 2:6: unknown table");
+        let r = e.render(src);
+        assert!(r.contains("FROM nowhere"), "{r}");
+        assert!(r.ends_with("  |      ^"), "{r}");
+    }
+
+    #[test]
+    fn unpositioned_renders_without_coordinates() {
+        let e = SqlError::unpositioned("boom");
+        assert_eq!(e.line_col("x"), None);
+        assert_eq!(e.one_line("x"), "error: boom");
+    }
+
+    #[test]
+    fn offset_past_end_clamps() {
+        let e = SqlError::at(999, "unexpected end of input");
+        assert_eq!(e.line_col("ab"), Some((1, 3)));
+    }
+}

@@ -1,0 +1,45 @@
+//! AST-level structural fingerprint.
+//!
+//! Hashes a [`BoundQuery`] through the same [`cote::StructuralHasher`] event
+//! sequence that `cote::fingerprint` feeds from a built [`cote_query::Query`]
+//! (see the canonical order documented on `StructuralHasher`). Because the
+//! binder collects predicates in the exact order lowering will replay them,
+//! `ast_fingerprint(bound) == cote::fingerprint(&lower(bound, …))` for every
+//! bindable statement — without building the query block at all.
+//!
+//! The hasher normalizes literals away (only the operator *kind* of a local
+//! predicate is hashed), so `WHERE a = 1` and `WHERE a = 2` — and any other
+//! parameter-literal variants — collapse to one statement-cache entry.
+
+use crate::binder::{BoundBlock, BoundQuery};
+use cote::StructuralHasher;
+
+/// Fingerprint a bound statement without lowering it.
+pub fn ast_fingerprint(bound: &BoundQuery) -> u64 {
+    let mut sh = StructuralHasher::new();
+    hash_block(&bound.root, &mut sh);
+    sh.finish()
+}
+
+fn hash_block(b: &BoundBlock, sh: &mut StructuralHasher) {
+    sh.begin_block(b.tables.iter().copied());
+    for j in &b.join_preds {
+        // SQL lowering never plants implied predicates (no closure pass),
+        // so `implied` is uniformly false on this path.
+        sh.join_pred(j.left, j.right, false, j.outer);
+    }
+    for l in &b.local_preds {
+        sh.local_pred(l.column, &l.op);
+    }
+    // Expensive predicates are not expressible in SQL — the event stream
+    // simply contains none, matching the built block's empty list.
+    sh.block_shape(
+        &b.group_by,
+        &b.order_by,
+        b.first_n.is_some(),
+        b.children.len(),
+    );
+    for c in &b.children {
+        hash_block(c, sh);
+    }
+}

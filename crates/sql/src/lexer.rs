@@ -1,0 +1,232 @@
+//! Hand-rolled SQL lexer.
+//!
+//! Produces a flat token stream with byte offsets. Keywords are *not*
+//! distinguished here — they surface as [`Tok::Ident`] and the parser
+//! matches them case-insensitively, which keeps the lexer trivial and lets
+//! identifiers shadow nothing (the binder decides what a name means).
+
+use crate::error::SqlError;
+
+/// One lexed token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`SELECT`, `lineitem`, `c0`, …).
+    Ident(String),
+    /// Numeric literal, already parsed to `f64`.
+    Number(f64),
+    /// Single-quoted string literal, quotes stripped, `''` unescaped.
+    Str(String),
+    /// Punctuation / operator: one of `, ( ) . * ; = < <= > >=`.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// Byte offset of the first character in the source text.
+    pub offset: usize,
+}
+
+/// Keywords that may not be used as table aliases. Matching is
+/// case-insensitive; the list covers every word the parser gives meaning to,
+/// so `FROM t WHERE …` never parses `WHERE` as an alias for `t`.
+pub const RESERVED: &[&str] = &[
+    "select", "from", "where", "and", "or", "not", "as", "on", "join", "inner", "left", "outer",
+    "in", "exists", "between", "group", "order", "by", "asc", "fetch", "first", "rows", "only",
+    "limit",
+];
+
+/// Is `word` a reserved keyword (case-insensitive)?
+pub fn is_reserved(word: &str) -> bool {
+    RESERVED.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Lex `src` into tokens, ending with a [`Tok::Eof`] sentinel.
+///
+/// Skips whitespace and `--`-to-end-of-line comments. Unknown characters
+/// and unterminated strings are positioned errors.
+pub fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b',' | b'(' | b')' | b'.' | b'*' | b';' | b'=' => {
+                let sym = match c {
+                    b',' => ",",
+                    b'(' => "(",
+                    b')' => ")",
+                    b'.' => ".",
+                    b'*' => "*",
+                    b';' => ";",
+                    _ => "=",
+                };
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    offset: i,
+                });
+                i += 1;
+            }
+            b'<' | b'>' => {
+                let eq = bytes.get(i + 1) == Some(&b'=');
+                let sym = match (c, eq) {
+                    (b'<', true) => "<=",
+                    (b'<', false) => "<",
+                    (b'>', true) => ">=",
+                    _ => ">",
+                };
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    offset: i,
+                });
+                i += if eq { 2 } else { 1 };
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::at(start, "unterminated string literal"));
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Strings are opaque payloads; copy whole UTF-8
+                            // chars so multi-byte text survives intact.
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if bytes.get(i) == Some(&b'.')
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| SqlError::at(start, format!("bad numeric literal '{text}'")))?;
+                out.push(Token {
+                    tok: Tok::Number(v),
+                    offset: start,
+                });
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ => {
+                let ch = src[i..].chars().next().unwrap();
+                return Err(SqlError::at(i, format!("unexpected character '{ch}'")));
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_a_small_statement() {
+        let toks = kinds("SELECT * FROM t0 WHERE t0.c0 <= 1.5");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Sym("*"),
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t0".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("t0".into()),
+                Tok::Sym("."),
+                Tok::Ident("c0".into()),
+                Tok::Sym("<="),
+                Tok::Number(1.5),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_unescape_doubled_quotes() {
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        assert_eq!(
+            kinds("a -- trailing comment\n , b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Sym(","),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("a ? b").unwrap_err();
+        assert_eq!(e.offset, Some(2));
+        let e = lex("x 'open").unwrap_err();
+        assert_eq!(e.offset, Some(2));
+    }
+
+    #[test]
+    fn reserved_list_is_case_insensitive() {
+        assert!(is_reserved("WHERE"));
+        assert!(is_reserved("where"));
+        assert!(!is_reserved("lineitem"));
+    }
+}

@@ -1,0 +1,189 @@
+#![warn(missing_docs)]
+
+//! `cote-sql` — SQL text front-end for the estimation pipeline.
+//!
+//! The paper's premise is estimating compilation time *before* optimizing a
+//! statement, which only matters if statements arrive as text. This crate
+//! closes that gap: it parses a conjunctive SELECT subset, binds names
+//! against a [`cote_catalog::Catalog`], lowers to the existing
+//! [`cote_query`] block model (the estimator, optimizer and advisor need no
+//! changes), and computes the literal-normalized structural fingerprint that
+//! keys the statement cache — all std-only, no external dependencies.
+//!
+//! Four layers, each usable on its own:
+//!
+//! * [`lexer`] / [`parser`] — text → typed [`ast::SelectStmt`] with byte
+//!   offsets on every identifier;
+//! * [`binder`] — AST → [`binder::BoundQuery`] with positioned resolution
+//!   errors;
+//! * [`lower`] — bound AST → [`cote_query::Query`], strictly
+//!   order-preserving;
+//! * [`fingerprint`] — bound AST → `u64` via [`cote::StructuralHasher`],
+//!   equal by construction to `cote::fingerprint` of the lowered query.
+//!
+//! The usual entry point is [`compile`]:
+//!
+//! ```
+//! use cote_catalog::{Catalog, ColumnDef, TableDef};
+//!
+//! let mut b = Catalog::builder();
+//! b.add_table(TableDef::new("orders", 1000.0,
+//!     vec![ColumnDef::uniform("id", 1000.0, 1000.0)]));
+//! b.add_table(TableDef::new("lines", 5000.0,
+//!     vec![ColumnDef::uniform("order_id", 5000.0, 1000.0)]));
+//! let catalog = b.build().unwrap();
+//!
+//! let sql = "SELECT * FROM orders o, lines l WHERE o.id = l.order_id";
+//! let compiled = cote_sql::compile(sql, &catalog, "q1").unwrap();
+//! assert_eq!(compiled.query.root.n_tables(), 2);
+//! assert_eq!(compiled.fingerprint, cote::fingerprint(&compiled.query));
+//!
+//! // Literal variants share one fingerprint (statement-cache friendly).
+//! let a = cote_sql::compile("SELECT * FROM orders WHERE orders.id = 1", &catalog, "a").unwrap();
+//! let b = cote_sql::compile("SELECT * FROM orders WHERE orders.id = 2", &catalog, "b").unwrap();
+//! assert_eq!(a.fingerprint, b.fingerprint);
+//! ```
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod fingerprint;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{render, SelectStmt};
+pub use binder::{bind, BoundQuery};
+pub use error::SqlError;
+pub use fingerprint::ast_fingerprint;
+pub use lower::lower;
+pub use parser::parse;
+
+use cote_catalog::Catalog;
+use cote_query::Query;
+
+/// A statement taken through the whole front-end.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The lowered query, ready for the estimator or optimizer.
+    pub query: Query,
+    /// Literal-normalized structural fingerprint (statement-cache key),
+    /// computed at the AST level before lowering.
+    pub fingerprint: u64,
+}
+
+/// Parse, bind, fingerprint and lower `sql` against `catalog` in one call.
+///
+/// `name` becomes the query's display name. Errors from any stage carry the
+/// source position when one is known — render them with
+/// [`SqlError::one_line`] or [`SqlError::render`] against the same `sql`
+/// text.
+pub fn compile(sql: &str, catalog: &Catalog, name: &str) -> Result<Compiled, SqlError> {
+    let stmt = parse(sql)?;
+    let bound = bind(&stmt, catalog)?;
+    let fingerprint = ast_fingerprint(&bound);
+    let query = lower(&bound, catalog, name)?;
+    Ok(Compiled { query, fingerprint })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cote_catalog::{ColumnDef, TableDef};
+    use cote_common::{ColRef, TableRef};
+    use cote_query::{PredOp, QueryBlockBuilder};
+
+    fn catalog() -> Catalog {
+        let mut b = Catalog::builder();
+        for name in ["t0", "t1", "t2"] {
+            b.add_table(TableDef::new(
+                name,
+                1000.0,
+                vec![
+                    ColumnDef::uniform("c0", 1000.0, 500.0),
+                    ColumnDef::uniform("c1", 1000.0, 20.0),
+                ],
+            ));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compile_matches_hand_built_spec() {
+        let cat = catalog();
+        let sql = "SELECT * FROM t0, t1, t2 WHERE t0.c0 = t1.c0 AND t1.c0 = t2.c0 \
+                   AND t0.c1 <= 5 GROUP BY t2.c1 ORDER BY t0.c1";
+        let compiled = compile(sql, &cat, "q").unwrap();
+
+        let mut qb = QueryBlockBuilder::new();
+        for i in 0..3 {
+            qb.add_table(cote_common::TableId(i));
+        }
+        let col = |t: u8, c: u16| ColRef::new(TableRef(t), c);
+        qb.join(col(0, 0), col(1, 0));
+        qb.join(col(1, 0), col(2, 0));
+        qb.local(col(0, 1), PredOp::Le(5.0));
+        qb.group_by(vec![col(2, 1)]);
+        qb.order_by(vec![col(0, 1)]);
+        let hand = cote_query::Query::new("q", qb.build(&cat).unwrap());
+
+        assert_eq!(compiled.fingerprint, cote::fingerprint(&hand));
+        assert_eq!(compiled.fingerprint, cote::fingerprint(&compiled.query));
+        assert_eq!(
+            compiled.query.root.join_preds().len(),
+            hand.root.join_preds().len()
+        );
+    }
+
+    #[test]
+    fn ast_fingerprint_agrees_with_built_fingerprint() {
+        let cat = catalog();
+        for sql in [
+            "SELECT * FROM t0",
+            "SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0",
+            "SELECT * FROM t0 JOIN t1 ON t0.c0 = t1.c0 WHERE t0.c1 BETWEEN 2 AND 9",
+            "SELECT * FROM t0 LEFT JOIN t1 ON t0.c0 = t1.c0 ORDER BY t0.c1",
+            "SELECT * FROM t0 WHERE t0.c0 IN (SELECT * FROM t1) LIMIT 5",
+            "SELECT * FROM t0 WHERE EXISTS (SELECT * FROM t1 WHERE t1.c1 >= 3)",
+        ] {
+            let c = compile(sql, &cat, "q").unwrap();
+            assert_eq!(
+                c.fingerprint,
+                cote::fingerprint(&c.query),
+                "AST and built fingerprints diverge for: {sql}"
+            );
+        }
+    }
+
+    #[test]
+    fn literal_variants_share_a_fingerprint_but_operators_do_not() {
+        let cat = catalog();
+        let f = |sql: &str| compile(sql, &cat, "q").unwrap().fingerprint;
+        assert_eq!(
+            f("SELECT * FROM t0 WHERE t0.c1 = 1"),
+            f("SELECT * FROM t0 WHERE t0.c1 = 2")
+        );
+        assert_eq!(
+            f("SELECT * FROM t0 WHERE t0.c1 BETWEEN 1 AND 2"),
+            f("SELECT * FROM t0 WHERE t0.c1 BETWEEN 5 AND 9")
+        );
+        assert_ne!(
+            f("SELECT * FROM t0 WHERE t0.c1 = 1"),
+            f("SELECT * FROM t0 WHERE t0.c1 <= 1")
+        );
+        assert_ne!(f("SELECT * FROM t0"), f("SELECT * FROM t0 ORDER BY t0.c1"));
+    }
+
+    #[test]
+    fn sixty_five_table_join_is_a_clean_error() {
+        // 65 self-joins of t0 under distinct aliases overflow the 64-bit
+        // quantifier bitset; the binder reports it before the builder's u8
+        // table index could wrap.
+        let cat = catalog();
+        let from: Vec<String> = (0..65).map(|i| format!("t0 a{i}")).collect();
+        let sql = format!("SELECT * FROM {}", from.join(", "));
+        let e = compile(&sql, &cat, "big").unwrap_err();
+        assert!(e.message.contains("exceeds 64 table references"), "{e}");
+        assert!(e.offset.is_some(), "error carries a position");
+    }
+}

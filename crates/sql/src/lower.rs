@@ -1,0 +1,52 @@
+//! Lowering: bound AST → `cote-query` blocks.
+//!
+//! Lowering is strictly order-preserving — tables enter the block in FROM
+//! order, predicates in encounter order, columns in written orientation
+//! (except the outer-join flip the binder already applied). That invariant
+//! is what makes the differential oracle hold: a statement lowered from SQL
+//! text produces a block bit-identical in shape to the equivalent hand-built
+//! spec, so `cote::fingerprint` and the estimate agree by construction.
+
+use crate::binder::{BoundBlock, BoundQuery};
+use crate::error::SqlError;
+use cote_catalog::Catalog;
+use cote_query::{Query, QueryBlock, QueryBlockBuilder};
+
+/// Lower a bound statement into an executable [`Query`] named `name`.
+pub fn lower(bound: &BoundQuery, catalog: &Catalog, name: &str) -> Result<Query, SqlError> {
+    Ok(Query::new(name, lower_block(&bound.root, catalog)?))
+}
+
+fn lower_block(b: &BoundBlock, catalog: &Catalog) -> Result<QueryBlock, SqlError> {
+    let mut qb = QueryBlockBuilder::new();
+    for &t in &b.tables {
+        qb.add_table(t);
+    }
+    for j in &b.join_preds {
+        if j.outer.is_some() {
+            // Builder assigns outer-join ids in call order; the binder
+            // numbered them in the same encounter order, so ids line up.
+            qb.left_outer_join(j.left, j.right);
+        } else {
+            qb.join(j.left, j.right);
+        }
+    }
+    for l in &b.local_preds {
+        qb.local(l.column, l.op);
+    }
+    if !b.group_by.is_empty() {
+        qb.group_by(b.group_by.clone());
+    }
+    if !b.order_by.is_empty() {
+        qb.order_by(b.order_by.clone());
+    }
+    if let Some(n) = b.first_n {
+        qb.first_n(n);
+    }
+    for child in &b.children {
+        qb.child(lower_block(child, catalog)?);
+    }
+    // The binder validates names and arities, so this only fires on
+    // catalog-level constraints (and then without a source position).
+    qb.build(catalog).map_err(SqlError::from)
+}

@@ -1,0 +1,497 @@
+//! Recursive-descent parser for the supported SELECT subset.
+//!
+//! Grammar (keywords case-insensitive; `[ ]` optional, `{ }` repeated):
+//!
+//! ```text
+//! stmt      := select [';']
+//! select    := SELECT ('*' | column {',' column})
+//!              FROM from_item {',' from_item}
+//!              [WHERE cond {AND cond}]
+//!              [GROUP BY column {',' column}]
+//!              [ORDER BY column [ASC] {',' column [ASC]}]
+//!              [FETCH FIRST int ROWS ONLY | LIMIT int]
+//! from_item := table {join}
+//! join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN) table ON cond {AND cond}
+//! table     := ident [AS ident | ident]        -- bare alias must not be reserved
+//! cond      := EXISTS '(' select ')'
+//!            | literal cmp column              -- flipped to column-first
+//!            | column BETWEEN literal AND literal
+//!            | column IN '(' select ')'
+//!            | column '=' column               -- equi-join
+//!            | column cmp literal
+//! column    := ident ['.' ident]
+//! cmp       := '=' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Subquery nesting is capped at [`MAX_DEPTH`] so adversarial input degrades
+//! into a positioned error instead of a stack overflow.
+
+use crate::ast::*;
+use crate::error::SqlError;
+use crate::lexer::{is_reserved, lex, Tok, Token};
+
+/// Maximum subquery nesting depth. Each level costs a handful of parser and
+/// binder stack frames, so 32 keeps worst-case stack use in the tens of
+/// kilobytes while allowing any statement a human would write.
+pub const MAX_DEPTH: usize = 32;
+
+struct Parser {
+    toks: Vec<Token>,
+    i: usize,
+    depth: usize,
+}
+
+/// Parse one SELECT statement (optionally `;`-terminated) from `src`.
+pub fn parse(src: &str) -> Result<SelectStmt, SqlError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        i: 0,
+        depth: 0,
+    };
+    let stmt = p.select_stmt()?;
+    p.accept_sym(";");
+    let t = p.peek();
+    if t.tok != Tok::Eof {
+        return Err(SqlError::at(
+            t.offset,
+            format!("expected end of statement, found {}", describe(&t.tok)),
+        ));
+    }
+    Ok(stmt)
+}
+
+fn describe(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(s) => format!("'{s}'"),
+        Tok::Number(v) => format!("number {v}"),
+        Tok::Str(_) => "string literal".into(),
+        Tok::Sym(s) => format!("'{s}'"),
+        Tok::Eof => "end of input".into(),
+    }
+}
+
+impl Parser {
+    fn peek(&self) -> Token {
+        self.toks[self.i].clone()
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.i].clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(&self.toks[self.i].tok, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        let t = self.peek();
+        if self.accept_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::at(
+                t.offset,
+                format!("expected {}, found {}", kw.to_uppercase(), describe(&t.tok)),
+            ))
+        }
+    }
+
+    fn accept_sym(&mut self, sym: &str) -> bool {
+        if matches!(&self.toks[self.i].tok, Tok::Sym(s) if *s == sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SqlError> {
+        let t = self.peek();
+        if self.accept_sym(sym) {
+            Ok(())
+        } else {
+            Err(SqlError::at(
+                t.offset,
+                format!("expected '{sym}', found {}", describe(&t.tok)),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Ident, SqlError> {
+        let t = self.peek();
+        match t.tok {
+            Tok::Ident(text) => {
+                self.bump();
+                Ok(Ident {
+                    text,
+                    pos: Pos(t.offset),
+                })
+            }
+            other => Err(SqlError::at(
+                t.offset,
+                format!("expected {what}, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("select")?;
+        let select = if self.accept_sym("*") {
+            SelectList::Star
+        } else {
+            SelectList::Columns(self.column_list()?)
+        };
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_from_item()?];
+        while self.accept_sym(",") {
+            from.push(self.parse_from_item()?);
+        }
+        let mut where_clause = Vec::new();
+        if self.accept_kw("where") {
+            where_clause.push(self.condition()?);
+            while self.accept_kw("and") {
+                where_clause.push(self.condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.accept_kw("group") {
+            self.expect_kw("by")?;
+            group_by = self.column_list()?;
+        }
+        let mut order_by = Vec::new();
+        if self.accept_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                order_by.push(self.column()?);
+                // ASC is the model's only order; accept and discard it.
+                self.accept_kw("asc");
+                if !self.accept_sym(",") {
+                    break;
+                }
+            }
+        }
+        let mut fetch_first = None;
+        if self.accept_kw("fetch") {
+            self.expect_kw("first")?;
+            fetch_first = Some(self.row_count()?);
+            self.expect_kw("rows")?;
+            self.expect_kw("only")?;
+        } else if self.accept_kw("limit") {
+            fetch_first = Some(self.row_count()?);
+        }
+        Ok(SelectStmt {
+            select,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            fetch_first,
+        })
+    }
+
+    fn row_count(&mut self) -> Result<u64, SqlError> {
+        let t = self.peek();
+        match t.tok {
+            Tok::Number(v) if v >= 0.0 && v.fract() == 0.0 => {
+                self.bump();
+                Ok(v as u64)
+            }
+            other => Err(SqlError::at(
+                t.offset,
+                format!("expected row count, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    fn column_list(&mut self) -> Result<Vec<ColumnName>, SqlError> {
+        let mut cols = vec![self.column()?];
+        while self.accept_sym(",") {
+            cols.push(self.column()?);
+        }
+        Ok(cols)
+    }
+
+    fn column(&mut self) -> Result<ColumnName, SqlError> {
+        let first = self.ident("column name")?;
+        if self.accept_sym(".") {
+            let column = self.ident("column name")?;
+            Ok(ColumnName {
+                table: Some(first),
+                column,
+            })
+        } else {
+            Ok(ColumnName {
+                table: None,
+                column: first,
+            })
+        }
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, SqlError> {
+        let table = self.table_item()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.accept_kw("join") {
+                JoinKind::Inner
+            } else if self.accept_kw("inner") {
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.accept_kw("left") {
+                self.accept_kw("outer");
+                self.expect_kw("join")?;
+                JoinKind::LeftOuter
+            } else {
+                break;
+            };
+            let table = self.table_item()?;
+            self.expect_kw("on")?;
+            let mut on = vec![self.condition()?];
+            while self.accept_kw("and") {
+                on.push(self.condition()?);
+            }
+            joins.push(JoinClause { kind, table, on });
+        }
+        Ok(FromItem { table, joins })
+    }
+
+    fn table_item(&mut self) -> Result<TableItem, SqlError> {
+        let table = self.ident("table name")?;
+        if is_reserved(&table.text) {
+            return Err(SqlError::at(
+                table.pos.0,
+                format!("expected table name, found reserved word '{}'", table.text),
+            ));
+        }
+        let alias = if self.accept_kw("as") {
+            let a = self.ident("alias")?;
+            if is_reserved(&a.text) {
+                return Err(SqlError::at(
+                    a.pos.0,
+                    format!("reserved word '{}' cannot be used as an alias", a.text),
+                ));
+            }
+            Some(a)
+        } else if matches!(&self.toks[self.i].tok, Tok::Ident(s) if !is_reserved(s)) {
+            Some(self.ident("alias")?)
+        } else {
+            None
+        };
+        Ok(TableItem { table, alias })
+    }
+
+    fn subquery(&mut self) -> Result<Box<SelectStmt>, SqlError> {
+        let open = self.peek().offset;
+        if self.depth >= MAX_DEPTH {
+            return Err(SqlError::at(
+                open,
+                format!("subquery nesting exceeds {MAX_DEPTH} levels"),
+            ));
+        }
+        self.expect_sym("(")?;
+        self.depth += 1;
+        let stmt = self.select_stmt();
+        self.depth -= 1;
+        let stmt = stmt?;
+        self.expect_sym(")")?;
+        Ok(Box::new(stmt))
+    }
+
+    fn literal(&mut self) -> Result<Literal, SqlError> {
+        let t = self.peek();
+        match t.tok {
+            Tok::Number(v) => {
+                self.bump();
+                Ok(Literal::Number(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Literal::Str(s))
+            }
+            other => Err(SqlError::at(
+                t.offset,
+                format!("expected literal, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp, SqlError> {
+        let t = self.peek();
+        let op = match &t.tok {
+            Tok::Sym("=") => CmpOp::Eq,
+            Tok::Sym("<") => CmpOp::Lt,
+            Tok::Sym("<=") => CmpOp::Le,
+            Tok::Sym(">") => CmpOp::Gt,
+            Tok::Sym(">=") => CmpOp::Ge,
+            other => {
+                return Err(SqlError::at(
+                    t.offset,
+                    format!("expected comparison operator, found {}", describe(other)),
+                ))
+            }
+        };
+        self.bump();
+        Ok(op)
+    }
+
+    fn condition(&mut self) -> Result<Condition, SqlError> {
+        if self.accept_kw("exists") {
+            return Ok(Condition::Exists {
+                subquery: self.subquery()?,
+            });
+        }
+        // Literal-first comparison: `5 < t.c` normalizes to `t.c > 5`.
+        if matches!(self.peek().tok, Tok::Number(_) | Tok::Str(_)) {
+            let value = self.literal()?;
+            let op = self.cmp_op()?;
+            let col = self.column()?;
+            return Ok(Condition::Cmp {
+                col,
+                op: op.flipped(),
+                value,
+            });
+        }
+        let col = self.column()?;
+        if self.accept_kw("between") {
+            let lo = self.literal()?;
+            self.expect_kw("and")?;
+            let hi = self.literal()?;
+            return Ok(Condition::Between { col, lo, hi });
+        }
+        if self.accept_kw("in") {
+            return Ok(Condition::InSubquery {
+                col,
+                subquery: self.subquery()?,
+            });
+        }
+        let op_at = self.peek().offset;
+        let op = self.cmp_op()?;
+        let t = self.peek();
+        match t.tok {
+            Tok::Ident(_) => {
+                if op != CmpOp::Eq {
+                    return Err(SqlError::at(
+                        op_at,
+                        "only equality predicates between columns are supported",
+                    ));
+                }
+                let right = self.column()?;
+                Ok(Condition::JoinEq { left: col, right })
+            }
+            _ => Ok(Condition::Cmp {
+                col,
+                op,
+                value: self.literal()?,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_implicit_join_with_where() {
+        let s = parse("SELECT * FROM t0, t1 WHERE t0.c0 = t1.c0 AND t0.c1 <= 5").unwrap();
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.where_clause.len(), 2);
+        assert!(matches!(s.where_clause[0], Condition::JoinEq { .. }));
+        assert!(matches!(
+            s.where_clause[1],
+            Condition::Cmp { op: CmpOp::Le, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_explicit_joins_and_tail_clauses() {
+        let s = parse(
+            "SELECT a.c0 FROM t0 AS a JOIN t1 ON a.c0 = t1.c0 LEFT OUTER JOIN t2 ON a.c0 = t2.c0 \
+             GROUP BY t1.c1 ORDER BY a.c1 FETCH FIRST 10 ROWS ONLY;",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].joins.len(), 2);
+        assert_eq!(s.from[0].joins[0].kind, JoinKind::Inner);
+        assert_eq!(s.from[0].joins[1].kind, JoinKind::LeftOuter);
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert_eq!(s.fetch_first, Some(10));
+    }
+
+    #[test]
+    fn literal_first_comparison_is_flipped() {
+        let s = parse("SELECT * FROM t0 WHERE 5 < t0.c0").unwrap();
+        match &s.where_clause[0] {
+            Condition::Cmp { op, value, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(*value, Literal::Number(5.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_subqueries() {
+        let s = parse(
+            "SELECT * FROM t0 WHERE t0.c0 IN (SELECT * FROM t1) AND EXISTS (SELECT * FROM t2)",
+        )
+        .unwrap();
+        assert!(matches!(s.where_clause[0], Condition::InSubquery { .. }));
+        assert!(matches!(s.where_clause[1], Condition::Exists { .. }));
+    }
+
+    #[test]
+    fn limit_is_fetch_first_sugar() {
+        let s = parse("SELECT * FROM t0 LIMIT 3").unwrap();
+        assert_eq!(s.fetch_first, Some(3));
+    }
+
+    #[test]
+    fn truncated_input_errors_at_end() {
+        let src = "SELECT * FROM";
+        let e = parse(src).unwrap_err();
+        assert_eq!(e.offset, Some(src.len()));
+        assert!(e.message.contains("expected table name"), "{e}");
+    }
+
+    #[test]
+    fn reserved_alias_is_rejected() {
+        let e = parse("SELECT * FROM t0 AS where").unwrap_err();
+        assert!(e.message.contains("reserved word 'where'"), "{e}");
+        // A bare reserved word is never swallowed as an alias.
+        assert!(parse("SELECT * FROM t0 WHERE t0.c0 = 1").is_ok());
+    }
+
+    #[test]
+    fn nesting_past_the_cap_is_a_clean_error() {
+        let mut src = String::from("SELECT * FROM t0 WHERE EXISTS ");
+        for _ in 0..=MAX_DEPTH {
+            src.push_str("(SELECT * FROM t0 WHERE EXISTS ");
+        }
+        src.push_str("(SELECT * FROM t0");
+        for _ in 0..=MAX_DEPTH + 1 {
+            src.push(')');
+        }
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("nesting exceeds"), "{e}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let e = parse("SELECT * FROM t0 banana grove").unwrap_err();
+        assert!(e.message.contains("expected end of statement"), "{e}");
+    }
+}

@@ -17,7 +17,9 @@
 //! * [`generators`] — proptest strategies and seeded corpora of random
 //!   catalog + join-graph pairs (chain/star/cycle/clique, optional ORDER
 //!   BY/GROUP BY, partitioned tables), shared by the differential and
-//!   oracle test suites.
+//!   oracle test suites;
+//! * [`sql`] — renders generated specs to SQL text (the JOB-like corpus for
+//!   the `cote-sql` front-end's differential oracle).
 //!
 //! Every constructor takes a [`cote_optimizer::Mode`]: `Serial` builds a
 //! single-node catalog, `Parallel` a 4-logical-node shared-nothing catalog
@@ -28,6 +30,7 @@ pub mod cycle;
 pub mod generators;
 pub mod linear;
 pub mod random;
+pub mod sql;
 pub mod star;
 pub mod synth;
 pub mod tpch;

@@ -1,0 +1,147 @@
+//! SQL text rendering for generated query specs.
+//!
+//! [`spec_to_sql`] renders a [`QuerySpec`] to a statement that the
+//! `cote-sql` front-end parses back into *exactly* the query
+//! [`QuerySpec::build`] constructs: same FROM order, same join-predicate
+//! order and column orientation, same GROUP BY / ORDER BY lists. That
+//! bit-for-bit agreement is load-bearing — the differential oracle in the
+//! umbrella suite asserts that estimating the SQL text and estimating the
+//! hand-built spec produce the same fingerprint, block shape and predicted
+//! seconds, which only holds because both sides list predicates in the same
+//! order (the structural fingerprint is order-sensitive by design; see
+//! `cote::StructuralHasher`).
+//!
+//! The JOB-like seeded corpus for smoke tests is [`sql_corpus`]: chains,
+//! stars, cycles and cliques over the generated `t0..tn-1` catalogs,
+//! rendered to text.
+
+use crate::generators::{corpus, GraphShape, QuerySpec};
+use std::fmt::Write as _;
+
+/// Render `spec` as SQL text that parses and lowers back to
+/// `spec.build().1` (against `spec.build().0`'s catalog).
+pub fn spec_to_sql(spec: &QuerySpec) -> String {
+    let n = spec.effective_tables();
+    let mut sql = String::from("SELECT * FROM ");
+    for i in 0..n {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        let _ = write!(sql, "t{i}");
+    }
+    // Join predicates in the exact order and orientation `build` emits them.
+    let mut conds: Vec<String> = Vec::new();
+    let eq = |a: usize, b: usize| format!("t{a}.c0 = t{b}.c0");
+    match spec.shape {
+        GraphShape::Chain => {
+            for i in 0..n - 1 {
+                conds.push(eq(i, i + 1));
+            }
+        }
+        GraphShape::Star => {
+            for i in 1..n {
+                conds.push(eq(0, i));
+            }
+        }
+        GraphShape::Cycle => {
+            for i in 0..n - 1 {
+                conds.push(eq(i, i + 1));
+            }
+            if n > 2 {
+                conds.push(eq(n - 1, 0));
+            }
+        }
+        GraphShape::Clique => {
+            for i in 0..n {
+                for j in i + 1..n {
+                    conds.push(eq(i, j));
+                }
+            }
+        }
+    }
+    if !conds.is_empty() {
+        let _ = write!(sql, " WHERE {}", conds.join(" AND "));
+    }
+    if spec.group_by {
+        let _ = write!(sql, " GROUP BY t{}.c1", n - 1);
+    }
+    if spec.order_by {
+        sql.push_str(" ORDER BY t0.c1");
+    }
+    sql
+}
+
+/// A seeded JOB-like SQL corpus: `count` specs from [`corpus`] rendered to
+/// text, paired with the spec that generates the matching catalog.
+pub fn sql_corpus(
+    count: usize,
+    min_tables: usize,
+    max_tables: usize,
+    seed: u64,
+) -> Vec<(QuerySpec, String)> {
+    corpus(count, min_tables, max_tables, seed)
+        .into_iter()
+        .map(|spec| {
+            let sql = spec_to_sql(&spec);
+            (spec, sql)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_each_shape() {
+        let base = QuerySpec {
+            shape: GraphShape::Chain,
+            tables: 3,
+            order_by: true,
+            group_by: true,
+            partitioned: false,
+            indexes: false,
+            seed: 1,
+        };
+        let chain = spec_to_sql(&base);
+        assert_eq!(
+            chain,
+            "SELECT * FROM t0, t1, t2 WHERE t0.c0 = t1.c0 AND t1.c0 = t2.c0 \
+             GROUP BY t2.c1 ORDER BY t0.c1"
+        );
+        let star = spec_to_sql(&QuerySpec {
+            shape: GraphShape::Star,
+            order_by: false,
+            group_by: false,
+            ..base.clone()
+        });
+        assert!(
+            star.ends_with("WHERE t0.c0 = t1.c0 AND t0.c0 = t2.c0"),
+            "{star}"
+        );
+        let cycle = spec_to_sql(&QuerySpec {
+            shape: GraphShape::Cycle,
+            order_by: false,
+            group_by: false,
+            ..base.clone()
+        });
+        assert!(cycle.contains("t2.c0 = t0.c0"), "{cycle}");
+        let clique = spec_to_sql(&QuerySpec {
+            shape: GraphShape::Clique,
+            order_by: false,
+            group_by: false,
+            ..base
+        });
+        assert_eq!(clique.matches(" = ").count(), 3, "{clique}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = sql_corpus(8, 2, 6, 42);
+        let b = sql_corpus(8, 2, 6, 42);
+        assert_eq!(a.len(), 8);
+        for ((_, sa), (_, sb)) in a.iter().zip(&b) {
+            assert_eq!(sa, sb);
+        }
+    }
+}
