@@ -1,0 +1,88 @@
+//! Figure 6 companion: static vs. online recalibration on a drifted stream.
+//!
+//! Calibrates the §3.5 model, then replays the target workload with a
+//! mid-stream drift injection (`T_inst` scaled, per-method `C_t` perturbed
+//! — see `cote_bench::replay`). The frozen fit and the online RLS regressor
+//! are scored prequentially; the post-onset MAPE gap is the payoff of
+//! closing the observability loop.
+//!
+//! Usage: `fig6_online_drift [workload] [--rounds N] [--scale X]`
+//! (default `star-s`, 12 rounds, 3.0× slowdown). Exits nonzero if the
+//! online model fails to beat the static one post-drift.
+
+use cote_bench::{
+    calibrated_cote,
+    replay::{replay_online_drift, DriftSpec},
+    table::TextTable,
+    workload_arg,
+};
+use cote_obs::{Registry, ResidualConfig, ResidualTracker};
+
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = workload_arg("star-s")?;
+    let mut spec = DriftSpec::default();
+    if let Some(r) = flag_value("--rounds") {
+        spec.rounds = r.parse()?;
+    }
+    if let Some(s) = flag_value("--scale") {
+        spec.tinst_scale = s.parse()?;
+    }
+
+    eprintln!("calibrating C_t ({:?})...", w.mode);
+    let (cote, _) = calibrated_cote(w.mode, 2)?;
+
+    eprintln!(
+        "replaying {} x{} rounds, {:.1}x drift at the midpoint...",
+        w.name, spec.rounds, spec.tinst_scale
+    );
+    let registry = Registry::new();
+    let tracker = ResidualTracker::new(&registry, "cote_replay", ResidualConfig::default());
+    let report = replay_online_drift(&w, &cote, &spec, &tracker)?;
+
+    println!(
+        "\nOnline recalibration under drift ({}, {:.1}x T_inst at round {})",
+        w.name,
+        spec.tinst_scale,
+        spec.rounds.max(2) / 2
+    );
+    let mut t = TextTable::new(vec!["phase", "obs", "static MAPE", "online MAPE"]);
+    for (name, p) in [
+        ("pre-drift", &report.pre),
+        ("post-drift", &report.post),
+        ("last round", &report.last_round),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            p.observations.to_string(),
+            format!("{:.1}%", p.static_mape),
+            format!("{:.1}%", p.online_mape),
+        ]);
+    }
+    t.print();
+    println!(
+        "drift alarms {} | max score {:.2} | final score {:.2}",
+        report.alarms, report.max_drift_score, report.final_drift_score
+    );
+    println!("{}", report.summary_line());
+
+    tracker.reset();
+    if tracker.drift_score() == 0.0 && !tracker.drift_active() {
+        println!("drift gauge reset to 0 on shutdown");
+    }
+
+    if !report.online_wins_post_drift() {
+        eprintln!("FAIL: online model did not beat the static fit post-drift");
+        std::process::exit(1);
+    }
+    Ok(())
+}

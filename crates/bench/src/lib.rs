@@ -8,6 +8,7 @@
 //! the instrumented optimizer, calibrating the §3.5 time model, and printing
 //! aligned text tables.
 
+pub mod replay;
 pub mod table;
 
 use cote::{Calibration, Cote, EstimateOptions, QueryEstimate, TimeModel};

@@ -22,11 +22,21 @@ USAGE:
   cote compile <workload> [N]         compile for real; stats + chosen plan
   cote forecast <workload>            workload compilation forecast (§1.1)
   cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
-  cote metrics <workload> [N] [--json] [--trace FILE]
+  cote calibrate [workload] [--online] [--rounds N] [--scale X]
+                                      fit the §3.5 time model and print it;
+                                      --online replays the workload with a
+                                      mid-stream drift injection (X× slower
+                                      at round N/2) and reports before/after
+                                      MAPE for the frozen fit vs. the online
+                                      RLS regressor (exit 1 unless online
+                                      wins post-drift); default star-s
+  cote metrics <workload> [N] [--json] [--trace FILE] [--trace-max-bytes B]
                                       estimate, then dump the global metrics
                                       registry (Prometheus text, or JSON);
-                                      --trace writes span events as JSONL
-  cote serve <workload> [--listen ADDR]
+                                      --trace writes span events as JSONL,
+                                      capped at B bytes (0 = unlimited) with
+                                      a final trace_truncated marker event
+  cote serve <workload> [--listen ADDR] [--trace FILE [--trace-max-bytes B]]
                                       estimation daemon driven by stdin
                                       ('metrics [json]' dumps the registry);
                                       --listen also serves the wire protocol
@@ -315,26 +325,31 @@ pub fn forecast(args: &[String]) -> Result<()> {
     Ok(())
 }
 
-/// `cote metrics <workload> [N] [--json] [--trace FILE]` — run COTE
-/// estimates over the workload with tracing on, then expose the process-wide
-/// registry (optimizer plan counters, estimator run counters, statement-cache
-/// totals). `--trace FILE` additionally writes the span events as JSONL.
+/// `cote metrics <workload> [N] [--json] [--trace FILE] [--trace-max-bytes
+/// B]` — run COTE estimates over the workload with tracing on, then expose
+/// the process-wide registry (optimizer plan counters, estimator run
+/// counters, statement-cache totals). `--trace FILE` additionally writes
+/// the span events as JSONL through the size-capped writer.
 pub fn metrics(args: &[String]) -> Result<()> {
     let mut json = false;
     let mut trace_path = None;
+    let mut trace_max_bytes = 0u64;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CoteError::InvalidQuery {
+                reason: format!("{flag} needs a value"),
+            })
+        };
         match a.as_str() {
             "--json" => json = true,
-            "--trace" => {
-                trace_path = Some(
-                    it.next()
-                        .ok_or_else(|| CoteError::InvalidQuery {
-                            reason: "--trace needs a file path".into(),
-                        })?
-                        .clone(),
-                )
+            "--trace" => trace_path = Some(val("--trace")?),
+            "--trace-max-bytes" => {
+                let v = val("--trace-max-bytes")?;
+                trace_max_bytes = v.parse().map_err(|_| CoteError::InvalidQuery {
+                    reason: format!("--trace-max-bytes: cannot parse '{v}'"),
+                })?;
             }
             _ => rest.push(a.clone()),
         }
@@ -350,17 +365,132 @@ pub fn metrics(args: &[String]) -> Result<()> {
     if let Some(path) = trace_path {
         cote_obs::set_tracing(false);
         let events = cote_obs::take_events();
-        std::fs::write(&path, cote_obs::to_jsonl(&events)).map_err(|e| {
-            CoteError::InvalidQuery {
-                reason: format!("writing {path}: {e}"),
-            }
-        })?;
-        eprintln!("wrote {} trace events to {path}", events.len());
+        let io_err = |e: std::io::Error| CoteError::InvalidQuery {
+            reason: format!("writing {path}: {e}"),
+        };
+        let mut writer =
+            cote_obs::BoundedTraceWriter::create(&path, trace_max_bytes).map_err(io_err)?;
+        for e in &events {
+            writer.write_event(e).map_err(io_err)?;
+        }
+        let summary = writer.finish().map_err(io_err)?;
+        eprintln!(
+            "wrote {} trace events to {path} ({} bytes, {} dropped by the cap)",
+            summary.written, summary.bytes, summary.dropped
+        );
     }
     if json {
         println!("{}", cote_obs::global().json());
     } else {
         print!("{}", cote_obs::global().prometheus_text());
+    }
+    Ok(())
+}
+
+/// `cote calibrate [workload] [--online] [--rounds N] [--scale X]` — fit
+/// the §3.5 time model and print it. With `--online`, replay the workload
+/// against a mid-stream drift injection (see `cote_bench::replay`) and
+/// report before/after MAPE for the frozen static fit vs. the online RLS
+/// regressor; fails unless the online model wins post-drift, so the CI
+/// `calib-smoke` job is self-verifying.
+pub fn calibrate(args: &[String]) -> Result<()> {
+    use cote_bench::replay::{replay_online_drift, DriftSpec};
+
+    let mut online = false;
+    let mut spec = DriftSpec::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next().cloned().ok_or_else(|| CoteError::InvalidQuery {
+                reason: format!("{flag} needs a value"),
+            })
+        };
+        let bad = |flag: &str, v: &str| CoteError::InvalidQuery {
+            reason: format!("{flag}: cannot parse '{v}'"),
+        };
+        match a.as_str() {
+            "--online" => online = true,
+            "--rounds" => {
+                let v = val("--rounds")?;
+                spec.rounds = v.parse().map_err(|_| bad("--rounds", &v))?;
+            }
+            "--scale" => {
+                let v = val("--scale")?;
+                spec.tinst_scale = v.parse().map_err(|_| bad("--scale", &v))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(CoteError::InvalidQuery {
+                    reason: format!("calibrate: unknown flag '{other}'"),
+                });
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    if rest.is_empty() {
+        rest.push("star-s".to_string());
+    }
+    let (w, _) = parse(&rest)?;
+    let config = OptimizerConfig::high(w.mode);
+    eprintln!("calibrating on {} (quick per-phase fit)...", w.name);
+    let cote = quick_cote(&w, &config)?;
+    let m = cote.model();
+    let (cm, cn, ch) = m.ratio_mnh();
+    println!(
+        "fitted model: C_nljn {:.3e}s  C_mgjn {:.3e}s  C_hsjn {:.3e}s  intercept {:.3e}s",
+        m.c_nljn, m.c_mgjn, m.c_hsjn, m.intercept
+    );
+    println!("C_m:C_n:C_h = {cm:.1}:{cn:.1}:{ch:.1} (paper serial 5:2:4, parallel 6:1:2)");
+    if !online {
+        return Ok(());
+    }
+
+    eprintln!(
+        "replaying {} x{} rounds, {:.1}x drift at round {}...",
+        w.name,
+        spec.rounds,
+        spec.tinst_scale,
+        spec.rounds.max(2) / 2
+    );
+    let registry = cote_obs::Registry::new();
+    let tracker = cote_obs::ResidualTracker::new(
+        &registry,
+        "cote_replay",
+        cote_obs::ResidualConfig::default(),
+    );
+    let report = replay_online_drift(&w, &cote, &spec, &tracker)?;
+    println!(
+        "{:<11} {:>5} {:>13} {:>13}",
+        "phase", "obs", "static MAPE", "online MAPE"
+    );
+    for (name, p) in [
+        ("pre-drift", &report.pre),
+        ("post-drift", &report.post),
+        ("last round", &report.last_round),
+    ] {
+        println!(
+            "{:<11} {:>5} {:>12.1}% {:>12.1}%",
+            name, p.observations, p.static_mape, p.online_mape
+        );
+    }
+    println!(
+        "drift alarms {} | max score {:.2} | final score {:.2}",
+        report.alarms, report.max_drift_score, report.final_drift_score
+    );
+    // The two lines the calib-smoke job greps for.
+    println!("{}", report.summary_line());
+    tracker.reset();
+    if tracker.drift_score() == 0.0 && !tracker.drift_active() {
+        println!("drift gauge reset to 0 on shutdown");
+    }
+    if !report.online_wins_post_drift() {
+        return Err(CoteError::Calibration {
+            reason: format!(
+                "online recalibration did not beat the static fit post-drift \
+                 (static {:.1}% vs online {:.1}%)",
+                report.post.static_mape, report.post.online_mape
+            ),
+        });
     }
     Ok(())
 }

@@ -9,6 +9,7 @@
 //! cote compile <workload> [N]         compile for real; stats + chosen plan
 //! cote forecast <workload>            §1.1 workload compilation forecast
 //! cote mop <workload> <secs-per-unit> Figure 1 meta-optimizer decisions
+//! cote calibrate [workload] [--online] fit the time model; drifted replay
 //! cote metrics <workload> [N]         estimate + global metrics registry dump
 //! cote serve <workload> [--listen ADDR]     estimation daemon (stdin + TCP/HTTP)
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         Some("compile") => commands::compile(&args[1..]),
         Some("forecast") => commands::forecast(&args[1..]),
         Some("mop") => commands::mop(&args[1..]),
+        Some("calibrate") => commands::calibrate(&args[1..]),
         Some("metrics") => commands::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),

@@ -26,6 +26,10 @@ struct ServeArgs {
     /// `--addr HOST:PORT`: bench an already-running server instead of
     /// self-hosting one.
     addr: Option<String>,
+    /// `--trace FILE`: write worker span events as JSONL (serve only).
+    trace: Option<String>,
+    /// `--trace-max-bytes B`: cap the trace file (0 = unlimited).
+    trace_max_bytes: u64,
 }
 
 fn bad(reason: String) -> CoteError {
@@ -42,6 +46,8 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
     let mut net = NetConfig::default();
     let mut listen = None;
     let mut addr = None;
+    let mut trace = None;
+    let mut trace_max_bytes = 0u64;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String> {
@@ -91,6 +97,12 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
             }
             "--listen" => listen = Some(value("--listen")?.clone()),
             "--addr" => addr = Some(value("--addr")?.clone()),
+            "--trace" => trace = Some(value("--trace")?.clone()),
+            "--trace-max-bytes" => {
+                trace_max_bytes = value("--trace-max-bytes")?
+                    .parse()
+                    .map_err(|_| bad("--trace-max-bytes needs a byte count".into()))?
+            }
             "--handlers" => {
                 net.handlers = value("--handlers")?
                     .parse()
@@ -123,6 +135,8 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
         net,
         listen,
         addr,
+        trace,
+        trace_max_bytes,
     })
 }
 
@@ -168,23 +182,47 @@ fn check_gauge_drained(svc: &CoteService) -> Result<()> {
     Ok(())
 }
 
-/// `cote serve <workload> [--listen ADDR]` — the estimation daemon.
+/// `cote serve <workload> [--listen ADDR] [--trace FILE]` — the daemon.
 ///
 /// stdin drives it interactively: each line is a 1-based query index
-/// (optionally `N interactive|reporting|batch`); `report` prints the
-/// metrics report, `metrics` / `metrics json` expose the registry
-/// (Prometheus text / JSON), `quit` (or EOF) exits. With `--listen ADDR`
-/// the same service also answers the wire protocol and HTTP on that
-/// address (`127.0.0.1:0` picks an ephemeral port, printed on startup).
-/// Shutdown gracefully drains network connections and queued estimates,
-/// then writes a final metrics dump (the stdin protocol's stand-in for
+/// (optionally `N interactive|reporting|batch`); `done N SECS` reports a
+/// real elapsed compile time back into the online recalibrator; `report`
+/// prints the metrics report, `metrics` / `metrics json` expose the
+/// registry (Prometheus text / JSON), `quit` (or EOF) exits. With
+/// `--listen ADDR` the same service also answers the wire protocol and
+/// HTTP on that address (`127.0.0.1:0` picks an ephemeral port, printed on
+/// startup). `--trace FILE` streams worker span events as JSONL through
+/// the size-capped writer (`--trace-max-bytes`, 0 = unlimited). Shutdown
+/// gracefully drains network connections and queued estimates, then
+/// writes a final metrics dump (the stdin protocol's stand-in for
 /// dump-on-SIGTERM). Both front-ends read lines through the same
 /// length-capped reader, so no input can allocate unboundedly.
 pub fn serve(args: &[String]) -> Result<()> {
     let mut a = parse_args(args)?;
+    cote_obs::set_tracing(a.trace.is_some());
+    let mut tracer = match &a.trace {
+        Some(path) => Some(
+            cote_obs::BoundedTraceWriter::create(path, a.trace_max_bytes)
+                .map_err(|e| bad(format!("creating {path}: {e}")))?,
+        ),
+        None => None,
+    };
     let svc = Arc::new(start_service(&a.workload, a.cfg)?);
     let queries = Arc::new(std::mem::take(&mut a.workload.queries));
     let n = queries.len();
+    let mut sink_dropped = 0u64;
+    let mut flush_trace =
+        |svc: &CoteService, tracer: &mut Option<cote_obs::BoundedTraceWriter>| -> Result<()> {
+            if let Some(w) = tracer {
+                let (events, dropped) = svc.take_trace_events();
+                sink_dropped += dropped;
+                for e in &events {
+                    w.write_event(e)
+                        .map_err(|e| bad(format!("writing trace: {e}")))?;
+                }
+            }
+            Ok(())
+        };
     let server = match &a.listen {
         Some(addr) => {
             let server = NetServer::bind(Arc::clone(&svc), Arc::clone(&queries), addr, a.net)
@@ -235,11 +273,35 @@ pub fn serve(args: &[String]) -> Result<()> {
                 }
                 continue;
             }
+            Some("done") => {
+                // `done N SECS`: report a real compile time back into the
+                // online recalibrator for query N's cached advice.
+                let idx: Option<usize> = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|i| (1..=n).contains(i))
+                    .map(|i: usize| i - 1);
+                let secs: Option<f64> = parts.next().and_then(|t| t.parse().ok());
+                match (idx, secs) {
+                    (Some(i), Some(secs)) if secs > 0.0 => {
+                        if svc.report_outcome(&queries[i], secs) {
+                            println!("{}: outcome {secs:.6}s learned", queries[i].name);
+                        } else {
+                            println!(
+                                "{}: outcome ignored (no cached advice or recal off)",
+                                queries[i].name
+                            );
+                        }
+                    }
+                    _ => eprintln!("usage: done <1..={n}> <seconds>"),
+                }
+                continue;
+            }
             Some(tok) => {
                 let idx: usize = match tok.parse() {
                     Ok(i) if (1..=n).contains(&i) => i - 1,
                     _ => {
-                        eprintln!("expected 1..={n}, 'report' or 'quit'");
+                        eprintln!("expected 1..={n}, 'done N SECS', 'report' or 'quit'");
                         continue;
                     }
                 };
@@ -274,6 +336,7 @@ pub fn serve(args: &[String]) -> Result<()> {
                     }
                     Decision::Failed { error } => println!("{}: failed: {error}", q.name),
                 }
+                flush_trace(&svc, &mut tracer)?;
             }
         }
     }
@@ -282,6 +345,19 @@ pub fn serve(args: &[String]) -> Result<()> {
     }
     if !svc.drain(Duration::from_secs(5)) {
         eprintln!("warning: service did not fully drain before dump");
+    }
+    flush_trace(&svc, &mut tracer)?;
+    if let Some(w) = tracer {
+        let s = w.finish().map_err(|e| bad(format!("closing trace: {e}")))?;
+        eprintln!(
+            "trace: {} events to {} ({} bytes; {} dropped by the size cap, {} by the sink)",
+            s.written,
+            s.path.display(),
+            s.bytes,
+            s.dropped,
+            sink_dropped
+        );
+        cote_obs::set_tracing(false);
     }
     print!("{}", svc.report());
     eprintln!("── final metrics dump ──");

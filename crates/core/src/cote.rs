@@ -73,6 +73,22 @@ impl Cote {
     /// [`EstimateOptions::levels`] in a single pass (§6.2): returns
     /// `(composite_inner_limit, seconds)` pairs, configured level first.
     pub fn estimate_levels(&self, catalog: &Catalog, query: &Query) -> Result<Vec<(usize, f64)>> {
+        Ok(self
+            .estimate_level_counts(catalog, query)?
+            .into_iter()
+            .map(|(l, c)| (l, self.model.predict_seconds(&c)))
+            .collect())
+    }
+
+    /// Per-level plan counts for every level requested through
+    /// [`EstimateOptions::levels`], configured level first. The counts are
+    /// model-free, so a caller holding a fresher [`TimeModel`] (e.g. an
+    /// online-recalibrated one) can price them itself.
+    pub fn estimate_level_counts(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+    ) -> Result<Vec<(usize, PerMethod)>> {
         let detail = estimate_query(catalog, query, &self.config, &self.options)?;
         let mut limits = vec![self.config.composite_inner_limit];
         limits.extend(
@@ -85,7 +101,7 @@ impl Cote {
         Ok(limits
             .into_iter()
             .zip(&detail.totals.level_counts)
-            .map(|(l, c)| (l, self.model.predict_seconds(c)))
+            .map(|(l, c)| (l, *c))
             .collect())
     }
 }

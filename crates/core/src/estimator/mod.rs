@@ -566,9 +566,15 @@ fn run_counters() -> &'static RunCounters {
     CELLS.get_or_init(|| {
         let r = cote_obs::global();
         RunCounters {
-            runs: r.counter("estimator_runs_total"),
-            estimated_plans: r.counter("estimator_estimated_plans_total"),
-            estimated_pairs: r.counter("estimator_estimated_pairs_total"),
+            runs: r.counter_with_help("estimator_runs_total", "COTE estimator executions."),
+            estimated_plans: r.counter_with_help(
+                "estimator_estimated_plans_total",
+                "Join plans the estimator predicted would be generated.",
+            ),
+            estimated_pairs: r.counter_with_help(
+                "estimator_estimated_pairs_total",
+                "MEMO entry pairs the counting pass visited.",
+            ),
         }
     })
 }

@@ -60,6 +60,7 @@ pub mod forecast;
 pub mod joincount;
 pub mod memory;
 pub mod mop;
+pub mod online;
 pub mod options;
 pub mod regression;
 pub mod reopt;
@@ -75,6 +76,7 @@ pub use memory::{
     actual_memory_bytes, estimate_memory, highest_level_within_budget, MemoryEstimate,
 };
 pub use mop::{MetaOptimizer, MopChoice, MopOutcome};
+pub use online::{OnlineConfig, OnlineRegressor};
 pub use options::EstimateOptions;
 pub use regression::{least_squares, mean_abs_pct_error, nonnegative_least_squares};
 pub use reopt::{should_reoptimize, ExecutionCheckpoint, ReoptDecision};

@@ -48,9 +48,18 @@ fn global_counters() -> &'static GlobalCounters {
     CELLS.get_or_init(|| {
         let r = cote_obs::global();
         GlobalCounters {
-            hits: r.counter("statement_cache_hits_total"),
-            misses: r.counter("statement_cache_misses_total"),
-            evictions: r.counter("statement_cache_evictions_total"),
+            hits: r.counter_with_help(
+                "statement_cache_hits_total",
+                "Statement-cache lookups served from cache.",
+            ),
+            misses: r.counter_with_help(
+                "statement_cache_misses_total",
+                "Statement-cache lookups that missed.",
+            ),
+            evictions: r.counter_with_help(
+                "statement_cache_evictions_total",
+                "Statements evicted from the cache.",
+            ),
         }
     })
 }

@@ -36,16 +36,36 @@ impl NetMetrics {
     /// Register (or re-attach to) the net instruments in `registry`.
     pub fn new(registry: &Registry) -> Self {
         Self {
-            conns: registry.counter("cote_net_connections_total"),
-            conns_active: registry.gauge("cote_net_active_connections"),
-            conns_shed: registry.counter("cote_net_connections_shed_total"),
-            requests: registry.counter("cote_net_requests_total"),
-            http_requests: registry.counter("cote_net_http_requests_total"),
-            busy_responses: registry.counter("cote_net_busy_responses_total"),
-            malformed: registry.counter("cote_net_malformed_total"),
-            bytes_in: registry.counter("cote_net_bytes_read_total"),
-            bytes_out: registry.counter("cote_net_bytes_written_total"),
-            request_latency: registry.histogram("cote_net_request_latency_seconds"),
+            conns: registry
+                .counter_with_help("cote_net_connections_total", "Connections accepted."),
+            conns_active: registry.gauge_with_help(
+                "cote_net_active_connections",
+                "Connections currently open (accepted, not yet closed).",
+            ),
+            conns_shed: registry.counter_with_help(
+                "cote_net_connections_shed_total",
+                "Connections shed at accept with BUSY (pool and backlog full).",
+            ),
+            requests: registry
+                .counter_with_help("cote_net_requests_total", "Wire-protocol requests handled."),
+            http_requests: registry
+                .counter_with_help("cote_net_http_requests_total", "HTTP requests handled."),
+            busy_responses: registry.counter_with_help(
+                "cote_net_busy_responses_total",
+                "BUSY responses written (admission sheds, drain refusals).",
+            ),
+            malformed: registry.counter_with_help(
+                "cote_net_malformed_total",
+                "Protocol violations: oversize, invalid UTF-8, truncated, unparsable.",
+            ),
+            bytes_in: registry
+                .counter_with_help("cote_net_bytes_read_total", "Bytes read from peers."),
+            bytes_out: registry
+                .counter_with_help("cote_net_bytes_written_total", "Bytes written to peers."),
+            request_latency: registry.histogram_with_help(
+                "cote_net_request_latency_seconds",
+                "Request latency, first frame byte parsed to response flushed.",
+            ),
         }
     }
 }

@@ -391,6 +391,97 @@ fn sql_estimates_over_wire_and_http() {
     assert_gauge_drained(&svc);
 }
 
+#[test]
+fn metrics_exposition_is_complete_and_escaped() {
+    let (svc, queries) = service(small_cfg());
+    // Generate some traffic so instruments carry non-trivial samples.
+    for q in queries.iter().take(2) {
+        let _ = svc.submit(q, QueryClass::Batch);
+    }
+    svc.report_outcome(&queries[0], 0.001);
+
+    let server = NetServer::bind(
+        Arc::clone(&svc),
+        Arc::clone(&queries),
+        "127.0.0.1:0",
+        NetConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let resp = http_exchange(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap();
+
+    // Walk the exposition: every sample's metric family must have been
+    // preceded by its own `# HELP` and `# TYPE` lines.
+    let mut helped = std::collections::BTreeSet::new();
+    let mut typed = std::collections::BTreeSet::new();
+    let mut families = std::collections::BTreeSet::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            helped.insert(rest.split(' ').next().unwrap().to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.insert(rest.split(' ').next().unwrap().to_string());
+        } else if !line.is_empty() {
+            let family = line
+                .split([' ', '{'])
+                .next()
+                .unwrap()
+                .trim_end_matches("_bucket")
+                .trim_end_matches("_sum")
+                .trim_end_matches("_count")
+                .to_string();
+            assert!(helped.contains(&family), "no # HELP before sample: {line}");
+            assert!(typed.contains(&family), "no # TYPE before sample: {line}");
+            families.insert(family);
+        }
+        // Label values must not contain raw quotes/backslashes/newlines.
+        if let Some(open) = line.find('{') {
+            let labels = &line[open + 1..line.rfind('}').unwrap()];
+            for pair in labels.split(',') {
+                let value = pair.split('=').nth(1).unwrap();
+                let inner = &value[1..value.len() - 1];
+                let mut chars = inner.chars();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => {
+                            let next = chars.next();
+                            assert!(
+                                matches!(next, Some('\\' | '"' | 'n')),
+                                "bad escape in label value: {line}"
+                            );
+                        }
+                        '"' | '\n' => panic!("unescaped char in label value: {line}"),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // The whole stack shows up in one scrape: net, service, and the new
+    // residual/drift/recal instruments.
+    for name in [
+        "cote_net_connections_total",
+        "cote_net_request_latency_seconds",
+        "cote_service_requests_total",
+        "cote_service_residual_abs_seconds",
+        "cote_service_residual_rel_ewma_milli",
+        "cote_service_drift_score_milli",
+        "cote_service_drift_active",
+        "cote_service_drift_alarms_total",
+        "cote_service_recal_observations_total",
+        "cote_service_advice_error_margin_milli",
+        "cote_service_online_c_nljn_picoseconds",
+    ] {
+        assert!(families.contains(name), "missing from /metrics: {name}");
+    }
+
+    let report = server.shutdown();
+    assert!(report.drained_cleanly, "{}", report.summary());
+    assert_gauge_drained(&svc);
+}
+
 /// One HTTP exchange on a fresh connection (`Connection: close` semantics).
 fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
     let mut s = TcpStream::connect(addr).unwrap();

@@ -18,17 +18,21 @@
 mod metrics;
 mod profile;
 mod registry;
+mod residual;
 mod span;
 mod trace;
+mod tracefile;
 
 pub use metrics::{fmt_duration, CacheStats, Counter, Gauge, HistogramSnapshot, LogHistogram};
 pub use profile::{PhaseAgg, PhaseProfiler};
-pub use registry::{global, Registry};
+pub use registry::{escape_help, escape_label_value, global, Registry};
+pub use residual::{ResidualConfig, ResidualTracker};
 pub use span::{
     clear_context, clear_span_hook, dropped_events, set_context, set_span_hook, set_tracing,
     take_events, tracing_enabled, Span, SpanRecord, SpanTiming, Stopwatch,
 };
 pub use trace::{parse_jsonl, to_jsonl, TraceEvent};
+pub use tracefile::{BoundedTraceWriter, TraceFileSummary};
 
 /// Canonical span (phase) names. Using these constants keeps the optimizer,
 /// estimator, service and bench layers on one taxonomy (see DESIGN.md).

@@ -13,6 +13,22 @@ struct Instruments {
     counters: BTreeMap<String, Arc<Counter>>,
     gauges: BTreeMap<String, Arc<Gauge>>,
     histograms: BTreeMap<String, Arc<LogHistogram>>,
+    help: BTreeMap<String, String>,
+}
+
+/// Escape a `# HELP` text per the Prometheus exposition format:
+/// backslash and newline become `\\` and `\n`.
+pub fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value per the Prometheus exposition format:
+/// backslash, double-quote and newline become `\\`, `\"` and `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// A set of named instruments.
@@ -64,19 +80,59 @@ impl Registry {
         )
     }
 
-    /// Prometheus text exposition (one `# TYPE` line per instrument;
-    /// histogram buckets are cumulative with `le` labels in seconds).
+    /// Attach a `# HELP` text to instrument `name` (registered or not yet).
+    /// Instruments without an explicit description still get a generated
+    /// `# HELP` line, so exposition is always complete.
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// Get-or-register the counter `name` and attach its `# HELP` text.
+    pub fn counter_with_help(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.describe(name, help);
+        self.counter(name)
+    }
+
+    /// Get-or-register the gauge `name` and attach its `# HELP` text.
+    pub fn gauge_with_help(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.describe(name, help);
+        self.gauge(name)
+    }
+
+    /// Get-or-register the histogram `name` and attach its `# HELP` text.
+    pub fn histogram_with_help(&self, name: &str, help: &str) -> Arc<LogHistogram> {
+        self.describe(name, help);
+        self.histogram(name)
+    }
+
+    fn help_line(inner: &Instruments, name: &str, kind: &str) -> String {
+        let text = inner
+            .help
+            .get(name)
+            .map(|h| escape_help(h))
+            .unwrap_or_else(|| format!("cote {kind} {name} (no description registered)"));
+        format!("# HELP {name} {text}\n")
+    }
+
+    /// Prometheus text exposition: one `# HELP` + `# TYPE` pair per
+    /// instrument (help falls back to a generated line when no description
+    /// was registered); histogram buckets are cumulative with `le` labels
+    /// in seconds; help text and label values are escaped per the format.
     pub fn prometheus_text(&self) -> String {
         let inner = self.inner.lock().unwrap();
         let mut out = String::new();
         for (name, c) in &inner.counters {
+            out.push_str(&Self::help_line(&inner, name, "counter"));
             out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
         }
         for (name, g) in &inner.gauges {
+            out.push_str(&Self::help_line(&inner, name, "gauge"));
             out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
         }
         for (name, h) in &inner.histograms {
             let s = h.snapshot();
+            out.push_str(&Self::help_line(&inner, name, "histogram"));
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let last = s
                 .buckets()
@@ -87,6 +143,7 @@ impl Registry {
             for i in 0..last.min(BUCKETS - 1) {
                 cum += s.buckets()[i];
                 let le = HistogramSnapshot::bucket_bound_nanos(i) as f64 / 1e9;
+                let le = escape_label_value(&le.to_string());
                 out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
             }
             out.push_str(&format!(
@@ -176,6 +233,10 @@ mod tests {
         assert!(text.contains("# TYPE requests_total counter\nrequests_total 4\n"));
         assert!(text.contains("# TYPE queue_depth gauge\nqueue_depth -1\n"));
         assert!(text.contains("# TYPE latency histogram\n"));
+        // Every instrument gets a # HELP line even without a description.
+        assert!(text.contains("# HELP requests_total "));
+        assert!(text.contains("# HELP queue_depth "));
+        assert!(text.contains("# HELP latency "));
         // 700ns lands in bucket [512, 1024): the le="0.000001024" line is
         // the first cumulative bucket reaching 1.
         assert!(
@@ -196,6 +257,48 @@ mod tests {
         assert!(json.contains("\"hits_total\":1"));
         assert!(json.contains("\"lat\":{\"count\":1"));
         assert!(json.contains("\"gauges\":{}"));
+    }
+
+    #[test]
+    fn described_instruments_use_their_help_text() {
+        let r = Registry::new();
+        r.counter_with_help("hits_total", "Cache hits.").inc();
+        r.gauge_with_help("depth", "Queue\ndepth \\ now").set(3);
+        let text = r.prometheus_text();
+        assert!(text.contains("# HELP hits_total Cache hits.\n# TYPE hits_total counter\n"));
+        // Newlines and backslashes in help text are escaped.
+        assert!(text.contains("# HELP depth Queue\\ndepth \\\\ now\n"));
+    }
+
+    #[test]
+    fn help_and_type_precede_every_sample() {
+        let r = Registry::new();
+        r.counter("a_total").inc();
+        r.gauge("b").set(1);
+        r.histogram("c").record(Duration::from_micros(5));
+        let text = r.prometheus_text();
+        let mut described = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                described.insert(rest.split(' ').next().unwrap().to_string());
+            } else if !line.starts_with('#') {
+                let family = line
+                    .split([' ', '{'])
+                    .next()
+                    .unwrap()
+                    .trim_end_matches("_bucket")
+                    .trim_end_matches("_sum")
+                    .trim_end_matches("_count");
+                assert!(described.contains(family), "sample before HELP: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn escaping_rules() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_label_value("0.000001024"), "0.000001024");
     }
 
     #[test]

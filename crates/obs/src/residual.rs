@@ -1,0 +1,320 @@
+//! Observed-vs-predicted residual telemetry and drift detection.
+//!
+//! The estimator's health is itself observable: every completed
+//! optimization reports `(predicted seconds, observed seconds)` into a
+//! [`ResidualTracker`], which exports through the owning [`Registry`]:
+//!
+//! * `{prefix}_residual_abs_seconds` — histogram of `|observed − predicted|`
+//!   (recorded as a duration; buckets in seconds on exposition),
+//! * `{prefix}_residual_rel` — histogram of `|observed − predicted| /
+//!   observed` (1.0 == 100%, recorded with 1e9 ns == 100%),
+//! * `{prefix}_residual_rel_ewma_milli` — signed EWMA of the relative
+//!   error, in thousandths (positive: the model under-predicts),
+//! * `{prefix}_drift_score_milli` — drift score in thousandths of the
+//!   alarm threshold (1000 == alarming),
+//! * `{prefix}_drift_active` — 1 while the alarm condition holds,
+//! * `{prefix}_drift_alarms_total` — alarm onsets.
+//!
+//! Drift is detected with a **fading two-sided CUSUM** (a Page–Hinkley
+//! variant) on the signed relative residual `r = (observed − predicted) /
+//! observed`, baseline mean 0 (a healthy model is unbiased):
+//!
+//! ```text
+//! up   = max(0, φ·up   + (r − δ))     // sustained under-prediction
+//! down = max(0, φ·down − (r + δ))     // sustained over-prediction
+//! score = max(up, down) / threshold
+//! ```
+//!
+//! The fading factor `φ` makes the statistic forget: after the workload
+//! re-converges the score decays geometrically, so alarms clear on their
+//! own (with hysteresis: raise at score ≥ 1, clear below 0.5).
+
+use crate::metrics::{Counter, Gauge, LogHistogram};
+use crate::registry::Registry;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Tuning for [`ResidualTracker`]'s EWMA and drift detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualConfig {
+    /// EWMA smoothing for the signed relative-error gauge, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// CUSUM slack δ: relative residuals below this magnitude are treated
+    /// as noise and do not accumulate.
+    pub drift_slack: f64,
+    /// CUSUM alarm threshold: accumulated (faded) excess relative error at
+    /// which the drift alarm raises.
+    pub drift_threshold: f64,
+    /// CUSUM fading factor φ in `(0, 1]`: how fast the statistic forgets.
+    pub drift_fading: f64,
+}
+
+impl Default for ResidualConfig {
+    fn default() -> Self {
+        Self {
+            ewma_alpha: 0.1,
+            drift_slack: 0.05,
+            drift_threshold: 1.0,
+            drift_fading: 0.95,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DetectorState {
+    ewma: f64,
+    up: f64,
+    down: f64,
+    alarmed: bool,
+}
+
+/// Per-stream residual telemetry + drift detector, exporting through a
+/// [`Registry`] (instrument names are `{prefix}_…`).
+///
+/// Recording takes a small mutex (the detector state is a few floats); the
+/// exported instruments themselves are the registry's lock-free handles.
+pub struct ResidualTracker {
+    cfg: ResidualConfig,
+    state: Mutex<DetectorState>,
+    abs_seconds: Arc<LogHistogram>,
+    rel: Arc<LogHistogram>,
+    rel_ewma_milli: Arc<Gauge>,
+    drift_score_milli: Arc<Gauge>,
+    drift_active: Arc<Gauge>,
+    drift_alarms: Arc<Counter>,
+    observations: Arc<Counter>,
+}
+
+impl ResidualTracker {
+    /// A tracker exporting `{prefix}_…` instruments into `registry`.
+    pub fn new(registry: &Registry, prefix: &str, cfg: ResidualConfig) -> Self {
+        let abs_seconds = registry.histogram_with_help(
+            &format!("{prefix}_residual_abs_seconds"),
+            "Absolute observed-vs-predicted compile-time residual, seconds.",
+        );
+        let rel = registry.histogram_with_help(
+            &format!("{prefix}_residual_rel"),
+            "Relative residual |observed-predicted|/observed; 1.0 is 100%.",
+        );
+        let rel_ewma_milli = registry.gauge_with_help(
+            &format!("{prefix}_residual_rel_ewma_milli"),
+            "Signed EWMA of relative residual, thousandths; >0 under-predicts.",
+        );
+        let drift_score_milli = registry.gauge_with_help(
+            &format!("{prefix}_drift_score_milli"),
+            "Faded-CUSUM drift score, thousandths of the alarm threshold.",
+        );
+        let drift_active = registry.gauge_with_help(
+            &format!("{prefix}_drift_active"),
+            "1 while the residual drift alarm is raised, else 0.",
+        );
+        let drift_alarms = registry.counter_with_help(
+            &format!("{prefix}_drift_alarms_total"),
+            "Residual drift alarm onsets.",
+        );
+        let observations = registry.counter_with_help(
+            &format!("{prefix}_residual_observations_total"),
+            "Observed-vs-predicted residual observations recorded.",
+        );
+        Self {
+            cfg,
+            state: Mutex::new(DetectorState::default()),
+            abs_seconds,
+            rel,
+            rel_ewma_milli,
+            drift_score_milli,
+            drift_active,
+            drift_alarms,
+            observations,
+        }
+    }
+
+    /// Record one `(predicted, observed)` pair (both in seconds).
+    /// Non-finite or non-positive observations are ignored.
+    pub fn observe(&self, predicted_seconds: f64, observed_seconds: f64) {
+        if !observed_seconds.is_finite()
+            || observed_seconds <= 0.0
+            || !predicted_seconds.is_finite()
+        {
+            return;
+        }
+        let signed_rel = (observed_seconds - predicted_seconds) / observed_seconds;
+        let abs = (observed_seconds - predicted_seconds).abs();
+        self.abs_seconds.record(Duration::from_secs_f64(abs));
+        // Relative residual as a pseudo-duration: 1e9 "ns" == 100%.
+        self.rel
+            .record(Duration::from_nanos((signed_rel.abs() * 1e9) as u64));
+        self.observations.inc();
+
+        let mut st = self.state.lock().unwrap();
+        let a = self.cfg.ewma_alpha.clamp(1e-6, 1.0);
+        st.ewma += a * (signed_rel - st.ewma);
+        let phi = self.cfg.drift_fading.clamp(0.0, 1.0);
+        let delta = self.cfg.drift_slack.max(0.0);
+        st.up = (phi * st.up + (signed_rel - delta)).max(0.0);
+        st.down = (phi * st.down - (signed_rel + delta)).max(0.0);
+        let score = st.up.max(st.down) / self.cfg.drift_threshold.max(f64::MIN_POSITIVE);
+        if score >= 1.0 && !st.alarmed {
+            st.alarmed = true;
+            self.drift_alarms.inc();
+        } else if score < 0.5 && st.alarmed {
+            st.alarmed = false; // hysteresis: clear well below the raise point
+        }
+        self.rel_ewma_milli.set((st.ewma * 1000.0) as i64);
+        self.drift_score_milli.set((score * 1000.0) as i64);
+        self.drift_active.set(st.alarmed as i64);
+    }
+
+    /// Drift score in units of the alarm threshold (≥ 1.0 means alarming).
+    pub fn drift_score(&self) -> f64 {
+        self.drift_score_milli.get() as f64 / 1000.0
+    }
+
+    /// Is the drift alarm currently raised?
+    pub fn drift_active(&self) -> bool {
+        self.drift_active.get() != 0
+    }
+
+    /// Signed EWMA of the relative residual (positive: under-prediction).
+    pub fn rel_ewma(&self) -> f64 {
+        self.rel_ewma_milli.get() as f64 / 1000.0
+    }
+
+    /// Residual observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.observations.get()
+    }
+
+    /// Drift alarm onsets (monotonic; survives [`reset`](Self::reset)).
+    pub fn alarms(&self) -> u64 {
+        self.drift_alarms.get()
+    }
+
+    /// Clear the detector state and zero the drift/EWMA gauges (histograms
+    /// and counters are monotonic and keep their totals). Called on
+    /// shutdown so a scrape race never reports stale drift.
+    pub fn reset(&self) {
+        let mut st = self.state.lock().unwrap();
+        *st = DetectorState::default();
+        self.rel_ewma_milli.set(0);
+        self.drift_score_milli.set(0);
+        self.drift_active.set(0);
+    }
+}
+
+impl std::fmt::Debug for ResidualTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidualTracker")
+            .field("cfg", &self.cfg)
+            .field("observations", &self.observations.get())
+            .field("drift_score_milli", &self.drift_score_milli.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(r: &Registry) -> ResidualTracker {
+        ResidualTracker::new(r, "test", ResidualConfig::default())
+    }
+
+    #[test]
+    fn unbiased_stream_stays_calm() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        for i in 0..200 {
+            // Small alternating noise around a perfect prediction.
+            let noise = if i % 2 == 0 { 1.02 } else { 0.98 };
+            t.observe(1.0, noise);
+        }
+        assert!(t.drift_score() < 0.5, "score {}", t.drift_score());
+        assert!(!t.drift_active());
+        assert_eq!(r.counter("test_drift_alarms_total").get(), 0);
+        assert_eq!(t.observations(), 200);
+    }
+
+    #[test]
+    fn sustained_underprediction_raises_then_decays() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        // Step change: observed runs 2x predicted (rel residual +0.5).
+        for _ in 0..20 {
+            t.observe(1.0, 2.0);
+        }
+        assert!(t.drift_active(), "score {}", t.drift_score());
+        assert!(t.drift_score() >= 1.0);
+        assert!(t.rel_ewma() > 0.2, "under-prediction is positive");
+        assert_eq!(r.counter("test_drift_alarms_total").get(), 1);
+        // Re-convergence: the faded statistic decays and the alarm clears.
+        for _ in 0..200 {
+            t.observe(1.0, 1.0);
+        }
+        assert!(!t.drift_active(), "score {}", t.drift_score());
+        assert!(t.drift_score() < 0.5);
+        assert_eq!(
+            r.counter("test_drift_alarms_total").get(),
+            1,
+            "hysteresis: one onset, no flapping"
+        );
+    }
+
+    #[test]
+    fn overprediction_trips_the_down_side() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        for _ in 0..30 {
+            t.observe(2.0, 1.0); // rel residual -1.0
+        }
+        assert!(t.drift_active());
+        assert!(t.rel_ewma() < -0.2, "over-prediction is negative");
+    }
+
+    #[test]
+    fn reset_zeroes_gauges_but_keeps_totals() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        for _ in 0..30 {
+            t.observe(1.0, 3.0);
+        }
+        assert!(t.drift_active());
+        t.reset();
+        assert_eq!(r.gauge("test_drift_score_milli").get(), 0);
+        assert_eq!(r.gauge("test_drift_active").get(), 0);
+        assert_eq!(r.gauge("test_residual_rel_ewma_milli").get(), 0);
+        assert_eq!(r.counter("test_drift_alarms_total").get(), 1);
+        assert_eq!(t.observations(), 30, "monotonic totals survive reset");
+    }
+
+    #[test]
+    fn bad_observations_are_dropped() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        t.observe(1.0, 0.0);
+        t.observe(1.0, -2.0);
+        t.observe(1.0, f64::NAN);
+        t.observe(f64::NAN, 1.0);
+        assert_eq!(t.observations(), 0);
+    }
+
+    #[test]
+    fn instruments_are_exported_with_help() {
+        let r = Registry::new();
+        let t = tracker(&r);
+        t.observe(1.0, 1.5);
+        let text = r.prometheus_text();
+        for name in [
+            "test_residual_abs_seconds",
+            "test_residual_rel",
+            "test_residual_rel_ewma_milli",
+            "test_drift_score_milli",
+            "test_drift_active",
+            "test_drift_alarms_total",
+            "test_residual_observations_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name}");
+            assert!(text.contains(&format!("# TYPE {name} ")), "{name}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! A size-bounded JSONL trace file writer.
+//!
+//! `cote serve --trace FILE` can run for days; an unbounded JSONL sink
+//! would eventually fill the disk. [`BoundedTraceWriter`] enforces a
+//! max-bytes cap: once writing the next event would exceed the cap, the
+//! event (and all later ones) is counted but not written, and
+//! [`finish`](BoundedTraceWriter::finish) appends one final
+//! `trace_truncated` marker event carrying the drop count and the cap, so
+//! a reader knows the file is a prefix, not the whole run.
+
+use crate::trace::TraceEvent;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes reserved at the tail of the cap for the truncation marker event,
+/// so the marker itself always fits.
+const MARKER_RESERVE: u64 = 256;
+
+/// Summary returned by [`BoundedTraceWriter::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceFileSummary {
+    /// Path the trace was written to.
+    pub path: PathBuf,
+    /// Events written to the file (not counting the truncation marker).
+    pub written: u64,
+    /// Events dropped because the cap was reached.
+    pub dropped: u64,
+    /// Bytes on disk (including the truncation marker, if any).
+    pub bytes: u64,
+}
+
+/// JSONL trace sink with a hard byte cap and a final truncation event.
+#[derive(Debug)]
+pub struct BoundedTraceWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    max_bytes: u64,
+    bytes: u64,
+    written: u64,
+    dropped: u64,
+}
+
+impl BoundedTraceWriter {
+    /// Create (truncate) `path` with a cap of `max_bytes` (0 = unlimited).
+    pub fn create(path: impl AsRef<Path>, max_bytes: u64) -> std::io::Result<Self> {
+        let path = path.as_ref();
+        Ok(Self {
+            out: BufWriter::new(File::create(path)?),
+            path: path.to_path_buf(),
+            max_bytes,
+            bytes: 0,
+            written: 0,
+            dropped: 0,
+        })
+    }
+
+    fn budget(&self) -> u64 {
+        if self.max_bytes == 0 {
+            return u64::MAX;
+        }
+        self.max_bytes.saturating_sub(MARKER_RESERVE)
+    }
+
+    /// Append one event; returns `true` if it was written, `false` if the
+    /// cap was reached and the event was dropped (only counted).
+    pub fn write_event(&mut self, event: &TraceEvent) -> std::io::Result<bool> {
+        if self.dropped > 0 {
+            // Once capped, stay capped: a shorter later event must not
+            // reorder past dropped ones.
+            self.dropped += 1;
+            return Ok(false);
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        if self.bytes + line.len() as u64 > self.budget() {
+            self.dropped = 1;
+            return Ok(false);
+        }
+        self.out.write_all(line.as_bytes())?;
+        self.bytes += line.len() as u64;
+        self.written += 1;
+        Ok(true)
+    }
+
+    /// Events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flush, appending the `trace_truncated` marker if anything was
+    /// dropped, and return the summary.
+    pub fn finish(mut self) -> std::io::Result<TraceFileSummary> {
+        if self.dropped > 0 {
+            let marker = TraceEvent {
+                run: 0,
+                query: String::new(),
+                phase: "trace_truncated".into(),
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 0,
+                self_ns: 0,
+                fields: vec![
+                    ("dropped_events".into(), self.dropped),
+                    ("max_bytes".into(), self.max_bytes),
+                ],
+            };
+            let mut line = marker.to_json();
+            line.push('\n');
+            self.out.write_all(line.as_bytes())?;
+            self.bytes += line.len() as u64;
+        }
+        self.out.flush()?;
+        Ok(TraceFileSummary {
+            path: self.path,
+            written: self.written,
+            dropped: self.dropped,
+            bytes: self.bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::parse_jsonl;
+
+    fn event(i: u64) -> TraceEvent {
+        TraceEvent {
+            run: i,
+            query: format!("q{i}"),
+            phase: "estimate".into(),
+            depth: 0,
+            start_ns: i * 100,
+            dur_ns: 50,
+            self_ns: 50,
+            fields: vec![("plans".into(), i)],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("cote_tracefile_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn uncapped_writes_everything() {
+        let path = tmp("uncapped");
+        let mut w = BoundedTraceWriter::create(&path, 0).unwrap();
+        for i in 0..50 {
+            assert!(w.write_event(&event(i)).unwrap());
+        }
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.written, 50);
+        assert_eq!(summary.dropped, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.len() as u64, summary.bytes);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cap_truncates_with_a_marker_event() {
+        let path = tmp("capped");
+        let cap = 1024u64;
+        let mut w = BoundedTraceWriter::create(&path, cap).unwrap();
+        let mut accepted = 0;
+        for i in 0..1000 {
+            if w.write_event(&event(i)).unwrap() {
+                accepted += 1;
+            }
+        }
+        assert!(w.dropped() > 0);
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.written, accepted);
+        assert_eq!(summary.written + summary.dropped, 1000);
+        assert!(summary.bytes <= cap, "{} > {cap}", summary.bytes);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.len() as u64, summary.bytes, "file stayed under cap");
+        let events = parse_jsonl(&text).unwrap();
+        let last = events.last().unwrap();
+        assert_eq!(last.phase, "trace_truncated");
+        assert_eq!(
+            last.fields,
+            vec![
+                ("dropped_events".into(), summary.dropped),
+                ("max_bytes".into(), cap),
+            ]
+        );
+        // Everything before the marker is an intact prefix of the stream.
+        for (i, ev) in events[..events.len() - 1].iter().enumerate() {
+            assert_eq!(ev.run, i as u64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn once_capped_stays_capped() {
+        let path = tmp("sticky");
+        // Cap that fits the marker reserve plus roughly one event.
+        let mut w = BoundedTraceWriter::create(&path, MARKER_RESERVE + 100).unwrap();
+        let big = TraceEvent {
+            query: "x".repeat(200),
+            ..event(0)
+        };
+        assert!(!w.write_event(&big).unwrap(), "too big for the budget");
+        // A small event would fit, but order matters more than packing.
+        assert!(!w.write_event(&event(1)).unwrap());
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.written, 0);
+        assert_eq!(summary.dropped, 2);
+        let events = parse_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].phase, "trace_truncated");
+        std::fs::remove_file(&path).ok();
+    }
+}

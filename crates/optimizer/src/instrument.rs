@@ -177,16 +177,37 @@ fn block_counters() -> &'static BlockCounters {
     CELLS.get_or_init(|| {
         let r = cote_obs::global();
         BlockCounters {
-            blocks: r.counter("optimizer_blocks_total"),
-            pairs: r.counter("optimizer_pairs_enumerated_total"),
-            joins: r.counter("optimizer_joins_enumerated_total"),
-            plans_nljn: r.counter("optimizer_plans_nljn_total"),
-            plans_mgjn: r.counter("optimizer_plans_mgjn_total"),
-            plans_hsjn: r.counter("optimizer_plans_hsjn_total"),
-            scan_plans: r.counter("optimizer_scan_plans_total"),
-            plans_kept: r.counter("optimizer_plans_kept_total"),
-            memo_entries: r.counter("optimizer_memo_entries_total"),
-            pruned_by_pilot: r.counter("optimizer_pruned_by_pilot_total"),
+            blocks: r.counter_with_help("optimizer_blocks_total", "Query blocks compiled."),
+            pairs: r.counter_with_help(
+                "optimizer_pairs_enumerated_total",
+                "MEMO entry pairs visited by the join enumerator.",
+            ),
+            joins: r.counter_with_help(
+                "optimizer_joins_enumerated_total",
+                "Feasible joins enumerated.",
+            ),
+            plans_nljn: r.counter_with_help(
+                "optimizer_plans_nljn_total",
+                "Nested-loop join plans generated.",
+            ),
+            plans_mgjn: r
+                .counter_with_help("optimizer_plans_mgjn_total", "Merge join plans generated."),
+            plans_hsjn: r
+                .counter_with_help("optimizer_plans_hsjn_total", "Hash join plans generated."),
+            scan_plans: r.counter_with_help(
+                "optimizer_scan_plans_total",
+                "Base-table scan plans generated.",
+            ),
+            plans_kept: r.counter_with_help(
+                "optimizer_plans_kept_total",
+                "Plans surviving dominance pruning into the MEMO.",
+            ),
+            memo_entries: r
+                .counter_with_help("optimizer_memo_entries_total", "MEMO entries created."),
+            pruned_by_pilot: r.counter_with_help(
+                "optimizer_pruned_by_pilot_total",
+                "Plans pruned by the pilot cost bound.",
+            ),
         }
     })
 }

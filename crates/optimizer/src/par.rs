@@ -68,9 +68,18 @@ fn instruments() -> &'static ParInstruments {
     CELLS.get_or_init(|| {
         let r = cote_obs::global();
         ParInstruments {
-            merge_time: r.histogram("optimizer_enum_par_merge_seconds"),
-            utilization: r.gauge("optimizer_enum_par_worker_utilization_pct"),
-            levels: r.counter("optimizer_enum_par_levels_total"),
+            merge_time: r.histogram_with_help(
+                "optimizer_enum_par_merge_seconds",
+                "Shard-merge time per parallel DP level.",
+            ),
+            utilization: r.gauge_with_help(
+                "optimizer_enum_par_worker_utilization_pct",
+                "Worker busy-time share of the last parallel level, percent.",
+            ),
+            levels: r.counter_with_help(
+                "optimizer_enum_par_levels_total",
+                "Parallel DP levels executed.",
+            ),
         }
     })
 }

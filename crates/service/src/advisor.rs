@@ -10,10 +10,10 @@
 
 use crate::config::ServiceConfig;
 use crate::request::QueryClass;
-use cote::{Cote, EstimateOptions, MopChoice};
+use cote::{Cote, EstimateOptions, MopChoice, TimeModel};
 use cote_catalog::Catalog;
 use cote_common::Result;
-use cote_optimizer::GreedyOptimizer;
+use cote_optimizer::{GreedyOptimizer, PerMethod};
 use cote_query::Query;
 
 /// What the advisor picked for one statement.
@@ -58,6 +58,14 @@ pub struct Advice {
     /// single-pass multi-level estimator, highest level first. Empty in
     /// degraded mode.
     pub levels: Vec<(usize, f64)>,
+    /// Estimated plan counts at the configured (highest) level — the
+    /// model-free half of the estimate, kept so a completion hook can pair
+    /// them with the observed compile time and feed the online regressor.
+    /// Zero in degraded mode (no estimator ran).
+    pub counts: PerMethod,
+    /// Error margin the budget fit used: a level fit only if
+    /// `estimate · (1 + error_margin) ≤ budget`. Widens with drift.
+    pub error_margin: f64,
     /// True when produced on the degraded (no-estimator) path.
     pub degraded: bool,
 }
@@ -114,24 +122,49 @@ impl LevelAdvisor {
         Advice {
             choice: LevelChoice::Greedy { by_mop: false },
             levels: Vec::new(),
+            counts: PerMethod::default(),
+            error_margin: 0.0,
             degraded: true,
         }
     }
 
     /// Full path: one multi-level estimator pass, budget fit, optional MOP
-    /// check.
+    /// check — priced with the advisor's own (static) model, no margin.
     pub fn advise(&self, catalog: &Catalog, query: &Query, class: QueryClass) -> Result<Advice> {
-        let mut levels = self.cote.estimate_levels(catalog, query)?;
-        // Highest limit first for reporting; estimate_levels puts the
-        // configured level first already, lower limits after.
-        levels.sort_by_key(|&(limit, _)| std::cmp::Reverse(limit));
-        let budget = self.budget(class);
+        self.advise_with(catalog, query, class, self.cote.model(), 0.0)
+    }
 
-        // Highest level that fits the budget.
+    /// Like [`advise`](Self::advise), but pricing the (model-free) per-level
+    /// plan counts with a caller-supplied `model` — typically the
+    /// online-recalibrated one — and fitting levels into the budget with an
+    /// `error_margin`: a level fits only if `estimate · (1 + margin) ≤
+    /// budget`. A drifting model gets wide error bars, so admission
+    /// decisions step down early instead of confidently overshooting.
+    pub fn advise_with(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        class: QueryClass,
+        model: &TimeModel,
+        error_margin: f64,
+    ) -> Result<Advice> {
+        let mut by_level = self.cote.estimate_level_counts(catalog, query)?;
+        // Highest limit first for reporting; estimate_level_counts puts the
+        // configured level first already, lower limits after.
+        by_level.sort_by_key(|&(limit, _)| std::cmp::Reverse(limit));
+        let counts = by_level.first().map(|&(_, c)| c).unwrap_or_default();
+        let levels: Vec<(usize, f64)> = by_level
+            .into_iter()
+            .map(|(limit, c)| (limit, model.predict_seconds(&c)))
+            .collect();
+        let budget = self.budget(class);
+        let margin = error_margin.max(0.0);
+
+        // Highest level that fits the budget, error bars included.
         let fitting = levels
             .iter()
             .copied()
-            .filter(|&(_, secs)| secs <= budget)
+            .filter(|&(_, secs)| secs * (1.0 + margin) <= budget)
             .max_by_key(|&(limit, _)| limit);
 
         let choice = match fitting {
@@ -149,6 +182,8 @@ impl LevelAdvisor {
                         return Ok(Advice {
                             choice: LevelChoice::Greedy { by_mop: true },
                             levels,
+                            counts,
+                            error_margin: margin,
                             degraded: false,
                         });
                     }
@@ -164,6 +199,8 @@ impl LevelAdvisor {
         Ok(Advice {
             choice,
             levels,
+            counts,
+            error_margin: margin,
             degraded: false,
         })
     }
@@ -297,6 +334,71 @@ mod tests {
         assert!(matches!(a.choice, LevelChoice::Dp { .. }));
         assert_eq!(mop_rule(1.0, 2.0), MopChoice::LowPlan);
         assert_eq!(mop_rule(2.0, 1.0), MopChoice::HighPlan);
+    }
+
+    #[test]
+    fn advice_carries_configured_level_counts() {
+        let (cat, q) = setup();
+        let advisor = LevelAdvisor::new(unit_cote(), &cfg());
+        let a = advisor.advise(&cat, &q, QueryClass::Batch).unwrap();
+        // 1 µs/plan, zero intercept: top-level seconds == counts · 1e-6.
+        assert!((a.counts.total() as f64 * 1e-6 - a.levels[0].1).abs() < 1e-12);
+        assert!(a.counts.total() > 0);
+        assert_eq!(a.error_margin, 0.0);
+    }
+
+    #[test]
+    fn error_margin_steps_the_advice_down() {
+        let (cat, q) = setup();
+        let mut c = cfg();
+        let advisor = LevelAdvisor::new(unit_cote(), &c);
+        let full = advisor.advise(&cat, &q, QueryClass::Batch).unwrap();
+        let (top, mid) = (full.levels[0].1, full.levels[1].1);
+        // Budget that fits the top level with 10% headroom, no more.
+        c.budget_reporting = top * 1.1;
+        let advisor = LevelAdvisor::new(unit_cote(), &c);
+        let model = advisor.cote().model().clone();
+        let a = advisor
+            .advise_with(&cat, &q, QueryClass::Reporting, &model, 0.05)
+            .unwrap();
+        assert!(
+            matches!(a.choice, LevelChoice::Dp { composite_inner_limit, .. } if composite_inner_limit == 10),
+            "5% margin still fits: {:?}",
+            a.choice
+        );
+        let a = advisor
+            .advise_with(&cat, &q, QueryClass::Reporting, &model, 0.5)
+            .unwrap();
+        match a.choice {
+            LevelChoice::Dp {
+                composite_inner_limit,
+                ..
+            } => assert!(composite_inner_limit < 10, "wide bars step down"),
+            LevelChoice::Greedy { .. } => {}
+        }
+        assert_eq!(a.error_margin, 0.5);
+        let _ = mid;
+    }
+
+    #[test]
+    fn advise_with_prices_under_the_supplied_model() {
+        let (cat, q) = setup();
+        let advisor = LevelAdvisor::new(unit_cote(), &cfg());
+        let double = TimeModel {
+            c_nljn: 2e-6,
+            c_mgjn: 2e-6,
+            c_hsjn: 2e-6,
+            intercept: 0.0,
+        };
+        let base = advisor.advise(&cat, &q, QueryClass::Batch).unwrap();
+        let scaled = advisor
+            .advise_with(&cat, &q, QueryClass::Batch, &double, 0.0)
+            .unwrap();
+        for (b, s) in base.levels.iter().zip(&scaled.levels) {
+            assert_eq!(b.0, s.0);
+            assert!((s.1 - 2.0 * b.1).abs() < 1e-12, "2x model, 2x estimate");
+        }
+        assert_eq!(base.counts, scaled.counts, "counts are model-free");
     }
 
     #[test]

@@ -107,6 +107,8 @@ mod tests {
                 est_compile_seconds: level as f64,
             },
             levels: vec![(level, level as f64)],
+            counts: Default::default(),
+            error_margin: 0.0,
             degraded: false,
         }
     }

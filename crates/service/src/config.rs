@@ -1,7 +1,51 @@
 //! Service tuning knobs.
 
 use crate::request::QueryClass;
+use cote::OnlineConfig;
+use cote_obs::ResidualConfig;
 use std::time::Duration;
+
+/// Online-recalibration knobs: the RLS regressor, the residual/drift
+/// telemetry, and the advisor error-bar policy driven by the drift score.
+#[derive(Debug, Clone)]
+pub struct RecalConfig {
+    /// Feed completed-optimization outcomes back into the model. When off,
+    /// the advisor uses the static calibration with no error margin.
+    pub enabled: bool,
+    /// Tuning for the [`cote::OnlineRegressor`].
+    pub online: OnlineConfig,
+    /// Tuning for the residual EWMA and drift detector.
+    pub residual: ResidualConfig,
+    /// Error margin applied to every budget fit while healthy: a level fits
+    /// only if `estimate · (1 + margin) ≤ budget`.
+    pub base_margin: f64,
+    /// Extra margin per unit of drift score, so admission decisions widen
+    /// (degrade gracefully) as observed-vs-predicted residuals grow.
+    pub margin_per_drift: f64,
+    /// Margin ceiling.
+    pub max_margin: f64,
+}
+
+impl Default for RecalConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            online: OnlineConfig::default(),
+            residual: ResidualConfig::default(),
+            base_margin: 0.10,
+            margin_per_drift: 0.25,
+            max_margin: 1.0,
+        }
+    }
+}
+
+impl RecalConfig {
+    /// The advisor error margin at drift score `score` (clamped to the
+    /// ceiling).
+    pub fn margin_at(&self, score: f64) -> f64 {
+        (self.base_margin + self.margin_per_drift * score.max(0.0)).min(self.max_margin)
+    }
+}
 
 /// Everything the daemon can be tuned with. `Default` is sized for a laptop
 /// and the repo's workloads; a deployment would scale `workers`,
@@ -39,6 +83,8 @@ pub struct ServiceConfig {
     /// estimated *execution* undercuts the advised level's *compilation*
     /// (Figure 1's `E < C` rule). `None` disables the check.
     pub mop_seconds_per_cost_unit: Option<f64>,
+    /// Online recalibration and drift-driven error bars.
+    pub recal: RecalConfig,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +105,7 @@ impl Default for ServiceConfig {
             budget_batch: 5.0,
             advisor_levels: vec![1, 2, 4],
             mop_seconds_per_cost_unit: None,
+            recal: RecalConfig::default(),
         }
     }
 }
@@ -101,6 +148,15 @@ mod tests {
         );
         assert!(c.budget_seconds(QueryClass::Reporting) < c.budget_seconds(QueryClass::Batch));
         assert!(c.degrade_queue_depth < c.queue_capacity);
+    }
+
+    #[test]
+    fn recal_margin_policy_clamps() {
+        let r = RecalConfig::default();
+        assert!((r.margin_at(0.0) - r.base_margin).abs() < 1e-12);
+        assert!(r.margin_at(1.0) > r.margin_at(0.0), "drift widens margins");
+        assert_eq!(r.margin_at(1e9), r.max_margin, "ceiling holds");
+        assert_eq!(r.margin_at(-5.0), r.base_margin, "no negative drift");
     }
 
     #[test]

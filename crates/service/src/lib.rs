@@ -35,6 +35,7 @@ pub mod cache;
 pub mod config;
 pub mod metrics;
 pub mod queue;
+pub mod recal;
 pub mod request;
 pub mod service;
 
@@ -42,10 +43,11 @@ pub use admission::{Admission, AdmissionController};
 pub use advisor::{mop_rule, Advice, LevelAdvisor, LevelChoice};
 pub use bench::{replay, BenchReport};
 pub use cache::ShardedCache;
-pub use config::ServiceConfig;
+pub use config::{RecalConfig, ServiceConfig};
 pub use metrics::{
     fmt_duration, CacheStats, Counter, Gauge, HistogramSnapshot, LogHistogram, Metrics,
 };
 pub use queue::{BoundedQueue, PushError};
+pub use recal::Recalibrator;
 pub use request::{Decision, QueryClass, ServiceResponse, ShedReason};
 pub use service::CoteService;

@@ -59,21 +59,61 @@ pub struct Metrics {
 impl Default for Metrics {
     fn default() -> Self {
         let registry = Registry::new();
-        let requests = registry.counter("cote_service_requests_total");
-        let cache_hits = registry.counter("cote_service_cache_hits_total");
-        let cache_misses = registry.counter("cote_service_cache_misses_total");
-        let cache_evictions = registry.counter("cote_service_cache_evictions_total");
-        let shed_queue_full = registry.counter("cote_service_shed_queue_full_total");
-        let shed_inflight = registry.counter("cote_service_shed_inflight_total");
-        let shed_deadline = registry.counter("cote_service_shed_deadline_total");
-        let shed_expired = registry.counter("cote_service_shed_expired_total");
-        let degraded = registry.counter("cote_service_degraded_total");
-        let completed = registry.counter("cote_service_completed_total");
-        let errors = registry.counter("cote_service_errors_total");
-        let queue_depth = registry.gauge("cote_service_queue_depth");
-        let estimation_latency = registry.histogram("cote_service_estimation_latency_seconds");
-        let e2e_latency = registry.histogram("cote_service_e2e_latency_seconds");
-        let queue_wait = registry.histogram("cote_service_queue_wait_seconds");
+        let requests =
+            registry.counter_with_help("cote_service_requests_total", "Requests submitted.");
+        let cache_hits = registry.counter_with_help(
+            "cote_service_cache_hits_total",
+            "Requests served straight from the sharded statement cache.",
+        );
+        let cache_misses = registry.counter_with_help(
+            "cote_service_cache_misses_total",
+            "Requests that fell through to the estimator worker pool.",
+        );
+        let cache_evictions = registry.counter_with_help(
+            "cote_service_cache_evictions_total",
+            "Cache insertions that evicted an older statement.",
+        );
+        let shed_queue_full = registry.counter_with_help(
+            "cote_service_shed_queue_full_total",
+            "Requests shed because the queue was at capacity.",
+        );
+        let shed_inflight = registry.counter_with_help(
+            "cote_service_shed_inflight_total",
+            "Requests shed because the in-flight limit was reached.",
+        );
+        let shed_deadline = registry.counter_with_help(
+            "cote_service_shed_deadline_total",
+            "Requests shed because the projected queue wait exceeded the deadline.",
+        );
+        let shed_expired = registry.counter_with_help(
+            "cote_service_shed_expired_total",
+            "Requests whose deadline expired before a worker got to them.",
+        );
+        let degraded = registry.counter_with_help(
+            "cote_service_degraded_total",
+            "Requests served in degraded (greedy / join-count) mode.",
+        );
+        let completed = registry.counter_with_help(
+            "cote_service_completed_total",
+            "Requests that completed with an advice.",
+        );
+        let errors = registry.counter_with_help("cote_service_errors_total", "Estimator errors.");
+        let queue_depth = registry.gauge_with_help(
+            "cote_service_queue_depth",
+            "Jobs currently sitting in the worker queue.",
+        );
+        let estimation_latency = registry.histogram_with_help(
+            "cote_service_estimation_latency_seconds",
+            "Estimation service time per worker execution.",
+        );
+        let e2e_latency = registry.histogram_with_help(
+            "cote_service_e2e_latency_seconds",
+            "End-to-end latency, submit to response.",
+        );
+        let queue_wait = registry.histogram_with_help(
+            "cote_service_queue_wait_seconds",
+            "Time spent queued before a worker picked the job up.",
+        );
         Self {
             registry,
             requests,

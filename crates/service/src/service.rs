@@ -13,16 +13,21 @@ use crate::cache::ShardedCache;
 use crate::config::ServiceConfig;
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PushError};
+use crate::recal::Recalibrator;
 use crate::request::{Decision, QueryClass, ServiceResponse, ShedReason};
 use cote::{fingerprint, Cote};
 use cote_catalog::Catalog;
-use cote_obs::{phase, Span};
+use cote_obs::{phase, Span, TraceEvent};
 use cote_query::Query;
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Cap on buffered trace events held by the service sink before the
+/// front-end drains them; overflow is counted, not stored.
+const MAX_SINK_EVENTS: usize = 1 << 16;
 
 /// One unit of work handed to the pool.
 struct Job {
@@ -43,10 +48,17 @@ struct Inner {
     queue: BoundedQueue<Job>,
     admission: AdmissionController,
     metrics: Metrics,
+    recal: Recalibrator,
     degrade_queue_depth: usize,
     /// Advisor decisions by label (`dp@10`, `greedy`, …). One short-lived
     /// lock per cache miss — not on the hit path.
     decisions: Mutex<BTreeMap<String, u64>>,
+    /// Trace events drained from worker thread-locals (spans record into a
+    /// per-thread buffer; workers flush here after each job so a front-end
+    /// `--trace` sink sees every worker's spans). Bounded: overflow counts
+    /// into `trace_dropped` instead of growing without bound.
+    trace_sink: Mutex<Vec<TraceEvent>>,
+    trace_dropped: Mutex<u64>,
 }
 
 impl Inner {
@@ -57,6 +69,26 @@ impl Inner {
             .unwrap()
             .entry(choice.label())
             .or_insert(0) += 1;
+    }
+
+    /// Flush this thread's span buffer into the shared sink (no-op unless
+    /// tracing is on; under obs-off the buffer is always empty).
+    fn flush_thread_trace(&self) {
+        if !cote_obs::tracing_enabled() {
+            return;
+        }
+        let events = cote_obs::take_events();
+        if events.is_empty() {
+            return;
+        }
+        let mut sink = self.trace_sink.lock().unwrap();
+        let room = MAX_SINK_EVENTS.saturating_sub(sink.len());
+        let take = events.len().min(room);
+        let dropped = events.len() - take;
+        sink.extend(events.into_iter().take(take));
+        if dropped > 0 {
+            *self.trace_dropped.lock().unwrap() += dropped as u64;
+        }
     }
 }
 
@@ -73,15 +105,20 @@ impl CoteService {
     /// optimization level).
     pub fn start(catalog: Catalog, cote: Cote, cfg: ServiceConfig) -> Self {
         let workers = cfg.workers.max(1);
+        let metrics = Metrics::default();
+        let recal = Recalibrator::new(cote.model().clone(), cfg.recal.clone(), metrics.registry());
         let inner = Arc::new(Inner {
             advisor: LevelAdvisor::new(cote, &cfg),
             catalog,
             cache: ShardedCache::new(cfg.shards, cfg.cache_capacity),
             queue: BoundedQueue::new(cfg.queue_capacity),
             admission: AdmissionController::new(cfg.max_inflight, cfg.degrade_queue_depth, workers),
-            metrics: Metrics::default(),
+            metrics,
+            recal,
             degrade_queue_depth: cfg.degrade_queue_depth,
             decisions: Mutex::new(BTreeMap::new()),
+            trace_sink: Mutex::new(Vec::new()),
+            trace_dropped: Mutex::new(0),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -190,6 +227,50 @@ impl CoteService {
         &self.inner.metrics
     }
 
+    /// The online-recalibration loop (model, drift score, error margin).
+    pub fn recalibrator(&self) -> &Recalibrator {
+        &self.inner.recal
+    }
+
+    /// Completion hook: report the *observed* compile time of a previously
+    /// advised statement (its optimization just finished; `actual_seconds`
+    /// is the optimizer's real elapsed self-time). The outcome is paired
+    /// with the advice's estimated plan counts and fed to the online
+    /// regressor and residual telemetry. Returns `false` when the statement
+    /// is unknown (advice evicted or never produced) or was advised on the
+    /// degraded path (no counts to learn from), or the report is
+    /// non-positive/non-finite.
+    pub fn report_outcome(&self, query: &Query, actual_seconds: f64) -> bool {
+        self.report_outcome_by_fingerprint(fingerprint(query), actual_seconds)
+    }
+
+    /// [`report_outcome`](Self::report_outcome) keyed by the statement
+    /// fingerprint (front-ends that already hold it skip re-hashing).
+    pub fn report_outcome_by_fingerprint(&self, fp: u64, actual_seconds: f64) -> bool {
+        if !actual_seconds.is_finite() || actual_seconds <= 0.0 {
+            return false;
+        }
+        let Some(advice) = self.inner.cache.get(fp) else {
+            return false;
+        };
+        if advice.degraded {
+            return false;
+        }
+        let before = self.inner.recal.observations();
+        self.inner.recal.observe(&advice.counts, actual_seconds);
+        self.inner.recal.observations() > before
+    }
+
+    /// Drain the trace events workers have flushed so far (plus any from
+    /// the calling thread). Returns `(events, dropped)` where `dropped`
+    /// counts events lost to the sink cap since the last drain.
+    pub fn take_trace_events(&self) -> (Vec<TraceEvent>, u64) {
+        self.inner.flush_thread_trace();
+        let events = std::mem::take(&mut *self.inner.trace_sink.lock().unwrap());
+        let dropped = std::mem::take(&mut *self.inner.trace_dropped.lock().unwrap());
+        (events, dropped)
+    }
+
     /// The catalog this service estimates against (front-ends that accept
     /// SQL text bind statements against it before submitting).
     pub fn catalog(&self) -> &Catalog {
@@ -253,6 +334,7 @@ impl CoteService {
             self.inner.cache.len(),
             self.inner.cache.shard_count()
         ));
+        out.push_str(&self.inner.recal.report_line());
         out.push_str("advisor decisions:\n");
         let decisions = self.decision_counts();
         if decisions.is_empty() {
@@ -302,10 +384,19 @@ fn worker_loop(inner: &Inner) {
         let outcome = if degraded {
             Ok(inner.advisor.advise_degraded())
         } else {
-            inner.advisor.advise(&inner.catalog, &job.query, job.class)
+            // Price with the recalibrated model and fit with error bars
+            // widened by the current drift score.
+            inner.advisor.advise_with(
+                &inner.catalog,
+                &job.query,
+                job.class,
+                &inner.recal.model(),
+                inner.recal.error_margin(),
+            )
         };
         let service_time = t0.elapsed();
         span.close();
+        inner.flush_thread_trace();
         inner.metrics.estimation_latency.record(service_time);
         inner.admission.observe_service(service_time);
 
@@ -491,6 +582,62 @@ mod tests {
         assert_eq!(svc.metrics().queue_depth.get(), 0, "gauge leaks");
         assert_eq!(svc.inflight(), 0);
         assert_eq!(svc.queue_len(), 0);
+    }
+
+    #[test]
+    fn completion_hook_feeds_the_recalibrator() {
+        let (cat, queries) = setup();
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        let q = &queries[3];
+        assert!(
+            !svc.report_outcome(q, 0.01),
+            "unknown statement: nothing to pair the outcome with"
+        );
+        let r = svc.submit(q, QueryClass::Batch);
+        assert!(r.is_admitted());
+        assert!(!svc.report_outcome(q, 0.0), "non-positive time rejected");
+        assert!(svc.report_outcome(q, 0.01));
+        assert_eq!(svc.recalibrator().observations(), 1);
+        assert_eq!(
+            svc.metrics()
+                .registry()
+                .counter("cote_service_recal_observations_total")
+                .get(),
+            1
+        );
+        let report = svc.report();
+        assert!(report.contains("recal: 1 obs"), "{report}");
+    }
+
+    #[test]
+    fn degraded_advice_is_not_learned_from() {
+        let (cat, queries) = setup();
+        let cfg = ServiceConfig {
+            degrade_queue_depth: 0, // every admission degrades
+            ..small_cfg()
+        };
+        let svc = CoteService::start(cat, cote(), cfg);
+        let q = &queries[1];
+        let r = svc.submit(q, QueryClass::Batch);
+        assert!(r.is_admitted());
+        assert!(!svc.report_outcome(q, 0.01), "no counts on the greedy path");
+        assert_eq!(svc.recalibrator().observations(), 0);
+    }
+
+    #[test]
+    fn recal_instruments_appear_on_the_service_exposition() {
+        let (cat, _) = setup();
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        let text = svc.metrics().prometheus_text();
+        for name in [
+            "cote_service_drift_score_milli",
+            "cote_service_drift_active",
+            "cote_service_advice_error_margin_milli",
+            "cote_service_online_model_active",
+            "cote_service_recal_observations_total",
+        ] {
+            assert!(text.contains(&format!("# HELP {name} ")), "{name}");
+        }
     }
 
     #[test]

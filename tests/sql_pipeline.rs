@@ -113,6 +113,8 @@ fn literal_variants_share_cache_entries_across_both_layers() {
     let advice = Advice {
         choice: LevelChoice::Greedy { by_mop: false },
         levels: vec![],
+        counts: Default::default(),
+        error_margin: 0.0,
         degraded: false,
     };
     shard.insert(a.fingerprint, advice);
