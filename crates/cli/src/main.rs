@@ -12,6 +12,7 @@
 //! cote calibrate [workload] [--online] fit the time model; drifted replay
 //! cote metrics <workload> [N]         estimate + global metrics registry dump
 //! cote serve <workload> [--listen ADDR]     estimation daemon (stdin + TCP/HTTP)
+//! cote gateway --backend ADDR [..]    consistent-hash front over serve daemons
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
 //! cote bench-net --workload W --rps R       open-loop benchmark over TCP sockets
 //! cote bench-par [--tables N] [--threads A,B] parallel-enumeration speedup bench
@@ -19,6 +20,7 @@
 //! ```
 
 mod commands;
+mod gateway;
 mod serve;
 
 use std::process::ExitCode;
@@ -36,6 +38,7 @@ fn main() -> ExitCode {
         Some("calibrate") => commands::calibrate(&args[1..]),
         Some("metrics") => commands::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
+        Some("gateway") => gateway::run(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),
         Some("bench-net") => serve::bench_net(&args[1..]),
         Some("bench-par") => commands::bench_par(&args[1..]),

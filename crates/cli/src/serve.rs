@@ -3,7 +3,10 @@
 
 use crate::commands::quick_cote;
 use cote_common::{CoteError, Result};
-use cote_net::{FrameError, LineReader, NetClientConfig, NetConfig, NetServer, MAX_LINE_BYTES};
+use cote_net::{
+    DrainReport, EventConfig, EventServer, FrameError, LineReader, NetBenchConfig, NetClientConfig,
+    NetConfig, NetServer, MAX_LINE_BYTES,
+};
 use cote_optimizer::OptimizerConfig;
 use cote_query::Query;
 use cote_service::{CoteService, Decision, QueryClass, ServiceConfig};
@@ -30,6 +33,19 @@ struct ServeArgs {
     trace: Option<String>,
     /// `--trace-max-bytes B`: cap the trace file (0 = unlimited).
     trace_max_bytes: u64,
+    /// `--event-loop`: serve with the readiness-poller front-end instead
+    /// of the thread-per-connection pool.
+    event_loop: bool,
+    /// `--loops N`: event-loop threads (event-loop mode only).
+    loops: usize,
+    /// `--max-conns N`: open-connection cap override (event-loop mode;
+    /// defaults to handlers + pending-conns).
+    max_conns: Option<usize>,
+    /// `--connections N`: total TCP connections a bench run opens
+    /// (defaults to --clients, i.e. no churn).
+    connections: Option<usize>,
+    /// `--json FILE`: also write the bench report as one JSON object.
+    json: Option<String>,
 }
 
 fn bad(reason: String) -> CoteError {
@@ -48,6 +64,11 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
     let mut addr = None;
     let mut trace = None;
     let mut trace_max_bytes = 0u64;
+    let mut event_loop = false;
+    let mut loops = 2usize;
+    let mut max_conns = None;
+    let mut connections = None;
+    let mut json = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String> {
@@ -119,6 +140,27 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
                     .map_err(|_| bad("--drain-ms needs milliseconds".into()))?;
                 net.drain_deadline = Duration::from_millis(ms);
             }
+            "--event-loop" => event_loop = true,
+            "--loops" => {
+                loops = value("--loops")?
+                    .parse()
+                    .map_err(|_| bad("--loops needs an integer".into()))?
+            }
+            "--max-conns" => {
+                max_conns = Some(
+                    value("--max-conns")?
+                        .parse()
+                        .map_err(|_| bad("--max-conns needs an integer".into()))?,
+                )
+            }
+            "--connections" => {
+                connections = Some(
+                    value("--connections")?
+                        .parse()
+                        .map_err(|_| bad("--connections needs an integer".into()))?,
+                )
+            }
+            "--json" => json = Some(value("--json")?.clone()),
             // Bare first argument doubles as the workload name.
             w if workload.is_none() && !w.starts_with("--") => workload = Some(by_name(w)?),
             other => return Err(bad(format!("unknown flag '{other}'"))),
@@ -137,7 +179,58 @@ fn parse_args(args: &[String]) -> Result<ServeArgs> {
         addr,
         trace,
         trace_max_bytes,
+        event_loop,
+        loops: loops.max(1),
+        max_conns,
+        connections,
+        json,
     })
+}
+
+/// Either serving front-end, behind one start/shutdown surface so `serve`
+/// and `bench-net` treat `--event-loop` as a pure transport swap.
+enum FrontEnd {
+    Threaded(NetServer),
+    Event(EventServer),
+}
+
+impl FrontEnd {
+    fn bind(
+        a: &ServeArgs,
+        svc: Arc<CoteService>,
+        queries: Arc<Vec<Query>>,
+        listen: &str,
+    ) -> Result<FrontEnd> {
+        if a.event_loop {
+            let mut cfg = EventConfig::from_net(&a.net);
+            cfg.loops = a.loops;
+            if let Some(n) = a.max_conns {
+                cfg.max_conns = n.max(1);
+            }
+            let server = EventServer::bind(svc, queries, listen, cfg)
+                .map_err(|e| bad(format!("bind {listen}: {e}")))?;
+            eprintln!("event-loop front-end: {} loops", a.loops);
+            Ok(FrontEnd::Event(server))
+        } else {
+            let server = NetServer::bind(svc, queries, listen, a.net.clone())
+                .map_err(|e| bad(format!("bind {listen}: {e}")))?;
+            Ok(FrontEnd::Threaded(server))
+        }
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            FrontEnd::Threaded(s) => s.local_addr(),
+            FrontEnd::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn shutdown(self) -> DrainReport {
+        match self {
+            FrontEnd::Threaded(s) => s.shutdown(),
+            FrontEnd::Event(s) => s.shutdown(),
+        }
+    }
 }
 
 fn start_service(w: &Workload, cfg: ServiceConfig) -> Result<CoteService> {
@@ -207,7 +300,7 @@ pub fn serve(args: &[String]) -> Result<()> {
         ),
         None => None,
     };
-    let svc = Arc::new(start_service(&a.workload, a.cfg)?);
+    let svc = Arc::new(start_service(&a.workload, a.cfg.clone())?);
     let queries = Arc::new(std::mem::take(&mut a.workload.queries));
     let n = queries.len();
     let mut sink_dropped = 0u64;
@@ -225,8 +318,7 @@ pub fn serve(args: &[String]) -> Result<()> {
         };
     let server = match &a.listen {
         Some(addr) => {
-            let server = NetServer::bind(Arc::clone(&svc), Arc::clone(&queries), addr, a.net)
-                .map_err(|e| bad(format!("bind {addr}: {e}")))?;
+            let server = FrontEnd::bind(&a, Arc::clone(&svc), Arc::clone(&queries), addr)?;
             // Exact line the CI smoke job (and humans) scrape the port from.
             eprintln!("listening on {}", server.local_addr());
             Some(server)
@@ -406,38 +498,52 @@ pub fn bench_net(args: &[String]) -> Result<()> {
     // Wire indices are 1-based.
     let arrivals: Vec<(Duration, usize)> =
         schedule.iter().map(|x| (x.at, x.query_index + 1)).collect();
-    let client_cfg = NetClientConfig::default();
+    let bench_cfg = NetBenchConfig {
+        clients: a.clients,
+        connections: a.connections.unwrap_or(a.clients),
+        client: NetClientConfig::default(),
+    };
+    let write_json = |report: &cote_net::NetBenchReport| -> Result<()> {
+        if let Some(path) = &a.json {
+            std::fs::write(path, format!("{}\n", report.json()))
+                .map_err(|e| bad(format!("writing {path}: {e}")))?;
+            eprintln!("json report written to {path}");
+        }
+        Ok(())
+    };
 
     if let Some(addr) = &a.addr {
         // Target an already-running `cote serve --listen` (same workload!).
         let addr = resolve_addr(addr)?;
         eprintln!(
-            "benching {} arrivals over {:?} against {addr} from {} clients...",
+            "benching {} arrivals over {:?} against {addr}: {} clients, {} connections...",
             arrivals.len(),
             a.duration,
-            a.clients
+            bench_cfg.clients,
+            bench_cfg.connections.max(bench_cfg.clients),
         );
-        let report = cote_net::bench_net(addr, &arrivals, a.clients, &client_cfg);
+        let report = cote_net::bench_net(addr, &arrivals, &bench_cfg);
         println!("── bench-net: {} → {addr} ──", a.workload.name);
         print!("{}", report.summary());
-        return Ok(());
+        return write_json(&report);
     }
 
-    let svc = Arc::new(start_service(&a.workload, a.cfg)?);
+    let svc = Arc::new(start_service(&a.workload, a.cfg.clone())?);
     let queries = Arc::new(std::mem::take(&mut a.workload.queries));
-    let listen = a.listen.as_deref().unwrap_or("127.0.0.1:0");
-    let server = NetServer::bind(Arc::clone(&svc), queries, listen, a.net)
-        .map_err(|e| bad(format!("bind {listen}: {e}")))?;
+    let listen = a.listen.clone().unwrap_or_else(|| "127.0.0.1:0".into());
+    let server = FrontEnd::bind(&a, Arc::clone(&svc), queries, &listen)?;
     let addr = server.local_addr();
     eprintln!(
-        "benching {} arrivals over {:?} against self-hosted {addr} from {} clients...",
+        "benching {} arrivals over {:?} against self-hosted {addr}: {} clients, {} connections...",
         arrivals.len(),
         a.duration,
-        a.clients
+        bench_cfg.clients,
+        bench_cfg.connections.max(bench_cfg.clients),
     );
-    let report = cote_net::bench_net(addr, &arrivals, a.clients, &client_cfg);
+    let report = cote_net::bench_net(addr, &arrivals, &bench_cfg);
     println!("── bench-net: {} → {addr} ──", a.workload.name);
     print!("{}", report.summary());
+    write_json(&report)?;
     eprintln!("shutting down: {}", server.shutdown().summary());
     println!("── service ──");
     print!("{}", svc.report());
@@ -538,6 +644,54 @@ mod tests {
         assert!(report.contains("p50"), "{report}");
         assert!(report.contains("advisor decisions"), "{report}");
         check_gauge_drained(&svc).unwrap();
+    }
+
+    #[test]
+    fn parse_event_loop_and_bench_flags() {
+        let a = parse_args(&args(&[
+            "linear-s",
+            "--event-loop",
+            "--loops",
+            "3",
+            "--max-conns",
+            "99",
+            "--connections",
+            "500",
+            "--json",
+            "/tmp/bench.json",
+        ]))
+        .unwrap();
+        assert!(a.event_loop);
+        assert_eq!(a.loops, 3);
+        assert_eq!(a.max_conns, Some(99));
+        assert_eq!(a.connections, Some(500));
+        assert_eq!(a.json.as_deref(), Some("/tmp/bench.json"));
+        let a = parse_args(&args(&["linear-s"])).unwrap();
+        assert!(!a.event_loop);
+        assert!(a.connections.is_none());
+    }
+
+    #[test]
+    fn bench_net_event_loop_small_run() {
+        // Same end-to-end smoke as the threaded run, through the readiness
+        // poller, with connection churn (more connections than clients).
+        bench_net(&args(&[
+            "linear-s",
+            "--rps",
+            "150",
+            "--duration",
+            "0.3",
+            "--clients",
+            "2",
+            "--workers",
+            "2",
+            "--event-loop",
+            "--connections",
+            "8",
+            "--drain-ms",
+            "2000",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! The gateway core: route, forward, fail over.
+//!
+//! [`GatewayCore`] implements [`WireHandler`], so either `cote-net`
+//! front-end (threaded or event-loop) can serve it unchanged — the gateway
+//! is "a handler that happens to answer by asking someone else". Per
+//! request:
+//!
+//! 1. Derive the routing key (query index or SQL text) and fingerprint it.
+//! 2. Walk the ring's candidate order for that key, skipping backends the
+//!    prober currently marks down.
+//! 3. Forward the wire frame verbatim to the first candidate over a pooled
+//!    connection; on `BUSY` or a transport failure, fail over to the next
+//!    distinct ring node. Transport failures also mark the backend down so
+//!    subsequent requests skip it immediately (the prober revives it).
+//! 4. Exhausting every up candidate answers `BUSY <reason>` (the last
+//!    upstream reason, or `upstream` when none answered at all) — the
+//!    gateway degrades into exactly the shedding behavior clients already
+//!    handle.
+//!
+//! `PING` and `METRICS` (and `/healthz`, `/metrics`) answer locally: a
+//! health probe against the gateway must measure *the gateway*, and the
+//! registry is per-process. Per-shard metrics come from asking a backend
+//! directly.
+
+use crate::metrics::GatewayMetrics;
+use crate::ring::{fingerprint, HashRing, DEFAULT_VNODES};
+use cote_net::{
+    http_body_to_wire, wire_to_http, HttpRequest, NetClient, NetClientConfig, WireHandler,
+    WireRequest, WireResponse,
+};
+use cote_obs::Registry;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Backend `cote serve --listen` addresses (`--backend` flags). Ring
+    /// identity is the address string: the same address always owns the
+    /// same arcs regardless of flag order.
+    pub backends: Vec<SocketAddr>,
+    /// Ring points per backend.
+    pub vnodes: usize,
+    /// Health-probe cadence.
+    pub probe_interval: Duration,
+    /// Transport settings for backend connections (connect timeout also
+    /// bounds how long a request can stall on a just-died backend).
+    pub client: NetClientConfig,
+    /// Idle pooled connections kept per backend.
+    pub pool_per_backend: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            backends: Vec::new(),
+            vnodes: DEFAULT_VNODES,
+            probe_interval: Duration::from_millis(500),
+            // A gateway must fail over fast; the library default 2s
+            // connect timeout is client-side patience, not a router's.
+            client: NetClientConfig {
+                connect_timeout: Duration::from_millis(250),
+                ..NetClientConfig::default()
+            },
+            pool_per_backend: 16,
+        }
+    }
+}
+
+struct Backend {
+    addr: SocketAddr,
+    up: AtomicBool,
+    pool: Mutex<Vec<NetClient>>,
+}
+
+/// The routable, forwardable heart of the gateway (shared with front-ends
+/// as an `Arc<dyn WireHandler>`).
+pub struct GatewayCore {
+    ring: HashRing,
+    backends: Vec<Backend>,
+    cfg: GatewayConfig,
+    registry: Registry,
+    metrics: GatewayMetrics,
+}
+
+impl GatewayCore {
+    fn new(cfg: GatewayConfig) -> Self {
+        let registry = Registry::new();
+        let metrics = GatewayMetrics::new(&registry);
+        let addrs: Vec<String> = cfg.backends.iter().map(|a| a.to_string()).collect();
+        let backends: Vec<Backend> = cfg
+            .backends
+            .iter()
+            .map(|&addr| Backend {
+                addr,
+                // Optimistic until the first probe: a request beats the
+                // prober to a dead backend at worst once, pays one connect
+                // timeout, and marks it down itself.
+                up: AtomicBool::new(true),
+                pool: Mutex::new(Vec::new()),
+            })
+            .collect();
+        metrics.backends_up.set(backends.len() as i64);
+        Self {
+            ring: HashRing::new(addrs, cfg.vnodes),
+            backends,
+            cfg,
+            registry,
+            metrics,
+        }
+    }
+
+    /// The gateway's own registry (front-ends register their transport
+    /// instruments here too).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Gateway instruments.
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.metrics
+    }
+
+    /// The ring (for tests and the CLI's startup banner).
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Backends currently marked up.
+    pub fn backends_up(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| b.up.load(Ordering::Acquire))
+            .count()
+    }
+
+    fn up_mask(&self) -> Vec<bool> {
+        self.backends
+            .iter()
+            .map(|b| b.up.load(Ordering::Acquire))
+            .collect()
+    }
+
+    fn set_up(&self, idx: usize, up: bool) {
+        let was = self.backends[idx].up.swap(up, Ordering::AcqRel);
+        if was != up {
+            self.metrics.backends_up.set(self.backends_up() as i64);
+            if !up {
+                // Pooled connections to a dead backend are dead too.
+                let drained = self.backends[idx].pool.lock().unwrap().drain(..).count();
+                self.metrics.pooled_conns.add(-(drained as i64));
+            }
+        }
+    }
+
+    fn take_conn(&self, idx: usize) -> Option<NetClient> {
+        let conn = self.backends[idx].pool.lock().unwrap().pop();
+        if conn.is_some() {
+            self.metrics.pooled_conns.add(-1);
+        }
+        conn
+    }
+
+    fn return_conn(&self, idx: usize, conn: NetClient) {
+        let mut pool = self.backends[idx].pool.lock().unwrap();
+        if pool.len() < self.cfg.pool_per_backend {
+            pool.push(conn);
+            self.metrics.pooled_conns.add(1);
+        }
+    }
+
+    /// One exchange against backend `idx`. A stale pooled connection (the
+    /// backend idle-times pooled sockets out) gets one retry on a fresh
+    /// connection before the attempt counts as a transport failure.
+    fn exchange(&self, idx: usize, line: &str) -> Result<WireResponse, ()> {
+        let mut fresh = false;
+        let mut conn = match self.take_conn(idx) {
+            Some(c) => c,
+            None => {
+                fresh = true;
+                NetClient::connect_with(self.backends[idx].addr, &self.cfg.client)
+                    .map_err(|_| ())?
+            }
+        };
+        loop {
+            self.metrics.forwards.inc();
+            let t0 = Instant::now();
+            let result = conn.send_raw(line).and_then(|()| conn.recv());
+            match result {
+                Ok(resp) => {
+                    self.metrics.forward_latency.record(t0.elapsed());
+                    // Connection-level sheds close the socket server-side.
+                    let keep = !matches!(
+                        &resp,
+                        WireResponse::Busy(r) if r == "connections" || r == "draining"
+                    );
+                    if keep {
+                        self.return_conn(idx, conn);
+                    }
+                    return Ok(resp);
+                }
+                Err(_) if !fresh => {
+                    fresh = true;
+                    conn = NetClient::connect_with(self.backends[idx].addr, &self.cfg.client)
+                        .map_err(|_| ())?;
+                }
+                Err(_) => return Err(()),
+            }
+        }
+    }
+
+    /// Route by key and forward, failing over through the ring's candidate
+    /// order on `BUSY` or transport failure.
+    fn forward(&self, key: &str, line: &str) -> WireResponse {
+        self.metrics.requests.inc();
+        let hash = fingerprint(key);
+        let order = self.ring.candidates(hash, &self.up_mask());
+        let mut last_busy: Option<String> = None;
+        for (attempt, &idx) in order.iter().enumerate() {
+            if attempt > 0 {
+                self.metrics.failovers.inc();
+            }
+            match self.exchange(idx, line) {
+                Ok(WireResponse::Busy(reason)) => {
+                    last_busy = Some(reason);
+                    continue;
+                }
+                Ok(resp) => return resp,
+                Err(()) => {
+                    self.metrics.upstream_errors.inc();
+                    self.set_up(idx, false);
+                    continue;
+                }
+            }
+        }
+        self.metrics.exhausted.inc();
+        WireResponse::Busy(last_busy.unwrap_or_else(|| "upstream".into()))
+    }
+
+    /// Routing key for a request that should be forwarded; `None` for
+    /// requests the gateway answers locally.
+    fn routing_key(req: &WireRequest) -> Option<String> {
+        match req {
+            WireRequest::Estimate { index, .. } | WireRequest::Admit { index, .. } => {
+                Some(format!("q:{index}"))
+            }
+            WireRequest::EstimateSql { sql } => Some(sql.clone()),
+            WireRequest::Ping | WireRequest::Metrics => None,
+        }
+    }
+
+    /// Probe one backend (connect + `PING`), updating its up mark.
+    fn probe(&self, idx: usize) {
+        let mut cfg = self.cfg.client.clone();
+        cfg.read_timeout = Duration::from_secs(2);
+        let ok = NetClient::connect_with(self.backends[idx].addr, &cfg)
+            .and_then(|mut c| c.ping())
+            .is_ok();
+        if !ok {
+            self.metrics.probe_failures.inc();
+        }
+        self.set_up(idx, ok);
+    }
+}
+
+impl WireHandler for GatewayCore {
+    fn handle_wire(&self, line: &str) -> WireResponse {
+        let req = match cote_net::parse_request(line) {
+            Ok(req) => req,
+            Err(e) => return WireResponse::Err(e),
+        };
+        match GatewayCore::routing_key(&req) {
+            // Forward the original frame verbatim: the gateway re-parses
+            // nothing it doesn't have to, and backends see byte-identical
+            // requests whether or not a gateway sits in front.
+            Some(key) => self.forward(&key, line),
+            None => match req {
+                WireRequest::Ping => WireResponse::Ok("pong".into()),
+                _ => WireResponse::Ok(self.registry.json()),
+            },
+        }
+    }
+
+    fn handle_http(&self, req: &HttpRequest) -> String {
+        let path = req.path.split('?').next().unwrap_or("");
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => cote_net::http::render_response(200, "text/plain", "ok\n"),
+            ("GET", "/metrics") => cote_net::http::render_response(
+                200,
+                "text/plain; version=0.0.4",
+                &self.registry.prometheus_text(),
+            ),
+            ("POST", "/estimate") => match http_body_to_wire(&req.body) {
+                // The wire grammar carries the class inline for index
+                // requests; for SQL it has no slot, so an explicit class
+                // is dropped at the gateway hop (documented limitation).
+                Ok((wire, _)) => match GatewayCore::routing_key(&wire) {
+                    Some(key) => wire_to_http(&self.forward(&key, &wire.render())),
+                    None => wire_to_http(&WireResponse::Err("not routable".into())),
+                },
+                Err(rendered_400) => rendered_400,
+            },
+            ("GET", _) => cote_net::http::render_response(404, "text/plain", "not found\n"),
+            _ => cote_net::http::render_response(405, "text/plain", "method not allowed\n"),
+        }
+    }
+}
+
+/// A running gateway: the routable core plus its health-probe thread.
+pub struct Gateway {
+    core: Arc<GatewayCore>,
+    stop: Arc<AtomicBool>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Build the ring and start probing. (Serving is separate: hand
+    /// [`Gateway::handler`] to a `cote-net` front-end.)
+    pub fn start(cfg: GatewayConfig) -> Gateway {
+        let core = Arc::new(GatewayCore::new(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let prober = {
+            let core = Arc::clone(&core);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("cote-gw-probe".into())
+                .spawn(move || {
+                    // First sweep immediately: optimistic marks get
+                    // corrected before real traffic piles up.
+                    loop {
+                        for idx in 0..core.backends.len() {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            core.probe(idx);
+                        }
+                        let interval = core.cfg.probe_interval;
+                        let t0 = Instant::now();
+                        while t0.elapsed() < interval {
+                            if stop.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                    }
+                })
+                .expect("spawn gateway prober")
+        };
+        Gateway {
+            core,
+            stop,
+            prober: Some(prober),
+        }
+    }
+
+    /// The routable core, for `NetServer::start_with` /
+    /// `EventServer::start_with`.
+    pub fn handler(&self) -> Arc<GatewayCore> {
+        Arc::clone(&self.core)
+    }
+
+    /// The gateway's registry (bind front-ends against this).
+    pub fn registry(&self) -> &Registry {
+        self.core.registry()
+    }
+
+    /// Gateway instruments.
+    pub fn metrics(&self) -> &GatewayMetrics {
+        self.core.metrics()
+    }
+
+    /// Backends currently probed up.
+    pub fn backends_up(&self) -> usize {
+        self.core.backends_up()
+    }
+
+    /// Stop the prober. (Front-ends are shut down by their owner.)
+    pub fn shutdown(mut self) {
+        self.stop_impl();
+    }
+
+    fn stop_impl(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(p) = self.prober.take() {
+            let _ = p.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_impl();
+    }
+}

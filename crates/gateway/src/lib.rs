@@ -1,0 +1,43 @@
+//! `cote-gateway`: a consistent-hash sharding front for `cote serve`
+//! backends.
+//!
+//! One estimation daemon scales to one machine's cores. The serving
+//! north-star (estimate compile time for *every* statement of production
+//! traffic, per the paper's always-on usage) needs a tier: N backend
+//! daemons, each owning a shard of the statement space, behind a front
+//! that routes by statement fingerprint so each backend's statement cache
+//! keeps its hit rate — sharding that ignored affinity would multiply
+//! cold misses by N.
+//!
+//! ```text
+//!             ┌───────────────────────────────────────────┐
+//!  clients ──▶│ cote gateway (wire + HTTP, either         │
+//!             │  cote-net front-end)                      │
+//!             │   key = query index | SQL text            │
+//!             │   ring: fingerprint(key) → backend        │
+//!             │   BUSY/dead → next distinct ring node     │
+//!             │   prober: PING per backend, up-mask       │
+//!             └──────┬──────────────┬──────────────┬──────┘
+//!                    ▼              ▼              ▼
+//!              cote serve     cote serve     cote serve
+//!              (shard 0)      (shard 1)      (shard 2)
+//! ```
+//!
+//! - [`ring`]: the hash ring and its two invariants (≤15% imbalance at 128
+//!   vnodes; backend removal remaps only its own keys).
+//! - [`gateway`]: [`GatewayCore`] (a [`cote_net::WireHandler`] that answers
+//!   by forwarding) and [`Gateway`] (core + health prober).
+//! - [`metrics`]: `cote_gateway_*` instruments.
+//!
+//! The gateway is deliberately gossip-free: the ring is static CLI config
+//! (`--backend ADDR ...`), liveness is local probing, and failover is
+//! deterministic ring order — no coordination, no consensus, nothing to
+//! operate besides the processes themselves.
+
+pub mod gateway;
+pub mod metrics;
+pub mod ring;
+
+pub use gateway::{Gateway, GatewayConfig, GatewayCore};
+pub use metrics::GatewayMetrics;
+pub use ring::{fingerprint, HashRing, DEFAULT_VNODES};

@@ -1,0 +1,96 @@
+//! Gateway instruments (`cote_gateway_*`), registered into the registry
+//! the gateway's front-end also uses, so one `GET /metrics` scrape shows
+//! routing, failover and probe health next to the transport counters.
+//!
+//! The registry is flat-named (no labels), so per-backend detail is
+//! aggregated: `backends_up` is a gauge of healthy backends, not a labeled
+//! series. `METRICS`/`/metrics` against an individual backend still gives
+//! the per-shard view.
+
+use cote_obs::{Counter, Gauge, LogHistogram, Registry};
+use std::sync::Arc;
+
+/// Every instrument the gateway records, by name.
+#[derive(Clone)]
+pub struct GatewayMetrics {
+    /// Requests routed through the ring (wire + HTTP estimate paths).
+    pub requests: Arc<Counter>,
+    /// Requests forwarded to a backend (first attempt or failover).
+    pub forwards: Arc<Counter>,
+    /// Failovers: a backend answered `BUSY` (or died mid-exchange) and the
+    /// request moved to the next ring node.
+    pub failovers: Arc<Counter>,
+    /// Requests that exhausted every up backend.
+    pub exhausted: Arc<Counter>,
+    /// Transport errors talking to backends.
+    pub upstream_errors: Arc<Counter>,
+    /// Backends currently probed healthy.
+    pub backends_up: Arc<Gauge>,
+    /// Health probes that failed.
+    pub probe_failures: Arc<Counter>,
+    /// Pooled backend connections currently idle.
+    pub pooled_conns: Arc<Gauge>,
+    /// Forward latency: request handed to a backend → response parsed.
+    pub forward_latency: Arc<LogHistogram>,
+}
+
+impl GatewayMetrics {
+    /// Register (or re-attach to) the gateway instruments in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            requests: registry.counter_with_help(
+                "cote_gateway_requests_total",
+                "Requests routed through the consistent-hash ring.",
+            ),
+            forwards: registry.counter_with_help(
+                "cote_gateway_forwards_total",
+                "Requests forwarded to a backend (including failover retries).",
+            ),
+            failovers: registry.counter_with_help(
+                "cote_gateway_failovers_total",
+                "Requests moved to the next ring node after BUSY or a dead backend.",
+            ),
+            exhausted: registry.counter_with_help(
+                "cote_gateway_exhausted_total",
+                "Requests that exhausted every up backend.",
+            ),
+            upstream_errors: registry.counter_with_help(
+                "cote_gateway_upstream_errors_total",
+                "Transport errors talking to backends.",
+            ),
+            backends_up: registry.gauge_with_help(
+                "cote_gateway_backends_up",
+                "Backends currently probed healthy.",
+            ),
+            probe_failures: registry.counter_with_help(
+                "cote_gateway_probe_failures_total",
+                "Health probes that failed.",
+            ),
+            pooled_conns: registry.gauge_with_help(
+                "cote_gateway_pooled_connections",
+                "Idle pooled backend connections.",
+            ),
+            forward_latency: registry.histogram_with_help(
+                "cote_gateway_forward_latency_seconds",
+                "Forward latency: request handed to a backend to response parsed.",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_register_flat_names() {
+        let r = Registry::new();
+        let m = GatewayMetrics::new(&r);
+        m.requests.inc();
+        m.backends_up.add(2);
+        let text = r.prometheus_text();
+        assert!(text.contains("cote_gateway_requests_total 1"));
+        assert!(text.contains("cote_gateway_backends_up 2"));
+        assert!(text.contains("# HELP cote_gateway_requests_total"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the consistent-hash ring's two load-bearing
+//! invariants (see `cote_gateway::ring`):
+//!
+//! - **Balance**: at 128 vnodes per backend, every backend's share of a
+//!   large key population stays within 15% of uniform.
+//! - **Minimal remapping**: taking one backend down remaps only the keys
+//!   that routed to it; every other key keeps its backend.
+
+use cote_gateway::{fingerprint, HashRing, DEFAULT_VNODES};
+use proptest::prelude::*;
+
+fn addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("127.0.0.1:{}", 7000 + i)).collect()
+}
+
+/// Deterministic (the ring and the fingerprint are both pure): the balance
+/// bound holds for every backend count the gateway realistically fronts.
+#[test]
+fn key_distribution_within_15_percent_of_uniform_at_128_vnodes() {
+    const KEYS: usize = 20_000;
+    for n in 2..=8usize {
+        let ring = HashRing::new(addrs(n), DEFAULT_VNODES);
+        let up = vec![true; n];
+        let mut counts = vec![0usize; n];
+        for i in 0..KEYS {
+            let b = ring.route(fingerprint(&format!("q:{i}")), &up).unwrap();
+            counts[b] += 1;
+        }
+        let uniform = KEYS as f64 / n as f64;
+        for (b, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - uniform).abs() / uniform;
+            assert!(
+                dev <= 0.15,
+                "backend {b}/{n} holds {c} of {KEYS} keys \
+                 ({:.1}% off uniform {uniform:.0})",
+                dev * 100.0
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Taking one backend down remaps exactly its own keys: survivors keep
+    /// their backend, orphans land on an up backend (never the dead one).
+    #[test]
+    fn removing_one_backend_remaps_only_its_keys(
+        n in 2usize..8,
+        down in 0usize..8,
+        key_salt in 0u64..1_000_000,
+    ) {
+        let down = down % n;
+        let ring = HashRing::new(addrs(n), DEFAULT_VNODES);
+        let all_up = vec![true; n];
+        let mut mask = all_up.clone();
+        mask[down] = false;
+
+        let mut orphans = 0usize;
+        for i in 0..500u64 {
+            let h = fingerprint(&format!("k:{}:{}", key_salt, i));
+            let before = ring.route(h, &all_up).unwrap();
+            let after = ring.route(h, &mask).unwrap();
+            if before == down {
+                orphans += 1;
+                prop_assert_ne!(after, down, "key routed to a down backend");
+            } else {
+                prop_assert_eq!(
+                    after, before,
+                    "key not owned by the removed backend moved"
+                );
+            }
+        }
+        // Sanity: the removed backend actually owned some keys, so the
+        // orphan branch above was exercised.
+        prop_assert!(orphans > 0, "backend {} owned no keys of 500", down);
+    }
+
+    /// The failover order is deterministic, starts at the routed backend,
+    /// and covers every up backend exactly once.
+    #[test]
+    fn candidates_start_at_route_and_cover_up_backends(
+        n in 2usize..8,
+        key_salt in 0u64..1_000_000,
+    ) {
+        let ring = HashRing::new(addrs(n), DEFAULT_VNODES);
+        let up = vec![true; n];
+        let h = fingerprint(&format!("c:{}", key_salt));
+        let order = ring.candidates(h, &up);
+        prop_assert_eq!(order.len(), n);
+        prop_assert_eq!(Some(order[0]), ring.route(h, &up));
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        prop_assert_eq!(ring.candidates(h, &up), order, "order not stable");
+    }
+}

@@ -53,7 +53,7 @@ impl std::fmt::Display for HttpError {
 }
 
 /// Upper bound on header lines per request; a scraper sends a handful.
-const MAX_HEADERS: usize = 64;
+pub(crate) const MAX_HEADERS: usize = 64;
 
 /// True when a first request line looks like HTTP rather than the wire
 /// protocol — used by the server to sniff the protocol on a shared port.
@@ -61,13 +61,9 @@ pub fn looks_like_http(first_line: &str) -> bool {
     first_line.ends_with("HTTP/1.1") || first_line.ends_with("HTTP/1.0")
 }
 
-/// Parse the rest of an HTTP request whose request line (`first_line`) was
-/// already consumed by protocol sniffing. Bodies are capped at `max_body`.
-pub fn read_request<R: Read>(
-    first_line: &str,
-    r: &mut LineReader<R>,
-    max_body: usize,
-) -> Result<HttpRequest, HttpError> {
+/// Parse `METHOD path HTTP/1.x` into `(METHOD, path)`; method uppercased.
+/// Shared by the blocking reader and the event loop's incremental parser.
+pub(crate) fn parse_request_line(first_line: &str) -> Result<(String, String), HttpError> {
     let mut parts = first_line.split_whitespace();
     let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m, p, v),
@@ -82,6 +78,44 @@ pub fn read_request<R: Read>(
             "unsupported version '{version}'"
         )));
     }
+    Ok((method.to_ascii_uppercase(), path.to_string()))
+}
+
+/// Apply one (non-blank) header line: validates shape, updates
+/// `content_length` when the header is `Content-Length`, enforces the cap.
+pub(crate) fn apply_header(
+    line: &str,
+    max_body: usize,
+    content_length: &mut usize,
+) -> Result<(), HttpError> {
+    let (name, value) = line
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadRequest(format!("header without ':': '{line}'")))?;
+    if name.trim().eq_ignore_ascii_case("content-length") {
+        *content_length = value
+            .trim()
+            .parse()
+            .map_err(|_| HttpError::BadRequest("unparsable content-length".into()))?;
+        if *content_length > max_body {
+            return Err(HttpError::BodyTooLarge { limit: max_body });
+        }
+    }
+    Ok(())
+}
+
+/// Decode a complete body buffer (UTF-8 check shared with the event loop).
+pub(crate) fn decode_body(raw: Vec<u8>) -> Result<String, HttpError> {
+    String::from_utf8(raw).map_err(|_| HttpError::BadRequest("body is not valid utf-8".into()))
+}
+
+/// Parse the rest of an HTTP request whose request line (`first_line`) was
+/// already consumed by protocol sniffing. Bodies are capped at `max_body`.
+pub fn read_request<R: Read>(
+    first_line: &str,
+    r: &mut LineReader<R>,
+    max_body: usize,
+) -> Result<HttpRequest, HttpError> {
+    let (method, path) = parse_request_line(first_line)?;
     let mut content_length = 0usize;
     for n in 0.. {
         if n >= MAX_HEADERS {
@@ -94,30 +128,14 @@ pub fn read_request<R: Read>(
         if line.is_empty() {
             break;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| HttpError::BadRequest(format!("header without ':': '{line}'")))?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
-                .trim()
-                .parse()
-                .map_err(|_| HttpError::BadRequest("unparsable content-length".into()))?;
-            if content_length > max_body {
-                return Err(HttpError::BodyTooLarge { limit: max_body });
-            }
-        }
+        apply_header(&line, max_body, &mut content_length)?;
     }
     let body = if content_length > 0 {
-        String::from_utf8(r.read_exact_bytes(content_length)?)
-            .map_err(|_| HttpError::BadRequest("body is not valid utf-8".into()))?
+        decode_body(r.read_exact_bytes(content_length)?)?
     } else {
         String::new()
     };
-    Ok(HttpRequest {
-        method: method.to_ascii_uppercase(),
-        path: path.to_string(),
-        body,
-    })
+    Ok(HttpRequest { method, path, body })
 }
 
 /// Render a full response with `Connection: close` and a sized body.

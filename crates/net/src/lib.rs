@@ -30,16 +30,22 @@
 
 pub mod bench;
 pub mod client;
+pub mod event;
 pub mod frame;
+pub mod handler;
 pub mod http;
 pub mod metrics;
+pub mod poll;
 pub mod proto;
 pub mod server;
 
-pub use bench::{bench_net, NetBenchReport};
+pub use bench::{bench_net, NetBenchConfig, NetBenchReport};
 pub use client::{NetClient, NetClientConfig, NetError};
-pub use frame::{FrameError, LineReader, MAX_LINE_BYTES};
+pub use event::{EventConfig, EventServer};
+pub use frame::{FrameBuffer, FrameError, LineReader, MAX_LINE_BYTES};
+pub use handler::{http_body_to_wire, wire_to_http, ServiceHandler, WireHandler};
 pub use http::{HttpError, HttpRequest};
-pub use metrics::NetMetrics;
+pub use metrics::{NetMetrics, PollMetrics};
+pub use poll::{new_poller, Interest, PollEvent, Poller};
 pub use proto::{parse_class, parse_request, WireRequest, WireResponse};
 pub use server::{DrainReport, NetConfig, NetServer};

@@ -70,9 +70,65 @@ impl NetMetrics {
     }
 }
 
+/// Readiness-loop instruments (`cote_net_poll_*`), registered only when the
+/// event-driven front-end runs.
+#[derive(Clone)]
+pub struct PollMetrics {
+    /// Poller wakeups (poll syscalls that returned at least one event).
+    pub wakeups: Arc<Counter>,
+    /// Readiness events delivered across all wakeups.
+    pub events: Arc<Counter>,
+    /// Times a connection's read interest was dropped because its write
+    /// buffer crossed the high-water mark (write backpressure engaged).
+    pub backpressure: Arc<Counter>,
+    /// Event-loop threads currently running.
+    pub loops: Arc<Gauge>,
+    /// Connections currently parked under write backpressure.
+    pub backpressured: Arc<Gauge>,
+}
+
+impl PollMetrics {
+    /// Register (or re-attach to) the poll instruments in `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        Self {
+            wakeups: registry.counter_with_help(
+                "cote_net_poll_wakeups_total",
+                "Poller wakeups that delivered at least one readiness event.",
+            ),
+            events: registry.counter_with_help(
+                "cote_net_poll_events_total",
+                "Readiness events delivered across all wakeups.",
+            ),
+            backpressure: registry.counter_with_help(
+                "cote_net_poll_backpressure_total",
+                "Read interest drops due to a full write buffer (backpressure).",
+            ),
+            loops: registry.gauge_with_help(
+                "cote_net_poll_loops",
+                "Event-loop threads currently running.",
+            ),
+            backpressured: registry.gauge_with_help(
+                "cote_net_poll_backpressured_connections",
+                "Connections currently parked under write backpressure.",
+            ),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn poll_instruments_register_flat_names() {
+        let r = Registry::new();
+        let p = PollMetrics::new(&r);
+        p.wakeups.inc();
+        p.loops.add(2);
+        let text = r.prometheus_text();
+        assert!(text.contains("cote_net_poll_wakeups_total 1"));
+        assert!(text.contains("cote_net_poll_loops 2"));
+    }
 
     #[test]
     fn instruments_share_the_registry() {

@@ -1,13 +1,14 @@
-//! The network front-end: one acceptor, a bounded pool of connection
-//! handlers, protocol sniffing (wire frames and HTTP/1.1 share one port),
-//! overload shedding with `BUSY`, and a graceful deadline-bounded drain.
+//! The thread-per-connection network front-end: one acceptor, a bounded
+//! pool of connection handlers, protocol sniffing (wire frames and HTTP/1.1
+//! share one port), overload shedding with `BUSY`, and a graceful
+//! deadline-bounded drain.
 //!
 //! ```text
 //!  accept ──▶ bounded pending queue ──▶ K handler threads
 //!     │            │ full?                   │ per connection:
 //!     │            └──▶ "BUSY connections"   │   sniff wire|HTTP
 //!     │                 + close (shed)       │   parse (length-capped)
-//!     │                                      │   CoteService::submit
+//!     │                                      │   WireHandler::handle_*
 //!     └─ stops at drain                      │   OK / BUSY / ERR
 //! ```
 //!
@@ -20,15 +21,23 @@
 //! until the drain deadline, then force-closes stragglers so the process
 //! can always exit.
 //!
+//! What the requests *mean* lives behind [`WireHandler`] (see
+//! [`crate::handler`]); this server and the event-driven
+//! [`EventServer`](crate::EventServer) are interchangeable transports over
+//! the same handler, and `cote-gateway` fronts a different handler with the
+//! same transports.
+//!
 //! [`AdmissionController`]: cote_service::AdmissionController
+//! [`CoteService`]: cote_service::CoteService
 
 use crate::frame::{FrameError, LineReader, MAX_LINE_BYTES};
-use crate::http::{self, HttpError, HttpRequest};
+use crate::handler::{ServiceHandler, WireHandler};
+use crate::http::{self, HttpError};
 use crate::metrics::NetMetrics;
-use crate::proto::{self, WireRequest, WireResponse};
-use cote_obs::{phase, Span};
+use crate::proto::WireResponse;
+use cote_obs::{phase, Registry, Span};
 use cote_query::Query;
-use cote_service::{BoundedQueue, CoteService, QueryClass};
+use cote_service::{BoundedQueue, CoteService};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -99,8 +108,7 @@ impl DrainReport {
 }
 
 struct Shared {
-    svc: Arc<CoteService>,
-    queries: Arc<Vec<Query>>,
+    handler: Arc<dyn WireHandler>,
     cfg: NetConfig,
     pending: BoundedQueue<TcpStream>,
     draining: AtomicBool,
@@ -121,7 +129,7 @@ impl Shared {
     }
 }
 
-/// A running network front-end over one [`CoteService`].
+/// A running thread-per-connection front-end over one [`WireHandler`].
 pub struct NetServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
@@ -138,13 +146,24 @@ impl NetServer {
         listener: TcpListener,
         cfg: NetConfig,
     ) -> std::io::Result<NetServer> {
+        let handler = Arc::new(ServiceHandler::new(Arc::clone(&svc), queries));
+        NetServer::start_with(handler, svc.metrics().registry(), listener, cfg)
+    }
+
+    /// Serve an arbitrary [`WireHandler`] on `listener`; transport
+    /// instruments register into `registry`.
+    pub fn start_with(
+        handler: Arc<dyn WireHandler>,
+        registry: &Registry,
+        listener: TcpListener,
+        cfg: NetConfig,
+    ) -> std::io::Result<NetServer> {
         let local_addr = listener.local_addr()?;
         let handlers = cfg.handlers.max(1);
         let shared = Arc::new(Shared {
-            metrics: NetMetrics::new(svc.metrics().registry()),
+            metrics: NetMetrics::new(registry),
             pending: BoundedQueue::new(cfg.pending_conns.max(1)),
-            svc,
-            queries,
+            handler,
             cfg,
             draining: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
@@ -193,7 +212,7 @@ impl NetServer {
         self.local_addr
     }
 
-    /// Network-layer instruments (shared with the service registry).
+    /// Network-layer instruments (shared with the handler's registry).
     pub fn metrics(&self) -> &NetMetrics {
         &self.shared.metrics
     }
@@ -215,12 +234,7 @@ impl NetServer {
         // Unblock the acceptor with a loopback connection; if that fails
         // (firewalled 0.0.0.0 bind, exotic setups) fall back on its accept
         // loop noticing the flag at the next real connection.
-        let wake_ip = match self.local_addr.ip() {
-            ip if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
-            ip => ip,
-        };
-        let wake = SocketAddr::new(wake_ip, self.local_addr.port());
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_millis(250));
+        let _ = TcpStream::connect_timeout(&wake_addr(self.local_addr), Duration::from_millis(250));
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
@@ -262,6 +276,15 @@ impl Drop for NetServer {
             let _ = self.shutdown_impl();
         }
     }
+}
+
+/// The loopback address shutdown connects to, to wake a blocking acceptor.
+pub(crate) fn wake_addr(local: SocketAddr) -> SocketAddr {
+    let ip = match local.ip() {
+        ip if ip.is_unspecified() => IpAddr::V4(Ipv4Addr::LOCALHOST),
+        ip => ip,
+    };
+    SocketAddr::new(ip, local.port())
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener) {
@@ -369,7 +392,7 @@ fn conn_loop(shared: &Shared, reader: &mut LineReader<&TcpStream>, writer: &mut 
         }
         span.record("http", 0);
         shared.metrics.requests.inc();
-        let response = wire_response(shared, &line);
+        let response = shared.handler.handle_wire(&line);
         if matches!(response, WireResponse::Busy(_)) {
             shared.metrics.busy_responses.inc();
         }
@@ -382,52 +405,6 @@ fn conn_loop(shared: &Shared, reader: &mut LineReader<&TcpStream>, writer: &mut 
 fn write_out(shared: &Shared, writer: &mut TcpStream, payload: &str) {
     if writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok() {
         shared.metrics.bytes_out.add(payload.len() as u64);
-    }
-}
-
-/// Resolve a wire index/class pair against the served workload and submit.
-fn submit(shared: &Shared, index: usize, class: Option<QueryClass>, full: bool) -> WireResponse {
-    let n = shared.queries.len();
-    if index == 0 || index > n {
-        return WireResponse::Err(format!("query index out of range (1..={n})"));
-    }
-    let query = &shared.queries[index - 1];
-    let class = class.unwrap_or_else(|| QueryClass::from_table_count(query.total_tables()));
-    let resp = shared.svc.submit(query, class);
-    proto::decision_response(&query.name, &resp, full)
-}
-
-/// Parse, bind and lower SQL text against the served catalog, then submit.
-///
-/// Front-end failures (lex/parse/bind) come back as `ERR sql: <position>:
-/// <message>` — the position is line:column within the submitted statement —
-/// and surface as HTTP 400 on the `POST /estimate` path.
-fn submit_sql(shared: &Shared, sql: &str, class: Option<QueryClass>) -> WireResponse {
-    let compiled = match cote_sql::compile(sql, shared.svc.catalog(), "sql") {
-        Ok(c) => c,
-        Err(e) => return WireResponse::Err(format!("sql: {}", e.one_line(sql))),
-    };
-    let name = format!("sql-{:016x}", compiled.fingerprint);
-    let query = Query::new(name.clone(), compiled.query.root);
-    let class = class.unwrap_or_else(|| QueryClass::from_table_count(query.total_tables()));
-    let resp = shared.svc.submit(&query, class);
-    proto::decision_response(&name, &resp, true)
-}
-
-fn wire_response(shared: &Shared, line: &str) -> WireResponse {
-    let req = match proto::parse_request(line) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.metrics.malformed.inc();
-            return WireResponse::Err(e);
-        }
-    };
-    match req {
-        WireRequest::Ping => WireResponse::Ok("pong".into()),
-        WireRequest::Metrics => WireResponse::Ok(shared.svc.metrics().json()),
-        WireRequest::Estimate { index, class } => submit(shared, index, class, true),
-        WireRequest::EstimateSql { sql } => submit_sql(shared, &sql, None),
-        WireRequest::Admit { index, class } => submit(shared, index, class, false),
     }
 }
 
@@ -447,77 +424,5 @@ fn http_response(shared: &Shared, first_line: &str, reader: &mut LineReader<&Tcp
             return http::render_response(400, "text/plain", &format!("{e}\n"));
         }
     };
-    route_http(shared, &req)
-}
-
-fn route_http(shared: &Shared, req: &HttpRequest) -> String {
-    let path = req.path.split('?').next().unwrap_or("");
-    match (req.method.as_str(), path) {
-        ("GET", "/healthz") => http::render_response(200, "text/plain", "ok\n"),
-        ("GET", "/metrics") => http::render_response(
-            200,
-            "text/plain; version=0.0.4",
-            &shared.svc.metrics().prometheus_text(),
-        ),
-        ("POST", "/estimate") => {
-            let class = match req.body.contains("\"class\"") {
-                true => {
-                    match proto::json_extract_str(&req.body, "class").and_then(proto::parse_class) {
-                        Some(c) => Some(c),
-                        None => {
-                            return http::render_response(
-                                400,
-                                "application/json",
-                                "{\"status\":\"error\",\"error\":\"unknown class\"}",
-                            )
-                        }
-                    }
-                }
-                false => None,
-            };
-            let response = if req.body.contains("\"sql\"") {
-                match proto::json_extract_string(&req.body, "sql") {
-                    Some(sql) => submit_sql(shared, &sql, class),
-                    None => {
-                        return http::render_response(
-                            400,
-                            "application/json",
-                            "{\"status\":\"error\",\"error\":\"malformed sql field\"}",
-                        )
-                    }
-                }
-            } else {
-                let index = match proto::json_extract_u64(&req.body, "query") {
-                    Some(i) => i as usize,
-                    None => {
-                        return http::render_response(
-                            400,
-                            "application/json",
-                            "{\"status\":\"error\",\"error\":\"body needs \
-                             {\\\"query\\\":N} or {\\\"sql\\\":\\\"...\\\"}\"}",
-                        )
-                    }
-                };
-                submit(shared, index, class, true)
-            };
-            match response {
-                WireResponse::Ok(json) => http::render_response(200, "application/json", &json),
-                WireResponse::Busy(reason) => http::render_response(
-                    503,
-                    "application/json",
-                    &format!("{{\"status\":\"busy\",\"reason\":\"{reason}\"}}"),
-                ),
-                WireResponse::Err(msg) => http::render_response(
-                    400,
-                    "application/json",
-                    &format!(
-                        "{{\"status\":\"error\",\"error\":\"{}\"}}",
-                        proto::json_escape(&msg)
-                    ),
-                ),
-            }
-        }
-        ("GET", _) => http::render_response(404, "text/plain", "not found\n"),
-        _ => http::render_response(405, "text/plain", "method not allowed\n"),
-    }
+    shared.handler.handle_http(&req)
 }

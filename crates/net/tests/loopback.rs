@@ -3,17 +3,26 @@
 //! instead of hanging, malformed frames are answered (or closed on)
 //! deterministically, and shutdown drains with the queue-depth gauge back
 //! at zero.
+//!
+//! Every test runs twice — once against the threaded [`NetServer`] and once
+//! against the event-loop [`EventServer`] — via the [`both_modes!`] macro.
+//! The wire protocol, HTTP surface, shedding and drain semantics are
+//! front-end-independent contracts, so the two variants assert the exact
+//! same facts.
 
 use cote::{Cote, TimeModel};
 use cote_catalog::{Catalog, ColumnDef, TableDef};
 use cote_common::{ColRef, TableId, TableRef};
 use cote_net::proto::json_extract_str;
-use cote_net::{NetClient, NetClientConfig, NetConfig, NetServer, WireRequest, WireResponse};
-use cote_optimizer::{Mode, OptimizerConfig};
+use cote_net::{
+    DrainReport, EventConfig, EventServer, NetClient, NetClientConfig, NetConfig, NetMetrics,
+    NetServer, WireRequest, WireResponse,
+};
+use cote_optimizer::{Mode as OptMode, OptimizerConfig};
 use cote_query::{Query, QueryBlockBuilder};
 use cote_service::{CoteService, Decision, QueryClass, ServiceConfig};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -50,7 +59,7 @@ fn fixture() -> (Catalog, Vec<Query>) {
 
 fn cote() -> Cote {
     Cote::new(
-        OptimizerConfig::high(Mode::Serial),
+        OptimizerConfig::high(OptMode::Serial),
         TimeModel {
             c_nljn: 1e-6,
             c_mgjn: 1e-6,
@@ -90,6 +99,77 @@ fn quick_client_cfg() -> NetClientConfig {
     }
 }
 
+/// Which front-end a test round binds the service behind.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    Threaded,
+    Event,
+}
+
+enum FrontEnd {
+    Threaded(NetServer),
+    Event(EventServer),
+}
+
+impl Mode {
+    fn bind(self, svc: &Arc<CoteService>, queries: &Arc<Vec<Query>>, cfg: NetConfig) -> FrontEnd {
+        match self {
+            Mode::Threaded => FrontEnd::Threaded(
+                NetServer::bind(Arc::clone(svc), Arc::clone(queries), "127.0.0.1:0", cfg).unwrap(),
+            ),
+            Mode::Event => FrontEnd::Event(
+                EventServer::bind(
+                    Arc::clone(svc),
+                    Arc::clone(queries),
+                    "127.0.0.1:0",
+                    EventConfig::from_net(&cfg),
+                )
+                .unwrap(),
+            ),
+        }
+    }
+}
+
+impl FrontEnd {
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            FrontEnd::Threaded(s) => s.local_addr(),
+            FrontEnd::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn metrics(&self) -> &NetMetrics {
+        match self {
+            FrontEnd::Threaded(s) => s.metrics(),
+            FrontEnd::Event(s) => s.metrics(),
+        }
+    }
+
+    fn shutdown(self) -> DrainReport {
+        match self {
+            FrontEnd::Threaded(s) => s.shutdown(),
+            FrontEnd::Event(s) => s.shutdown(),
+        }
+    }
+}
+
+/// Instantiate one test body as `<name>::threaded` and `<name>::event_loop`.
+macro_rules! both_modes {
+    ($name:ident) => {
+        mod $name {
+            use super::*;
+            #[test]
+            fn threaded() {
+                super::$name(Mode::Threaded);
+            }
+            #[test]
+            fn event_loop() {
+                super::$name(Mode::Event);
+            }
+        }
+    };
+}
+
 /// Assert a service has fully drained and its queue-depth gauge is back to
 /// zero — the accounting invariant every test ends on.
 fn assert_gauge_drained(svc: &CoteService) {
@@ -101,8 +181,7 @@ fn assert_gauge_drained(svc: &CoteService) {
     );
 }
 
-#[test]
-fn concurrent_clients_match_serial_service_answers() {
+fn concurrent_clients_match_serial_service_answers(mode: Mode) {
     let (svc, queries) = service(small_cfg());
 
     // Ground truth: what the service answers serially, in-process.
@@ -117,13 +196,7 @@ fn concurrent_clients_match_serial_service_answers() {
         })
         .collect();
 
-    let server = NetServer::bind(
-        Arc::clone(&svc),
-        Arc::clone(&queries),
-        "127.0.0.1:0",
-        NetConfig::default(),
-    )
-    .unwrap();
+    let server = mode.bind(&svc, &queries, NetConfig::default());
     let addr = server.local_addr();
 
     const CLIENTS: usize = 6;
@@ -164,9 +237,9 @@ fn concurrent_clients_match_serial_service_answers() {
     assert_eq!(report.forced_connections, 0);
     assert_gauge_drained(&svc);
 }
+both_modes!(concurrent_clients_match_serial_service_answers);
 
-#[test]
-fn overload_sheds_busy_and_never_hangs() {
+fn overload_sheds_busy_and_never_hangs(mode: Mode) {
     let (svc, queries) = service(small_cfg());
     let cfg = NetConfig {
         handlers: 1,
@@ -175,15 +248,18 @@ fn overload_sheds_busy_and_never_hangs() {
         drain_deadline: Duration::from_millis(300),
         ..Default::default()
     };
-    let server = NetServer::bind(Arc::clone(&svc), queries, "127.0.0.1:0", cfg).unwrap();
+    // Threaded: 1 handler + 1 pending slot. Event: the same budget becomes
+    // `max_conns = 2` via `EventConfig::from_net`. Either way the third
+    // concurrent connection must be shed.
+    let server = mode.bind(&svc, &queries, cfg);
     let addr = server.local_addr();
     let ccfg = quick_client_cfg();
 
-    // Occupy the only handler: a full round-trip guarantees the handler
-    // thread picked this connection up before the next ones arrive.
+    // Occupy the first slot: a full round-trip guarantees the server
+    // registered this connection before the next ones arrive.
     let mut held = NetClient::connect_with(addr, &ccfg).unwrap();
     held.ping().unwrap();
-    // Fill the single pending slot (accepted, never served).
+    // Fill the second slot (threaded: accepted, never served).
     let parked = NetClient::connect_with(addr, &ccfg).unwrap();
 
     // Every further connection must be shed with a protocol-level BUSY,
@@ -208,16 +284,16 @@ fn overload_sheds_busy_and_never_hangs() {
     assert_eq!(report.forced_connections, 0, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(overload_sheds_busy_and_never_hangs);
 
-#[test]
-fn malformed_frames_get_err_or_close_never_hang() {
+fn malformed_frames_get_err_or_close_never_hang(mode: Mode) {
     let (svc, queries) = service(small_cfg());
     let cfg = NetConfig {
         max_line_bytes: 256,
         read_timeout: Duration::from_secs(2),
         ..Default::default()
     };
-    let server = NetServer::bind(Arc::clone(&svc), queries, "127.0.0.1:0", cfg).unwrap();
+    let server = mode.bind(&svc, &queries, cfg);
     let addr = server.local_addr();
     let ccfg = quick_client_cfg();
 
@@ -262,17 +338,11 @@ fn malformed_frames_get_err_or_close_never_hang() {
     assert!(report.drained_cleanly, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(malformed_frames_get_err_or_close_never_hang);
 
-#[test]
-fn pipelined_requests_are_answered_in_order() {
+fn pipelined_requests_are_answered_in_order(mode: Mode) {
     let (svc, queries) = service(small_cfg());
-    let server = NetServer::bind(
-        Arc::clone(&svc),
-        queries,
-        "127.0.0.1:0",
-        NetConfig::default(),
-    )
-    .unwrap();
+    let server = mode.bind(&svc, &queries, NetConfig::default());
     let mut c = NetClient::connect_with(server.local_addr(), &quick_client_cfg()).unwrap();
 
     // Write four frames back-to-back, then read four responses: one
@@ -304,17 +374,11 @@ fn pipelined_requests_are_answered_in_order() {
     assert!(report.drained_cleanly, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(pipelined_requests_are_answered_in_order);
 
-#[test]
-fn sql_estimates_over_wire_and_http() {
+fn sql_estimates_over_wire_and_http(mode: Mode) {
     let (svc, queries) = service(small_cfg());
-    let server = NetServer::bind(
-        Arc::clone(&svc),
-        queries,
-        "127.0.0.1:0",
-        NetConfig::default(),
-    )
-    .unwrap();
+    let server = mode.bind(&svc, &queries, NetConfig::default());
     let addr = server.local_addr();
     let mut c = NetClient::connect_with(addr, &quick_client_cfg()).unwrap();
 
@@ -390,9 +454,9 @@ fn sql_estimates_over_wire_and_http() {
     assert!(report.drained_cleanly, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(sql_estimates_over_wire_and_http);
 
-#[test]
-fn metrics_exposition_is_complete_and_escaped() {
+fn metrics_exposition_is_complete_and_escaped(mode: Mode) {
     let (svc, queries) = service(small_cfg());
     // Generate some traffic so instruments carry non-trivial samples.
     for q in queries.iter().take(2) {
@@ -400,13 +464,7 @@ fn metrics_exposition_is_complete_and_escaped() {
     }
     svc.report_outcome(&queries[0], 0.001);
 
-    let server = NetServer::bind(
-        Arc::clone(&svc),
-        Arc::clone(&queries),
-        "127.0.0.1:0",
-        NetConfig::default(),
-    )
-    .unwrap();
+    let server = mode.bind(&svc, &queries, NetConfig::default());
     let addr = server.local_addr();
     let resp = http_exchange(addr, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
     assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
@@ -476,11 +534,18 @@ fn metrics_exposition_is_complete_and_escaped() {
     ] {
         assert!(families.contains(name), "missing from /metrics: {name}");
     }
+    // The event-loop front-end additionally exposes its poller instruments.
+    if matches!(mode, Mode::Event) {
+        for name in ["cote_net_poll_wakeups_total", "cote_net_poll_loops"] {
+            assert!(families.contains(name), "missing from /metrics: {name}");
+        }
+    }
 
     let report = server.shutdown();
     assert!(report.drained_cleanly, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(metrics_exposition_is_complete_and_escaped);
 
 /// One HTTP exchange on a fresh connection (`Connection: close` semantics).
 fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
@@ -492,16 +557,9 @@ fn http_exchange(addr: std::net::SocketAddr, request: &str) -> String {
     out
 }
 
-#[test]
-fn http_endpoints_share_the_port() {
+fn http_endpoints_share_the_port(mode: Mode) {
     let (svc, queries) = service(small_cfg());
-    let server = NetServer::bind(
-        Arc::clone(&svc),
-        queries,
-        "127.0.0.1:0",
-        NetConfig::default(),
-    )
-    .unwrap();
+    let server = mode.bind(&svc, &queries, NetConfig::default());
     let addr = server.local_addr();
 
     let health = http_exchange(addr, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
@@ -545,3 +603,4 @@ fn http_endpoints_share_the_port() {
     assert!(report.drained_cleanly, "{}", report.summary());
     assert_gauge_drained(&svc);
 }
+both_modes!(http_endpoints_share_the_port);
