@@ -1,0 +1,194 @@
+//! The scenario catalog: named fault plans over the serving tier's
+//! failpoint sites.
+//!
+//! A plan is a list of `(site, FaultSpec)` pairs, every one of them
+//! **request-driven**: fires are scheduled by deterministic hit counters
+//! ([`FireMode::FirstN`] / [`FireMode::Every`]), never by wall-clock, so a
+//! scenario's fault-hit table is a pure function of the request sequence.
+//! Probe-driven sites (`gw.probe.fail`) are deliberately absent — a
+//! prober fires on its own cadence, which would make hit counts
+//! timing-dependent; flapping probes are exercised by the gateway's own
+//! test suite instead.
+//!
+//! Specs are scoped per tier ([`SCOPE_BACKEND`] / [`SCOPE_GATEWAY`]): a
+//! backend-scoped reset garbles the gateway↔backend hop and leaves the
+//! client↔gateway hop clean, which is exactly what lets the harness assert
+//! that clients still see oracle-identical answers.
+//!
+//! [`FireMode::FirstN`]: cote_common::failpoint::FireMode::FirstN
+//! [`FireMode::Every`]: cote_common::failpoint::FireMode::Every
+
+use cote_common::failpoint::{FaultAction, FaultSpec};
+use cote_gateway::CHAOS_FORWARD_STALL;
+use cote_net::chaos as net_sites;
+use cote_service::CHAOS_ESTIMATE_DELAY;
+use std::time::Duration;
+
+/// Thread-scope label the harness sets while constructing backend servers
+/// and services.
+pub const SCOPE_BACKEND: &str = "backend";
+/// Thread-scope label the harness sets while constructing the gateway and
+/// its front-end.
+pub const SCOPE_GATEWAY: &str = "gateway";
+
+/// A named fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Backend connections die mid-exchange: reads reset before the
+    /// answer, writes truncate mid-frame. The breaker must trip on both
+    /// backends, the gateway must answer explicit `BUSY` while they cool,
+    /// and the tier must heal once the storm passes.
+    ResetStorm,
+    /// Everything is slow, nothing is broken: injected estimation delays,
+    /// forward stalls and write delays. No transport failure, so breakers
+    /// must *not* trip, and every answer must still match the oracle
+    /// within the latency bound.
+    SlowBackend,
+    /// Low-grade background noise: periodic read delays, split writes the
+    /// peer must reassemble, and a recurring injected `BUSY` storm the
+    /// failover absorbs. Breakers must not trip (`BUSY` rides a healthy
+    /// transport).
+    FlakyNet,
+    /// Backends answer well-framed garbage: every response byte except the
+    /// newline is flipped. The gateway must treat unparseable frames as
+    /// transport failures (tripping breakers), and no corrupted byte may
+    /// ever reach a client.
+    CorruptFrames,
+}
+
+impl Scenario {
+    /// Every scenario, in CLI listing order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::ResetStorm,
+        Scenario::SlowBackend,
+        Scenario::FlakyNet,
+        Scenario::CorruptFrames,
+    ];
+
+    /// Parse a kebab-case scenario name.
+    pub fn parse(name: &str) -> Option<Scenario> {
+        Scenario::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// The kebab-case name (CLI argument and report header).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::ResetStorm => "reset-storm",
+            Scenario::SlowBackend => "slow-backend",
+            Scenario::FlakyNet => "flaky-net",
+            Scenario::CorruptFrames => "corrupt-frames",
+        }
+    }
+
+    /// One-line description for `--help` output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Scenario::ResetStorm => "connection resets mid-exchange; breakers trip and recover",
+            Scenario::SlowBackend => "bounded delays at every layer; no failures, no breaker trips",
+            Scenario::FlakyNet => {
+                "read delays, split writes, injected BUSY storms; failover absorbs"
+            }
+            Scenario::CorruptFrames => "garbled backend frames; gateway contains the corruption",
+        }
+    }
+
+    /// Must this scenario open (and then close) circuit breakers?
+    pub fn expects_breaker_cycle(self) -> bool {
+        matches!(self, Scenario::ResetStorm | Scenario::CorruptFrames)
+    }
+
+    /// The fault plan. `FirstN` counts are sized to be fully consumed by
+    /// the failure cascade they trigger (e.g. both breakers trip on the
+    /// last fire), so the plan's effect doesn't depend on how fast the
+    /// schedule runs.
+    pub fn plan(self) -> Vec<(&'static str, FaultSpec)> {
+        match self {
+            // Two backends × breaker threshold 3: four read-resets put
+            // both at two consecutive failures, two write-resets deliver
+            // the third — both breakers open on the storm's final fire.
+            Scenario::ResetStorm => vec![
+                (
+                    net_sites::READ_RESET,
+                    FaultSpec::first_n(FaultAction::Reset, 4).scoped(SCOPE_BACKEND),
+                ),
+                (
+                    net_sites::WRITE_RESET,
+                    FaultSpec::first_n(FaultAction::Reset, 2).scoped(SCOPE_BACKEND),
+                ),
+            ],
+            // `svc.queue.stall` is deliberately absent: harness traffic is
+            // cache-hot (byte-identity with the oracle depends on it), so
+            // nothing ever dequeues — the site is pinned by the service
+            // crate's own chaos tests instead.
+            Scenario::SlowBackend => vec![
+                (
+                    CHAOS_ESTIMATE_DELAY,
+                    FaultSpec::first_n(FaultAction::Delay(Duration::from_millis(80)), 6)
+                        .scoped(SCOPE_BACKEND),
+                ),
+                (
+                    net_sites::WRITE_DELAY,
+                    FaultSpec::first_n(FaultAction::Delay(Duration::from_millis(40)), 4)
+                        .scoped(SCOPE_BACKEND),
+                ),
+                (
+                    CHAOS_FORWARD_STALL,
+                    FaultSpec::first_n(FaultAction::Delay(Duration::from_millis(120)), 4)
+                        .scoped(SCOPE_GATEWAY),
+                ),
+            ],
+            Scenario::FlakyNet => vec![
+                (
+                    net_sites::READ_DELAY,
+                    FaultSpec::every(FaultAction::Delay(Duration::from_millis(25)), 7)
+                        .scoped(SCOPE_BACKEND),
+                ),
+                (
+                    net_sites::WRITE_PARTIAL,
+                    FaultSpec::first_n(FaultAction::PartialWrite, 6).scoped(SCOPE_BACKEND),
+                ),
+                (
+                    net_sites::REPLY_BUSY,
+                    FaultSpec::every(FaultAction::Busy, 5).scoped(SCOPE_BACKEND),
+                ),
+            ],
+            // Six fires: each faulted request garbles its owner *and* its
+            // failover attempt, so three requests put both breakers at the
+            // threshold exactly as the fires run out.
+            Scenario::CorruptFrames => vec![(
+                net_sites::WRITE_CORRUPT,
+                FaultSpec::first_n(FaultAction::Corrupt, 6).scoped(SCOPE_BACKEND),
+            )],
+        }
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::parse(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_plan_site_is_scoped() {
+        // An unscoped spec would let gateway-tier traffic consume fires
+        // meant for backends (and vice versa), breaking replayability.
+        for s in Scenario::ALL {
+            for (site, spec) in s.plan() {
+                assert!(spec.scope.is_some(), "{site} in {s} must be scoped");
+            }
+        }
+    }
+}

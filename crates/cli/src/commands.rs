@@ -54,6 +54,15 @@ USAGE:
                                       affinity survives sharding), probes
                                       health, fails BUSY/dead shards over to
                                       the next ring node; stdin 'quit' exits
+  cote chaos --seed N --scenario <reset-storm|slow-backend|flaky-net|corrupt-frames>
+             [--requests N] [--recovery N] [--pace-ms M]
+                                      deterministic fault injection against an
+                                      in-process gateway + 2 backends: replays
+                                      a seeded fault plan, checks invariants
+                                      (no hangs, queues drain, answers match a
+                                      fault-free oracle, breakers cycle) and
+                                      prints a replayable fingerprint;
+                                      nonzero exit on any violation
   cote bench-service --workload W --rps R [--duration S] [--clients N]
                      [--workers N] [--cache N] [--deadline-ms M] [--seed S]
                                       closed-loop service benchmark

@@ -13,12 +13,14 @@
 //! cote metrics <workload> [N]         estimate + global metrics registry dump
 //! cote serve <workload> [--listen ADDR]     estimation daemon (stdin + TCP/HTTP)
 //! cote gateway --backend ADDR [..]    consistent-hash front over serve daemons
+//! cote chaos --seed N --scenario S    deterministic fault-injection harness
 //! cote bench-service --workload W --rps R   closed-loop service benchmark
 //! cote bench-net --workload W --rps R       open-loop benchmark over TCP sockets
 //! cote bench-par [--tables N] [--threads A,B] parallel-enumeration speedup bench
 //! cote bench-all [--json]             phase times, plans/sec, cache hit-rate
 //! ```
 
+mod chaos;
 mod commands;
 mod gateway;
 mod serve;
@@ -39,6 +41,7 @@ fn main() -> ExitCode {
         Some("metrics") => commands::metrics(&args[1..]),
         Some("serve") => serve::serve(&args[1..]),
         Some("gateway") => gateway::run(&args[1..]),
+        Some("chaos") => chaos::run(&args[1..]),
         Some("bench-service") => serve::bench_service(&args[1..]),
         Some("bench-net") => serve::bench_net(&args[1..]),
         Some("bench-par") => commands::bench_par(&args[1..]),

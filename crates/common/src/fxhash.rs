@@ -16,6 +16,14 @@ pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 const ROTATE: u32 = 5;
 
+/// Hash a byte slice in one call (failpoint site names, string keys).
+#[inline]
+pub fn fxhash64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(bytes);
+    h.finish()
+}
+
 /// The FxHash streaming hasher.
 #[derive(Default, Clone)]
 pub struct FxHasher {

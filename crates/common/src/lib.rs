@@ -18,9 +18,12 @@
 //!   workload generators and randomized tests need no external `rand`.
 //! * [`lru`] — a small O(1) LRU cache shared by the statement cache and the
 //!   serving layer's sharded estimate cache.
+//! * [`failpoint`] — deterministic, seed-replayable fault injection for the
+//!   serving tier; compiled to no-ops under the `chaos-off` feature.
 
 pub mod bitset;
 pub mod error;
+pub mod failpoint;
 pub mod fxhash;
 pub mod ids;
 pub mod lru;
@@ -28,6 +31,7 @@ pub mod rng;
 
 pub use bitset::TableSet;
 pub use error::{CoteError, Result};
+pub use failpoint::{FaultAction, FaultSpec, FireMode};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{ColRef, ColumnId, IndexId, TableId, TableRef};
 pub use lru::LruCache;

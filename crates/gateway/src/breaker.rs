@@ -1,0 +1,194 @@
+//! Per-backend circuit breaker.
+//!
+//! The prober and the breaker answer different questions. The prober asks
+//! "is the process alive?" on its own cadence; the breaker asks "are
+//! *requests* through this backend failing right now?" and is driven
+//! entirely by request outcomes, so it reacts within the failing requests
+//! themselves rather than a probe interval later — and so its transitions
+//! are a deterministic function of the request sequence, which is what
+//! lets the chaos harness assert on them.
+//!
+//! ```text
+//!            N consecutive transport failures
+//!   Closed ──────────────────────────────────▶ Open
+//!     ▲                                          │ cooldown elapsed;
+//!     │ trial succeeds                           │ next allow() is the
+//!     └───────────────── HalfOpen ◀──────────────┘ single trial request
+//!                           │
+//!                           └── trial fails ──▶ Open (cooldown restarts)
+//! ```
+//!
+//! Only *transport* failures (connect refused, reset, deadline expiry)
+//! count toward opening: a `BUSY` answer is a healthy transport carrying an
+//! overloaded service, and tripping on it would amplify overload into
+//! unavailability. While Open, [`CircuitBreaker::allow`] refuses instantly
+//! — the gateway fails over without paying a connect timeout to a backend
+//! it already knows is dead.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Where the breaker is in its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Normal operation; requests flow.
+    Closed,
+    /// Tripped: requests are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one trial request is in flight; everyone
+    /// else is still refused.
+    HalfOpen,
+}
+
+/// A state change produced by [`CircuitBreaker::allow`] /
+/// `record_success` / `record_failure`, for the caller's metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// Closed → Open (consecutive-failure threshold reached).
+    Opened,
+    /// HalfOpen → Open (the trial failed; cooldown restarts).
+    Reopened,
+    /// Open → HalfOpen (cooldown elapsed; the caller owns the trial).
+    HalfOpened,
+    /// Open/HalfOpen → Closed (a request — the trial, typically —
+    /// succeeded).
+    Closed,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+}
+
+/// One backend's breaker. All methods are cheap (one small mutex) and
+/// request-driven; nothing ticks in the background.
+pub struct CircuitBreaker {
+    inner: Mutex<Inner>,
+    threshold: u32,
+    cooldown: Duration,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive transport
+    /// failures and probes again after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Instant::now(),
+            }),
+            threshold: threshold.max(1),
+            cooldown,
+        }
+    }
+
+    /// Current state (for gauges and tests).
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().unwrap().state
+    }
+
+    /// May a request go to this backend now? While Open, refuses until the
+    /// cooldown elapses; the first `allow` after that becomes the HalfOpen
+    /// trial (and must report back via `record_success`/`record_failure`).
+    pub fn allow(&self) -> (bool, Transition) {
+        let mut g = self.inner.lock().unwrap();
+        match g.state {
+            BreakerState::Closed => (true, Transition::None),
+            BreakerState::HalfOpen => (false, Transition::None), // trial in flight
+            BreakerState::Open => {
+                if g.opened_at.elapsed() >= self.cooldown {
+                    g.state = BreakerState::HalfOpen;
+                    (true, Transition::HalfOpened)
+                } else {
+                    (false, Transition::None)
+                }
+            }
+        }
+    }
+
+    /// A request to this backend completed over a healthy transport
+    /// (including `BUSY` answers).
+    pub fn record_success(&self) -> Transition {
+        let mut g = self.inner.lock().unwrap();
+        g.consecutive_failures = 0;
+        match g.state {
+            BreakerState::Closed => Transition::None,
+            BreakerState::Open | BreakerState::HalfOpen => {
+                g.state = BreakerState::Closed;
+                Transition::Closed
+            }
+        }
+    }
+
+    /// A request to this backend failed at the transport.
+    pub fn record_failure(&self) -> Transition {
+        let mut g = self.inner.lock().unwrap();
+        g.consecutive_failures = g.consecutive_failures.saturating_add(1);
+        match g.state {
+            BreakerState::Closed if g.consecutive_failures >= self.threshold => {
+                g.state = BreakerState::Open;
+                g.opened_at = Instant::now();
+                Transition::Opened
+            }
+            BreakerState::HalfOpen => {
+                g.state = BreakerState::Open;
+                g.opened_at = Instant::now();
+                Transition::Reopened
+            }
+            _ => Transition::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_millis(50));
+        assert_eq!(b.record_failure(), Transition::None);
+        assert_eq!(b.record_failure(), Transition::None);
+        assert_eq!(b.record_failure(), Transition::Opened);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.allow(), (false, Transition::None));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let b = CircuitBreaker::new(2, Duration::from_millis(50));
+        b.record_failure();
+        b.record_success();
+        assert_eq!(b.record_failure(), Transition::None, "count restarted");
+        assert_eq!(b.record_failure(), Transition::Opened);
+    }
+
+    #[test]
+    fn half_open_trial_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        assert_eq!(b.record_failure(), Transition::Opened);
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.allow(), (true, Transition::HalfOpened));
+        // Everyone but the trial is still refused.
+        assert_eq!(b.allow(), (false, Transition::None));
+        assert_eq!(b.record_success(), Transition::Closed);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.allow(), (true, Transition::None));
+    }
+
+    #[test]
+    fn half_open_trial_failure_reopens_and_restarts_cooldown() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(20));
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.allow(), (true, Transition::HalfOpened));
+        assert_eq!(b.record_failure(), Transition::Reopened);
+        assert_eq!(b.allow(), (false, Transition::None), "cooldown restarted");
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.allow(), (true, Transition::HalfOpened));
+    }
+}

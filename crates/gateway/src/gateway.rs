@@ -22,8 +22,11 @@
 //! registry is per-process. Per-shard metrics come from asking a backend
 //! directly.
 
+use crate::breaker::{BreakerState, CircuitBreaker, Transition};
 use crate::metrics::GatewayMetrics;
 use crate::ring::{fingerprint, HashRing, DEFAULT_VNODES};
+use cote_common::failpoint::{self, FaultAction};
+use cote_common::Xoshiro256pp;
 use cote_net::{
     http_body_to_wire, wire_to_http, HttpRequest, NetClient, NetClientConfig, WireHandler,
     WireRequest, WireResponse,
@@ -35,6 +38,49 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Failpoint: stall the gateway's forward path before an exchange
+/// (`FaultAction::Delay`) — models a slow backend as seen from the
+/// gateway; the retry budget must bound the caller's wait.
+pub const CHAOS_FORWARD_STALL: &str = "gw.forward.stall";
+/// Failpoint: force a health probe to report failure — models a flapping
+/// prober; the up-mask (not the breaker) reacts.
+pub const CHAOS_PROBE_FAIL: &str = "gw.probe.fail";
+
+/// Failover retry shape: how many attempts a request may spend, how long
+/// the backoffs between them grow, and the wall-clock budget that bounds
+/// the whole dance.
+///
+/// The backoff before attempt `k` (k ≥ 2) is
+/// `min(base · 2^(k-2), max) · (1 ± jitter)`, and a retry is only taken
+/// while `elapsed + backoff ≤ budget` — so a request's worst case is
+/// bounded by `budget` plus one exchange, never by the number of backends.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Forward attempts per request (first try included).
+    pub max_attempts: usize,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Jitter fraction applied to each backoff (0.25 = ±25%), drawn from
+    /// the gateway's seeded RNG so chaos runs replay identically.
+    pub jitter: f64,
+    /// Per-request wall-clock budget across all attempts and backoffs.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+            jitter: 0.25,
+            budget: Duration::from_secs(1),
+        }
+    }
+}
+
 /// Gateway knobs.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
@@ -44,13 +90,25 @@ pub struct GatewayConfig {
     pub backends: Vec<SocketAddr>,
     /// Ring points per backend.
     pub vnodes: usize,
-    /// Health-probe cadence.
+    /// Health-probe cadence (each sweep's sleep is jittered by
+    /// `probe_jitter` so a fleet of gateways doesn't probe in lockstep).
     pub probe_interval: Duration,
+    /// Probe-interval jitter fraction (0.25 = ±25%).
+    pub probe_jitter: f64,
     /// Transport settings for backend connections (connect timeout also
     /// bounds how long a request can stall on a just-died backend).
     pub client: NetClientConfig,
     /// Idle pooled connections kept per backend.
     pub pool_per_backend: usize,
+    /// Failover retry/backoff/budget shape.
+    pub retry: RetryPolicy,
+    /// Consecutive transport failures that open a backend's breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses before half-opening a trial.
+    pub breaker_cooldown: Duration,
+    /// Seed for the gateway's jitter RNG (backoff and probe spreading);
+    /// fixed so a chaos run replays byte-for-byte.
+    pub seed: u64,
 }
 
 impl Default for GatewayConfig {
@@ -59,6 +117,7 @@ impl Default for GatewayConfig {
             backends: Vec::new(),
             vnodes: DEFAULT_VNODES,
             probe_interval: Duration::from_millis(500),
+            probe_jitter: 0.25,
             // A gateway must fail over fast; the library default 2s
             // connect timeout is client-side patience, not a router's.
             client: NetClientConfig {
@@ -66,6 +125,10 @@ impl Default for GatewayConfig {
                 ..NetClientConfig::default()
             },
             pool_per_backend: 16,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            seed: 0xC07E_C07E,
         }
     }
 }
@@ -81,6 +144,10 @@ struct Backend {
 pub struct GatewayCore {
     ring: HashRing,
     backends: Vec<Backend>,
+    breakers: Vec<CircuitBreaker>,
+    /// Jitter source for retry backoff (probe jitter draws from its own
+    /// stream on the prober thread).
+    backoff_rng: Mutex<Xoshiro256pp>,
     cfg: GatewayConfig,
     registry: Registry,
     metrics: GatewayMetrics,
@@ -103,14 +170,61 @@ impl GatewayCore {
                 pool: Mutex::new(Vec::new()),
             })
             .collect();
+        let breakers = backends
+            .iter()
+            .map(|_| CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown))
+            .collect();
         metrics.backends_up.set(backends.len() as i64);
         Self {
             ring: HashRing::new(addrs, cfg.vnodes),
             backends,
+            breakers,
+            backoff_rng: Mutex::new(Xoshiro256pp::new(cfg.seed)),
             cfg,
             registry,
             metrics,
         }
+    }
+
+    /// Fold a breaker transition into the transition counters and the
+    /// open-breakers gauge.
+    fn note_transition(&self, t: Transition) {
+        match t {
+            Transition::None => {}
+            Transition::Opened => {
+                self.metrics.breaker_opened.inc();
+                self.metrics.breakers_open.add(1);
+            }
+            Transition::Reopened => self.metrics.breaker_opened.inc(),
+            Transition::HalfOpened => self.metrics.breaker_half_open.inc(),
+            Transition::Closed => {
+                self.metrics.breaker_closed.inc();
+                self.metrics.breakers_open.add(-1);
+            }
+        }
+    }
+
+    /// Breaker state for backend `idx` (tests and the chaos harness).
+    pub fn breaker_state(&self, idx: usize) -> BreakerState {
+        self.breakers[idx].state()
+    }
+
+    /// Jittered exponential backoff before forward attempt `attempt`
+    /// (1-based; attempt 1 pays none).
+    fn backoff_delay(&self, attempt: usize) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let pow = (attempt - 2).min(16) as u32;
+        let base = self
+            .cfg
+            .retry
+            .base_backoff
+            .saturating_mul(1u32 << pow)
+            .min(self.cfg.retry.max_backoff);
+        let jitter = self.cfg.retry.jitter.clamp(0.0, 1.0);
+        let factor = 1.0 + jitter * (2.0 * self.backoff_rng.lock().unwrap().unit_f64() - 1.0);
+        Duration::from_secs_f64((base.as_secs_f64() * factor).max(0.0))
     }
 
     /// The gateway's own registry (front-ends register their transport
@@ -203,6 +317,10 @@ impl GatewayCore {
                     return Ok(resp);
                 }
                 Err(_) if !fresh => {
+                    // The pooled socket was stale (backend restarted or
+                    // idle-closed it): exactly one retry on a fresh
+                    // connection before this counts as a real failure.
+                    self.metrics.stale_retries.inc();
                     fresh = true;
                     conn = NetClient::connect_with(self.backends[idx].addr, &self.cfg.client)
                         .map_err(|_| ())?;
@@ -213,24 +331,59 @@ impl GatewayCore {
     }
 
     /// Route by key and forward, failing over through the ring's candidate
-    /// order on `BUSY` or transport failure.
+    /// order on `BUSY` or transport failure. Failover is disciplined three
+    /// ways: an open circuit breaker skips a backend without paying a
+    /// connect timeout, retries after the first attempt back off
+    /// exponentially with seeded jitter, and the whole dance stops when the
+    /// per-request budget would be exceeded — a request's wait is bounded
+    /// by the budget, not by how many backends are down.
     fn forward(&self, key: &str, line: &str) -> WireResponse {
         self.metrics.requests.inc();
+        let t_start = Instant::now();
         let hash = fingerprint(key);
         let order = self.ring.candidates(hash, &self.up_mask());
         let mut last_busy: Option<String> = None;
-        for (attempt, &idx) in order.iter().enumerate() {
-            if attempt > 0 {
+        let mut attempt = 0usize;
+        for &idx in order.iter() {
+            if attempt >= self.cfg.retry.max_attempts {
+                break;
+            }
+            // An open breaker refuses instantly; skipping costs nothing,
+            // so it doesn't consume an attempt.
+            let (allowed, tr) = self.breakers[idx].allow();
+            self.note_transition(tr);
+            if !allowed {
+                continue;
+            }
+            attempt += 1;
+            if attempt > 1 {
                 self.metrics.failovers.inc();
+                let delay = self.backoff_delay(attempt);
+                if t_start.elapsed() + delay > self.cfg.retry.budget {
+                    self.metrics.retry_budget_exhausted.inc();
+                    last_busy = Some("retry budget".into());
+                    break;
+                }
+                std::thread::sleep(delay);
+            }
+            if let Some(FaultAction::Delay(d)) = failpoint::hit(CHAOS_FORWARD_STALL) {
+                std::thread::sleep(d);
             }
             match self.exchange(idx, line) {
                 Ok(WireResponse::Busy(reason)) => {
+                    // A BUSY rides a healthy transport: the breaker sees
+                    // success, the failover walks on.
+                    self.note_transition(self.breakers[idx].record_success());
                     last_busy = Some(reason);
                     continue;
                 }
-                Ok(resp) => return resp,
+                Ok(resp) => {
+                    self.note_transition(self.breakers[idx].record_success());
+                    return resp;
+                }
                 Err(()) => {
                     self.metrics.upstream_errors.inc();
+                    self.note_transition(self.breakers[idx].record_failure());
                     self.set_up(idx, false);
                     continue;
                 }
@@ -252,13 +405,43 @@ impl GatewayCore {
         }
     }
 
+    /// Give every non-Closed breaker a chance to recover *now*: cooldown
+    /// permitting, send one `PING` trial and let the breaker judge the
+    /// transport. Traffic performs this trial organically, but a backend
+    /// that owns no hot keys sees requests only as a failover target — if
+    /// its breaker opened, nothing would ever half-open it again. The
+    /// prober calls this each sweep; returns how many breakers are still
+    /// not Closed.
+    pub fn heal_breakers(&self) -> usize {
+        let mut open = 0;
+        for (idx, breaker) in self.breakers.iter().enumerate() {
+            if breaker.state() != BreakerState::Closed {
+                let (allowed, tr) = breaker.allow();
+                self.note_transition(tr);
+                if allowed {
+                    let tr = match self.exchange(idx, "PING") {
+                        Ok(_) => breaker.record_success(),
+                        Err(()) => breaker.record_failure(),
+                    };
+                    self.note_transition(tr);
+                }
+            }
+            if breaker.state() != BreakerState::Closed {
+                open += 1;
+            }
+        }
+        open
+    }
+
     /// Probe one backend (connect + `PING`), updating its up mark.
     fn probe(&self, idx: usize) {
+        let injected_down = failpoint::hit(CHAOS_PROBE_FAIL).is_some();
         let mut cfg = self.cfg.client.clone();
         cfg.read_timeout = Duration::from_secs(2);
-        let ok = NetClient::connect_with(self.backends[idx].addr, &cfg)
-            .and_then(|mut c| c.ping())
-            .is_ok();
+        let ok = !injected_down
+            && NetClient::connect_with(self.backends[idx].addr, &cfg)
+                .and_then(|mut c| c.ping())
+                .is_ok();
         if !ok {
             self.metrics.probe_failures.inc();
         }
@@ -325,9 +508,18 @@ impl Gateway {
         let prober = {
             let core = Arc::clone(&core);
             let stop = Arc::clone(&stop);
+            let scope = failpoint::thread_scope();
             std::thread::Builder::new()
                 .name("cote-gw-probe".into())
                 .spawn(move || {
+                    failpoint::set_thread_scope(&scope);
+                    // Probe-interval jitter draws from its own seeded
+                    // stream (offset so it can't replay the backoff RNG's
+                    // sequence). A fixed interval synchronizes probes
+                    // across a fleet of gateways — every backend then sees
+                    // a coordinated PING burst each cycle.
+                    let mut rng = Xoshiro256pp::new(core.cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+                    let jitter = core.cfg.probe_jitter.clamp(0.0, 1.0);
                     // First sweep immediately: optimistic marks get
                     // corrected before real traffic piles up.
                     loop {
@@ -337,7 +529,10 @@ impl Gateway {
                             }
                             core.probe(idx);
                         }
-                        let interval = core.cfg.probe_interval;
+                        core.heal_breakers();
+                        let base = core.cfg.probe_interval;
+                        let factor = 1.0 + jitter * (2.0 * rng.unit_f64() - 1.0);
+                        let interval = Duration::from_secs_f64(base.as_secs_f64() * factor);
                         let t0 = Instant::now();
                         while t0.elapsed() < interval {
                             if stop.load(Ordering::Acquire) {

@@ -34,10 +34,14 @@
 //! deterministic ring order — no coordination, no consensus, nothing to
 //! operate besides the processes themselves.
 
+pub mod breaker;
 pub mod gateway;
 pub mod metrics;
 pub mod ring;
 
-pub use gateway::{Gateway, GatewayConfig, GatewayCore};
+pub use breaker::{BreakerState, CircuitBreaker, Transition};
+pub use gateway::{
+    Gateway, GatewayConfig, GatewayCore, RetryPolicy, CHAOS_FORWARD_STALL, CHAOS_PROBE_FAIL,
+};
 pub use metrics::GatewayMetrics;
 pub use ring::{fingerprint, HashRing, DEFAULT_VNODES};

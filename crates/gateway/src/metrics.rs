@@ -30,6 +30,20 @@ pub struct GatewayMetrics {
     pub probe_failures: Arc<Counter>,
     /// Pooled backend connections currently idle.
     pub pooled_conns: Arc<Gauge>,
+    /// Stale pooled connections retried on a fresh socket (the backend
+    /// restarted or idle-closed between two pooled requests).
+    pub stale_retries: Arc<Counter>,
+    /// Circuit-breaker open transitions (Closed→Open and HalfOpen→Open).
+    pub breaker_opened: Arc<Counter>,
+    /// Circuit-breaker half-open transitions (cooldown elapsed, trial
+    /// request dispatched).
+    pub breaker_half_open: Arc<Counter>,
+    /// Circuit-breaker close transitions (trial succeeded).
+    pub breaker_closed: Arc<Counter>,
+    /// Breakers currently not Closed (Open or HalfOpen).
+    pub breakers_open: Arc<Gauge>,
+    /// Requests whose retry budget ran out before the candidate list did.
+    pub retry_budget_exhausted: Arc<Counter>,
     /// Forward latency: request handed to a backend → response parsed.
     pub forward_latency: Arc<LogHistogram>,
 }
@@ -69,6 +83,30 @@ impl GatewayMetrics {
             pooled_conns: registry.gauge_with_help(
                 "cote_gateway_pooled_connections",
                 "Idle pooled backend connections.",
+            ),
+            stale_retries: registry.counter_with_help(
+                "cote_gateway_stale_retries_total",
+                "Stale pooled connections retried on a fresh socket.",
+            ),
+            breaker_opened: registry.counter_with_help(
+                "cote_gateway_breaker_opened_total",
+                "Circuit breaker open transitions (threshold trip or failed trial).",
+            ),
+            breaker_half_open: registry.counter_with_help(
+                "cote_gateway_breaker_half_open_total",
+                "Circuit breaker half-open transitions (cooldown elapsed, trial sent).",
+            ),
+            breaker_closed: registry.counter_with_help(
+                "cote_gateway_breaker_closed_total",
+                "Circuit breaker close transitions (trial succeeded).",
+            ),
+            breakers_open: registry.gauge_with_help(
+                "cote_gateway_breakers_open",
+                "Backends whose circuit breaker is currently open or half-open.",
+            ),
+            retry_budget_exhausted: registry.counter_with_help(
+                "cote_gateway_retry_budget_exhausted_total",
+                "Requests whose retry budget expired before the candidate list did.",
             ),
             forward_latency: registry.histogram_with_help(
                 "cote_gateway_forward_latency_seconds",

@@ -65,8 +65,13 @@ pub struct NetBenchReport {
     pub cached: u64,
     /// `BUSY` responses (admission shed, connection shed, drain).
     pub busy: u64,
-    /// `ERR` responses plus transport failures.
+    /// `ERR` responses plus transport failures (deadline expiries counted
+    /// separately in `timeouts`).
     pub errors: u64,
+    /// Per-operation deadline expiries ([`NetError::Timeout`]): the server
+    /// was too slow, not broken — reported apart from `errors` so a
+    /// latency problem doesn't read as a correctness one.
+    pub timeouts: u64,
     /// Requests issued at or behind schedule.
     pub late_starts: u64,
     /// Concurrent client threads (FD budget).
@@ -113,6 +118,7 @@ impl NetBenchReport {
              ok                  {:>10}  ({} cached)\n\
              busy                {:>10}  (shed rate {:.2}%)\n\
              errors              {:>10}\n\
+             timeouts            {:>10}\n\
              late starts         {:>10}\n\
              ok rtt       p50 {:>9}  p95 {:>9}  p99 {:>9}  mean {:>9}  (n={})\n",
             self.clients,
@@ -126,6 +132,7 @@ impl NetBenchReport {
             self.busy,
             self.shed_rate() * 100.0,
             self.errors,
+            self.timeouts,
             self.late_starts,
             fmt_duration(p50),
             fmt_duration(p95),
@@ -143,7 +150,7 @@ impl NetBenchReport {
             "{{\"clients\":{},\"connections_opened\":{},\"offered_rps\":{:.1},\
              \"throughput_rps\":{:.1},\"wall_seconds\":{:.3},\"submitted\":{},\
              \"ok\":{},\"cached\":{},\"busy\":{},\"shed_rate\":{:.4},\
-             \"errors\":{},\"late_starts\":{},\"ok_rtt_p50_us\":{},\
+             \"errors\":{},\"timeouts\":{},\"late_starts\":{},\"ok_rtt_p50_us\":{},\
              \"ok_rtt_p95_us\":{},\"ok_rtt_p99_us\":{},\"ok_rtt_mean_us\":{}}}",
             self.clients,
             self.conns_opened,
@@ -156,6 +163,7 @@ impl NetBenchReport {
             self.busy,
             self.shed_rate(),
             self.errors,
+            self.timeouts,
             self.late_starts,
             p50.as_micros(),
             p95.as_micros(),
@@ -186,6 +194,7 @@ pub fn bench_net(
     let cached = AtomicU64::new(0);
     let busy = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
+    let timeouts = AtomicU64::new(0);
     let late = AtomicU64::new(0);
     let submitted = AtomicU64::new(0);
     let conns_opened = AtomicU64::new(0);
@@ -194,11 +203,12 @@ pub fn bench_net(
     let start = Instant::now();
     std::thread::scope(|scope| {
         for c in 0..clients {
-            let (ok, cached, busy, errors, late, submitted, conns_opened, latency) = (
+            let (ok, cached, busy, errors, timeouts, late, submitted, conns_opened, latency) = (
                 &ok,
                 &cached,
                 &busy,
                 &errors,
+                &timeouts,
                 &late,
                 &submitted,
                 &conns_opened,
@@ -251,8 +261,12 @@ pub fn bench_net(
                         Ok(WireResponse::Err(_)) => {
                             errors.fetch_add(1, Ordering::Relaxed);
                         }
-                        Err(_) => {
-                            errors.fetch_add(1, Ordering::Relaxed);
+                        Err(e) => {
+                            if e.is_timeout() {
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
                             conn = None; // reconnect on the next arrival
                         }
                     }
@@ -273,6 +287,7 @@ pub fn bench_net(
         cached: cached.into_inner(),
         busy: busy.into_inner(),
         errors: errors.into_inner(),
+        timeouts: timeouts.into_inner(),
         late_starts: late.into_inner(),
         clients,
         conns_opened: conns_opened.into_inner(),

@@ -16,16 +16,47 @@ use std::time::Duration;
 pub enum NetError {
     /// Connect/read/write failed.
     Io(std::io::Error),
+    /// A configured per-operation deadline expired (connect timeout or a
+    /// socket read/write timeout). Distinct from [`NetError::Io`] so
+    /// callers — gateway failover, the bench — can count deadline expiries
+    /// separately from transport faults.
+    Timeout {
+        /// Which operation hit its deadline: `"connect"`, `"read"` or
+        /// `"write"`.
+        op: &'static str,
+    },
     /// The server broke framing (oversize, truncated, invalid UTF-8).
     Frame(FrameError),
     /// The response line did not parse, or the stream ended mid-exchange.
     Protocol(String),
 }
 
+impl NetError {
+    /// Classify an io error from operation `op`: deadline expiries
+    /// (`WouldBlock` from a socket timeout, `TimedOut` from a connect
+    /// timeout) become [`NetError::Timeout`], everything else stays
+    /// [`NetError::Io`].
+    fn from_io(op: &'static str, e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                NetError::Timeout { op }
+            }
+            _ => NetError::Io(e),
+        }
+    }
+
+    /// True when this failure was a deadline expiry rather than a
+    /// transport fault.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, NetError::Timeout { .. })
+    }
+}
+
 impl std::fmt::Display for NetError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "io: {e}"),
+            NetError::Timeout { op } => write!(f, "timeout: {op} deadline expired"),
             NetError::Frame(e) => write!(f, "framing: {e}"),
             NetError::Protocol(m) => write!(f, "protocol: {m}"),
         }
@@ -84,7 +115,8 @@ impl NetClient {
 
     /// Connect with explicit timeouts/caps.
     pub fn connect_with(addr: SocketAddr, cfg: &NetClientConfig) -> Result<Self, NetError> {
-        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)
+            .map_err(|e| NetError::from_io("connect", e))?;
         stream.set_read_timeout(Some(cfg.read_timeout))?;
         stream.set_write_timeout(Some(cfg.write_timeout))?;
         stream.set_nodelay(true)?;
@@ -102,15 +134,23 @@ impl NetClient {
 
     /// Write one raw line (for protocol tests); `\n` is appended.
     pub fn send_raw(&mut self, line: &str) -> Result<(), NetError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        let write = |e| NetError::from_io("write", e);
+        self.writer.write_all(line.as_bytes()).map_err(write)?;
+        self.writer.write_all(b"\n").map_err(write)?;
+        self.writer.flush().map_err(write)?;
         Ok(())
     }
 
     /// Read one response frame.
     pub fn recv(&mut self) -> Result<WireResponse, NetError> {
-        match self.reader.read_line()? {
+        let line = self.reader.read_line().map_err(|e| {
+            if e.is_timeout() {
+                NetError::Timeout { op: "read" }
+            } else {
+                NetError::Frame(e)
+            }
+        })?;
+        match line {
             Some(line) => WireResponse::parse(&line).map_err(NetError::Protocol),
             None => Err(NetError::Protocol("connection closed".into())),
         }

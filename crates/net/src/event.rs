@@ -36,6 +36,7 @@
 //!
 //! [`NetServer`]: crate::NetServer
 
+use crate::chaos;
 use crate::frame::{FrameBuffer, FrameError};
 use crate::handler::{ServiceHandler, WireHandler};
 use crate::http::{self, HttpError, HttpRequest};
@@ -43,6 +44,7 @@ use crate::metrics::{NetMetrics, PollMetrics};
 use crate::poll::{new_poller, Interest, PollEvent, Poller};
 use crate::proto::WireResponse;
 use crate::server::{wake_addr, DrainReport, NetConfig};
+use cote_common::failpoint::{self, FaultAction};
 use cote_obs::Registry;
 use cote_query::Query;
 use cote_service::CoteService;
@@ -199,22 +201,33 @@ impl EventServer {
             forced: AtomicUsize::new(0),
             loops: loop_shared,
         });
+        // Failpoint scope: loop threads inherit the constructing thread's
+        // label so scoped faults can single out this server's tier.
+        let scope = failpoint::thread_scope();
         let loop_threads = wake_rx
             .into_iter()
             .enumerate()
             .map(|(i, rx)| {
                 let shared = Arc::clone(&shared);
+                let scope = scope.clone();
                 std::thread::Builder::new()
                     .name(format!("cote-evloop-{i}"))
-                    .spawn(move || EventLoop::new(shared, i, rx).run())
+                    .spawn(move || {
+                        failpoint::set_thread_scope(&scope);
+                        EventLoop::new(shared, i, rx).run()
+                    })
                     .expect("spawn event loop")
             })
             .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
+            let scope = scope.clone();
             std::thread::Builder::new()
                 .name("cote-ev-accept".into())
-                .spawn(move || accept_loop(&shared, &listener))
+                .spawn(move || {
+                    failpoint::set_thread_scope(&scope);
+                    accept_loop(&shared, &listener)
+                })
                 .expect("spawn event acceptor")
         };
         Ok(EventServer {
@@ -318,6 +331,9 @@ fn accept_loop(shared: &EvShared, listener: &TcpListener) {
             Err(_) => continue,
         };
         shared.net.conns.inc();
+        if failpoint::hit(chaos::ACCEPT_RESET).is_some() {
+            continue; // injected accept-time reset: drop without a byte
+        }
         let _ = stream.set_nodelay(true);
         if shared.open.load(Ordering::Acquire) >= shared.cfg.max_conns {
             // Still blocking here, so the shed line can be written directly.
@@ -366,6 +382,9 @@ struct Conn {
     /// The peer half-closed; stop reading, finish writing.
     read_closed: bool,
     drain_notified: bool,
+    /// Injected partial write pending: the next flush delivers exactly one
+    /// byte and leaves the rest for a later round.
+    partial_once: bool,
     backpressured: bool,
     interest: Interest,
     last_activity: Instant,
@@ -491,6 +510,7 @@ impl EventLoop {
                     close_after_flush: false,
                     read_closed: false,
                     drain_notified: false,
+                    partial_once: false,
                     backpressured: false,
                     interest: Interest::Read,
                     last_activity: Instant::now(),
@@ -732,6 +752,10 @@ fn process_frames(shared: &EvShared, conn: &mut Conn) -> Drive {
         if line.is_empty() {
             continue; // tolerate blank lines between frames
         }
+        let probe = chaos::exempt(&line);
+        if !probe && chaos::read_faults() {
+            return Drive::Close; // injected mid-exchange reset
+        }
         if shared.draining.load(Ordering::Acquire) {
             shared.net.busy_responses.inc();
             let msg = WireResponse::Busy("draining".into()).render();
@@ -764,11 +788,15 @@ fn process_frames(shared: &EvShared, conn: &mut Conn) -> Drive {
         // One wire request.
         shared.net.requests.inc();
         let t0 = Instant::now();
-        let resp = shared.handler.handle_wire(&line);
+        let resp = if !probe && failpoint::hit(chaos::REPLY_BUSY).is_some() {
+            WireResponse::Busy("injected".into())
+        } else {
+            shared.handler.handle_wire(&line)
+        };
         if matches!(resp, WireResponse::Busy(_)) {
             shared.net.busy_responses.inc();
         }
-        conn.wbuf.extend_from_slice(resp.render().as_bytes());
+        queue_response(conn, resp.render().into_bytes(), !probe);
         shared.net.request_latency.record(t0.elapsed());
     }
 }
@@ -836,11 +864,41 @@ fn drive_http(shared: &EvShared, conn: &mut Conn) -> HttpDrive {
             body,
         };
         let response = shared.handler.handle_http(&req);
-        conn.wbuf.extend_from_slice(response.as_bytes());
+        queue_response(conn, response.into_bytes(), true);
         conn.close_after_flush = true; // Connection: close semantics
         shared.net.request_latency.record(http.t0.elapsed());
         return HttpDrive::Done;
     }
+}
+
+/// Queue a response, applying any configured write-path faults (unless
+/// `faults` is false — health-check replies are exempt, see
+/// [`chaos::exempt`]). The event-mode semantics mirror the blocking path's
+/// `write_out`: corrupt garbles bytes (framing kept), delay stalls the loop
+/// (a slow-writer model), reset queues a truncated prefix and closes after
+/// flush, and partial makes the next flush deliver exactly one byte so the
+/// peer must resume a split frame across loop rounds.
+fn queue_response(conn: &mut Conn, mut bytes: Vec<u8>, faults: bool) {
+    if !faults {
+        conn.wbuf.extend_from_slice(&bytes);
+        return;
+    }
+    if failpoint::hit(chaos::WRITE_CORRUPT).is_some() {
+        chaos::corrupt_bytes(&mut bytes);
+    }
+    if let Some(FaultAction::Delay(d)) = failpoint::hit(chaos::WRITE_DELAY) {
+        std::thread::sleep(d);
+    }
+    if failpoint::hit(chaos::WRITE_RESET).is_some() {
+        bytes.truncate(bytes.len() / 2);
+        conn.wbuf.extend_from_slice(&bytes);
+        conn.close_after_flush = true;
+        return;
+    }
+    if failpoint::hit(chaos::WRITE_PARTIAL).is_some() && bytes.len() > 1 {
+        conn.partial_once = true;
+    }
+    conn.wbuf.extend_from_slice(&bytes);
 }
 
 /// Queue the HTTP error response matching the blocking path's status
@@ -859,6 +917,16 @@ fn queue_http_error(conn: &mut Conn, e: &HttpError) {
 
 /// Flush as much of the write buffer as the socket accepts.
 fn flush(shared: &EvShared, conn: &mut Conn) -> Drive {
+    if conn.partial_once && conn.pending_write() > 1 {
+        // Injected partial write: one byte now, the rest on a later round
+        // (flush_pending retries at TICK granularity).
+        conn.partial_once = false;
+        if let Ok(n) = conn.stream.write(&conn.wbuf[conn.wpos..conn.wpos + 1]) {
+            conn.wpos += n;
+            shared.net.bytes_out.add(n as u64);
+        }
+        return Drive::Keep;
+    }
     while conn.wpos < conn.wbuf.len() {
         match conn.stream.write(&conn.wbuf[conn.wpos..]) {
             Ok(0) => return Drive::Close,

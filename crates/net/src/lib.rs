@@ -29,6 +29,7 @@
 //!   `cote_workloads::traffic` schedules.
 
 pub mod bench;
+pub mod chaos;
 pub mod client;
 pub mod event;
 pub mod frame;

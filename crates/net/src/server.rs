@@ -30,11 +30,13 @@
 //! [`AdmissionController`]: cote_service::AdmissionController
 //! [`CoteService`]: cote_service::CoteService
 
+use crate::chaos;
 use crate::frame::{FrameError, LineReader, MAX_LINE_BYTES};
 use crate::handler::{ServiceHandler, WireHandler};
 use crate::http::{self, HttpError};
 use crate::metrics::NetMetrics;
 use crate::proto::WireResponse;
+use cote_common::failpoint::{self, FaultAction};
 use cote_obs::{phase, Registry, Span};
 use cote_query::Query;
 use cote_service::{BoundedQueue, CoteService};
@@ -169,12 +171,17 @@ impl NetServer {
             conns: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
         });
+        // Failpoint scope: worker threads inherit the constructing thread's
+        // label so scoped faults can single out this server's tier.
+        let scope = failpoint::thread_scope();
         let handler_threads = (0..handlers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let scope = scope.clone();
                 std::thread::Builder::new()
                     .name(format!("cote-net-{i}"))
                     .spawn(move || {
+                        failpoint::set_thread_scope(&scope);
                         while let Some(stream) = shared.pending.pop() {
                             handle_conn(&shared, stream);
                         }
@@ -184,9 +191,13 @@ impl NetServer {
             .collect();
         let acceptor = {
             let shared = Arc::clone(&shared);
+            let scope = scope.clone();
             std::thread::Builder::new()
                 .name("cote-net-accept".into())
-                .spawn(move || accept_loop(&shared, &listener))
+                .spawn(move || {
+                    failpoint::set_thread_scope(&scope);
+                    accept_loop(&shared, &listener)
+                })
                 .expect("spawn net acceptor")
         };
         Ok(NetServer {
@@ -297,6 +308,9 @@ fn accept_loop(shared: &Shared, listener: &TcpListener) {
             Err(_) => continue,
         };
         shared.metrics.conns.inc();
+        if failpoint::hit(chaos::ACCEPT_RESET).is_some() {
+            continue; // injected accept-time reset: drop without a byte
+        }
         let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
         let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
         let _ = stream.set_nodelay(true);
@@ -378,6 +392,10 @@ fn conn_loop(shared: &Shared, reader: &mut LineReader<&TcpStream>, writer: &mut 
         if line.is_empty() {
             continue; // tolerate blank lines between frames
         }
+        let probe = chaos::exempt(&line);
+        if !probe && chaos::read_faults() {
+            return served; // injected mid-exchange reset: close unanswered
+        }
         served += 1;
         let mut span = Span::enter(phase::NET_REQUEST);
         let t0 = Instant::now();
@@ -392,19 +410,66 @@ fn conn_loop(shared: &Shared, reader: &mut LineReader<&TcpStream>, writer: &mut 
         }
         span.record("http", 0);
         shared.metrics.requests.inc();
-        let response = shared.handler.handle_wire(&line);
+        let response = if !probe && failpoint::hit(chaos::REPLY_BUSY).is_some() {
+            WireResponse::Busy("injected".into())
+        } else {
+            shared.handler.handle_wire(&line)
+        };
         if matches!(response, WireResponse::Busy(_)) {
             shared.metrics.busy_responses.inc();
         }
-        write_out(shared, writer, &response.render());
+        if probe {
+            write_plain(shared, writer, &response.render());
+        } else {
+            write_out(shared, writer, &response.render());
+        }
         shared.metrics.request_latency.record(t0.elapsed());
         span.close();
     }
 }
 
 fn write_out(shared: &Shared, writer: &mut TcpStream, payload: &str) {
-    if writer.write_all(payload.as_bytes()).is_ok() && writer.flush().is_ok() {
-        shared.metrics.bytes_out.add(payload.len() as u64);
+    let mut owned;
+    let bytes: &[u8] = match failpoint::hit(chaos::WRITE_CORRUPT) {
+        Some(_) => {
+            owned = payload.as_bytes().to_vec();
+            chaos::corrupt_bytes(&mut owned);
+            &owned
+        }
+        None => payload.as_bytes(),
+    };
+    if let Some(FaultAction::Delay(d)) = failpoint::hit(chaos::WRITE_DELAY) {
+        std::thread::sleep(d);
+    }
+    if failpoint::hit(chaos::WRITE_RESET).is_some() {
+        // Truncated frame: deliver roughly half, then close hard.
+        let _ = writer.write_all(&bytes[..bytes.len() / 2]);
+        let _ = writer.flush();
+        let _ = writer.shutdown(Shutdown::Both);
+        return;
+    }
+    if failpoint::hit(chaos::WRITE_PARTIAL).is_some() && bytes.len() > 1 {
+        // Two flushes with a gap: the peer must resume a partial frame.
+        if writer.write_all(&bytes[..1]).is_err() || writer.flush().is_err() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+        if writer.write_all(&bytes[1..]).is_ok() && writer.flush().is_ok() {
+            shared.metrics.bytes_out.add(bytes.len() as u64);
+        }
+        return;
+    }
+    if writer.write_all(bytes).is_ok() && writer.flush().is_ok() {
+        shared.metrics.bytes_out.add(bytes.len() as u64);
+    }
+}
+
+/// Write with no fault evaluation — health-check replies (see
+/// [`chaos::exempt`]) must not consume fault fires meant for requests.
+fn write_plain(shared: &Shared, writer: &mut TcpStream, payload: &str) {
+    let bytes = payload.as_bytes();
+    if writer.write_all(bytes).is_ok() && writer.flush().is_ok() {
+        shared.metrics.bytes_out.add(bytes.len() as u64);
     }
 }
 

@@ -50,4 +50,4 @@ pub use metrics::{
 pub use queue::{BoundedQueue, PushError};
 pub use recal::Recalibrator;
 pub use request::{Decision, QueryClass, ServiceResponse, ShedReason};
-pub use service::CoteService;
+pub use service::{CoteService, CHAOS_ESTIMATE_DELAY, CHAOS_QUEUE_STALL};

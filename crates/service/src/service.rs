@@ -17,6 +17,7 @@ use crate::recal::Recalibrator;
 use crate::request::{Decision, QueryClass, ServiceResponse, ShedReason};
 use cote::{fingerprint, Cote};
 use cote_catalog::Catalog;
+use cote_common::failpoint::{self, FaultAction};
 use cote_obs::{phase, Span, TraceEvent};
 use cote_query::Query;
 use std::collections::BTreeMap;
@@ -120,12 +121,19 @@ impl CoteService {
             trace_sink: Mutex::new(Vec::new()),
             trace_dropped: Mutex::new(0),
         });
+        // Failpoint scope: workers inherit the constructing thread's label
+        // so scoped faults can single out this service's tier.
+        let scope = failpoint::thread_scope();
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
+                let scope = scope.clone();
                 std::thread::Builder::new()
                     .name(format!("cote-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || {
+                        failpoint::set_thread_scope(&scope);
+                        worker_loop(&inner)
+                    })
                     .expect("spawn worker")
             })
             .collect();
@@ -147,6 +155,13 @@ impl CoteService {
         // Fast path: the sharded statement cache.
         if let Some(advice) = inner.cache.get(fp) {
             inner.metrics.cache_hits.inc();
+            // The slow-estimation failpoint fires on cached answers too: it
+            // models "this backend serves estimates slowly", and a hot
+            // statement cache must not mask that — cache-hot chaos traffic
+            // would otherwise never observe the site.
+            if let Some(FaultAction::Delay(d)) = failpoint::hit(CHAOS_ESTIMATE_DELAY) {
+                std::thread::sleep(d);
+            }
             inner.metrics.completed.inc();
             let decision = Decision::Admitted {
                 advice,
@@ -357,8 +372,20 @@ impl Drop for CoteService {
     }
 }
 
+/// Failpoint: stall a worker after dequeue (`FaultAction::Delay`) — models
+/// a wedged worker; the queue backs up behind it.
+pub const CHAOS_QUEUE_STALL: &str = "svc.queue.stall";
+/// Failpoint: stall estimation itself (`FaultAction::Delay`) — models a
+/// slow backend; deadline shedding and admission must absorb it. Evaluated
+/// on both the worker estimate path and the statement-cache fast path, so
+/// it slows every served answer, cached or not.
+pub const CHAOS_ESTIMATE_DELAY: &str = "svc.estimate.delay";
+
 fn worker_loop(inner: &Inner) {
     while let Some(job) = inner.queue.pop() {
+        if let Some(FaultAction::Delay(d)) = failpoint::hit(CHAOS_QUEUE_STALL) {
+            std::thread::sleep(d);
+        }
         inner.metrics.queue_depth.add(-1);
         let wait = job.enqueued.elapsed();
         inner.metrics.queue_wait.record(wait);
@@ -380,6 +407,9 @@ fn worker_loop(inner: &Inner) {
 
         let mut span = Span::enter(phase::SERVICE_ESTIMATE);
         span.record("degraded", degraded as u64);
+        if let Some(FaultAction::Delay(d)) = failpoint::hit(CHAOS_ESTIMATE_DELAY) {
+            std::thread::sleep(d);
+        }
         let t0 = Instant::now();
         let outcome = if degraded {
             Ok(inner.advisor.advise_degraded())
@@ -647,5 +677,61 @@ mod tests {
         let r = svc.submit(&queries[4], QueryClass::Batch);
         assert!(r.is_admitted());
         drop(svc); // must not hang or drop queued responses
+    }
+
+    /// Pins the two service-tier failpoints: `svc.queue.stall` on the
+    /// worker dequeue path (uncached submit) and `svc.estimate.delay` on
+    /// both the worker path and the statement-cache fast path.
+    #[cfg(not(feature = "chaos-off"))]
+    #[test]
+    fn service_failpoints_stall_queued_and_cached_paths() {
+        use cote_common::failpoint::FaultSpec;
+        // The failpoint registry is process-global; scope these sites so
+        // other tests in this binary (whose threads carry no scope) can
+        // never fire or count them.
+        const SCOPE: &str = "svc-chaos-test";
+        let stall = Duration::from_millis(40);
+        failpoint::arm(7);
+        failpoint::configure(
+            CHAOS_QUEUE_STALL,
+            FaultSpec::first_n(FaultAction::Delay(stall), 1).scoped(SCOPE),
+        );
+        failpoint::configure(
+            CHAOS_ESTIMATE_DELAY,
+            FaultSpec::first_n(FaultAction::Delay(stall), 2).scoped(SCOPE),
+        );
+        failpoint::set_thread_scope(SCOPE);
+        let (cat, queries) = setup();
+        // Workers inherit this thread's scope at spawn.
+        let svc = CoteService::start(cat, cote(), small_cfg());
+        let q = &queries[0];
+
+        // Miss: dequeue path — queue stall + estimate delay both fire.
+        let miss = svc.submit(q, QueryClass::Batch);
+        assert!(miss.is_admitted(), "{:?}", miss.decision);
+        assert!(
+            miss.elapsed >= stall * 2,
+            "worker stalled: {:?}",
+            miss.elapsed
+        );
+
+        // Hit: cache fast path — the remaining estimate-delay fire lands
+        // on the submitting thread, no worker involved.
+        let hit = svc.submit(q, QueryClass::Batch);
+        assert!(hit.is_admitted(), "{:?}", hit.decision);
+        assert!(hit.elapsed >= stall, "fast path stalled: {:?}", hit.elapsed);
+        assert_eq!(svc.metrics().cache_hits.get(), 1);
+
+        let fires = |site: &str| {
+            failpoint::snapshot()
+                .into_iter()
+                .find(|s| s.site == site)
+                .map(|s| s.fires)
+                .unwrap_or(0)
+        };
+        assert_eq!(fires(CHAOS_QUEUE_STALL), 1);
+        assert_eq!(fires(CHAOS_ESTIMATE_DELAY), 2);
+        failpoint::set_thread_scope("");
+        failpoint::disarm();
     }
 }
