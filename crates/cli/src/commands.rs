@@ -83,12 +83,17 @@ USAGE:
                                       verify identical plans/cost, report
                                       speedups
   cote bench-all [--json] [--repeat R] [--workloads A,B,..]
+                 [--baseline FILE] [--gate-pct P]
                                       compile every workload (default: all
                                       serial ones) with the instrumented
                                       optimizer and report Fig 2/4-style
                                       per-phase times, plans/sec and the
                                       statement-cache hit-rate over a
-                                      repeated statement stream
+                                      repeated statement stream; with
+                                      --baseline, fail when any workload's
+                                      plans/sec drops more than P percent
+                                      (default 25) below the committed
+                                      bench-all JSON
 
 Workloads: linear, star, cycle, random, tpch, real1, real2 — suffixed -s (serial)
 or -p (parallel), e.g. `cote estimate star-s 3`.
@@ -769,6 +774,10 @@ fn bench_all_json(rows: &[WorkloadBench], repeat: usize) -> String {
             b.plans_generated as f64 / b.elapsed_seconds.max(1e-12)
         ));
         out.push_str(&format!(
+            "      \"enumeration_plans_per_second\": {:.1},\n",
+            b.plans_generated as f64 / b.phase_seconds[0].max(1e-12)
+        ));
+        out.push_str(&format!(
             "      \"cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}\n",
             b.cache_hits, b.cache_misses, b.cache_hit_rate
         ));
@@ -782,13 +791,81 @@ fn bench_all_json(rows: &[WorkloadBench], repeat: usize) -> String {
     out
 }
 
-/// `cote bench-all [--json] [--repeat R] [--workloads A,B,..]` — compile
-/// each workload with the instrumented optimizer and aggregate the Figure
-/// 2/4 phase decomposition, plan throughput, and the statement-cache
-/// hit-rate over a stream replaying every statement twice.
+/// Extract `(workload name, plans_per_second)` pairs from a committed
+/// bench-all JSON by line scanning — the fixed renderer layout (one field
+/// per line) makes a full JSON parser unnecessary, and the CLI stays
+/// dependency-free.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut name: Option<String> = None;
+    for line in text.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            if let Some(end) = rest.find('"') {
+                name = Some(rest[..end].to_string());
+            }
+        } else if let Some(rest) = t.strip_prefix("\"plans_per_second\": ") {
+            if let (Some(n), Ok(v)) = (name.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((n, v));
+            }
+        }
+    }
+    out
+}
+
+/// The bench-all throughput regression gate: every measured workload that
+/// also appears in the baseline must stay within `gate_pct` percent of the
+/// baseline's `plans_per_second`. Workloads absent from the baseline pass
+/// (new workloads don't block the gate).
+fn gate_against_baseline(rows: &[WorkloadBench], baseline_path: &str, gate_pct: f64) -> Result<()> {
+    let text = std::fs::read_to_string(baseline_path).map_err(|e| CoteError::InvalidQuery {
+        reason: format!("--baseline {baseline_path}: {e}"),
+    })?;
+    let base = parse_baseline(&text);
+    let mut failures = Vec::new();
+    for b in rows {
+        let Some(&(_, base_pps)) = base.iter().find(|(n, _)| *n == b.name) else {
+            eprintln!("bench-all: gate skip {} (not in baseline)", b.name);
+            continue;
+        };
+        let pps = b.plans_generated as f64 / b.elapsed_seconds.max(1e-12);
+        let floor = base_pps * (1.0 - gate_pct / 100.0);
+        if pps < floor {
+            failures.push(format!(
+                "{}: {pps:.0} plans/sec, more than {gate_pct}% below baseline {base_pps:.0}",
+                b.name
+            ));
+        } else {
+            eprintln!(
+                "bench-all: gate ok {} ({pps:.0} plans/sec vs baseline {base_pps:.0})",
+                b.name
+            );
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CoteError::Calibration {
+            reason: format!(
+                "bench-all regression gate vs {baseline_path}: {}",
+                failures.join("; ")
+            ),
+        })
+    }
+}
+
+/// `cote bench-all [--json] [--repeat R] [--workloads A,B,..]
+/// [--baseline FILE] [--gate-pct P]` — compile each workload with the
+/// instrumented optimizer and aggregate the Figure 2/4 phase
+/// decomposition, plan throughput, and the statement-cache hit-rate over a
+/// stream replaying every statement twice. With `--baseline`, fail when
+/// any workload's plans/sec regresses more than `--gate-pct` percent
+/// (default 25) below the committed bench-all JSON.
 pub fn bench_all(args: &[String]) -> Result<()> {
     let mut json = false;
     let mut repeat = 1usize;
+    let mut baseline: Option<String> = None;
+    let mut gate_pct = 25.0f64;
     let mut names: Vec<String> = ALL_WORKLOADS
         .iter()
         .filter(|n| n.ends_with("-s"))
@@ -818,6 +895,13 @@ pub fn bench_all(args: &[String]) -> Result<()> {
                     .map(|s| s.trim().to_string())
                     .collect();
             }
+            "--baseline" => baseline = Some(val("--baseline")?),
+            "--gate-pct" => {
+                let v = val("--gate-pct")?;
+                gate_pct = v.parse::<f64>().map_err(|_| CoteError::InvalidQuery {
+                    reason: format!("--gate-pct: cannot parse '{v}'"),
+                })?;
+            }
             other => {
                 return Err(CoteError::InvalidQuery {
                     reason: format!("bench-all: unknown flag '{other}'"),
@@ -832,6 +916,9 @@ pub fn bench_all(args: &[String]) -> Result<()> {
     }
     if json {
         print!("{}", bench_all_json(&rows, repeat));
+        if let Some(path) = &baseline {
+            gate_against_baseline(&rows, path, gate_pct)?;
+        }
         return Ok(());
     }
     println!(
@@ -854,6 +941,9 @@ pub fn bench_all(args: &[String]) -> Result<()> {
             .map(|(l, s)| format!("{l} {:.3}ms", s * 1e3))
             .collect();
         println!("           {}", parts.join("  "));
+    }
+    if let Some(path) = &baseline {
+        gate_against_baseline(&rows, path, gate_pct)?;
     }
     Ok(())
 }
@@ -982,6 +1072,40 @@ mod tests {
         assert!(rows[0].elapsed_seconds > 0.0);
         assert!(bench_all(&["--bogus".into()]).is_err());
         assert!(bench_all(&["--repeat".into(), "x".into()]).is_err());
+        assert!(json.contains("\"enumeration_plans_per_second\""), "{json}");
+
+        // The rendered JSON round-trips through the baseline scanner.
+        let base = parse_baseline(&json);
+        assert_eq!(base.len(), 1);
+        assert_eq!(base[0].0, "real1-s");
+        assert!(base[0].1 > 0.0);
+
+        // Gate: identical numbers pass, an inflated baseline fails, and a
+        // workload missing from the baseline is skipped.
+        let dir = std::env::temp_dir().join("cote_bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ok_path = dir.join("ok.json");
+        std::fs::write(&ok_path, &json).unwrap();
+        let ok_path = ok_path.to_string_lossy().into_owned();
+        gate_against_baseline(&rows, &ok_path, 25.0).unwrap();
+        let inflated = json.replace(
+            &format!("\"plans_per_second\": {:.1}", {
+                rows[0].plans_generated as f64 / rows[0].elapsed_seconds.max(1e-12)
+            }),
+            &format!("\"plans_per_second\": {:.1}", {
+                100.0 * rows[0].plans_generated as f64 / rows[0].elapsed_seconds.max(1e-12)
+            }),
+        );
+        let bad_path = dir.join("inflated.json");
+        std::fs::write(&bad_path, inflated).unwrap();
+        let err = gate_against_baseline(&rows, &bad_path.to_string_lossy(), 25.0)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("regression gate"), "{err}");
+        let empty_path = dir.join("empty.json");
+        std::fs::write(&empty_path, "{}\n").unwrap();
+        gate_against_baseline(&rows, &empty_path.to_string_lossy(), 25.0).unwrap();
+        assert!(gate_against_baseline(&rows, "/no/such/baseline.json", 25.0).is_err());
     }
 
     #[test]

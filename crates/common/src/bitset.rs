@@ -147,6 +147,35 @@ impl TableSet {
         Iter(self.0)
     }
 
+    /// Iterator over all `k`-element subsets of `{t0..t(n-1)}` in ascending
+    /// bit order — Gosper's hack.
+    ///
+    /// Each step computes the next-larger integer with the same popcount in
+    /// a handful of bit operations, replacing hash-walk enumeration of DP
+    /// levels. Ascending order is load-bearing: the parallel enumerator's
+    /// deterministic merge assumes level masks arrive in ascending bits
+    /// (see DESIGN.md §10).
+    ///
+    /// ```
+    /// use cote_common::TableSet;
+    /// let masks: Vec<u64> = TableSet::k_subsets(4, 2).map(|s| s.bits()).collect();
+    /// assert_eq!(masks, vec![0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `n > 63` (the DP enumerator caps far lower).
+    #[inline]
+    pub fn k_subsets(n: usize, k: usize) -> KSubsets {
+        assert!(n < 64, "k_subsets limited to 63 tables");
+        if k == 0 || k > n {
+            return KSubsets { mask: 0, limit: 0 };
+        }
+        KSubsets {
+            mask: (1u64 << k) - 1,
+            limit: 1u64 << n,
+        }
+    }
+
     /// Iterator over all non-empty **proper** subsets of `self`.
     ///
     /// This is the classic `sub = (sub - 1) & mask` submask walk used by the
@@ -213,6 +242,33 @@ impl Iterator for Iter {
 }
 
 impl ExactSizeIterator for Iter {}
+
+/// Gosper's-hack iterator over the `k`-element subsets of the first `n`
+/// tables, ascending (see [`TableSet::k_subsets`]).
+#[derive(Clone)]
+pub struct KSubsets {
+    /// Next mask to yield; `0` or `>= limit` means exhausted.
+    mask: u64,
+    /// Exclusive upper bound `1 << n` (0 for the empty iterator).
+    limit: u64,
+}
+
+impl Iterator for KSubsets {
+    type Item = TableSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<TableSet> {
+        let cur = self.mask;
+        if cur == 0 || cur >= self.limit {
+            return None;
+        }
+        // Gosper's hack: the next-larger integer with the same popcount.
+        let c = cur & cur.wrapping_neg();
+        let r = cur + c;
+        self.mask = (((r ^ cur) >> 2) / c) | r;
+        Some(TableSet(cur))
+    }
+}
 
 /// Iterator over the non-empty proper subsets of a [`TableSet`].
 pub struct ProperSubsets {
@@ -341,6 +397,32 @@ mod tests {
         assert_eq!(TableSet::EMPTY.proper_subsets().count(), 0);
         assert_eq!(set(&[3]).proper_subsets().count(), 0);
         assert_eq!(set(&[3, 4]).proper_subsets().count(), 2);
+    }
+
+    #[test]
+    fn k_subsets_match_brute_force() {
+        for n in 0..=10usize {
+            for k in 0..=n + 1 {
+                let gosper: Vec<u64> = TableSet::k_subsets(n, k).map(|s| s.bits()).collect();
+                let brute: Vec<u64> = (0..1u64 << n)
+                    .filter(|m| m.count_ones() as usize == k && k > 0)
+                    .collect();
+                assert_eq!(gosper, brute, "n={n} k={k}");
+                // Ascending order (the deterministic-merge contract).
+                assert!(gosper.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn k_subsets_degenerate() {
+        assert_eq!(TableSet::k_subsets(5, 0).count(), 0);
+        assert_eq!(TableSet::k_subsets(5, 6).count(), 0);
+        assert_eq!(TableSet::k_subsets(0, 0).count(), 0);
+        assert_eq!(
+            TableSet::k_subsets(5, 5).collect::<Vec<_>>(),
+            vec![TableSet::first_n(5)]
+        );
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! [`InlineVec`]: a SmallVec-style vector with inline storage.
+//!
+//! The optimizer's plan nodes carry tiny lists — index-ANDing sets, the
+//! equi-join predicates of a join site — whose lengths are almost always
+//! ≤ 4. Boxing each behind a `Vec` costs an allocation and a pointer chase
+//! per node on the enumeration hot path. `InlineVec<T, N>` stores up to `N`
+//! elements inline in the node itself and spills to a heap `Vec` only past
+//! that, preserving `Vec` semantics (verified against `Vec` by the
+//! random-op-sequence property suite in `tests/memo_primitives.rs`).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::mem::MaybeUninit;
+
+/// A vector storing up to `N` elements inline, spilling to the heap beyond.
+///
+/// Once spilled, storage stays on the heap (popping back under `N` does not
+/// move elements back inline); spilling is one-way per instance, which keeps
+/// every accessor branch-predictable.
+pub struct InlineVec<T, const N: usize> {
+    /// Number of live elements when inline (`heap` empty and not spilled).
+    len: u32,
+    /// True once elements moved to `heap`; `inline` is then entirely dead.
+    spilled: bool,
+    inline: [MaybeUninit<T>; N],
+    heap: Vec<T>,
+}
+
+impl<T, const N: usize> InlineVec<T, N> {
+    /// An empty vector (no allocation).
+    pub fn new() -> Self {
+        Self {
+            len: 0,
+            spilled: false,
+            inline: std::array::from_fn(|_| MaybeUninit::uninit()),
+            heap: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.heap.len()
+        } else {
+            self.len as usize
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once elements have spilled to the heap.
+    pub fn is_spilled(&self) -> bool {
+        self.spilled
+    }
+
+    /// Append an element, spilling inline storage to the heap at `N`+1.
+    pub fn push(&mut self, value: T) {
+        if self.spilled {
+            self.heap.push(value);
+            return;
+        }
+        if (self.len as usize) < N {
+            self.inline[self.len as usize].write(value);
+            self.len += 1;
+            return;
+        }
+        // Spill: move the inline prefix to the heap, then append.
+        self.heap.reserve(N + 1);
+        for slot in &mut self.inline[..N] {
+            // SAFETY: the first `len == N` slots are initialized; each is
+            // moved out exactly once and `len` is zeroed below so they are
+            // never read or dropped again.
+            self.heap.push(unsafe { slot.assume_init_read() });
+        }
+        self.len = 0;
+        self.spilled = true;
+        self.heap.push(value);
+    }
+
+    /// Remove and return the last element.
+    pub fn pop(&mut self) -> Option<T> {
+        if self.spilled {
+            return self.heap.pop();
+        }
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        // SAFETY: slot `len` was initialized and is now out of the live
+        // prefix, so it is read exactly once here.
+        Some(unsafe { self.inline[self.len as usize].assume_init_read() })
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spilled {
+            &self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe {
+                std::slice::from_raw_parts(self.inline.as_ptr().cast::<T>(), self.len as usize)
+            }
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spilled {
+            &mut self.heap
+        } else {
+            // SAFETY: the first `len` inline slots are initialized.
+            unsafe {
+                std::slice::from_raw_parts_mut(
+                    self.inline.as_mut_ptr().cast::<T>(),
+                    self.len as usize,
+                )
+            }
+        }
+    }
+
+    /// Iterate over the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+}
+
+impl<T, const N: usize> Drop for InlineVec<T, N> {
+    fn drop(&mut self) {
+        if !self.spilled {
+            // SAFETY: the first `len` inline slots are initialized and
+            // dropped exactly once here (heap drops itself).
+            for slot in &mut self.inline[..self.len as usize] {
+                unsafe { slot.assume_init_drop() };
+            }
+        }
+    }
+}
+
+impl<T, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone, const N: usize> Clone for InlineVec<T, N> {
+    fn clone(&self) -> Self {
+        self.as_slice().iter().cloned().collect()
+    }
+}
+
+impl<T: fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Hash, const N: usize> Hash for InlineVec<T, N> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<T, const N: usize> Extend<T> for InlineVec<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<'a, T, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(mut self) -> Self::IntoIter {
+        if self.spilled {
+            std::mem::take(&mut self.heap).into_iter()
+        } else {
+            let mut out = Vec::with_capacity(self.len as usize);
+            while let Some(v) = self.pop() {
+                out.push(v);
+            }
+            out.reverse();
+            out.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty() && !v.is_spilled());
+        for i in 0..3 {
+            v.push(i);
+        }
+        assert!(!v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2]);
+        v.push(3);
+        assert!(v.is_spilled());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.pop(), Some(3));
+        assert_eq!(v.pop(), Some(2));
+        assert!(v.is_spilled(), "spill is sticky");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn pop_inline_and_reuse_slots() {
+        let mut v: InlineVec<String, 2> = InlineVec::new();
+        v.push("a".into());
+        v.push("b".into());
+        assert_eq!(v.pop().as_deref(), Some("b"));
+        v.push("c".into());
+        assert_eq!(v.as_slice(), &["a".to_string(), "c".to_string()]);
+        assert_eq!(v.pop().as_deref(), Some("c"));
+        assert_eq!(v.pop().as_deref(), Some("a"));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn collect_eq_hash_clone() {
+        let a: InlineVec<u16, 4> = [5u16, 6, 7].into_iter().collect();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&a[..], &[5, 6, 7]);
+        let big: InlineVec<u16, 2> = (0..10).collect();
+        assert!(big.is_spilled());
+        assert_eq!(
+            big.iter().copied().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        let owned: Vec<u16> = big.into_iter().collect();
+        assert_eq!(owned, (0..10).collect::<Vec<_>>());
+        let small: Vec<u16> = a.into_iter().collect();
+        assert_eq!(small, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn drops_inline_elements() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        {
+            let mut v: InlineVec<D, 4> = InlineVec::new();
+            v.push(D);
+            v.push(D);
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 2);
+        {
+            let mut v: InlineVec<D, 1> = InlineVec::new();
+            v.push(D);
+            v.push(D); // spills
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn mutable_access() {
+        let mut v: InlineVec<u32, 4> = [1u32, 2, 3].into_iter().collect();
+        v[0] = 9;
+        v.as_mut_slice()[2] = 11;
+        assert_eq!(v.as_slice(), &[9, 2, 11]);
+    }
+}

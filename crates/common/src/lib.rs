@@ -16,6 +16,10 @@
 //! * [`error`] — the workspace-wide error type.
 //! * [`rng`] — deterministic SplitMix64 / xoshiro256++ generators, so the
 //!   workload generators and randomized tests need no external `rand`.
+//! * [`inline_vec`] — [`inline_vec::InlineVec`], SmallVec-style inline
+//!   storage for the tiny per-plan-node lists on the enumeration hot path.
+//! * [`intern`] — [`intern::Interner`] / [`intern::PropSetId`], the
+//!   hash-consing table behind the MEMO's interned property lists.
 //! * [`lru`] — a small O(1) LRU cache shared by the statement cache and the
 //!   serving layer's sharded estimate cache.
 //! * [`failpoint`] — deterministic, seed-replayable fault injection for the
@@ -26,6 +30,8 @@ pub mod error;
 pub mod failpoint;
 pub mod fxhash;
 pub mod ids;
+pub mod inline_vec;
+pub mod intern;
 pub mod lru;
 pub mod rng;
 
@@ -34,5 +40,7 @@ pub use error::{CoteError, Result};
 pub use failpoint::{FaultAction, FaultSpec, FireMode};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use ids::{ColRef, ColumnId, IndexId, TableId, TableRef};
+pub use inline_vec::InlineVec;
+pub use intern::{Interner, PropSetId};
 pub use lru::LruCache;
 pub use rng::{SplitMix64, Xoshiro256pp};

@@ -5,13 +5,83 @@
 //! (typically in the order of hundreds of bytes), each property takes a much
 //! smaller amount of space (typically 4 bytes)" — the classic space-for-time
 //! trade that lets the estimator skip recomputing retirements per join.
+//!
+//! Two representations live here:
+//!
+//! * [`InternedLists`] — the in-MEMO payload. Property values are
+//!   hash-consed through the estimator's [`cote_common::Interner`] tables
+//!   and each list stores dense `u32` [`PropSetId`]s, so the per-add
+//!   duplicate check degrades from a linear scan of *deep* value
+//!   comparisons (a latent O(n²) per entry — every propagated value
+//!   re-compared structurally against the whole list) to one hash probe
+//!   plus a scan of `u32` compares.
+//! * [`PropLists`] — the resolved, value-carrying form returned by
+//!   [`crate::property_lists`] for inspection, walk-throughs and tests.
 
+use cote_common::PropSetId;
 use cote_optimizer::properties::order::Ordering;
 use cote_optimizer::properties::partition::PartitionVal;
 
 /// Per-entry payload of the plan estimator: separate retained lists for the
 /// order and the partition property (§3.4 "orthogonal" treatment), plus the
-/// optional compound list used by the §3.4 ablation.
+/// optional compound list used by the §3.4 ablation. Every element is an
+/// interned id; the owning [`crate::estimator`] visitor holds the tables
+/// that resolve them.
+#[derive(Debug, Default, Clone)]
+pub struct InternedLists {
+    /// Retained interesting order values (canonical under the entry's
+    /// equivalences; DC excluded), as interned ids.
+    pub orders: Vec<PropSetId>,
+    /// Retained interesting partition values (empty in serial mode).
+    pub partitions: Vec<PropSetId>,
+    /// Compound (order, partition) vectors, maintained only when the
+    /// compound-property ablation is active (§3.4's "simple solution"). A
+    /// compound value survives while *either* component is interesting.
+    pub compound: Vec<(PropSetId, Option<PropSetId>)>,
+}
+
+/// Append `id` to `list` unless present. Returns `(added, scanned)` where
+/// `scanned` is the number of element comparisons the membership scan
+/// performed — exactly the *deep* comparisons an un-interned value list of
+/// the same content would have burned (hit position + 1, or the full length
+/// on a miss), which feeds the `cote_opt_prop_*_compares` telemetry.
+fn add_id<T: PartialEq>(list: &mut Vec<T>, id: T) -> (bool, usize) {
+    for (i, existing) in list.iter().enumerate() {
+        if *existing == id {
+            return (false, i + 1);
+        }
+    }
+    let scanned = list.len();
+    list.push(id);
+    (true, scanned)
+}
+
+impl InternedLists {
+    /// Add an order id unless present. The caller filters DC *before*
+    /// interning (DC is never stored, matching the resolved-form rule).
+    /// Returns `(added, scanned)`.
+    pub fn add_order_id(&mut self, id: PropSetId) -> (bool, usize) {
+        add_id(&mut self.orders, id)
+    }
+
+    /// Add a partition id unless present. Returns `(added, scanned)`.
+    pub fn add_partition_id(&mut self, id: PropSetId) -> (bool, usize) {
+        add_id(&mut self.partitions, id)
+    }
+
+    /// Add a compound id pair unless present. Returns `(added, scanned)`.
+    pub fn add_compound_id(&mut self, c: (PropSetId, Option<PropSetId>)) -> (bool, usize) {
+        add_id(&mut self.compound, c)
+    }
+
+    /// Total stored property values (memory-estimation input, §6.2).
+    pub fn value_count(&self) -> usize {
+        self.orders.len() + self.partitions.len() + self.compound.len()
+    }
+}
+
+/// Resolved interesting-property lists: the value-carrying counterpart of
+/// [`InternedLists`], produced by [`crate::property_lists`].
 #[derive(Debug, Default, Clone)]
 pub struct PropLists {
     /// Retained interesting order values (canonical under the entry's
@@ -19,42 +89,12 @@ pub struct PropLists {
     pub orders: Vec<Ordering>,
     /// Retained interesting partition values (empty in serial mode).
     pub partitions: Vec<PartitionVal>,
-    /// Compound (order, partition) vectors, maintained only when the
-    /// compound-property ablation is active (§3.4's "simple solution"). A
-    /// compound value survives while *either* component is interesting.
+    /// Compound (order, partition) vectors (§3.4 ablation).
     pub compound: Vec<(Ordering, Option<PartitionVal>)>,
 }
 
 impl PropLists {
-    /// Add an order value unless an equivalent one is present.
-    /// Returns true if added.
-    pub fn add_order(&mut self, o: Ordering) -> bool {
-        if o.is_dc() || self.orders.contains(&o) {
-            return false;
-        }
-        self.orders.push(o);
-        true
-    }
-
-    /// Add a partition value unless present. Returns true if added.
-    pub fn add_partition(&mut self, p: PartitionVal) -> bool {
-        if self.partitions.contains(&p) {
-            return false;
-        }
-        self.partitions.push(p);
-        true
-    }
-
-    /// Add a compound value unless present. Returns true if added.
-    pub fn add_compound(&mut self, c: (Ordering, Option<PartitionVal>)) -> bool {
-        if self.compound.contains(&c) {
-            return false;
-        }
-        self.compound.push(c);
-        true
-    }
-
-    /// Total stored property values (memory-estimation input, §6.2).
+    /// Total stored property values.
     pub fn value_count(&self) -> usize {
         self.orders.len() + self.partitions.len() + self.compound.len()
     }
@@ -65,21 +105,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dedupe_and_dc_rules() {
-        let mut l = PropLists::default();
-        assert!(l.add_order(Ordering::seq(vec![1])));
-        assert!(!l.add_order(Ordering::seq(vec![1])), "duplicate rejected");
-        assert!(!l.add_order(Ordering::dc()), "DC never stored");
-        assert!(l.add_order(Ordering::seq(vec![1, 2])));
-        assert_eq!(l.orders.len(), 2);
+    fn add_id_dedupes_and_reports_scan_length() {
+        let mut l = InternedLists::default();
+        assert_eq!(l.add_order_id(PropSetId(3)), (true, 0), "empty list scan");
+        assert_eq!(l.add_order_id(PropSetId(3)), (false, 1), "hit at pos 0");
+        assert_eq!(l.add_order_id(PropSetId(7)), (true, 1), "miss scans all");
+        assert_eq!(l.add_order_id(PropSetId(7)), (false, 2), "hit at pos 1");
+        assert_eq!(l.orders, vec![PropSetId(3), PropSetId(7)]);
 
-        assert!(l.add_partition(PartitionVal::hash(vec![0])));
-        assert!(!l.add_partition(PartitionVal::hash(vec![0])));
-        assert!(l.add_partition(PartitionVal::Replicated));
-        assert_eq!(l.value_count(), 4);
-
-        assert!(l.add_compound((Ordering::dc(), Some(PartitionVal::Single))));
-        assert!(!l.add_compound((Ordering::dc(), Some(PartitionVal::Single))));
+        assert_eq!(l.add_partition_id(PropSetId(0)), (true, 0));
+        assert_eq!(l.add_partition_id(PropSetId(0)), (false, 1));
+        assert_eq!(l.add_compound_id((PropSetId(1), None)), (true, 0));
+        assert_eq!(l.add_compound_id((PropSetId(1), None)), (false, 1));
+        assert_eq!(
+            l.add_compound_id((PropSetId(1), Some(PropSetId(2)))),
+            (true, 1)
+        );
         assert_eq!(l.value_count(), 5);
     }
 }

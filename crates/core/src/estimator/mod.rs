@@ -21,7 +21,7 @@ pub mod lists;
 
 use crate::options::EstimateOptions;
 use cote_catalog::Catalog;
-use cote_common::{ColRef, FxHashSet, Result, TableRef};
+use cote_common::{ColRef, FxHashSet, Interner, PropSetId, Result, TableRef};
 use cote_obs::{phase, Counter, Span, Stopwatch};
 use cote_optimizer::cardinality::SimpleCardinality;
 use cote_optimizer::context::OptContext;
@@ -32,7 +32,7 @@ use cote_optimizer::properties::order::{is_interesting, Ordering};
 use cote_optimizer::properties::partition::{is_interesting_partition, PartitionVal};
 use cote_optimizer::{OptimizerConfig, PerMethod};
 use cote_query::{Query, QueryBlock};
-use lists::PropLists;
+use lists::{InternedLists, PropLists};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -63,6 +63,15 @@ pub struct BlockEstimate {
     /// Estimated grouping plans — "typically two group-by plans … for each
     /// aggregation".
     pub group_plans: u64,
+    /// Interner hash probes issued while maintaining property lists.
+    pub prop_probes: u64,
+    /// Deep property comparisons actually performed (≤ one per probe —
+    /// the interned-id layout's whole point).
+    pub prop_compares: u64,
+    /// Deep comparisons the pre-interning layout would have performed:
+    /// every list insert re-compared the value against the retained list
+    /// structurally, a latent O(n²) per MEMO entry.
+    pub prop_naive_compares: u64,
 }
 
 impl BlockEstimate {
@@ -87,6 +96,9 @@ impl BlockEstimate {
         self.scan_plans += other.scan_plans;
         self.sort_plans += other.sort_plans;
         self.group_plans += other.group_plans;
+        self.prop_probes += other.prop_probes;
+        self.prop_compares += other.prop_compares;
+        self.prop_naive_compares += other.prop_naive_compares;
     }
 }
 
@@ -110,6 +122,20 @@ struct PlanEstimator<'o> {
     propagated: FxHashSet<u32>,
     scan_est: u64,
     sort_est: u64,
+    /// Hash-consing table for interesting order values: payload lists store
+    /// [`PropSetId`]s resolved through here.
+    orders_tab: Interner<Ordering>,
+    /// Hash-consing table for interesting partition values.
+    parts_tab: Interner<PartitionVal>,
+    prop_probes: u64,
+    prop_compares: u64,
+    prop_naive_compares: u64,
+    /// Interner sizes at the last [`ParallelJoinVisitor::fork_level`]:
+    /// worker-local ids at or above these are provisional.
+    fork_base: (u32, u32),
+    /// Per-worker provisional-id → merged-id maps, built by
+    /// [`ParallelJoinVisitor::absorb_level`], applied by `remap_payload`.
+    remaps: Vec<(Vec<PropSetId>, Vec<PropSetId>)>,
 }
 
 impl<'o> PlanEstimator<'o> {
@@ -125,6 +151,13 @@ impl<'o> PlanEstimator<'o> {
             propagated: FxHashSet::default(),
             scan_est: 0,
             sort_est: 0,
+            orders_tab: Interner::new(),
+            parts_tab: Interner::new(),
+            prop_probes: 0,
+            prop_compares: 0,
+            prop_naive_compares: 0,
+            fork_base: (0, 0),
+            remaps: Vec::new(),
         }
     }
 
@@ -138,13 +171,98 @@ impl<'o> PlanEstimator<'o> {
             }
         }
     }
+
+    /// Intern an order value, accounting the probe (one hash lookup, at
+    /// most one deep comparison).
+    fn intern_order(&mut self, o: Ordering) -> PropSetId {
+        self.prop_probes += 1;
+        self.prop_compares += 1;
+        self.orders_tab.intern_owned(o)
+    }
+
+    /// Intern a partition value, accounting the probe.
+    fn intern_part(&mut self, p: PartitionVal) -> PropSetId {
+        self.prop_probes += 1;
+        self.prop_compares += 1;
+        self.parts_tab.intern_owned(p)
+    }
+
+    /// Add an order to `lists` unless equivalent (DC never stored).
+    /// Returns true if added.
+    fn push_order(&mut self, lists: &mut InternedLists, o: Ordering) -> bool {
+        if o.is_dc() {
+            return false;
+        }
+        let id = self.intern_order(o);
+        let (added, scanned) = lists.add_order_id(id);
+        self.prop_naive_compares += scanned as u64;
+        added
+    }
+
+    /// Add a partition value to `lists` unless present.
+    fn push_partition(&mut self, lists: &mut InternedLists, p: PartitionVal) -> bool {
+        let id = self.intern_part(p);
+        let (added, scanned) = lists.add_partition_id(id);
+        self.prop_naive_compares += scanned as u64;
+        added
+    }
+
+    /// Add a compound (order, partition) value to `lists` unless present.
+    fn push_compound(
+        &mut self,
+        lists: &mut InternedLists,
+        o: Ordering,
+        p: Option<PartitionVal>,
+    ) -> bool {
+        let oid = self.intern_order(o);
+        let pid = p.map(|p| self.intern_part(p));
+        self.push_compound_ids(lists, (oid, pid))
+    }
+
+    /// Add an already-interned compound pair unless present.
+    fn push_compound_ids(
+        &mut self,
+        lists: &mut InternedLists,
+        c: (PropSetId, Option<PropSetId>),
+    ) -> bool {
+        let (added, scanned) = lists.add_compound_id(c);
+        self.prop_naive_compares += scanned as u64;
+        added
+    }
+
+    /// Resolve an interned payload back into value-carrying lists.
+    fn resolve_lists(&self, l: &InternedLists) -> PropLists {
+        PropLists {
+            orders: l
+                .orders
+                .iter()
+                .map(|&id| self.orders_tab.resolve(id).clone())
+                .collect(),
+            partitions: l
+                .partitions
+                .iter()
+                .map(|&id| self.parts_tab.resolve(id).clone())
+                .collect(),
+            compound: l
+                .compound
+                .iter()
+                .map(|&(o, p)| {
+                    (
+                        self.orders_tab.resolve(o).clone(),
+                        p.map(|p| self.parts_tab.resolve(p).clone()),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The partition term for one orientation (see module docs). Returns the
 /// term and the heuristic value to propagate, if the §4 test fired.
 fn partition_term(
-    outer: &PropLists,
-    inner: &PropLists,
+    outer: &InternedLists,
+    inner: &InternedLists,
+    parts_tab: &Interner<PartitionVal>,
     j_eq: &cote_query::EqClasses,
     join_classes: &[u16],
     parallel: bool,
@@ -153,8 +271,8 @@ fn partition_term(
         return (1, None);
     }
     let mut distinct: Vec<PartitionVal> = Vec::new();
-    for pv in &outer.partitions {
-        let pv = pv.canon(j_eq);
+    for &pid in &outer.partitions {
+        let pv = parts_tab.resolve(pid).canon(j_eq);
         if !distinct.contains(&pv) {
             distinct.push(pv);
         }
@@ -163,8 +281,10 @@ fn partition_term(
         .partitions
         .iter()
         .chain(inner.partitions.iter())
-        .any(|pv| {
-            pv.canon(j_eq)
+        .any(|&pid| {
+            parts_tab
+                .resolve(pid)
+                .canon(j_eq)
                 .key_cols()
                 .is_some_and(|cols| cols.iter().any(|c| join_classes.contains(c)))
         });
@@ -181,15 +301,15 @@ fn partition_term(
 }
 
 impl JoinVisitor for PlanEstimator<'_> {
-    type Payload = PropLists;
+    type Payload = InternedLists;
 
     fn base_payload(
         &mut self,
         ctx: &OptContext<'_>,
         core: &MemoEntry<()>,
         t: TableRef,
-    ) -> PropLists {
-        let mut lists = PropLists::default();
+    ) -> InternedLists {
+        let mut lists = InternedLists::default();
         // Non-join access paths (paper §3): heap scan + one plan per index
         // + an index-ANDing plan when ≥2 indexes are applicable.
         let n_indexes = ctx.catalog.indexes_on(ctx.block.table(t)).count() as u64;
@@ -225,36 +345,39 @@ impl JoinVisitor for PlanEstimator<'_> {
                     if !natural.iter().any(|n| n.satisfies(&o)) {
                         self.sort_est += 1;
                     }
-                    lists.add_order(o);
+                    self.push_order(&mut lists, o);
                 }
             }
         } else {
             for o in &natural {
                 if is_interesting(o, &core.eq, &core.boundary, &ctx.targets) {
-                    lists.add_order(o.clone());
+                    let o = o.clone();
+                    self.push_order(&mut lists, o);
                 }
             }
         }
         // Partition init: lazy — the physical placement, unconditionally
         // (it is reality; retirement applies to propagated values).
         if let Some(pv) = &ctx.natural_parts[t.index()] {
-            lists.add_partition(pv.canon(&core.eq));
+            let pv = pv.canon(&core.eq);
+            self.push_partition(&mut lists, pv);
         }
         if self.opts.compound_properties {
-            let pv = lists.partitions.first().cloned();
-            for o in lists.orders.clone() {
-                lists.add_compound((o, pv.clone()));
+            let pv = lists.partitions.first().copied();
+            for oid in lists.orders.clone() {
+                self.push_compound_ids(&mut lists, (oid, pv));
             }
-            lists.add_compound((Ordering::dc(), pv));
+            let dc = self.intern_order(Ordering::dc());
+            self.push_compound_ids(&mut lists, (dc, pv));
         }
         lists
     }
 
-    fn join_payload(&mut self, _ctx: &OptContext<'_>, _core: &MemoEntry<()>) -> PropLists {
-        PropLists::default()
+    fn join_payload(&mut self, _ctx: &OptContext<'_>, _core: &MemoEntry<()>) -> InternedLists {
+        InternedLists::default()
     }
 
-    fn on_join<M: MemoStore<PropLists>>(
+    fn on_join<M: MemoStore<InternedLists>>(
         &mut self,
         ctx: &OptContext<'_>,
         memo: &mut M,
@@ -274,15 +397,15 @@ impl JoinVisitor for PlanEstimator<'_> {
                 continue;
             }
             let (o_entry, i_entry, j_entry) = memo.join_view(o_id, i_id, site.joined);
-            let o_lists = &o_entry.payload;
-            let i_lists = &i_entry.payload;
+            let o_lists = o_entry.payload;
+            let i_lists = i_entry.payload;
             let inner_len = i_entry.set.len();
-            // Split the joined entry's borrows: logical core read-only,
-            // payload mutable.
-            let j_eq = &j_entry.eq;
-            let j_boundary = &j_entry.boundary;
+            // The joined entry's view already splits the borrows: logical
+            // core read-only, payload mutable.
+            let j_eq = j_entry.eq;
+            let j_boundary = j_entry.boundary;
             let j_set = j_entry.set;
-            let j_payload = &mut j_entry.payload;
+            let j_payload = j_entry.payload;
 
             // Join-column classes in the joined (for partitions) and outer
             // (for MGJN satisfaction) equivalences.
@@ -303,8 +426,14 @@ impl JoinVisitor for PlanEstimator<'_> {
                 }
             }
 
-            let (parts, heuristic_pv) =
-                partition_term(o_lists, i_lists, j_eq, &join_classes_j, parallel);
+            let (parts, heuristic_pv) = partition_term(
+                o_lists,
+                i_lists,
+                &self.parts_tab,
+                j_eq,
+                &join_classes_j,
+                parallel,
+            );
 
             // Expensive-predicate factor (Table 1's last row): under the
             // scan-or-root policy each input side carries one plan variant
@@ -329,7 +458,11 @@ impl JoinVisitor for PlanEstimator<'_> {
                 let mut covered = 0u64;
                 for &c in &span_classes_o {
                     let req = Ordering::seq(vec![c]);
-                    covered += o_lists.orders.iter().filter(|o| o.satisfies(&req)).count() as u64;
+                    covered += o_lists
+                        .orders
+                        .iter()
+                        .filter(|&&id| self.orders_tab.resolve(id).satisfies(&req))
+                        .count() as u64;
                 }
                 self.charge(Mgjn, covered * parts * exp_factor, inner_len);
             }
@@ -348,7 +481,7 @@ impl JoinVisitor for PlanEstimator<'_> {
                         covered += o_lists
                             .compound
                             .iter()
-                            .filter(|(o, _)| o.satisfies(&req))
+                            .filter(|&&(o, _)| self.orders_tab.resolve(o).satisfies(&req))
                             .count() as u64;
                     }
                     self.compound_counts.mgjn += covered;
@@ -362,10 +495,10 @@ impl JoinVisitor for PlanEstimator<'_> {
             if !do_propagate {
                 continue;
             }
-            for o in &o_lists.orders {
-                let o = o.canon(j_eq);
+            for &oid in &o_lists.orders {
+                let o = self.orders_tab.resolve(oid).canon(j_eq);
                 if is_interesting(&o, j_eq, j_boundary, &ctx.targets) {
-                    j_payload.add_order(o);
+                    self.push_order(j_payload, o);
                 }
             }
             // Multi-table targets become enforceable once covered (the real
@@ -377,29 +510,29 @@ impl JoinVisitor for PlanEstimator<'_> {
                     if tables.is_subset_of(j_set) {
                         let o = target.canon(j_eq);
                         if is_interesting(&o, j_eq, j_boundary, &ctx.targets)
-                            && j_payload.add_order(o)
+                            && self.push_order(j_payload, o)
                         {
                             self.sort_est += 1;
                         }
                     }
                 }
             }
-            for pv in &o_lists.partitions {
-                let pv = pv.canon(j_eq);
+            for &pid in &o_lists.partitions {
+                let pv = self.parts_tab.resolve(pid).canon(j_eq);
                 if is_interesting_partition(&pv, j_eq, j_boundary, &ctx.targets) {
-                    j_payload.add_partition(pv);
+                    self.push_partition(j_payload, pv);
                 }
             }
             if let Some(h) = &heuristic_pv {
                 if is_interesting_partition(h, j_eq, j_boundary, &ctx.targets) {
-                    j_payload.add_partition(h.clone());
+                    self.push_partition(j_payload, h.clone());
                 }
             }
             if self.opts.compound_properties {
-                for (o, p) in &o_lists.compound {
-                    let o = o.canon(j_eq);
+                for &(oid, pid) in &o_lists.compound {
+                    let o = self.orders_tab.resolve(oid).canon(j_eq);
                     let o_alive = is_interesting(&o, j_eq, j_boundary, &ctx.targets);
-                    let p = p.as_ref().map(|p| p.canon(j_eq));
+                    let p = pid.map(|pid| self.parts_tab.resolve(pid).canon(j_eq));
                     let p_alive = p.as_ref().is_some_and(|p| {
                         is_interesting_partition(p, j_eq, j_boundary, &ctx.targets)
                     });
@@ -407,14 +540,14 @@ impl JoinVisitor for PlanEstimator<'_> {
                     // retire (§3.4).
                     if o_alive || p_alive {
                         let o = if o_alive { o } else { Ordering::dc() };
-                        j_payload.add_compound((o, p));
+                        self.push_compound(j_payload, o, p);
                     }
                 }
             }
         }
     }
 
-    fn finish_entry<M: MemoStore<PropLists>>(
+    fn finish_entry<M: MemoStore<InternedLists>>(
         &mut self,
         _ctx: &OptContext<'_>,
         _memo: &mut M,
@@ -427,6 +560,11 @@ impl<'o> ParallelJoinVisitor for PlanEstimator<'o> {
     type Worker = PlanEstimator<'o>;
 
     fn fork_level(&mut self, workers: usize) -> Vec<PlanEstimator<'o>> {
+        // Workers clone the interner tables: ids below the fork point are
+        // globally consistent; anything a worker interns above it is
+        // provisional and re-interned at the level barrier.
+        self.fork_base = (self.orders_tab.len() as u32, self.parts_tab.len() as u32);
+        self.remaps.clear();
         (0..workers)
             .map(|_| {
                 let n = self.levels.len();
@@ -441,12 +579,20 @@ impl<'o> ParallelJoinVisitor for PlanEstimator<'o> {
                     propagated: FxHashSet::default(),
                     scan_est: 0,
                     sort_est: 0,
+                    orders_tab: self.orders_tab.clone(),
+                    parts_tab: self.parts_tab.clone(),
+                    prop_probes: 0,
+                    prop_compares: 0,
+                    prop_naive_compares: 0,
+                    fork_base: (0, 0),
+                    remaps: Vec::new(),
                 }
             })
             .collect()
     }
 
     fn absorb_level(&mut self, workers: Vec<PlanEstimator<'o>>) {
+        let (ob, pb) = self.fork_base;
         for w in workers {
             for (a, b) in self.level_counts.iter_mut().zip(&w.level_counts) {
                 a.add(b);
@@ -454,9 +600,50 @@ impl<'o> ParallelJoinVisitor for PlanEstimator<'o> {
             self.compound_counts.add(&w.compound_counts);
             self.scan_est += w.scan_est;
             self.sort_est += w.sort_est;
+            self.prop_probes += w.prop_probes;
+            self.prop_compares += w.prop_compares;
+            self.prop_naive_compares += w.prop_naive_compares;
+            // Fold the worker's provisional interner tail into the merged
+            // tables; interner bijection (equal values ⇔ equal ids) makes
+            // the provisional → merged map collision-free.
+            let omap: Vec<PropSetId> = w
+                .orders_tab
+                .iter()
+                .skip(ob as usize)
+                .map(|(_, v)| self.orders_tab.intern(v))
+                .collect();
+            let pmap: Vec<PropSetId> = w
+                .parts_tab
+                .iter()
+                .skip(pb as usize)
+                .map(|(_, v)| self.parts_tab.intern(v))
+                .collect();
+            self.remaps.push((omap, pmap));
         }
     }
-    // remap_payload: default no-op — PropLists holds no arena or MEMO ids.
+
+    fn remap_payload(&mut self, worker: usize, payload: &mut InternedLists) {
+        let (ob, pb) = self.fork_base;
+        let (omap, pmap) = &self.remaps[worker];
+        let ro = |id: &mut PropSetId| {
+            if id.0 >= ob {
+                *id = omap[(id.0 - ob) as usize];
+            }
+        };
+        let rp = |id: &mut PropSetId| {
+            if id.0 >= pb {
+                *id = pmap[(id.0 - pb) as usize];
+            }
+        };
+        payload.orders.iter_mut().for_each(ro);
+        payload.partitions.iter_mut().for_each(rp);
+        for (o, p) in &mut payload.compound {
+            ro(o);
+            if let Some(p) = p {
+                rp(p);
+            }
+        }
+    }
 }
 
 /// Estimate the generated plan counts for one block by reusing the join
@@ -508,6 +695,9 @@ pub fn estimate_block(
         sort_plans: visitor.sort_est,
         // §3: one sort-based + one hash-based grouping plan per aggregation.
         group_plans: if block.group_by().is_empty() { 0 } else { 2 },
+        prop_probes: visitor.prop_probes,
+        prop_compares: visitor.prop_compares,
+        prop_naive_compares: visitor.prop_naive_compares,
     })
 }
 
@@ -525,7 +715,7 @@ pub fn property_lists(
     Ok(outcome
         .memo
         .iter()
-        .map(|(_, e)| (e.set, e.payload.clone()))
+        .map(|(_, e)| (e.set, visitor.resolve_lists(e.payload)))
         .collect())
 }
 
@@ -548,6 +738,9 @@ pub fn estimate_query(
     }
     c.estimated_plans.add(totals.counts.total());
     c.estimated_pairs.add(totals.pairs);
+    c.prop_probes.add(totals.prop_probes);
+    c.prop_compares.add(totals.prop_compares);
+    c.prop_naive_compares.add(totals.prop_naive_compares);
     Ok(QueryEstimate {
         totals,
         elapsed: wall.elapsed(),
@@ -559,6 +752,9 @@ struct RunCounters {
     runs: Arc<Counter>,
     estimated_plans: Arc<Counter>,
     estimated_pairs: Arc<Counter>,
+    prop_probes: Arc<Counter>,
+    prop_compares: Arc<Counter>,
+    prop_naive_compares: Arc<Counter>,
 }
 
 fn run_counters() -> &'static RunCounters {
@@ -574,6 +770,19 @@ fn run_counters() -> &'static RunCounters {
             estimated_pairs: r.counter_with_help(
                 "estimator_estimated_pairs_total",
                 "MEMO entry pairs the counting pass visited.",
+            ),
+            prop_probes: r.counter_with_help(
+                "cote_opt_prop_probes_total",
+                "Interner hash probes while maintaining property lists.",
+            ),
+            prop_compares: r.counter_with_help(
+                "cote_opt_prop_compares_total",
+                "Deep property comparisons performed by the interned layout.",
+            ),
+            prop_naive_compares: r.counter_with_help(
+                "cote_opt_prop_naive_compares_total",
+                "Deep comparisons the pre-interning list scans would have \
+                 performed (the avoided O(n²)).",
             ),
         }
     })

@@ -10,7 +10,7 @@
 use crate::cardinality::CardinalityModel;
 use crate::context::OptContext;
 use crate::memo::{boundary_classes, outer_enabled, EntryId, Memo, MemoEntry, MemoStore};
-use cote_common::{CoteError, Result, TableRef, TableSet};
+use cote_common::{CoteError, InlineVec, Result, TableRef, TableSet};
 use cote_query::EqClasses;
 
 /// Hard cap on block size for full DP enumeration (subset blow-up guard).
@@ -27,7 +27,8 @@ pub struct JoinSite {
     pub joined: EntryId,
     /// Indices of the block's join predicates spanning `a` and `b`
     /// (empty ⇒ Cartesian product admitted by the card-1 heuristic).
-    pub preds: Vec<usize>,
+    /// Inline up to four indices — the common case allocates nothing.
+    pub preds: InlineVec<usize, 4>,
     /// May `a` serve as the outer (outer-enabled, composite-inner limit,
     /// outer-join orientation)?
     pub a_outer_ok: bool,
@@ -103,22 +104,13 @@ pub fn enumerate<V: JoinVisitor, M: CardinalityModel>(
 
     let mut pairs = 0u64;
     let mut joins = 0u64;
-    let limit_bits = 1u64 << n;
 
     for sz in 2..=n {
         // Gosper's hack: all sz-subsets of {0..n-1} in ascending order.
-        let mut mask = (1u64 << sz) - 1;
-        while mask < limit_bits {
-            let (p, j) = process_mask(ctx, model, visitor, &mut memo, mask);
+        for set in TableSet::k_subsets(n, sz) {
+            let (p, j) = process_mask(ctx, model, visitor, &mut memo, set.bits());
             pairs += p;
             joins += j;
-            // Next sz-subset.
-            let c = mask & mask.wrapping_neg();
-            let r = mask + c;
-            if r >= limit_bits {
-                break;
-            }
-            mask = (((r ^ mask) >> 2) / c) | r;
         }
     }
 
@@ -210,8 +202,8 @@ where
         };
         let preds = block.preds_between(a_set, b_set);
         if preds.is_empty() {
-            let ca = memo.entry(a_id).cardinality;
-            let cb = memo.entry(b_id).cardinality;
+            let ca = memo.cardinality(a_id);
+            let cb = memo.cardinality(b_id);
             if !(ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
                 continue;
             }
@@ -225,10 +217,8 @@ where
                     Some(oid) => s.contains(block.outer_joins()[oid as usize].null_side),
                 })
         };
-        let a_outer_ok =
-            memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
-        let b_outer_ok =
-            memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
+        let a_outer_ok = memo.outer_enabled(a_id) && b_set.len() <= inner_limit && null_in(b_set);
+        let b_outer_ok = memo.outer_enabled(b_id) && a_set.len() <= inner_limit && null_in(a_set);
         if !a_outer_ok && !b_outer_ok {
             continue;
         }
@@ -236,8 +226,8 @@ where
         let joined = match created.or_else(|| memo.id_of(set)) {
             Some(j) => j,
             None => {
-                let mut eq = memo.entry(a_id).eq.clone();
-                eq.absorb(&memo.entry(b_id).eq);
+                let mut eq = memo.eq_classes(a_id).clone();
+                eq.absorb(memo.eq_classes(b_id));
                 for &pi in &preds {
                     let p = &block.join_preds()[pi];
                     let (l, r) = (
@@ -246,12 +236,8 @@ where
                     );
                     eq.union(l, r);
                 }
-                let cardinality = model.join(
-                    ctx,
-                    memo.entry(a_id).cardinality,
-                    memo.entry(b_id).cardinality,
-                    &preds,
-                );
+                let cardinality =
+                    model.join(ctx, memo.cardinality(a_id), memo.cardinality(b_id), &preds);
                 let core = MemoEntry {
                     set,
                     cardinality,
@@ -294,20 +280,10 @@ where
 
 /// All `sz`-subsets of `{0..n-1}` as bit masks in ascending order (Gosper's
 /// hack, materialized — the parallel driver stripes this list over workers).
+/// Ascending order is load-bearing: the shard merge re-inserts entries in
+/// ascending `set.bits()` order to reproduce serial ids.
 pub(crate) fn level_masks(n: usize, sz: usize) -> Vec<u64> {
-    let limit_bits = 1u64 << n;
-    let mut out = Vec::new();
-    let mut mask = (1u64 << sz) - 1;
-    while mask < limit_bits {
-        out.push(mask);
-        let c = mask & mask.wrapping_neg();
-        let r = mask + c;
-        if r >= limit_bits {
-            break;
-        }
-        mask = (((r ^ mask) >> 2) / c) | r;
-    }
-    out
+    TableSet::k_subsets(n, sz).map(|s| s.bits()).collect()
 }
 
 #[cfg(test)]

@@ -88,8 +88,8 @@ impl<V: JoinVisitor, M: CardinalityModel> TopDown<'_, '_, V, M> {
             };
             let preds = block.preds_between(a_set, b_set);
             if preds.is_empty() {
-                let ca = self.memo.entry(a_id).cardinality;
-                let cb = self.memo.entry(b_id).cardinality;
+                let ca = self.memo.cardinality(a_id);
+                let cb = self.memo.cardinality(b_id);
                 if !(self.ctx.config.cartesian_card_one && (ca <= thr || cb <= thr)) {
                     continue;
                 }
@@ -103,9 +103,9 @@ impl<V: JoinVisitor, M: CardinalityModel> TopDown<'_, '_, V, M> {
                     })
             };
             let a_outer_ok =
-                self.memo.entry(a_id).outer_enabled && b_set.len() <= inner_limit && null_in(b_set);
+                self.memo.outer_enabled(a_id) && b_set.len() <= inner_limit && null_in(b_set);
             let b_outer_ok =
-                self.memo.entry(b_id).outer_enabled && a_set.len() <= inner_limit && null_in(a_set);
+                self.memo.outer_enabled(b_id) && a_set.len() <= inner_limit && null_in(a_set);
             if !a_outer_ok && !b_outer_ok {
                 continue;
             }
@@ -113,8 +113,8 @@ impl<V: JoinVisitor, M: CardinalityModel> TopDown<'_, '_, V, M> {
             let joined = match created {
                 Some(j) => j,
                 None => {
-                    let mut eq = self.memo.entry(a_id).eq.clone();
-                    eq.absorb(&self.memo.entry(b_id).eq);
+                    let mut eq = self.memo.eq_classes(a_id).clone();
+                    eq.absorb(self.memo.eq_classes(b_id));
                     for &pi in &preds {
                         let p = &block.join_preds()[pi];
                         eq.union(
@@ -124,8 +124,8 @@ impl<V: JoinVisitor, M: CardinalityModel> TopDown<'_, '_, V, M> {
                     }
                     let cardinality = self.model.join(
                         self.ctx,
-                        self.memo.entry(a_id).cardinality,
-                        self.memo.entry(b_id).cardinality,
+                        self.memo.cardinality(a_id),
+                        self.memo.cardinality(b_id),
                         &preds,
                     );
                     let core = MemoEntry {

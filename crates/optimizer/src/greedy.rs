@@ -10,7 +10,7 @@ use crate::config::OptimizerConfig;
 use crate::context::OptContext;
 use crate::cost::{hsjn_cost, table_scan, Cost, JoinCostInput, StreamStats};
 use cote_catalog::Catalog;
-use cote_common::{CoteError, Result, TableSet};
+use cote_common::{CoteError, InlineVec, Result, TableSet};
 use cote_obs::Stopwatch;
 use cote_query::{Query, QueryBlock};
 use std::time::Duration;
@@ -97,7 +97,7 @@ impl GreedyOptimizer {
         while components.len() > 1 {
             // Find the linked pair with the smallest result cardinality;
             // fall back to the smallest Cartesian product if none linked.
-            let mut best: Option<(usize, usize, f64, Vec<usize>)> = None;
+            let mut best: Option<(usize, usize, f64, InlineVec<usize, 4>)> = None;
             for i in 0..components.len() {
                 for j in i + 1..components.len() {
                     let preds = block.preds_between(components[i].set, components[j].set);

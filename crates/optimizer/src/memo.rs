@@ -1,4 +1,4 @@
-//! The MEMO structure (paper §2.1).
+//! The MEMO structure (paper §2.1), laid out struct-of-arrays.
 //!
 //! One entry per optimized table subset. The *core* of an entry holds the
 //! logical properties every mode needs — cardinality, column-equivalence
@@ -7,15 +7,38 @@
 //! optimizer, interesting-property value lists for the estimator
 //! (trading "a much smaller amount of space" for bypassed plan generation,
 //! §3.3).
+//!
+//! # Memory layout
+//!
+//! [`Memo`] stores each core field in its own dense column vector instead of
+//! an array of structs. The enumerator's hot loop touches exactly one or two
+//! fields per probe (cardinality for the Cartesian guard, the outer flag for
+//! orientation, the eq classes once per created entry), so packing the
+//! fields separately keeps each probe on a cache line shared with its
+//! neighbours rather than dragging a whole entry in. Boundary (future-join)
+//! class lists repeat heavily across entries — every subset with the same
+//! frontier shares one — so they are hash-consed through a
+//! [`cote_common::Interner`] and entries store a 4-byte
+//! [`PropSetId`] instead of an owned `Vec<u16>`; two boundaries compare
+//! equal iff their ids do. [`MemoEntry`] survives as the *insertion record*
+//! (and the visitor's pre-insert "core" view); [`Memo::insert`] scatters it
+//! into the columns. Reads come back through [`EntryRef`] /
+//! [`JoinedRef`], borrowed views whose field names mirror `MemoEntry` so
+//! call sites read identically. See DESIGN.md §10 for the full rationale.
 
-use cote_common::{FxHashMap, TableSet};
+use cote_common::{FxHashMap, Interner, PropSetId, TableSet};
 use cote_query::{EqClasses, QueryBlock};
 
 /// Index of a MEMO entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EntryId(pub u32);
 
-/// A MEMO entry: logical core + mode-specific payload.
+/// A MEMO entry as constructed: logical core + mode-specific payload.
+///
+/// This is the *insertion record* — visitors build one per entry (and
+/// receive a `MemoEntry<()>` "core" before the payload exists), and
+/// [`MemoStore::insert`] scatters it into the store's column vectors.
+/// Stored entries are read back through [`EntryRef`], not this struct.
 #[derive(Debug)]
 pub struct MemoEntry<P> {
     /// The table subset this entry covers.
@@ -38,10 +61,80 @@ pub struct MemoEntry<P> {
     pub payload: P,
 }
 
-/// The MEMO: entries indexed by table set.
+impl<P> MemoEntry<P> {
+    /// A borrowed view of this (not-yet-inserted) entry.
+    pub fn as_view(&self) -> EntryRef<'_, P> {
+        EntryRef {
+            set: self.set,
+            cardinality: self.cardinality,
+            eq: &self.eq,
+            boundary: &self.boundary,
+            outer_enabled: self.outer_enabled,
+            payload: &self.payload,
+        }
+    }
+}
+
+/// A borrowed view of one stored MEMO entry.
+///
+/// Field names and shapes mirror [`MemoEntry`], so code written against the
+/// old array-of-structs layout (`memo.entry(id).cardinality`,
+/// `entry.payload.plans`, …) reads unchanged; only the storage behind it is
+/// struct-of-arrays.
+#[derive(Debug)]
+pub struct EntryRef<'m, P> {
+    /// The table subset this entry covers.
+    pub set: TableSet,
+    /// Estimated output cardinality.
+    pub cardinality: f64,
+    /// Column-equivalence classes inside `set`.
+    pub eq: &'m EqClasses,
+    /// Boundary (future-join) class representatives, resolved from the
+    /// store's interner.
+    pub boundary: &'m [u16],
+    /// May this entry serve as a join outer?
+    pub outer_enabled: bool,
+    /// Mode-specific state.
+    pub payload: &'m P,
+}
+
+impl<P> Clone for EntryRef<'_, P> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<P> Copy for EntryRef<'_, P> {}
+
+/// The mutable third leg of a [`MemoStore::join_view`]: the joined entry's
+/// core (read-only) plus exclusive access to its payload.
+#[derive(Debug)]
+pub struct JoinedRef<'m, P> {
+    /// The table subset this entry covers.
+    pub set: TableSet,
+    /// Estimated output cardinality.
+    pub cardinality: f64,
+    /// Column-equivalence classes inside `set`.
+    pub eq: &'m EqClasses,
+    /// Boundary (future-join) class representatives.
+    pub boundary: &'m [u16],
+    /// May this entry serve as a join outer?
+    pub outer_enabled: bool,
+    /// Mode-specific state (exclusive).
+    pub payload: &'m mut P,
+}
+
+/// The MEMO: entries indexed by table set, stored struct-of-arrays.
 #[derive(Debug)]
 pub struct Memo<P> {
-    entries: Vec<MemoEntry<P>>,
+    sets: Vec<TableSet>,
+    cardinalities: Vec<f64>,
+    eqs: Vec<EqClasses>,
+    /// Interned boundary list per entry; resolve through `boundaries`.
+    boundary_ids: Vec<PropSetId>,
+    outer_flags: Vec<bool>,
+    payloads: Vec<P>,
+    /// Hash-consing table for boundary lists (shared across entries).
+    boundaries: Interner<Vec<u16>>,
     index: FxHashMap<u64, EntryId>,
 }
 
@@ -55,19 +148,25 @@ impl<P> Memo<P> {
     /// An empty MEMO.
     pub fn new() -> Self {
         Self {
-            entries: Vec::new(),
+            sets: Vec::new(),
+            cardinalities: Vec::new(),
+            eqs: Vec::new(),
+            boundary_ids: Vec::new(),
+            outer_flags: Vec::new(),
+            payloads: Vec::new(),
+            boundaries: Interner::new(),
             index: FxHashMap::default(),
         }
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.sets.len()
     }
 
     /// True when no entries exist.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.sets.is_empty()
     }
 
     /// Entry id covering `set`, if present.
@@ -75,57 +174,137 @@ impl<P> Memo<P> {
         self.index.get(&set.bits()).copied()
     }
 
-    /// Entry by id.
-    pub fn entry(&self, id: EntryId) -> &MemoEntry<P> {
-        &self.entries[id.0 as usize]
+    /// The entry's table set.
+    pub fn set(&self, id: EntryId) -> TableSet {
+        self.sets[id.0 as usize]
     }
 
-    /// Mutable entry by id.
-    pub fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
-        &mut self.entries[id.0 as usize]
+    /// The entry's cardinality.
+    pub fn cardinality(&self, id: EntryId) -> f64 {
+        self.cardinalities[id.0 as usize]
     }
 
-    /// Two entries by id (disjoint borrow), plus a third mutable one.
+    /// The entry's column-equivalence classes.
+    pub fn eq_classes(&self, id: EntryId) -> &EqClasses {
+        &self.eqs[id.0 as usize]
+    }
+
+    /// The entry's interned boundary-list id. Two entries have equal
+    /// boundaries iff their ids are equal (a `u32` compare).
+    pub fn boundary_id(&self, id: EntryId) -> PropSetId {
+        self.boundary_ids[id.0 as usize]
+    }
+
+    /// The entry's boundary classes, resolved from the interner.
+    pub fn boundary(&self, id: EntryId) -> &[u16] {
+        self.boundaries.resolve(self.boundary_ids[id.0 as usize])
+    }
+
+    /// May the entry serve as a join outer?
+    pub fn outer_enabled(&self, id: EntryId) -> bool {
+        self.outer_flags[id.0 as usize]
+    }
+
+    /// The entry's payload.
+    pub fn payload(&self, id: EntryId) -> &P {
+        &self.payloads[id.0 as usize]
+    }
+
+    /// The entry's payload, mutably.
+    pub fn payload_mut(&mut self, id: EntryId) -> &mut P {
+        &mut self.payloads[id.0 as usize]
+    }
+
+    /// Number of *distinct* boundary lists across all entries (the
+    /// interner's table size; ≤ `len()`).
+    pub fn distinct_boundaries(&self) -> usize {
+        self.boundaries.len()
+    }
+
+    /// A borrowed view of the entry.
+    pub fn entry(&self, id: EntryId) -> EntryRef<'_, P> {
+        let i = id.0 as usize;
+        EntryRef {
+            set: self.sets[i],
+            cardinality: self.cardinalities[i],
+            eq: &self.eqs[i],
+            boundary: self.boundaries.resolve(self.boundary_ids[i]),
+            outer_enabled: self.outer_flags[i],
+            payload: &self.payloads[i],
+        }
+    }
+
+    /// Views of two input entries plus the joined entry with exclusive
+    /// payload access.
     ///
     /// The plan generator constantly reads the two input entries of a join
-    /// while mutating the joined entry; this provides that borrow shape
-    /// without cloning.
+    /// while mutating the joined entry's payload; this provides that borrow
+    /// shape without cloning. Only the payload column needs the split
+    /// borrow — every core column is read-only here.
     pub fn join_view(
         &mut self,
         a: EntryId,
         b: EntryId,
         j: EntryId,
-    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+    ) -> (EntryRef<'_, P>, EntryRef<'_, P>, JoinedRef<'_, P>) {
         let (ai, bi, ji) = (a.0 as usize, b.0 as usize, j.0 as usize);
         assert!(
             ai != ji && bi != ji && ai != bi,
             "join entries must be distinct"
         );
-        // Safety-free split: use raw pointers checked above for aliasing.
-        let base = self.entries.as_mut_ptr();
-        unsafe {
-            let ea = &*base.add(ai);
-            let eb = &*base.add(bi);
-            let ej = &mut *base.add(ji);
-            (ea, eb, ej)
-        }
+        assert!(ai < self.payloads.len() && bi < self.payloads.len() && ji < self.payloads.len());
+        let base = self.payloads.as_mut_ptr();
+        // SAFETY: the three indices are distinct and in bounds (checked
+        // above), so the two shared payload borrows never alias the mutable
+        // one; all other columns are borrowed shared.
+        let (pa, pb, pj) = unsafe { (&*base.add(ai), &*base.add(bi), &mut *base.add(ji)) };
+        (
+            EntryRef {
+                set: self.sets[ai],
+                cardinality: self.cardinalities[ai],
+                eq: &self.eqs[ai],
+                boundary: self.boundaries.resolve(self.boundary_ids[ai]),
+                outer_enabled: self.outer_flags[ai],
+                payload: pa,
+            },
+            EntryRef {
+                set: self.sets[bi],
+                cardinality: self.cardinalities[bi],
+                eq: &self.eqs[bi],
+                boundary: self.boundaries.resolve(self.boundary_ids[bi]),
+                outer_enabled: self.outer_flags[bi],
+                payload: pb,
+            },
+            JoinedRef {
+                set: self.sets[ji],
+                cardinality: self.cardinalities[ji],
+                eq: &self.eqs[ji],
+                boundary: self.boundaries.resolve(self.boundary_ids[ji]),
+                outer_enabled: self.outer_flags[ji],
+                payload: pj,
+            },
+        )
     }
 
-    /// Insert a new entry; panics if the set is already present.
+    /// Insert a new entry, scattering it into the columns; panics if the
+    /// set is already present.
     pub fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
-        let id = EntryId(self.entries.len() as u32);
+        let id = EntryId(self.sets.len() as u32);
         let prev = self.index.insert(entry.set.bits(), id);
         assert!(prev.is_none(), "duplicate MEMO entry for {}", entry.set);
-        self.entries.push(entry);
+        self.sets.push(entry.set);
+        self.cardinalities.push(entry.cardinality);
+        self.eqs.push(entry.eq);
+        self.boundary_ids
+            .push(self.boundaries.intern_owned(entry.boundary));
+        self.outer_flags.push(entry.outer_enabled);
+        self.payloads.push(entry.payload);
         id
     }
 
     /// All entries in insertion (size-ascending) order.
-    pub fn iter(&self) -> impl Iterator<Item = (EntryId, &MemoEntry<P>)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (EntryId(i as u32), e))
+    pub fn iter(&self) -> impl Iterator<Item = (EntryId, EntryRef<'_, P>)> {
+        (0..self.sets.len() as u32).map(move |i| (EntryId(i), self.entry(EntryId(i))))
     }
 }
 
@@ -134,8 +313,10 @@ impl<P> Memo<P> {
 ///
 /// [`JoinVisitor`](crate::JoinVisitor) callbacks are generic over this trait
 /// so the *same* visitor code runs unchanged in the serial walk (directly on
-/// the `Memo`) and inside a parallel level worker (on a shard). The contract
-/// mirrors `Memo`'s inherent methods exactly.
+/// the `Memo`) and inside a parallel level worker (on a shard). The
+/// required methods are per-field accessors — the struct-of-arrays layout
+/// flows through the trait, so a caller touching one field costs one column
+/// probe; [`MemoStore::entry`] assembles a full view from them.
 pub trait MemoStore<P> {
     /// Number of entries visible through this store.
     fn len(&self) -> usize;
@@ -145,17 +326,39 @@ pub trait MemoStore<P> {
     }
     /// Entry id covering `set`, if present.
     fn id_of(&self, set: TableSet) -> Option<EntryId>;
-    /// Entry by id.
-    fn entry(&self, id: EntryId) -> &MemoEntry<P>;
-    /// Mutable entry by id.
-    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P>;
-    /// Two entries by id (disjoint borrow), plus a third mutable one.
+    /// The entry's table set.
+    fn set(&self, id: EntryId) -> TableSet;
+    /// The entry's cardinality.
+    fn cardinality(&self, id: EntryId) -> f64;
+    /// The entry's column-equivalence classes.
+    fn eq_classes(&self, id: EntryId) -> &EqClasses;
+    /// The entry's boundary classes.
+    fn boundary(&self, id: EntryId) -> &[u16];
+    /// May the entry serve as a join outer?
+    fn outer_enabled(&self, id: EntryId) -> bool;
+    /// The entry's payload.
+    fn payload(&self, id: EntryId) -> &P;
+    /// The entry's payload, mutably.
+    fn payload_mut(&mut self, id: EntryId) -> &mut P;
+    /// A borrowed view of the entry (assembled from the field accessors).
+    fn entry(&self, id: EntryId) -> EntryRef<'_, P> {
+        EntryRef {
+            set: self.set(id),
+            cardinality: self.cardinality(id),
+            eq: self.eq_classes(id),
+            boundary: self.boundary(id),
+            outer_enabled: self.outer_enabled(id),
+            payload: self.payload(id),
+        }
+    }
+    /// Views of two input entries plus the joined entry with exclusive
+    /// payload access.
     fn join_view(
         &mut self,
         a: EntryId,
         b: EntryId,
         j: EntryId,
-    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>);
+    ) -> (EntryRef<'_, P>, EntryRef<'_, P>, JoinedRef<'_, P>);
     /// Insert a new entry; panics if the set is already present.
     fn insert(&mut self, entry: MemoEntry<P>) -> EntryId;
 }
@@ -167,18 +370,36 @@ impl<P> MemoStore<P> for Memo<P> {
     fn id_of(&self, set: TableSet) -> Option<EntryId> {
         Memo::id_of(self, set)
     }
-    fn entry(&self, id: EntryId) -> &MemoEntry<P> {
-        Memo::entry(self, id)
+    fn set(&self, id: EntryId) -> TableSet {
+        Memo::set(self, id)
     }
-    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
-        Memo::entry_mut(self, id)
+    fn cardinality(&self, id: EntryId) -> f64 {
+        Memo::cardinality(self, id)
+    }
+    fn eq_classes(&self, id: EntryId) -> &EqClasses {
+        Memo::eq_classes(self, id)
+    }
+    fn boundary(&self, id: EntryId) -> &[u16] {
+        Memo::boundary(self, id)
+    }
+    fn outer_enabled(&self, id: EntryId) -> bool {
+        Memo::outer_enabled(self, id)
+    }
+    fn payload(&self, id: EntryId) -> &P {
+        Memo::payload(self, id)
+    }
+    fn payload_mut(&mut self, id: EntryId) -> &mut P {
+        Memo::payload_mut(self, id)
+    }
+    fn entry(&self, id: EntryId) -> EntryRef<'_, P> {
+        Memo::entry(self, id)
     }
     fn join_view(
         &mut self,
         a: EntryId,
         b: EntryId,
         j: EntryId,
-    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+    ) -> (EntryRef<'_, P>, EntryRef<'_, P>, JoinedRef<'_, P>) {
         Memo::join_view(self, a, b, j)
     }
     fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
@@ -192,11 +413,14 @@ impl<P> MemoStore<P> for Memo<P> {
 /// (all entries of strictly smaller levels — join inputs never live at the
 /// current level, so workers only ever *read* the base) and accumulates the
 /// current level's entries it creates in a private `local` tail. Local
-/// entries get provisional ids continuing the base numbering
-/// (`base.len() + local index`); at the level barrier the engine drains the
-/// shards and re-inserts their entries into the real MEMO in globally
-/// ascending `set.bits()` order, which reproduces the exact ids the serial
-/// walk would have assigned.
+/// entries stay array-of-structs ([`MemoEntry`] records): a shard holds a
+/// handful of short-lived entries drained at the level barrier, so
+/// columnarizing them would buy nothing — they are scattered into the real
+/// MEMO's columns on merge. Local entries get provisional ids continuing
+/// the base numbering (`base.len() + local index`); at the level barrier
+/// the engine drains the shards and re-inserts their entries into the real
+/// MEMO in globally ascending `set.bits()` order, which reproduces the
+/// exact ids the serial walk would have assigned.
 #[derive(Debug)]
 pub struct MemoShard<'a, P> {
     base: &'a Memo<P>,
@@ -218,6 +442,10 @@ impl<'a, P> MemoShard<'a, P> {
         self.base.len() as u32
     }
 
+    fn local_entry(&self, id: EntryId) -> &MemoEntry<P> {
+        &self.local[(id.0 - self.base_len()) as usize]
+    }
+
     /// Consume the shard, returning its locally created entries in creation
     /// order (ascending `set.bits()` within the level, by construction).
     pub fn into_locals(self) -> Vec<MemoEntry<P>> {
@@ -234,25 +462,66 @@ impl<P> MemoStore<P> for MemoShard<'_, P> {
             .id_of(set)
             .or_else(|| self.local_index.get(&set.bits()).copied())
     }
-    fn entry(&self, id: EntryId) -> &MemoEntry<P> {
-        let bl = self.base_len();
-        if id.0 < bl {
-            self.base.entry(id)
+    fn set(&self, id: EntryId) -> TableSet {
+        if id.0 < self.base_len() {
+            self.base.set(id)
         } else {
-            &self.local[(id.0 - bl) as usize]
+            self.local_entry(id).set
         }
     }
-    fn entry_mut(&mut self, id: EntryId) -> &mut MemoEntry<P> {
+    fn cardinality(&self, id: EntryId) -> f64 {
+        if id.0 < self.base_len() {
+            self.base.cardinality(id)
+        } else {
+            self.local_entry(id).cardinality
+        }
+    }
+    fn eq_classes(&self, id: EntryId) -> &EqClasses {
+        if id.0 < self.base_len() {
+            self.base.eq_classes(id)
+        } else {
+            &self.local_entry(id).eq
+        }
+    }
+    fn boundary(&self, id: EntryId) -> &[u16] {
+        if id.0 < self.base_len() {
+            self.base.boundary(id)
+        } else {
+            &self.local_entry(id).boundary
+        }
+    }
+    fn outer_enabled(&self, id: EntryId) -> bool {
+        if id.0 < self.base_len() {
+            self.base.outer_enabled(id)
+        } else {
+            self.local_entry(id).outer_enabled
+        }
+    }
+    fn payload(&self, id: EntryId) -> &P {
+        if id.0 < self.base_len() {
+            self.base.payload(id)
+        } else {
+            &self.local_entry(id).payload
+        }
+    }
+    fn payload_mut(&mut self, id: EntryId) -> &mut P {
         let bl = self.base_len();
         assert!(id.0 >= bl, "cannot mutate a frozen base entry from a shard");
-        &mut self.local[(id.0 - bl) as usize]
+        &mut self.local[(id.0 - bl) as usize].payload
+    }
+    fn entry(&self, id: EntryId) -> EntryRef<'_, P> {
+        if id.0 < self.base_len() {
+            self.base.entry(id)
+        } else {
+            self.local_entry(id).as_view()
+        }
     }
     fn join_view(
         &mut self,
         a: EntryId,
         b: EntryId,
         j: EntryId,
-    ) -> (&MemoEntry<P>, &MemoEntry<P>, &mut MemoEntry<P>) {
+    ) -> (EntryRef<'_, P>, EntryRef<'_, P>, JoinedRef<'_, P>) {
         let bl = self.base_len();
         assert!(a != j && b != j && a != b, "join entries must be distinct");
         assert!(j.0 >= bl, "joined entry must be shard-local");
@@ -261,19 +530,32 @@ impl<P> MemoStore<P> for MemoShard<'_, P> {
         // frozen base entries; the general local/local case is still handled
         // via the distinctness assertion above.
         let local = self.local.as_mut_ptr();
+        // SAFETY: `a`, `b`, `j` are distinct and their local indices are in
+        // bounds, so the shared views never alias the mutable payload.
         unsafe {
-            let ea: &MemoEntry<P> = if a.0 < bl {
+            let ea: EntryRef<'_, P> = if a.0 < bl {
                 self.base.entry(a)
             } else {
-                &*local.add((a.0 - bl) as usize)
+                (*local.add((a.0 - bl) as usize)).as_view()
             };
-            let eb: &MemoEntry<P> = if b.0 < bl {
+            let eb: EntryRef<'_, P> = if b.0 < bl {
                 self.base.entry(b)
             } else {
-                &*local.add((b.0 - bl) as usize)
+                (*local.add((b.0 - bl) as usize)).as_view()
             };
             let ej = &mut *local.add((j.0 - bl) as usize);
-            (ea, eb, ej)
+            (
+                ea,
+                eb,
+                JoinedRef {
+                    set: ej.set,
+                    cardinality: ej.cardinality,
+                    eq: &ej.eq,
+                    boundary: &ej.boundary,
+                    outer_enabled: ej.outer_enabled,
+                    payload: &mut ej.payload,
+                },
+            )
         }
     }
     fn insert(&mut self, entry: MemoEntry<P>) -> EntryId {
@@ -364,6 +646,8 @@ mod tests {
         assert_eq!(memo.id_of(s), Some(id));
         assert_eq!(memo.id_of(TableSet::first_n(1)), None);
         assert_eq!(memo.entry(id).cardinality, 10.0);
+        assert_eq!(memo.cardinality(id), 10.0);
+        assert_eq!(memo.set(id), s);
         assert_eq!(memo.len(), 1);
         assert_eq!(memo.iter().count(), 1);
     }
@@ -385,6 +669,29 @@ mod tests {
     }
 
     #[test]
+    fn boundary_lists_are_interned() {
+        let mut memo: Memo<()> = Memo::new();
+        let mk = |bits: u64, boundary: Vec<u16>| MemoEntry {
+            set: TableSet::from_bits(bits),
+            cardinality: 1.0,
+            eq: EqClasses::new(0),
+            boundary,
+            outer_enabled: true,
+            payload: (),
+        };
+        let a = memo.insert(mk(0b001, vec![3, 5]));
+        let b = memo.insert(mk(0b010, vec![3, 5]));
+        let c = memo.insert(mk(0b100, vec![7]));
+        // Equal lists share one interned value; comparison is a u32 compare.
+        assert_eq!(memo.boundary_id(a), memo.boundary_id(b));
+        assert_ne!(memo.boundary_id(a), memo.boundary_id(c));
+        assert_eq!(memo.distinct_boundaries(), 2);
+        assert_eq!(memo.boundary(a), &[3, 5]);
+        assert_eq!(memo.boundary(c), &[7]);
+        assert_eq!(memo.entry(b).boundary, &[3, 5]);
+    }
+
+    #[test]
     fn join_view_borrows_three_entries() {
         let mut memo: Memo<u32> = Memo::new();
         let mk = |bits: u64, v: u32| MemoEntry {
@@ -399,8 +706,9 @@ mod tests {
         let b = memo.insert(mk(0b010, 2));
         let j = memo.insert(mk(0b011, 0));
         let (ea, eb, ej) = memo.join_view(a, b, j);
-        ej.payload = ea.payload + eb.payload;
-        assert_eq!(memo.entry(j).payload, 3);
+        *ej.payload = ea.payload + eb.payload;
+        assert_eq!(*memo.entry(j).payload, 3);
+        assert_eq!(*memo.payload(j), 3);
     }
 
     #[test]
@@ -437,7 +745,7 @@ mod tests {
             MemoStore::id_of(&shard, TableSet::from_bits(0b001)),
             Some(a)
         );
-        assert_eq!(MemoStore::entry(&shard, b).payload, 2);
+        assert_eq!(*MemoStore::entry(&shard, b).payload, 2);
         assert_eq!(MemoStore::len(&shard), 2);
         // Local inserts continue the base numbering.
         let j = shard.insert(mk(0b011, 0));
@@ -448,8 +756,8 @@ mod tests {
             Some(j)
         );
         let (ea, eb, ej) = shard.join_view(a, b, j);
-        ej.payload = ea.payload + eb.payload;
-        assert_eq!(MemoStore::entry_mut(&mut shard, j).payload, 3);
+        *ej.payload = ea.payload + eb.payload;
+        assert_eq!(*MemoStore::payload_mut(&mut shard, j), 3);
         let locals = shard.into_locals();
         assert_eq!(locals.len(), 1);
         assert_eq!(locals[0].payload, 3);
@@ -468,7 +776,7 @@ mod tests {
             payload: (),
         });
         let mut shard = MemoShard::new(&memo);
-        let _ = shard.entry_mut(a);
+        let _ = shard.payload_mut(a);
     }
 
     #[test]

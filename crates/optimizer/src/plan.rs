@@ -4,7 +4,7 @@ use crate::cost::{Cost, StreamStats};
 use crate::properties::order::Ordering;
 use crate::properties::partition::PartitionVal;
 use crate::properties::JoinMethod;
-use cote_common::{IndexId, TableRef};
+use cote_common::{IndexId, InlineVec, TableRef};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -46,8 +46,9 @@ pub enum PlanKind {
     IndexAnd {
         /// Scanned table reference.
         table: TableRef,
-        /// The intersected indexes (≥ 2).
-        indexes: Vec<IndexId>,
+        /// The intersected indexes (≥ 2, inline up to 4 — ANDing more
+        /// than four indexes is outside the §3 search space anyway).
+        indexes: InlineVec<IndexId, 4>,
     },
     /// SORT enforcer.
     Sort {
@@ -184,7 +185,19 @@ pub struct PlanNode {
     pub stats: StreamStats,
 }
 
-/// Append-only arena of plan nodes for one optimization run.
+/// Nodes per arena chunk (power of two so id → chunk is a shift/mask).
+const CHUNK: usize = 1024;
+const CHUNK_SHIFT: u32 = CHUNK.trailing_zeros();
+
+/// Append-only bump arena of plan nodes for one optimization run.
+///
+/// Nodes live in fixed-capacity chunks of [`CHUNK`] entries. Each chunk is
+/// allocated once with its full capacity and never reallocates, so pushing a
+/// node never moves previously allocated nodes — the bump-allocation
+/// property plan generation relies on for cheap, cache-friendly growth
+/// (one amortized pointer bump per node, no O(n) copy spikes at Vec
+/// doubling boundaries). Lookup is two predictable indexed loads:
+/// `chunks[i >> CHUNK_SHIFT][i & (CHUNK - 1)]`.
 ///
 /// For intra-level parallel enumeration an arena can be *forked*: a fork
 /// shares the (frozen) parent arena as a read-only base and allocates its own
@@ -193,7 +206,9 @@ pub struct PlanNode {
 /// remapping their provisional ids.
 #[derive(Debug, Default)]
 pub struct PlanArena {
-    nodes: Vec<PlanNode>,
+    chunks: Vec<Vec<PlanNode>>,
+    /// Nodes allocated locally (excluding the shared base of a fork).
+    local_len: u32,
     base: Option<Arc<PlanArena>>,
     base_len: u32,
 }
@@ -208,7 +223,8 @@ impl PlanArena {
     /// `base.len()` upward.
     pub fn fork(base: &Arc<PlanArena>) -> Self {
         Self {
-            nodes: Vec::new(),
+            chunks: Vec::new(),
+            local_len: 0,
             base: Some(Arc::clone(base)),
             base_len: base.len() as u32,
         }
@@ -217,7 +233,7 @@ impl PlanArena {
     /// Number of nodes ever created (= plans generated and wired),
     /// including the shared base of a fork.
     pub fn len(&self) -> usize {
-        self.base_len as usize + self.nodes.len()
+        self.base_len as usize + self.local_len as usize
     }
 
     /// True when no nodes exist.
@@ -228,7 +244,20 @@ impl PlanArena {
     /// Consume a fork, returning the nodes it allocated above the base.
     /// Drops the fork's `Arc` handle on the base.
     pub fn into_local_nodes(self) -> Vec<PlanNode> {
-        self.nodes
+        self.chunks.into_iter().flatten().collect()
+    }
+
+    /// Bump-allocate one slot, opening a fresh full-capacity chunk at each
+    /// [`CHUNK`] boundary.
+    fn push_node(&mut self, node: PlanNode) {
+        if self.local_len as usize & (CHUNK - 1) == 0 {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks
+            .last_mut()
+            .expect("chunk opened above")
+            .push(node);
+        self.local_len += 1;
     }
 
     /// Allocate a node.
@@ -239,8 +268,8 @@ impl PlanArena {
         cost: Cost,
         stats: StreamStats,
     ) -> PlanId {
-        let id = PlanId(self.base_len + self.nodes.len() as u32);
-        self.nodes.push(PlanNode {
+        let id = PlanId(self.base_len + self.local_len);
+        self.push_node(PlanNode {
             kind,
             props,
             total: cost.total(),
@@ -258,7 +287,8 @@ impl PlanArena {
                 .expect("base id on an unforked arena")
                 .node(id)
         } else {
-            &self.nodes[(id.0 - self.base_len) as usize]
+            let i = (id.0 - self.base_len) as usize;
+            &self.chunks[i >> CHUNK_SHIFT][i & (CHUNK - 1)]
         }
     }
 
@@ -269,7 +299,7 @@ impl PlanArena {
     /// `PlanId(x)` with `x >= fork_base` becomes `PlanId(x + delta[w])`.
     pub fn absorb_locals(&mut self, locals: Vec<Vec<PlanNode>>) -> Vec<u32> {
         assert!(self.base.is_none(), "absorb into the reclaimed base arena");
-        let fork_base = self.nodes.len() as u32;
+        let fork_base = self.local_len;
         let mut deltas = Vec::with_capacity(locals.len());
         let mut appended = 0u32;
         for tail in locals {
@@ -278,7 +308,7 @@ impl PlanArena {
             appended += tail.len() as u32;
             for mut node in tail {
                 node.kind.remap_inputs(fork_base, delta);
-                self.nodes.push(node);
+                self.push_node(node);
             }
         }
         deltas
@@ -437,7 +467,9 @@ mod tests {
         let anding = a.add(
             PlanKind::IndexAnd {
                 table: TableRef(0),
-                indexes: vec![cote_common::IndexId(0), cote_common::IndexId(1)],
+                indexes: [cote_common::IndexId(0), cote_common::IndexId(1)]
+                    .into_iter()
+                    .collect(),
             },
             PlanProps::dc(),
             Cost::ZERO,

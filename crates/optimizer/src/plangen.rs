@@ -151,9 +151,9 @@ impl RealPlanGen {
         {
             return;
         }
-        let mut list = std::mem::take(&mut memo.entry_mut(joined).payload.plans);
+        let mut list = std::mem::take(&mut memo.payload_mut(joined).plans);
         self.try_insert(&mut list, plan);
-        memo.entry_mut(joined).payload.plans = list;
+        memo.payload_mut(joined).plans = list;
     }
 
     /// Discard plans above the pilot bound (§6.1). Returns true if pruned.
@@ -526,7 +526,7 @@ impl RealPlanGen {
             join_classes,
             mgjn_reqs,
             j_eq: j_entry.eq.clone(),
-            j_boundary: j_entry.boundary.clone(),
+            j_boundary: j_entry.boundary.to_vec(),
             out_stats: StreamStats::of(j_entry.cardinality, j_entry.payload.row_bytes),
         }
     }
@@ -1027,8 +1027,8 @@ impl JoinVisitor for RealPlanGen {
         for target in targets {
             let (target, satisfied, empty) = {
                 let entry = memo.entry(id);
-                let target = target.canon(&entry.eq);
-                if !is_interesting(&target, &entry.eq, &entry.boundary, &ctx.targets) {
+                let target = target.canon(entry.eq);
+                if !is_interesting(&target, entry.eq, entry.boundary, &ctx.targets) {
                     continue;
                 }
                 let satisfied = entry

@@ -86,9 +86,9 @@ impl JoinVisitor for PlanSpaceCounter {
             .saturating_mul(b_trees)
             .saturating_mul(orientations)
             .saturating_mul(self.methods_per_join);
-        let j = memo.entry_mut(site.joined);
-        j.payload.trees = j.payload.trees.saturating_add(combos);
-        j.payload.derivations.push((site.a, site.b, combos));
+        let j = memo.payload_mut(site.joined);
+        j.trees = j.trees.saturating_add(combos);
+        j.derivations.push((site.a, site.b, combos));
     }
 
     fn finish_entry<M: MemoStore<SpaceCount>>(

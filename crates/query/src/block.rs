@@ -3,7 +3,7 @@
 use crate::equivalence::transitive_closure_implied;
 use crate::predicate::{ExpensivePred, JoinPredicate, LocalPredicate, PredOp};
 use cote_catalog::Catalog;
-use cote_common::{ColRef, CoteError, FxHashMap, Result, TableId, TableRef, TableSet};
+use cote_common::{ColRef, CoteError, FxHashMap, InlineVec, Result, TableId, TableRef, TableSet};
 
 /// An outer join between a preserving anchor table and a null-producing
 /// table.
@@ -172,7 +172,11 @@ impl QueryBlock {
     }
 
     /// Indices of join predicates spanning two disjoint table sets.
-    pub fn preds_between(&self, a: TableSet, b: TableSet) -> Vec<usize> {
+    ///
+    /// Returned inline (no heap allocation) for up to four predicates —
+    /// real join graphs rarely place more between one pair of sets, so the
+    /// enumerator's innermost loop stays allocation-free.
+    pub fn preds_between(&self, a: TableSet, b: TableSet) -> InlineVec<usize, 4> {
         self.join_preds
             .iter()
             .enumerate()
@@ -558,11 +562,10 @@ mod tests {
         let block = b.build(&cat).unwrap();
         let s01 = TableSet::first_n(2);
         let s2 = TableSet::singleton(TableRef(2));
-        assert_eq!(block.preds_between(s01, s2), vec![1]);
-        assert_eq!(
-            block.preds_between(TableSet::singleton(TableRef(0)), s2),
-            Vec::<usize>::new()
-        );
+        assert_eq!(block.preds_between(s01, s2).as_slice(), &[1]);
+        assert!(block
+            .preds_between(TableSet::singleton(TableRef(0)), s2)
+            .is_empty());
     }
 
     #[test]

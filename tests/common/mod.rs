@@ -1,0 +1,354 @@
+//! Shared helpers for the layout-differential oracle suites.
+//!
+//! The MEMO/plan-arena refactors are pinned by golden fixtures under
+//! `tests/fixtures/`: JSON captured from the pre-refactor layout, asserted
+//! bit-identical on every later layout. This module is the whole fixture
+//! stack — a minimal JSON value (parse + render, no serde) and the
+//! compare-or-regenerate driver. Floats ride as hexadecimal bit strings so
+//! equality is exact, not epsilon.
+#![allow(dead_code)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A minimal JSON value: everything the fixtures need, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A number (fixture numbers are counts well under 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved so renders are deterministic.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn num(v: impl Into<f64>) -> Json {
+        Json::Num(v.into())
+    }
+
+    pub fn u64(v: u64) -> Json {
+        debug_assert!(v < (1 << 53), "count too large for exact JSON number");
+        Json::Num(v as f64)
+    }
+
+    /// A float pinned bit-exactly: rendered as its IEEE-754 bit pattern.
+    pub fn f64_bits(v: f64) -> Json {
+        Json::Str(format!("{:016x}", v.to_bits()))
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> u64 {
+        match self {
+            Json::Num(n) => *n as u64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    pub fn as_f64_bits(&self) -> f64 {
+        match self {
+            Json::Str(s) => f64::from_bits(u64::from_str_radix(s, 16).expect("hex bit string")),
+            other => panic!("expected bit string, got {other:?}"),
+        }
+    }
+
+    pub fn as_arr(&self) -> &[Json] {
+        match self {
+            Json::Arr(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    /// Render with stable formatting (arrays inline, objects one key per
+    /// line) so regenerated fixtures diff cleanly.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    v.render_into(out, indent);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                let pad = "  ".repeat(indent + 1);
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    let _ = write!(out, "{pad}\"{k}\": ");
+                    v.render_into(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                let _ = write!(out, "{}}}", "  ".repeat(indent));
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Json {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value();
+        p.skip_ws();
+        assert!(p.pos == p.bytes.len(), "trailing garbage at byte {}", p.pos);
+        v
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert!(
+            self.pos < self.bytes.len() && self.bytes[self.pos] == b,
+            "expected '{}' at byte {}",
+            b as char,
+            self.pos
+        );
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        assert!(self.pos < self.bytes.len(), "unexpected end of fixture");
+        self.bytes[self.pos]
+    }
+
+    fn value(&mut self) -> Json {
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Json::Str(self.string()),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Json {
+        self.expect(b'{');
+        let mut fields = Vec::new();
+        if self.peek() == b'}' {
+            self.pos += 1;
+            return Json::Obj(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string();
+            self.expect(b':');
+            fields.push((key, self.value()));
+            match self.peek() {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Json::Obj(fields);
+                }
+                c => panic!(
+                    "expected ',' or '}}', got '{}' at byte {}",
+                    c as char, self.pos
+                ),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Json {
+        self.expect(b'[');
+        let mut items = Vec::new();
+        if self.peek() == b']' {
+            self.pos += 1;
+            return Json::Arr(items);
+        }
+        loop {
+            items.push(self.value());
+            match self.peek() {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Json::Arr(items);
+                }
+                c => panic!(
+                    "expected ',' or ']', got '{}' at byte {}",
+                    c as char, self.pos
+                ),
+            }
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut s = String::new();
+        loop {
+            assert!(self.pos < self.bytes.len(), "unterminated string");
+            let b = self.bytes[self.pos];
+            self.pos += 1;
+            match b {
+                b'"' => return s,
+                b'\\' => {
+                    let e = self.bytes[self.pos];
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'n' => s.push('\n'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .expect("utf8 escape");
+                            self.pos += 4;
+                            let cp = u32::from_str_radix(hex, 16).expect("hex escape");
+                            s.push(char::from_u32(cp).expect("scalar escape"));
+                        }
+                        other => panic!("unsupported escape '\\{}'", other as char),
+                    }
+                }
+                other => s.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Json {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        Json::Num(
+            text.parse()
+                .unwrap_or_else(|_| panic!("bad number '{text}'")),
+        )
+    }
+}
+
+/// Report the path of the first structural difference, or None if equal.
+fn first_diff(golden: &Json, current: &Json, path: &str) -> Option<String> {
+    match (golden, current) {
+        (Json::Num(a), Json::Num(b)) if a.to_bits() == b.to_bits() => None,
+        (Json::Str(a), Json::Str(b)) if a == b => None,
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                return Some(format!("{path}: array length {} vs {}", a.len(), b.len()));
+            }
+            a.iter()
+                .zip(b)
+                .enumerate()
+                .find_map(|(i, (x, y))| first_diff(x, y, &format!("{path}[{i}]")))
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            let ka: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let kb: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            if ka != kb {
+                return Some(format!("{path}: keys {ka:?} vs {kb:?}"));
+            }
+            a.iter()
+                .zip(b)
+                .find_map(|((k, x), (_, y))| first_diff(x, y, &format!("{path}.{k}")))
+        }
+        _ => Some(format!("{path}: {golden:?} != {current:?}")),
+    }
+}
+
+/// Compare `current` against the committed golden at `rel` (workspace-root
+/// relative), or regenerate the golden when `COTE_UPDATE_FIXTURES` is set.
+///
+/// The golden is the *pre-refactor* layout's output: any diff means the new
+/// layout changed observable optimizer/estimator behavior by at least a bit.
+pub fn check_fixture(rel: &str, current: &Json) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    if std::env::var("COTE_UPDATE_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, current.render()).expect("write fixture");
+        eprintln!("regenerated fixture {rel}");
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {rel} ({e}); capture it with COTE_UPDATE_FIXTURES=1")
+    });
+    let golden = Json::parse(&text);
+    if let Some(diff) = first_diff(&golden, current, rel) {
+        panic!(
+            "layout-differential oracle: current output diverged from the \
+             committed golden at {diff}\n(regenerate deliberately with \
+             COTE_UPDATE_FIXTURES=1 only if the behavior change is intended)"
+        );
+    }
+}
+
+#[test]
+fn json_round_trips() {
+    let v = Json::Obj(vec![
+        ("name".into(), Json::Str("chain-3 \"q\"".into())),
+        ("count".into(), Json::u64(42)),
+        ("cost".into(), Json::f64_bits(123.456789)),
+        (
+            "hist".into(),
+            Json::Arr(vec![Json::u64(1), Json::u64(2), Json::u64(3)]),
+        ),
+        ("empty".into(), Json::Arr(vec![])),
+    ]);
+    let rendered = v.render();
+    let back = Json::parse(&rendered);
+    assert_eq!(back, v);
+    assert_eq!(back.get("count").unwrap().as_u64(), 42);
+    assert_eq!(back.get("cost").unwrap().as_f64_bits(), 123.456789);
+    assert!(first_diff(&v, &back, "t").is_none());
+    let mut w = v.clone();
+    if let Json::Obj(f) = &mut w {
+        f[1].1 = Json::u64(43);
+    }
+    assert!(first_diff(&v, &w, "t").unwrap().contains("t.count"));
+}

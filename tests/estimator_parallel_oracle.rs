@@ -10,11 +10,14 @@
 //! parallel one at several thread counts, and against both the serial and
 //! parallel optimizer.
 
-use cote::{count_joins, estimate_block, EstimateOptions};
+use cote::{count_joins, estimate_block, EstimateOptions, TimeModel};
 use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
 use cote_workloads::generators::{corpus, QuerySpec};
 
-const EST_THREADS: [usize; 3] = [1, 2, 4];
+mod common;
+use common::Json;
+
+const EST_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn plain_specs() -> Vec<QuerySpec> {
     corpus(12, 2, 9, 0x04AC)
@@ -81,6 +84,90 @@ fn estimated_counts_equal_parallel_optimizer_actuals() {
         assert_eq!(est.counts, real.stats.plans_generated, "{spec:?}");
         assert_eq!(est.pairs, real.stats.pairs_enumerated, "{spec:?}");
     }
+}
+
+/// Layout-differential oracle for the estimator walk: predicted per-method
+/// counts, memory quantities and predicted compilation seconds (under a
+/// fixed paper-ratio time model, so the prediction is deterministic) must
+/// stay bit-identical to the goldens captured from the pre-refactor layout,
+/// at every thread count.
+#[test]
+fn estimator_layout_matches_pre_refactor_goldens() {
+    // The paper's serial DB2 ratio C_m:C_n:C_h = 5:2:4, plus an intercept:
+    // fixed coefficients make predicted seconds a pure function of counts.
+    let model = TimeModel {
+        c_nljn: 2e-6,
+        c_mgjn: 5e-6,
+        c_hsjn: 4e-6,
+        intercept: 1e-3,
+    };
+    let rows: Vec<Json> = plain_specs()
+        .iter()
+        .map(|spec| {
+            let (cat, q) = spec.build();
+            let block = &q.root;
+            let cfg = exact_config();
+            let mut first = None;
+            for threads in EST_THREADS {
+                let opts = EstimateOptions {
+                    enum_threads: threads,
+                    ..Default::default()
+                };
+                let est = estimate_block(&cat, block, &cfg, &opts)
+                    .unwrap_or_else(|e| panic!("{spec:?} @ {threads}: {e}"));
+                let facts = (
+                    est.counts,
+                    est.pairs,
+                    est.joins,
+                    est.memo_entries,
+                    est.property_values,
+                    est.scan_plans,
+                    est.sort_plans,
+                    est.group_plans,
+                );
+                match &first {
+                    None => first = Some(facts),
+                    Some(f) => assert_eq!(*f, facts, "{spec:?} diverged at {threads} threads"),
+                }
+            }
+            let (counts, pairs, joins, memo_entries, property_values, scans, sorts, groups) =
+                first.expect("at least one thread count");
+            Json::Obj(vec![
+                (
+                    "spec".into(),
+                    Json::Str(format!(
+                        "{:?}-{}t-seed{:x}",
+                        spec.shape, spec.tables, spec.seed
+                    )),
+                ),
+                ("nljn".into(), Json::u64(counts.nljn)),
+                ("mgjn".into(), Json::u64(counts.mgjn)),
+                ("hsjn".into(), Json::u64(counts.hsjn)),
+                ("pairs".into(), Json::u64(pairs)),
+                ("joins".into(), Json::u64(joins)),
+                ("memo_entries".into(), Json::u64(memo_entries)),
+                ("property_values".into(), Json::u64(property_values)),
+                ("scan_plans".into(), Json::u64(scans)),
+                ("sort_plans".into(), Json::u64(sorts)),
+                ("group_plans".into(), Json::u64(groups)),
+                (
+                    "predicted_seconds_bits".into(),
+                    Json::f64_bits(model.predict_seconds(&counts)),
+                ),
+            ])
+        })
+        .collect();
+    common::check_fixture(
+        "tests/fixtures/memo_layout_estimator.json",
+        &Json::Obj(vec![
+            ("suite".into(), Json::Str("memo-layout-estimator".into())),
+            (
+                "threads".into(),
+                Json::Arr(EST_THREADS.iter().map(|&t| Json::u64(t as u64)).collect()),
+            ),
+            ("specs".into(), Json::Arr(rows)),
+        ]),
+    );
 }
 
 #[test]

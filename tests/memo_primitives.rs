@@ -1,0 +1,101 @@
+//! Property suites for the cache-conscious MEMO primitives in
+//! `cote-common`: `InlineVec` vs `Vec` equivalence under random op
+//! sequences, the property-interner bijection, and Gosper's-hack subset
+//! iteration vs exhaustive enumeration.
+
+use cote_common::{InlineVec, Interner, TableSet};
+use proptest::prelude::*;
+
+/// One randomized stack op: push the value, or pop when the value's low bit
+/// says so. Encoded as plain data because the vendored proptest has no
+/// enum strategies.
+fn apply_ops(ops: &[(bool, u16)]) -> (InlineVec<u16, 4>, Vec<u16>) {
+    let mut iv: InlineVec<u16, 4> = InlineVec::new();
+    let mut model: Vec<u16> = Vec::new();
+    for &(is_pop, v) in ops {
+        if is_pop {
+            assert_eq!(iv.pop(), model.pop(), "pop diverged");
+        } else {
+            iv.push(v);
+            model.push(v);
+        }
+        assert_eq!(iv.len(), model.len());
+        assert_eq!(iv.is_empty(), model.is_empty());
+    }
+    (iv, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn inline_vec_behaves_like_vec(ops in proptest::collection::vec((any::<bool>(), 0u16..1000), 0..24)) {
+        let (iv, model) = apply_ops(&ops);
+        // Same contents, same iteration order, through every accessor.
+        prop_assert_eq!(iv.as_slice(), &model[..]);
+        prop_assert_eq!(iv.iter().copied().collect::<Vec<_>>(), model.clone());
+        let cloned = iv.clone();
+        prop_assert_eq!(&cloned, &iv);
+        prop_assert_eq!(cloned.into_iter().collect::<Vec<_>>(), model.clone());
+        // Spill iff the sequence's high-water mark passed the inline cap.
+        let mut depth = 0usize;
+        let mut peak = 0usize;
+        for &(is_pop, _) in &ops {
+            if is_pop {
+                depth = depth.saturating_sub(1);
+            } else {
+                depth += 1;
+                peak = peak.max(depth);
+            }
+        }
+        prop_assert_eq!(iv.is_spilled(), peak > 4);
+    }
+
+    #[test]
+    fn interner_is_a_bijection(lists in proptest::collection::vec(
+        proptest::collection::vec(0u16..6, 0..4), 1..40))
+    {
+        let mut t: Interner<Vec<u16>> = Interner::new();
+        let ids: Vec<_> = lists.iter().map(|l| t.intern(l)).collect();
+        for (list, &id) in lists.iter().zip(&ids) {
+            // intern → resolve round-trips.
+            prop_assert_eq!(t.resolve(id), list);
+        }
+        for (i, a) in lists.iter().enumerate() {
+            for (j, b) in lists.iter().enumerate() {
+                // Equal lists always intern to equal ids; distinct lists
+                // never collide.
+                prop_assert_eq!(a == b, ids[i] == ids[j], "lists {} and {}", i, j);
+            }
+        }
+        // The table stores exactly the distinct values, densely.
+        let mut distinct = lists.clone();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert_eq!(t.len(), distinct.len());
+    }
+}
+
+#[test]
+fn gosper_matches_exhaustive_enumeration_to_20_tables() {
+    // The old layout derived DP level masks by walking a hash map of MEMO
+    // entries; the reference below (exhaustive popcount filter) is what any
+    // such walk yields after the deterministic sort. Gosper's iteration
+    // must produce exactly that set, already in ascending order, for every
+    // (n, k) with n ≤ 20.
+    for n in 0..=20usize {
+        let mut by_k: Vec<Vec<u64>> = vec![Vec::new(); n + 1];
+        for mask in 1..(1u64 << n) {
+            by_k[mask.count_ones() as usize].push(mask);
+        }
+        for (k, expect) in by_k.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let gosper: Vec<u64> = TableSet::k_subsets(n, k).map(|s| s.bits()).collect();
+            assert_eq!(&gosper, expect, "n={n} k={k}");
+        }
+        // And k past n yields nothing.
+        assert_eq!(TableSet::k_subsets(n, n + 1).count(), 0, "n={n}");
+    }
+}

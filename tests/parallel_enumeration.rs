@@ -9,8 +9,11 @@
 //! partitioned-table variety) drives both sides.
 
 use cote_optimizer::{Mode, Optimizer, OptimizerConfig};
-use cote_workloads::generators::{corpus, query_spec, QuerySpec};
+use cote_workloads::generators::{corpus, query_spec, GraphShape, QuerySpec};
 use proptest::prelude::*;
+
+mod common;
+use common::Json;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -96,29 +99,93 @@ fn fixed_corpus_parallel_matches_serial() {
     }
 }
 
-#[test]
-fn shape_extremes_parallel_matches_serial() {
-    use cote_workloads::generators::GraphShape;
-    // The corner cases mask striping must get right: tiny queries (levels
-    // with fewer masks than workers) and the densest/biggest graphs.
-    for (shape, tables) in [
+/// The corner cases mask striping must get right: tiny queries (levels with
+/// fewer masks than workers) and the densest/biggest graphs.
+fn extreme_specs() -> Vec<QuerySpec> {
+    [
         (GraphShape::Chain, 2),
         (GraphShape::Chain, 3),
         (GraphShape::Star, 12),
         (GraphShape::Cycle, 9),
         (GraphShape::Clique, 7),
-    ] {
-        let spec = QuerySpec {
-            shape,
-            tables,
-            order_by: true,
-            group_by: shape == GraphShape::Cycle,
-            partitioned: shape == GraphShape::Star,
-            indexes: true,
-            seed: 0xBEEF ^ tables as u64,
-        };
+    ]
+    .into_iter()
+    .map(|(shape, tables)| QuerySpec {
+        shape,
+        tables,
+        order_by: true,
+        group_by: shape == GraphShape::Cycle,
+        partitioned: shape == GraphShape::Star,
+        indexes: true,
+        seed: 0xBEEF ^ tables as u64,
+    })
+    .collect()
+}
+
+#[test]
+fn shape_extremes_parallel_matches_serial() {
+    for spec in extreme_specs() {
         assert_identical(&spec);
     }
+}
+
+/// Layout-differential oracle: the seeded corpus plus the shape extremes,
+/// at every thread count, against goldens captured from the pre-refactor
+/// (array-of-structs) MEMO layout. Best cost is compared on exact f64 bits;
+/// any divergence means a layout refactor changed optimizer output.
+#[test]
+fn layout_matches_pre_refactor_goldens() {
+    let mut specs = corpus(20, 2, 10, 0xD1FF);
+    specs.extend(extreme_specs());
+    let rows: Vec<Json> = specs
+        .iter()
+        .map(|spec| {
+            let serial = facts(spec, 1);
+            for t in &THREADS[1..] {
+                assert_eq!(serial, facts(spec, *t), "{spec:?} diverged at {t} threads");
+            }
+            let (best_cost, plans, pairs, joins, hist, entries) = serial;
+            Json::Obj(vec![
+                (
+                    "spec".into(),
+                    Json::Str(format!(
+                        "{:?}-{}t-seed{:x}",
+                        spec.shape, spec.tables, spec.seed
+                    )),
+                ),
+                ("best_cost_bits".into(), Json::f64_bits(best_cost)),
+                ("plans_generated".into(), Json::u64(plans)),
+                ("pairs".into(), Json::u64(pairs)),
+                ("joins".into(), Json::u64(joins)),
+                (
+                    "level_histogram".into(),
+                    Json::Arr(hist.iter().map(|&c| Json::u64(c as u64)).collect()),
+                ),
+                (
+                    "entries".into(),
+                    Json::Arr(
+                        entries
+                            .iter()
+                            .map(|&(bits, plans)| {
+                                Json::Arr(vec![Json::u64(bits), Json::u64(plans as u64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    common::check_fixture(
+        "tests/fixtures/memo_layout_optimizer.json",
+        &Json::Obj(vec![
+            ("suite".into(), Json::Str("memo-layout-optimizer".into())),
+            (
+                "threads".into(),
+                Json::Arr(THREADS.iter().map(|&t| Json::u64(t as u64)).collect()),
+            ),
+            ("specs".into(), Json::Arr(rows)),
+        ]),
+    );
 }
 
 proptest! {
